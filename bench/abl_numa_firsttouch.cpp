@@ -1,0 +1,39 @@
+// Ablation: §6.3 -- Nautilus's immediate single-zone allocation vs the
+// first-touch-at-2MB extension on 8XEON.  "Immediate allocation
+// results in such arrays being assigned to a single NUMA zone,
+// lowering performance when different slices are assigned to CPUs in
+// different zones."
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/figures.hpp"
+#include "harness/table.hpp"
+
+using namespace kop;
+
+int main() {
+  std::printf("== Ablation: Nautilus immediate allocation vs "
+              "first-touch-at-2MB on 8XEON (§6.3) ==\n");
+  std::printf("   RTK timed seconds for MG-C and CG-C\n\n");
+
+  auto suite = harness::scale_suite({nas::mg(), nas::cg()}, 8.0 / 3.0, 3);
+  for (const auto& spec : suite) {
+    harness::Table t({"cpus", "immediate", "first-touch", "speedup"});
+    for (int n : {24, 48, 96, 192}) {
+      core::StackConfig cfg;
+      cfg.machine = "8xeon";
+      cfg.path = core::PathKind::kRtk;
+      cfg.num_threads = n;
+      cfg.nk_first_touch = false;
+      const double imm = harness::run_nas(cfg, spec).timed_seconds;
+      cfg.nk_first_touch = true;
+      const double ft = harness::run_nas(cfg, spec).timed_seconds;
+      t.add_row({std::to_string(n), harness::Table::seconds(imm),
+                 harness::Table::seconds(ft), harness::Table::num(imm / ft)});
+    }
+    std::printf("%s\n%s\n", spec.full_name().c_str(), t.to_string().c_str());
+  }
+  std::printf("Expected: parity within one socket (24 CPUs), growing\n"
+              "first-touch advantage at 2-8 sockets.\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 7: RTK performance compared to Linux -- EPCC microbenchmarks
+// on 64 cores of PHI.  Expected shape (paper §6.1): RTK slightly
+// higher overhead than Linux across most constructs (ported runtime,
+// pthread compatibility layer, kernel memory allocation).
+#include "harness/figures.hpp"
+
+int main() {
+  kop::epcc::EpccConfig cfg;
+  cfg.outer_reps = 6;
+  cfg.inner_iters = 16;
+  kop::harness::print_epcc_figure(
+      "Figure 7: EPCC, RTK vs Linux, 64 cores of PHI", "phi", 64,
+      {kop::core::PathKind::kLinuxOmp, kop::core::PathKind::kRtk}, cfg);
+  return 0;
+}

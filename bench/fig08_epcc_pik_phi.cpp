@@ -1,0 +1,15 @@
+// Figure 8: PIK performance compared to Linux -- EPCC microbenchmarks
+// on 64 cores of PHI.  Expected shape (paper §6.1): PIK slightly
+// *lower* overhead than Linux, with considerably lower variance (the
+// same binary, but cheap kernel-mode crossings and no OS noise).
+#include "harness/figures.hpp"
+
+int main() {
+  kop::epcc::EpccConfig cfg;
+  cfg.outer_reps = 6;
+  cfg.inner_iters = 16;
+  kop::harness::print_epcc_figure(
+      "Figure 8: EPCC, PIK vs Linux, 64 cores of PHI", "phi", 64,
+      {kop::core::PathKind::kLinuxOmp, kop::core::PathKind::kPik}, cfg);
+  return 0;
+}

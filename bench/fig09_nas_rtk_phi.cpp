@@ -1,0 +1,15 @@
+// Figure 9: RTK performance relative to Linux as a function of CPUs --
+// NAS benchmarks on PHI.  Expected shape (paper §6.2): RTK gains from
+// +90% (BT at 1 CPU) down to roughly parity, ~22% geomean, driven by
+// the kernel environment (no faults, rare TLB misses, NUMA-cognizant
+// allocation, no noise, no competing threads).
+#include "harness/figures.hpp"
+
+int main() {
+  const auto suite =
+      kop::harness::scale_suite(kop::nas::paper_suite(), 2.0, 4);
+  kop::harness::print_nas_normalized(
+      "Figure 9: NAS, RTK vs Linux on PHI", "phi",
+      {kop::core::PathKind::kRtk}, kop::harness::phi_scales(), suite);
+  return 0;
+}

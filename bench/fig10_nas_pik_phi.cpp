@@ -1,0 +1,14 @@
+// Figure 10: PIK performance relative to Linux as a function of CPUs
+// -- NAS benchmarks on PHI.  Expected shape (paper §6.2): generally
+// similar to RTK but smaller gains, ~10% geomean (the pristine binary
+// keeps the user-level 2MB-grained memory layout).
+#include "harness/figures.hpp"
+
+int main() {
+  const auto suite =
+      kop::harness::scale_suite(kop::nas::paper_suite(), 2.0, 4);
+  kop::harness::print_nas_normalized(
+      "Figure 10: NAS, PIK vs Linux on PHI", "phi",
+      {kop::core::PathKind::kPik}, kop::harness::phi_scales(), suite);
+  return 0;
+}

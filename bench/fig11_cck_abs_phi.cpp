@@ -1,0 +1,19 @@
+// Figure 11: CCK absolute performance on Linux and Nautilus compared
+// to stock OpenMP on Linux (NAS on PHI; lower is better).  Expected
+// shape (paper §6.2): FT/EP parity between OpenMP and AutoMP; LU, BT,
+// SP lose (object-privatization limitation leaves loops sequential);
+// MG and CG beat OpenMP (latency-aware chunking); IS is elided.
+#include <cstdio>
+
+#include "harness/figures.hpp"
+
+int main() {
+  const auto suite = kop::harness::scale_suite(kop::nas::cck_suite(), 2.0, 4);
+  kop::harness::print_cck_absolute(
+      "Figure 11: CCK absolute times on PHI (Linux OMP vs Linux AutoMP vs "
+      "NK AutoMP)",
+      "phi", kop::harness::phi_scales(), suite);
+  std::printf("IS-C is elided: AutoMP extracts no parallelism from it "
+              "(every loop needs object privatization).\n");
+  return 0;
+}

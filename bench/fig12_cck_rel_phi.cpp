@@ -1,0 +1,12 @@
+// Figure 12: CCK performance relative to Linux-OpenMP on PHI
+// (normalized; higher is better).  Same data as Fig. 11, paper-style
+// normalization.
+#include "harness/figures.hpp"
+
+int main() {
+  const auto suite = kop::harness::scale_suite(kop::nas::cck_suite(), 2.0, 4);
+  kop::harness::print_cck_normalized(
+      "Figure 12: CCK normalized performance on PHI", "phi",
+      kop::harness::phi_scales(), suite);
+  return 0;
+}

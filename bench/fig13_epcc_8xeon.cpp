@@ -1,0 +1,24 @@
+// Figure 13: RTK and PIK performance compared to Linux -- EPCC
+// microbenchmarks on 192 cores of 8XEON.  Expected shape (paper §6.3):
+// except for scheduling (comparable), RTK and PIK outperform Linux at
+// this scale (futex wakes and OS noise hurt the user-level barrier and
+// task paths much more at 192 threads).
+#include "harness/figures.hpp"
+
+int main() {
+  kop::epcc::EpccConfig cfg;
+  cfg.outer_reps = 4;
+  cfg.inner_iters = 8;
+  // 192 threads: keep per-construct iteration counts moderate so the
+  // full three-path sweep stays fast.
+  cfg.sched_iters_per_thread = 32;
+  cfg.tasks_per_thread = 8;
+  cfg.tree_depth = 5;
+  kop::harness::print_epcc_figure(
+      "Figure 13: EPCC, RTK and PIK vs Linux, 192 cores of 8XEON", "8xeon",
+      192,
+      {kop::core::PathKind::kLinuxOmp, kop::core::PathKind::kRtk,
+       kop::core::PathKind::kPik},
+      cfg);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 14: RTK and PIK performance relative to Linux as a function
+// of CPUs -- NAS benchmarks on 8XEON.  Expected shape (paper §6.3):
+// ~20% geomean gains for RTK and PIK; Nautilus runs beyond one socket
+// use the first-touch-at-2MB extension.
+#include "harness/figures.hpp"
+
+int main() {
+  const auto suite =
+      kop::harness::scale_suite(kop::nas::paper_suite(), 8.0/3.0, 3);
+  kop::harness::print_nas_normalized(
+      "Figure 14: NAS, RTK and PIK vs Linux on 8XEON", "8xeon",
+      {kop::core::PathKind::kRtk, kop::core::PathKind::kPik},
+      kop::harness::xeon_scales(), suite);
+  return 0;
+}

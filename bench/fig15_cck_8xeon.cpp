@@ -1,0 +1,11 @@
+// Figure 15: CCK performance relative to Linux-OpenMP on 8XEON
+// (normalized; higher is better).
+#include "harness/figures.hpp"
+
+int main() {
+  const auto suite = kop::harness::scale_suite(kop::nas::cck_suite(), 8.0/3.0, 3);
+  kop::harness::print_cck_normalized(
+      "Figure 15: CCK normalized performance on 8XEON", "8xeon",
+      kop::harness::xeon_scales(), suite);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// google-benchmark microbenchmarks of the simulator core itself:
+// wall-clock cost of events, fiber switches, and a full small OpenMP
+// region.  These guard the *host* performance of the reproduction
+// (every figure is built from millions of these operations).
+#include <benchmark/benchmark.h>
+
+#include "komp/runtime.hpp"
+#include "nautilus/kernel.hpp"
+#include "pthread_compat/pthreads.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    kop::sim::Engine eng;
+    for (int i = 0; i < 1000; ++i) eng.post_at(i, [] {});
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineEventDispatch);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  kop::sim::Fiber f([] {
+    for (;;) kop::sim::Fiber::yield();
+  });
+  for (auto _ : state) f.resume();
+  state.SetItemsProcessed(state.iterations() * 2);  // in + out
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_ThreadSleepWake(benchmark::State& state) {
+  for (auto _ : state) {
+    kop::sim::Engine eng;
+    auto* t = eng.spawn("t", [&] {
+      for (int i = 0; i < 100; ++i) eng.sleep_for(10);
+    });
+    eng.wake(t);
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ThreadSleepWake);
+
+void BM_OmpParallelRegion(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    kop::sim::Engine eng;
+    kop::nautilus::NautilusKernel nk(eng, kop::hw::phi());
+    nk.set_env("OMP_NUM_THREADS", std::to_string(threads));
+    kop::pthread_compat::Pthreads pt(
+        nk, kop::pthread_compat::nautilus_native_tuning());
+    nk.spawn_thread(
+        "main",
+        [&] {
+          kop::komp::Runtime rt(pt);
+          for (int r = 0; r < 10; ++r)
+            rt.parallel([](kop::komp::TeamThread& tt) { tt.compute_ns(1000); });
+        },
+        0);
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_OmpParallelRegion)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

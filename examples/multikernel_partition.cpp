@@ -1,0 +1,118 @@
+// Scenario: the paper's deployment story (§2.1/§7) -- Nautilus runs
+// *side by side* with Linux in a multi-kernel configuration (HVM or
+// Pisces co-kernel), space-partitioning the machine.  Rebooting the
+// Nautilus partition takes about as long as creating a Linux process.
+//
+// We partition the 8XEON box: Linux keeps sockets 0-3 (general work),
+// Nautilus gets sockets 4-7 as the HRT partition running an OpenMP
+// job via RTK.  Both run concurrently on one simulated machine/engine;
+// then we "reboot" the Nautilus side and run a second job, reporting
+// the boot latency next to the cost of a Linux process launch.
+#include <cstdio>
+
+#include "harness/table.hpp"
+#include "komp/runtime.hpp"
+#include "linuxmodel/linux_os.hpp"
+#include "nautilus/kernel.hpp"
+#include "pthread_compat/pthreads.hpp"
+
+using namespace kop;
+
+namespace {
+
+// Carve a 4-socket sub-machine out of 8XEON (the co-kernel gets its
+// own CPUs and NUMA zones; zone ids renumbered 0..3).
+hw::MachineConfig half_xeon(const char* name) {
+  hw::MachineConfig m = hw::xeon8();
+  m.name = name;
+  m.num_cpus = 96;
+  m.num_sockets = 4;
+  m.zones.resize(4);
+  for (auto& z : m.zones) {
+    for (auto& c : z.cpus) c = c % 96;
+  }
+  m.zone_distance.assign(4, std::vector<int>(4, 21));
+  for (int i = 0; i < 4; ++i)
+    m.zone_distance[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 10;
+  m.validate();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine engine(2026);
+
+  // The two compartments share the machine (and the engine) but are
+  // mutually protected: each sees only its own CPUs and memory.
+  linuxmodel::LinuxOs linux_side(engine, half_xeon("8xeon-linux-part"));
+  auto nk = std::make_unique<nautilus::NautilusKernel>(
+      engine, half_xeon("8xeon-hrt-part"));
+
+  std::printf("multi-kernel partition of 8XEON: Linux on sockets 0-3, "
+              "Nautilus HRT on sockets 4-7\n\n");
+
+  // Linux side: a long-running service loop.
+  double linux_work_done = 0;
+  linux_side.spawn_thread(
+      "linux-service",
+      [&] {
+        for (int i = 0; i < 40; ++i) {
+          linux_side.compute_ns(500 * sim::kMicrosecond);
+          linux_work_done += 0.5;
+        }
+      },
+      0);
+
+  // HRT side: boot, run an OpenMP job via RTK, "reboot", run another.
+  sim::Time boot_ns = 0;
+  double job1_ms = 0, job2_ms = 0;
+  pthread_compat::Pthreads pt(*nk, pthread_compat::nautilus_native_tuning());
+  nk->set_env("OMP_NUM_THREADS", "96");
+
+  auto run_job = [&](double& out_ms) {
+    komp::Runtime rt(pt);
+    const double t0 = rt.wtime();
+    rt.parallel([&](komp::TeamThread& tt) {
+      tt.for_loop(komp::Schedule::kStatic, 0, 0, 96 * 4,
+                  [&](std::int64_t b, std::int64_t e) {
+                    tt.compute_ns(50 * sim::kMicrosecond * (e - b));
+                  });
+    });
+    out_ms = (rt.wtime() - t0) * 1e3;
+  };
+
+  nk->spawn_thread(
+      "hrt-main",
+      [&] {
+        // Boot cost of the specialized kernel partition: identity page
+        // tables, per-zone allocators, per-CPU bring-up.  Milliseconds
+        // (paper §7), modelled as a fixed bring-up charge.
+        const sim::Time boot_start = engine.now();
+        engine.sleep_for(4 * sim::kMillisecond);  // Nautilus boot
+        boot_ns = engine.now() - boot_start;
+        run_job(job1_ms);
+        // "Rebooting the Nautilus part ... can be done at timescales
+        // similar to a process creation in Linux."
+        engine.sleep_for(4 * sim::kMillisecond);  // reboot
+        run_job(job2_ms);
+      },
+      0);
+
+  engine.run();
+
+  harness::Table t({"metric", "value"});
+  t.add_row({"Nautilus partition boot", harness::Table::num(
+                                            sim::to_seconds(boot_ns) * 1e3, 1) +
+                                            " ms"});
+  t.add_row({"Linux fork+exec (typical)", "~3-10 ms"});
+  t.add_row({"HRT job 1 (96 threads)", harness::Table::num(job1_ms, 2) + " ms"});
+  t.add_row({"HRT job 2 after reboot", harness::Table::num(job2_ms, 2) + " ms"});
+  t.add_row({"Linux-side work completed", harness::Table::num(linux_work_done, 1) +
+                                              " ms of service time"});
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Both compartments ran concurrently and independently;\n"
+              "the HRT partition reboots at process-creation timescales,\n"
+              "which is what makes kernel-per-job deployment practical.\n");
+  return job1_ms > 0 && job2_ms > 0 && linux_work_done > 0 ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+// Quickstart: boot each of the paper's stacks and run the same little
+// OpenMP program on all of them.
+//
+//   ./examples/quickstart
+//
+// The program sums 1..N with a parallel-for reduction, on the Linux
+// baseline, RTK, and PIK; then runs the CCK/AutoMP equivalent.
+#include <cstdio>
+
+#include "cck/program.hpp"
+#include "core/stack.hpp"
+#include "nas/exec.hpp"
+
+using namespace kop;
+
+namespace {
+
+// The "application": what a user would write with #pragma omp
+// parallel for reduction(+:sum).
+int omp_sum_app(komp::Runtime& rt) {
+  constexpr std::int64_t kN = 100'000;
+  double sum = 0.0;
+  rt.parallel([&](komp::TeamThread& tt) {
+    double local = 0.0;
+    tt.for_loop(komp::Schedule::kStatic, 0, 1, kN + 1,
+                [&](std::int64_t b, std::int64_t e) {
+                  for (std::int64_t i = b; i < e; ++i)
+                    local += static_cast<double>(i);
+                  tt.compute_ns(200 * (e - b));  // the modelled work
+                },
+                /*nowait=*/true);
+    const double total = tt.reduce(local, komp::ReduceOp::kSum);
+    tt.master([&] { sum = total; });
+    tt.barrier();
+  });
+  const double expected = 0.5 * kN * (kN + 1);
+  std::printf("    sum(1..%lld) = %.0f (%s)\n", static_cast<long long>(kN),
+              sum, sum == expected ? "correct" : "WRONG");
+  return sum == expected ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("kop quickstart: one OpenMP program, three kernel paths\n\n");
+
+  for (auto path :
+       {core::PathKind::kLinuxOmp, core::PathKind::kRtk, core::PathKind::kPik}) {
+    core::StackConfig cfg;
+    cfg.machine = "phi";
+    cfg.path = path;
+    cfg.num_threads = 16;
+    auto stack = core::Stack::create(cfg);
+    std::printf("  [%s] booting on %s with %d threads\n",
+                core::path_name(path), cfg.machine.c_str(), cfg.num_threads);
+    const double t0 = sim::to_seconds(stack->engine().now());
+    stack->run_omp_app(omp_sum_app);
+    std::printf("    virtual time: %.6f s\n\n",
+                sim::to_seconds(stack->engine().now()) - t0);
+  }
+
+  // The CCK path: same loop, compiled to VIRGIL tasks instead.
+  core::StackConfig cfg;
+  cfg.path = core::PathKind::kAutoMpNautilus;
+  cfg.num_threads = 16;
+  cfg.app_static_bytes = 0;
+  auto stack = core::Stack::create(cfg);
+  std::printf("  [%s] compiling the loop with AutoMP\n",
+              core::path_name(cfg.path));
+  stack->run_cck_app([](osal::Os& os, virgil::Virgil& vg) {
+    cck::Module m;
+    cck::Function fn;
+    fn.name = "main";
+    fn.declare(cck::Var{"data", 8 * 100'000, /*is_object=*/true});
+    cck::Loop loop;
+    loop.name = "sum";
+    loop.trip = 100'000;
+    loop.omp.parallel_for = true;
+    cck::Stmt s;
+    s.label = "acc";
+    s.est_cost_ns = 200;
+    s.accesses = {cck::read("data"), cck::write("data")};
+    loop.body.push_back(s);
+    loop.exec.per_iter_ns = 200;
+    m.functions["main"] = std::move(fn);
+    m.entry().items.push_back(cck::Item::make_loop(std::move(loop)));
+
+    cck::CompilerOptions opts;
+    opts.width = vg.width();
+    const auto program = cck::Compiler(opts).compile(m);
+    std::printf("%s", program.report.to_string().c_str());
+
+    cck::ProgramRunner runner(os, vg);
+    const sim::Time elapsed = runner.run(program);
+    std::printf("    virtual time: %.6f s\n", sim::to_seconds(elapsed));
+    return 0;
+  });
+
+  std::printf("\ndone.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// General experiment runner: the library as a command-line tool.
+//
+//   run_experiment [--bench BT,FT,...|all] [--machine phi|8xeon]
+//                  [--paths linux,rtk,pik,automp-linux,automp-nk]
+//                  [--threads 1,2,4,...] [--scale <factor>] [--csv]
+//
+// Examples:
+//   run_experiment --bench BT --threads 1,16,64
+//   run_experiment --bench all --machine 8xeon --paths rtk,pik --csv
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/figures.hpp"
+#include "harness/table.hpp"
+
+using namespace kop;
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep = ',') {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+core::PathKind path_by_name(const std::string& name) {
+  if (name == "linux") return core::PathKind::kLinuxOmp;
+  if (name == "rtk") return core::PathKind::kRtk;
+  if (name == "pik") return core::PathKind::kPik;
+  if (name == "automp-linux") return core::PathKind::kAutoMpLinux;
+  if (name == "automp-nk") return core::PathKind::kAutoMpNautilus;
+  throw std::invalid_argument("unknown path '" + name +
+                              "' (linux|rtk|pik|automp-linux|automp-nk)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> benches = {"BT"};
+  std::string machine = "phi";
+  std::vector<std::string> paths = {"linux", "rtk", "pik"};
+  std::vector<int> threads = {1, 8, 64};
+  double scale = 1.0;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    try {
+      if (arg == "--bench") benches = split(next());
+      else if (arg == "--machine") machine = next();
+      else if (arg == "--paths") paths = split(next());
+      else if (arg == "--threads") {
+        threads.clear();
+        for (const auto& t : split(next())) threads.push_back(std::stoi(t));
+      } else if (arg == "--scale") scale = std::stod(next());
+      else if (arg == "--csv") csv = true;
+      else if (arg == "--help" || arg == "-h") {
+        std::puts("usage: run_experiment [--bench B1,B2|all] [--machine m]\n"
+                  "         [--paths p1,p2] [--threads n1,n2] [--scale f] [--csv]");
+        return 0;
+      } else {
+        throw std::invalid_argument("unknown flag " + arg);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (benches.size() == 1 && benches[0] == "all") {
+    benches.clear();
+    for (const auto& b : nas::paper_suite()) benches.push_back(b.name);
+  }
+
+  try {
+    for (const auto& bench : benches) {
+      auto spec = harness::scale_suite({nas::by_name(bench)}, scale,
+                                       std::max(1, static_cast<int>(4 * scale)))[0];
+      std::vector<std::string> headers = {"threads"};
+      for (const auto& p : paths) headers.push_back(p + " (s)");
+      harness::Table table(std::move(headers));
+      for (int n : threads) {
+        std::vector<std::string> row = {std::to_string(n)};
+        for (const auto& p : paths) {
+          core::StackConfig cfg;
+          cfg.machine = machine;
+          cfg.path = path_by_name(p);
+          cfg.num_threads = n;
+          cfg.nk_first_touch = harness::want_first_touch(machine, n);
+          if (!core::Stack::create(cfg)->is_omp_path()) cfg.app_static_bytes = 0;
+          row.push_back(harness::Table::num(
+              harness::run_nas(cfg, spec).timed_seconds, 3));
+        }
+        table.add_row(std::move(row));
+      }
+      std::printf("%s on %s (scale %.2f)\n", spec.full_name().c_str(),
+                  machine.c_str(), scale);
+      std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(),
+                 stdout);
+      std::printf("\n");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "cck/codegen.hpp"
+
+#include <sstream>
+
+#include "cck/transforms.hpp"
+
+namespace kop::cck {
+
+std::string CompileReport::to_string() const {
+  std::ostringstream oss;
+  oss << "CCK compile report for " << module_name << " ("
+      << (used_omp_metadata ? "with" : "without") << " OpenMP metadata, "
+      << (kernel_compatible ? "kernel" : "user") << " target)\n";
+  for (const auto& l : loops) {
+    oss << "  " << l.name << ": " << l.technique << " trip=" << l.trip;
+    if (l.technique == "DOALL" || l.technique == "DSWP" ||
+        l.technique == "HELIX")
+      oss << " chunk=" << l.chunk;
+    if (l.parallel_fraction < 1.0)
+      oss << " parallel_fraction=" << l.parallel_fraction;
+    for (const auto& n : l.notes) oss << " [" << n << "]";
+    oss << "\n";
+  }
+  oss << "  loops: " << doall_loops << " DOALL, " << pipeline_loops
+      << " pipeline, " << sequential_loops << " sequential; "
+      << "parallel work fraction " << parallel_work_fraction << "\n";
+  return oss.str();
+}
+
+CompiledProgram Compiler::compile(const Module& module) const {
+  CompiledProgram out;
+  out.options = options_;
+
+  // Front end already produced metadata-annotated sequential IR; the
+  // first middle-end step is whole-program inlining for analyzability.
+  const Function fn = inline_calls(module);
+  out.name = fn.name;
+  out.report.module_name = fn.name;
+  out.report.kernel_compatible = options_.kernel_target;
+  out.report.used_omp_metadata = options_.use_omp_metadata;
+
+  Parallelizer par(ParallelizerOptions{options_.use_omp_metadata,
+                                       options_.chunk_target_ns,
+                                       options_.width});
+
+  double total_work = 0.0;
+  double parallel_work = 0.0;
+
+  for (const auto& item : fn.items) {
+    if (item.kind == Item::Kind::kSerial) {
+      Phase ph;
+      ph.kind = Phase::Kind::kSerial;
+      ph.serial_ns = item.serial_ns;
+      out.phases.push_back(std::move(ph));
+      continue;
+    }
+    // Distribution then fusion: sequential SCCs split out, parallel
+    // statements re-coalesce.
+    std::vector<Loop> pieces =
+        distribute_loop(fn, item.loop, options_.use_omp_metadata);
+    pieces = fuse_loops(fn, std::move(pieces), options_.use_omp_metadata);
+
+    for (auto& piece : pieces) {
+      const LoopPlan plan = par.plan(fn, piece);
+      const double work =
+          piece.exec.per_iter_ns * static_cast<double>(piece.trip);
+      total_work += work;
+
+      LoopReport lr;
+      lr.name = piece.name;
+      lr.technique = technique_name(plan.tech);
+      lr.trip = piece.trip;
+      lr.chunk = plan.chunk;
+      lr.parallel_fraction = plan.parallel_fraction;
+      lr.notes = plan.notes;
+      out.report.loops.push_back(lr);
+
+      Phase ph;
+      ph.plan = plan;
+      switch (plan.tech) {
+        case Technique::kDoall:
+          ph.kind = Phase::Kind::kParallelLoop;
+          ++out.report.doall_loops;
+          parallel_work += work;
+          break;
+        case Technique::kDswp:
+        case Technique::kHelix:
+          ph.kind = Phase::Kind::kPipelineLoop;
+          ++out.report.pipeline_loops;
+          parallel_work += work * plan.parallel_fraction;
+          break;
+        case Technique::kSequential:
+          ph.kind = Phase::Kind::kSequentialLoop;
+          ++out.report.sequential_loops;
+          break;
+      }
+      ph.loop = std::move(piece);
+      out.phases.push_back(std::move(ph));
+    }
+  }
+  out.report.parallel_work_fraction =
+      total_work > 0 ? parallel_work / total_work : 0.0;
+  return out;
+}
+
+}  // namespace kop::cck

@@ -1,0 +1,80 @@
+// The CCK compiler driver: front-end module -> inline -> distribute ->
+// fuse -> parallelize -> task generation -> a kernel-compatible
+// CompiledProgram for VIRGIL (§5.1 pipeline, Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cck/ir.hpp"
+#include "cck/parallelizer.hpp"
+
+namespace kop::cck {
+
+struct CompilerOptions {
+  /// Exploit OpenMP semantic metadata (the whole point of CCK); turn
+  /// off to see what plain automatic parallelization would do.
+  bool use_omp_metadata = true;
+  /// Target chunk duration for the latency-aware chunker.
+  double chunk_target_ns = 50'000.0;
+  /// Execution width the backend plans for.
+  int width = 64;
+  /// Kernel target: emit no-red-zone, kernel-linkable code (§5.4).
+  bool kernel_target = true;
+  /// Per-task live-in marshalling cost and per-task live-out slot cost
+  /// folded into the landing task.
+  double live_in_ns = 90.0;
+  double live_out_ns = 40.0;
+};
+
+/// One phase of the compiled program (in program order).
+struct Phase {
+  enum class Kind { kParallelLoop, kPipelineLoop, kSequentialLoop, kSerial };
+  Kind kind = Kind::kSerial;
+  Loop loop;          // loop phases
+  LoopPlan plan;      // loop phases
+  double serial_ns = 0;  // kSerial
+};
+
+struct LoopReport {
+  std::string name;
+  std::string technique;
+  std::int64_t trip = 0;
+  std::int64_t chunk = 1;
+  double parallel_fraction = 1.0;
+  std::vector<std::string> notes;
+};
+
+struct CompileReport {
+  std::string module_name;
+  bool kernel_compatible = false;  // no red zone, static, linkable
+  bool used_omp_metadata = false;
+  std::vector<LoopReport> loops;
+  int doall_loops = 0;
+  int pipeline_loops = 0;
+  int sequential_loops = 0;
+  /// Fraction of total estimated work in parallelized loops.
+  double parallel_work_fraction = 0.0;
+
+  std::string to_string() const;
+};
+
+struct CompiledProgram {
+  std::string name;
+  CompilerOptions options;
+  std::vector<Phase> phases;
+  CompileReport report;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(CompilerOptions options = {}) : options_(options) {}
+
+  CompiledProgram compile(const Module& module) const;
+
+ private:
+  CompilerOptions options_;
+};
+
+}  // namespace kop::cck

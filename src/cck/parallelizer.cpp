@@ -1,0 +1,96 @@
+#include "cck/parallelizer.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace kop::cck {
+
+const char* technique_name(Technique t) {
+  switch (t) {
+    case Technique::kDoall: return "DOALL";
+    case Technique::kDswp: return "DSWP";
+    case Technique::kHelix: return "HELIX";
+    case Technique::kSequential: return "sequential";
+  }
+  return "?";
+}
+
+std::int64_t Parallelizer::choose_chunk(double iter_cost_ns,
+                                        std::int64_t trip) const {
+  if (trip <= 0) return 1;
+  if (iter_cost_ns <= 0.0) iter_cost_ns = 1.0;
+  std::int64_t chunk =
+      static_cast<std::int64_t>(options_.chunk_target_ns / iter_cost_ns);
+  // Keep at least ~4 tasks per lane so dynamic placement can balance
+  // skewed iteration costs; never below one iteration.
+  const std::int64_t max_chunk =
+      std::max<std::int64_t>(1, trip / (4 * std::max(1, options_.width)));
+  chunk = std::clamp<std::int64_t>(chunk, 1, std::max<std::int64_t>(1, max_chunk));
+  return chunk;
+}
+
+LoopPlan Parallelizer::plan(const Function& fn, const Loop& loop) const {
+  LoopPlan out;
+  const Pdg pdg = Pdg::build(fn, loop, options_.use_omp_metadata);
+
+  if (!pdg.has_loop_carried_dep()) {
+    out.tech = Technique::kDoall;
+    out.chunk = choose_chunk(loop.est_iter_cost_ns(), loop.trip);
+    return out;
+  }
+
+  // Would the loop be DOALL if object privatization were supported?
+  // Then the privatization limitation is the *only* blocker and the
+  // loop is left sequential (the paper's LU/BT/SP/IS behaviour).
+  if (!pdg.unsupported_privatization().empty()) {
+    std::set<std::string> blocked(pdg.unsupported_privatization().begin(),
+                                  pdg.unsupported_privatization().end());
+    const bool only_blocker = std::all_of(
+        pdg.edges().begin(), pdg.edges().end(), [&](const DepEdge& e) {
+          return !e.loop_carried || blocked.count(e.var) > 0;
+        });
+    if (only_blocker) {
+      out.tech = Technique::kSequential;
+      for (const auto& v : pdg.unsupported_privatization())
+        out.notes.push_back("unsupported object privatization: " + v);
+      return out;
+    }
+  }
+
+  // Pipeline decomposition: multiple SCCs, some of them carried-free.
+  const auto sccs = pdg.sccs();
+  std::set<int> carried_stmts;
+  for (const auto& e : pdg.edges()) {
+    if (e.loop_carried) {
+      carried_stmts.insert(e.from);
+      carried_stmts.insert(e.to);
+    }
+  }
+  const double total = std::max(1.0, loop.est_iter_cost_ns());
+  double parallel_cost = 0.0;
+  for (const auto& s : loop.body) {
+    // cost of statements not pinned by a carried dependence
+    const int idx = static_cast<int>(&s - loop.body.data());
+    if (carried_stmts.count(idx) == 0) parallel_cost += s.est_cost_ns;
+  }
+
+  if (sccs.size() > 1 && parallel_cost > 0.0) {
+    out.tech = Technique::kDswp;
+    out.parallel_fraction = parallel_cost / total;
+    out.chunk = choose_chunk(loop.est_iter_cost_ns(), loop.trip);
+    out.notes.push_back("pipeline stages: " + std::to_string(sccs.size()));
+    return out;
+  }
+  if (parallel_cost > 0.0) {
+    out.tech = Technique::kHelix;
+    out.parallel_fraction = parallel_cost / total;
+    out.chunk = choose_chunk(loop.est_iter_cost_ns(), loop.trip);
+    return out;
+  }
+  out.tech = Technique::kSequential;
+  out.notes.push_back("loop-carried dependences on: ");
+  for (const auto& v : pdg.carried_vars()) out.notes.back() += v + " ";
+  return out;
+}
+
+}  // namespace kop::cck

@@ -1,0 +1,52 @@
+// Technique selection (DOALL / DSWP / HELIX / sequential) and the
+// latency-estimating chunker (§5.3, §6.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cck/ir.hpp"
+#include "cck/pdg.hpp"
+
+namespace kop::cck {
+
+enum class Technique { kDoall, kDswp, kHelix, kSequential };
+
+const char* technique_name(Technique t);
+
+struct LoopPlan {
+  Technique tech = Technique::kSequential;
+  /// Iterations per task for DOALL (latency-aware, §6.2: "chunks loop
+  /// iterations depending on the estimated latency of an iteration").
+  std::int64_t chunk = 1;
+  /// For DSWP/HELIX: fraction of per-iteration work that runs in the
+  /// parallel stages; the rest is the sequential segment.
+  double parallel_fraction = 1.0;
+  std::vector<std::string> notes;
+};
+
+struct ParallelizerOptions {
+  bool use_omp_metadata = true;
+  /// Target duration of one DOALL task.
+  double chunk_target_ns = 50'000.0;
+  /// Execution width the chunker plans for.
+  int width = 64;
+};
+
+class Parallelizer {
+ public:
+  explicit Parallelizer(ParallelizerOptions options) : options_(options) {}
+
+  LoopPlan plan(const Function& fn, const Loop& loop) const;
+
+  /// The chunker, exposed for tests: given an iteration-latency
+  /// estimate, pick a chunk size that yields tasks near the target
+  /// duration while keeping enough tasks for balance.
+  std::int64_t choose_chunk(double iter_cost_ns, std::int64_t trip) const;
+
+ private:
+  ParallelizerOptions options_;
+};
+
+}  // namespace kop::cck

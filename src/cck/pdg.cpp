@@ -1,0 +1,182 @@
+#include "cck/pdg.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace kop::cck {
+
+namespace {
+
+DepKind classify(bool first_writes, bool second_writes) {
+  if (first_writes && second_writes) return DepKind::kOutput;
+  if (first_writes) return DepKind::kFlow;
+  return DepKind::kAnti;
+}
+
+}  // namespace
+
+Pdg Pdg::build(const Function& fn, const Loop& loop, bool use_omp_metadata) {
+  Pdg pdg;
+  pdg.num_stmts_ = static_cast<int>(loop.body.size());
+  const OmpMeta& meta = loop.omp;
+
+  // Variables whose carried deps the metadata legalizes away.
+  std::set<std::string> privatized_scalars;
+  std::set<std::string> blocked_objects;
+  if (use_omp_metadata && meta.parallel_for) {
+    auto consider = [&](const std::string& v) {
+      const Var* var = fn.find_var(v);
+      const bool is_object = var != nullptr && var->is_object;
+      if (is_object) {
+        blocked_objects.insert(v);
+      } else {
+        privatized_scalars.insert(v);
+      }
+    };
+    for (const auto& v : meta.private_vars) consider(v);
+    for (const auto& v : meta.firstprivate_vars) consider(v);
+    for (const auto& v : meta.reduction_vars) consider(v);
+  }
+
+  std::set<std::string> reported_blocked;
+  for (int i = 0; i < pdg.num_stmts_; ++i) {
+    for (int j = 0; j < pdg.num_stmts_; ++j) {
+      for (const auto& a : loop.body[static_cast<std::size_t>(i)].accesses) {
+        for (const auto& b : loop.body[static_cast<std::size_t>(j)].accesses) {
+          if (a.var != b.var) continue;
+          if (!a.write && !b.write) continue;
+
+          // Intra-iteration dependence: program order within the body.
+          if (i < j && a.write) {
+            pdg.edges_.push_back(
+                DepEdge{i, j, classify(a.write, b.write), false, a.var});
+          }
+
+          // Loop-carried dependence: the accesses can conflict across
+          // iterations unless both touch only their own element.
+          const bool elementwise = a.per_iteration && b.per_iteration &&
+                                   !a.carried && !b.carried;
+          if (elementwise) continue;
+
+          bool carried = true;
+          if (use_omp_metadata && meta.parallel_for) {
+            if (privatized_scalars.count(a.var) > 0) {
+              carried = false;  // scalar privatization / reduction: legal
+            } else if (blocked_objects.count(a.var) > 0) {
+              // The pragma says this object is private, but AutoMP
+              // cannot privatize objects: keep the dependence and
+              // remember why.
+              if (reported_blocked.insert(a.var).second)
+                pdg.unsupported_privatization_.push_back(a.var);
+            } else if (!a.carried && !b.carried && a.per_iteration &&
+                       b.per_iteration) {
+              carried = false;
+            }
+            // Shared accesses not covered by any clause: the
+            // parallel-for assertion itself vouches for per-iteration
+            // accesses only; anything explicitly carried stays.
+          }
+          // Carried edges run writer -> reader/writer across any pair
+          // of statements (including backward and self edges, which is
+          // what makes recurrences form SCCs).  Pure anti dependences
+          // are omitted: task generation renames/buffers them, as
+          // DSWP-style pipelining does.
+          if (carried && a.write) {
+            pdg.edges_.push_back(
+                DepEdge{i, j, classify(a.write, b.write), true, a.var});
+          }
+        }
+      }
+    }
+  }
+  return pdg;
+}
+
+bool Pdg::has_loop_carried_dep() const {
+  return std::any_of(edges_.begin(), edges_.end(),
+                     [](const DepEdge& e) { return e.loop_carried; });
+}
+
+std::vector<std::string> Pdg::carried_vars() const {
+  std::set<std::string> vars;
+  for (const auto& e : edges_) {
+    if (e.loop_carried) vars.insert(e.var);
+  }
+  return {vars.begin(), vars.end()};
+}
+
+std::vector<std::vector<int>> Pdg::sccs() const {
+  // Tarjan's algorithm; components are emitted in reverse topological
+  // order, so we reverse at the end.
+  const int n = num_stmts_;
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const auto& e : edges_) {
+    if (e.from != e.to)
+      adj[static_cast<std::size_t>(e.from)].push_back(e.to);
+  }
+
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> out;
+  int next_index = 0;
+
+  std::function<void(int)> strongconnect = [&](int v) {
+    index[static_cast<std::size_t>(v)] = next_index;
+    low[static_cast<std::size_t>(v)] = next_index;
+    ++next_index;
+    stack.push_back(v);
+    on_stack[static_cast<std::size_t>(v)] = true;
+    for (int w : adj[static_cast<std::size_t>(v)]) {
+      if (index[static_cast<std::size_t>(w)] < 0) {
+        strongconnect(w);
+        low[static_cast<std::size_t>(v)] =
+            std::min(low[static_cast<std::size_t>(v)], low[static_cast<std::size_t>(w)]);
+      } else if (on_stack[static_cast<std::size_t>(w)]) {
+        low[static_cast<std::size_t>(v)] =
+            std::min(low[static_cast<std::size_t>(v)], index[static_cast<std::size_t>(w)]);
+      }
+    }
+    if (low[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+      std::vector<int> comp;
+      for (;;) {
+        const int w = stack.back();
+        stack.pop_back();
+        on_stack[static_cast<std::size_t>(w)] = false;
+        comp.push_back(w);
+        if (w == v) break;
+      }
+      std::sort(comp.begin(), comp.end());
+      out.push_back(std::move(comp));
+    }
+  };
+
+  for (int v = 0; v < n; ++v) {
+    if (index[static_cast<std::size_t>(v)] < 0) strongconnect(v);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string Pdg::to_dot(const Loop& loop) const {
+  std::ostringstream oss;
+  oss << "digraph \"" << loop.name << "\" {\n";
+  for (int i = 0; i < num_stmts_; ++i) {
+    oss << "  s" << i << " [label=\""
+        << loop.body[static_cast<std::size_t>(i)].label << "\"];\n";
+  }
+  for (const auto& e : edges_) {
+    const char* kind = e.kind == DepKind::kFlow    ? "flow"
+                       : e.kind == DepKind::kAnti  ? "anti"
+                                                   : "output";
+    oss << "  s" << e.from << " -> s" << e.to << " [label=\"" << kind << ":"
+        << e.var << "\"" << (e.loop_carried ? ", style=dashed" : "") << "];\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace kop::cck

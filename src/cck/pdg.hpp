@@ -1,0 +1,57 @@
+// Program dependence graph construction over the symbolic access sets,
+// with the OpenMP-metadata-aware pruning that gives CCK its edge over
+// conventional automatic parallelization (§5.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cck/ir.hpp"
+
+namespace kop::cck {
+
+enum class DepKind { kFlow /*RAW*/, kAnti /*WAR*/, kOutput /*WAW*/ };
+
+struct DepEdge {
+  int from = 0;  // statement index in the loop body
+  int to = 0;
+  DepKind kind = DepKind::kFlow;
+  bool loop_carried = false;
+  std::string var;
+};
+
+class Pdg {
+ public:
+  /// Build the PDG of `loop`'s body.  When `use_omp_metadata` is set
+  /// the OpenMP semantics prune edges: private/firstprivate/reduction
+  /// *scalars* lose their loop-carried dependences, and a parallel-for
+  /// assertion removes carried dependences the metadata can legalize.
+  /// Carried dependences on *objects* listed private are kept and the
+  /// object is recorded in unsupported_privatization() -- AutoMP cannot
+  /// privatize objects (the paper's documented limitation).
+  static Pdg build(const Function& fn, const Loop& loop, bool use_omp_metadata);
+
+  int num_stmts() const { return num_stmts_; }
+  const std::vector<DepEdge>& edges() const { return edges_; }
+
+  bool has_loop_carried_dep() const;
+  std::vector<std::string> carried_vars() const;
+  const std::vector<std::string>& unsupported_privatization() const {
+    return unsupported_privatization_;
+  }
+
+  /// Strongly connected components over *all* dependence edges,
+  /// returned in a valid topological order of the condensation.
+  std::vector<std::vector<int>> sccs() const;
+
+  /// Graphviz dump (statement nodes, dependence edges; loop-carried
+  /// edges dashed) for compiler debugging.
+  std::string to_dot(const Loop& loop) const;
+
+ private:
+  int num_stmts_ = 0;
+  std::vector<DepEdge> edges_;
+  std::vector<std::string> unsupported_privatization_;
+};
+
+}  // namespace kop::cck

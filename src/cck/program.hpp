@@ -1,0 +1,48 @@
+// Execution of a CompiledProgram over a VIRGIL runtime: the behaviour
+// of the compiler-generated task submission, join (landing tasks), and
+// sequential-segment code (§5.3-5.4).
+#pragma once
+
+#include "cck/codegen.hpp"
+#include "osal/osal.hpp"
+#include "virgil/virgil.hpp"
+
+namespace kop::cck {
+
+/// Cost of one chunk of a loop's iteration space [begin, end):
+/// integrates the skew ramp and fills the translation/fault fields.
+///
+/// `lanes` is the execution width the loop runs at; the per-thread TLB
+/// footprint follows from it and the access pattern:
+///   streaming -> region/lanes   (contiguous slice)
+///   random    -> region/sqrt(lanes)  (strided sweeps touch far more
+///                pages than their byte share; z-dimension solves)
+///   blocked   -> small constant (tiled kernels)
+/// It deliberately does NOT depend on the chunk length: processing a
+/// strided sweep in smaller chunks does not shrink its page footprint.
+hw::WorkBlock chunk_work(const Loop& loop, std::int64_t begin,
+                         std::int64_t end, int lanes = 1);
+
+/// Which first-touch partition (of kParts) a chunk maps to.
+int chunk_partition(const Loop& loop, std::int64_t begin, std::int64_t end,
+                    int nparts);
+
+class ProgramRunner {
+ public:
+  ProgramRunner(osal::Os& os, virgil::Virgil& virgil)
+      : os_(&os), virgil_(&virgil) {}
+
+  /// Run the program from the calling sim thread; returns elapsed
+  /// virtual time.
+  sim::Time run(const CompiledProgram& program);
+
+ private:
+  void run_parallel_loop(const CompiledProgram& program, const Phase& phase,
+                         double parallel_fraction);
+  void run_sequential_loop(const Phase& phase);
+
+  osal::Os* os_;
+  virgil::Virgil* virgil_;
+};
+
+}  // namespace kop::cck

@@ -1,0 +1,115 @@
+#include "cck/transforms.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace kop::cck {
+
+namespace {
+
+void inline_into(const Module& module, const Function& fn,
+                 std::vector<Item>& out, std::set<std::string>& active) {
+  for (const auto& item : fn.items) {
+    if (item.kind != Item::Kind::kCall) {
+      out.push_back(item);
+      continue;
+    }
+    auto it = module.functions.find(item.callee);
+    if (it == module.functions.end())
+      throw std::logic_error("inline: unknown callee " + item.callee);
+    if (!active.insert(item.callee).second)
+      throw std::logic_error("inline: recursion through " + item.callee);
+    inline_into(module, it->second, out, active);
+    active.erase(item.callee);
+  }
+}
+
+}  // namespace
+
+Function inline_calls(const Module& module) {
+  const Function& main_fn = module.entry();
+  Function out;
+  out.name = main_fn.name;
+  // Merge symbol tables (callee-local symbols become visible).
+  for (const auto& [name, fn] : module.functions) {
+    for (const auto& [vn, var] : fn.vars) out.vars[vn] = var;
+  }
+  std::set<std::string> active{main_fn.name};
+  inline_into(module, main_fn, out.items, active);
+  return out;
+}
+
+std::vector<Loop> distribute_loop(const Function& fn, const Loop& loop,
+                                  bool use_omp_metadata) {
+  if (loop.body.size() <= 1) return {loop};
+  const Pdg pdg = Pdg::build(fn, loop, use_omp_metadata);
+  const auto sccs = pdg.sccs();
+  if (sccs.size() <= 1) return {loop};
+
+  const double total_cost = loop.est_iter_cost_ns();
+  std::vector<Loop> out;
+  out.reserve(sccs.size());
+  int part = 0;
+  for (const auto& comp : sccs) {
+    Loop piece;
+    piece.name = loop.name + ".d" + std::to_string(part++);
+    piece.trip = loop.trip;
+    piece.omp = loop.omp;
+    piece.exec = loop.exec;
+    double piece_cost = 0.0;
+    for (int idx : comp) {
+      piece.body.push_back(loop.body[static_cast<std::size_t>(idx)]);
+      piece_cost += loop.body[static_cast<std::size_t>(idx)].est_cost_ns;
+    }
+    // Cost-proportional share of the runtime payload.
+    const double share = total_cost > 0 ? piece_cost / total_cost : 1.0;
+    piece.exec.per_iter_ns = loop.exec.per_iter_ns * share;
+    piece.exec.bytes_per_iter = static_cast<std::uint64_t>(
+        static_cast<double>(loop.exec.bytes_per_iter) * share);
+    out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+bool can_fuse(const Function& fn, const Loop& a, const Loop& b,
+              bool use_omp_metadata) {
+  if (a.trip != b.trip) return false;
+  if (a.exec.region != b.exec.region) return false;
+  const Pdg pa = Pdg::build(fn, a, use_omp_metadata);
+  const Pdg pb = Pdg::build(fn, b, use_omp_metadata);
+  if (pa.has_loop_carried_dep() || pb.has_loop_carried_dep()) return false;
+  // Cross-loop conflicts must be elementwise for iteration-aligned
+  // fusion to preserve order.
+  for (const auto& sa : a.body) {
+    for (const auto& aa : sa.accesses) {
+      for (const auto& sb : b.body) {
+        for (const auto& ab : sb.accesses) {
+          if (aa.var != ab.var) continue;
+          if (!aa.write && !ab.write) continue;
+          if (!(aa.per_iteration && ab.per_iteration)) return false;
+          if (aa.carried || ab.carried) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<Loop> fuse_loops(const Function& fn, std::vector<Loop> loops,
+                             bool use_omp_metadata) {
+  std::vector<Loop> out;
+  for (auto& loop : loops) {
+    if (!out.empty() && can_fuse(fn, out.back(), loop, use_omp_metadata)) {
+      Loop& acc = out.back();
+      acc.name += "+" + loop.name;
+      for (auto& s : loop.body) acc.body.push_back(std::move(s));
+      acc.exec.per_iter_ns += loop.exec.per_iter_ns;
+      acc.exec.bytes_per_iter += loop.exec.bytes_per_iter;
+      continue;
+    }
+    out.push_back(std::move(loop));
+  }
+  return out;
+}
+
+}  // namespace kop::cck

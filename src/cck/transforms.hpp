@@ -1,0 +1,38 @@
+// Middle-end code transformations that make loops amenable to task
+// generation (§5.3): function inlining, loop distribution (split a
+// body along its dependence SCCs so the parallel part separates from
+// the sequential part), and loop fusion (merge adjacent DOALL-able
+// loops back together to cut task/join overhead).
+#pragma once
+
+#include <vector>
+
+#include "cck/ir.hpp"
+#include "cck/pdg.hpp"
+
+namespace kop::cck {
+
+/// Inline every call in `main` (transitively).  Throws on unknown
+/// callees or recursion.
+Function inline_calls(const Module& module);
+
+/// Distribute one loop along its SCCs.  Returns the resulting loops in
+/// program order; each keeps the original OmpMeta and a cost-
+/// proportional share of the execution payload.  Loops with a single
+/// SCC come back unchanged.
+std::vector<Loop> distribute_loop(const Function& fn, const Loop& loop,
+                                  bool use_omp_metadata);
+
+/// True if the two (adjacent, same-trip) loops can legally fuse:
+/// neither has a loop-carried dependence and all cross-loop
+/// dependences are elementwise.
+bool can_fuse(const Function& fn, const Loop& a, const Loop& b,
+              bool use_omp_metadata);
+
+/// Fuse runs of fusable adjacent loops.  Inverse of over-eager
+/// distribution; net effect of distribute+fuse is "sequential SCCs
+/// split out, parallel statements coalesced".
+std::vector<Loop> fuse_loops(const Function& fn, std::vector<Loop> loops,
+                             bool use_omp_metadata);
+
+}  // namespace kop::cck

@@ -1,0 +1,63 @@
+#include "harness/experiment.hpp"
+
+#include <stdexcept>
+
+namespace kop::harness {
+
+nas::RunResult run_nas(const core::StackConfig& config,
+                       const nas::BenchmarkSpec& spec) {
+  core::StackConfig cfg = config;
+  // RTK/CCK link the app's static data into the boot image (§3.1);
+  // PIK and Linux have no such constraint.
+  if (cfg.path == core::PathKind::kRtk ||
+      cfg.path == core::PathKind::kAutoMpNautilus) {
+    cfg.app_static_bytes = spec.static_bytes;
+  }
+  auto stack = core::Stack::create(cfg);
+
+  nas::RunResult result;
+  if (stack->is_omp_path()) {
+    stack->run_omp_app([&](komp::Runtime& rt) {
+      result = nas::run_openmp(rt, spec);
+      return 0;
+    });
+  } else {
+    stack->run_cck_app([&](osal::Os& os, virgil::Virgil& vg) {
+      result = nas::run_automp(os, vg, spec);
+      return 0;
+    });
+  }
+  return result;
+}
+
+std::vector<epcc::Measurement> run_epcc(const core::StackConfig& config,
+                                        EpccPart part,
+                                        const epcc::EpccConfig& ecfg) {
+  auto stack = core::Stack::create(config);
+  if (!stack->is_omp_path())
+    throw std::invalid_argument(
+        "EPCC measures OpenMP directives; CCK paths have none (§6.1)");
+  std::vector<epcc::Measurement> out;
+  stack->run_omp_app([&](komp::Runtime& rt) {
+    epcc::Suite suite(rt, ecfg);
+    switch (part) {
+      case EpccPart::kSync: out = suite.run_syncbench(); break;
+      case EpccPart::kSched: out = suite.run_schedbench(); break;
+      case EpccPart::kArray: out = suite.run_arraybench(); break;
+      case EpccPart::kTask: out = suite.run_taskbench(); break;
+      case EpccPart::kAll: out = suite.run_all(); break;
+    }
+    return 0;
+  });
+  return out;
+}
+
+bool want_first_touch(const std::string& machine, int threads) {
+  return machine == "8xeon" && threads > 24;
+}
+
+std::vector<int> phi_scales() { return {1, 2, 4, 8, 16, 32, 64}; }
+
+std::vector<int> xeon_scales() { return {1, 2, 4, 8, 16, 24, 48, 96, 192}; }
+
+}  // namespace kop::harness

@@ -1,0 +1,36 @@
+// Experiment drivers: one call = one booted stack running one
+// benchmark at one configuration, returning virtual-time results.
+// The bench/ binaries compose these into the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/stack.hpp"
+#include "epcc/epcc.hpp"
+#include "nas/exec.hpp"
+
+namespace kop::harness {
+
+/// Run one NAS benchmark on a freshly booted stack.
+nas::RunResult run_nas(const core::StackConfig& config,
+                       const nas::BenchmarkSpec& spec);
+
+/// Which EPCC component to run.
+enum class EpccPart { kSync, kSched, kArray, kTask, kAll };
+
+/// Run EPCC on a freshly booted stack (libomp paths only; CCK has no
+/// OpenMP directives to measure, §6.1).
+std::vector<epcc::Measurement> run_epcc(const core::StackConfig& config,
+                                        EpccPart part,
+                                        const epcc::EpccConfig& ecfg = {});
+
+/// The paper's convention for 8XEON: Nautilus uses first-touch-at-2MB
+/// for runs on more than one socket (§6.3).
+bool want_first_touch(const std::string& machine, int threads);
+
+/// CPU-count sweeps used by the figures.
+std::vector<int> phi_scales();    // 1 2 4 8 16 32 64
+std::vector<int> xeon_scales();   // 1 2 4 8 16 24 48 96 192
+
+}  // namespace kop::harness

@@ -1,0 +1,180 @@
+#include "harness/figures.hpp"
+
+#include <cstdio>
+#include <map>
+
+#include "harness/table.hpp"
+#include "sim/stats.hpp"
+
+namespace kop::harness {
+
+namespace {
+
+core::StackConfig make_config(const std::string& machine, core::PathKind path,
+                              int threads) {
+  core::StackConfig cfg;
+  cfg.machine = machine;
+  cfg.path = path;
+  cfg.num_threads = threads;
+  cfg.nk_first_touch = want_first_touch(machine, threads);
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<nas::BenchmarkSpec> scale_suite(std::vector<nas::BenchmarkSpec> suite,
+                                            double factor, int timesteps) {
+  for (auto& b : suite) {
+    b.timesteps = timesteps;
+    for (auto& l : b.loops) {
+      l.per_iter_ns *= factor;
+      // Keep the memory-access *intensity* (accesses per ns) constant
+      // so the translation/fault model behaves identically.
+      l.bytes_per_iter = static_cast<std::uint64_t>(
+          static_cast<double>(l.bytes_per_iter) * factor);
+    }
+    b.serial_ns_per_step *= factor;
+  }
+  return suite;
+}
+
+void print_nas_normalized(const std::string& title, const std::string& machine,
+                          const std::vector<core::PathKind>& paths,
+                          const std::vector<int>& scales,
+                          const std::vector<nas::BenchmarkSpec>& suite) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("   (normalized performance: Linux-OpenMP time / path time;"
+              " higher is better; baseline = 1.0)\n\n");
+  std::map<core::PathKind, std::vector<double>> ratios_all;
+
+  for (const auto& spec : suite) {
+    // Single-thread Linux absolute time: the figure's `t` label.
+    const double t1 = run_nas(make_config(machine, core::PathKind::kLinuxOmp, 1),
+                              spec)
+                          .timed_seconds;
+    std::printf("%s  (t = %.2f sec single-threaded Linux)\n",
+                spec.full_name().c_str(), t1);
+
+    std::vector<std::string> headers{"cpus", "linux time"};
+    for (auto p : paths) headers.push_back(core::path_name(p));
+    Table table(headers);
+
+    for (int n : scales) {
+      const double linux_t =
+          n == 1 ? t1
+                 : run_nas(make_config(machine, core::PathKind::kLinuxOmp, n),
+                           spec)
+                       .timed_seconds;
+      std::vector<std::string> row{std::to_string(n), Table::seconds(linux_t)};
+      for (auto p : paths) {
+        const double pt = run_nas(make_config(machine, p, n), spec).timed_seconds;
+        const double ratio = linux_t / pt;
+        ratios_all[p].push_back(ratio);
+        row.push_back(Table::num(ratio));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  for (auto p : paths) {
+    std::printf("geomean normalized performance [%s]: %.3f\n",
+                core::path_name(p), sim::geomean(ratios_all[p]));
+  }
+  std::printf("\n");
+}
+
+void print_cck_absolute(const std::string& title, const std::string& machine,
+                        const std::vector<int>& scales,
+                        const std::vector<nas::BenchmarkSpec>& suite) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("   (average time in seconds; lower is better)\n\n");
+  for (const auto& spec : suite) {
+    std::printf("%s\n", spec.full_name().c_str());
+    Table table({"cpus", "LINUX OMP", "LINUX AutoMP", "NK AutoMP"});
+    for (int n : scales) {
+      const double omp =
+          run_nas(make_config(machine, core::PathKind::kLinuxOmp, n), spec)
+              .timed_seconds;
+      const double user =
+          run_nas(make_config(machine, core::PathKind::kAutoMpLinux, n), spec)
+              .timed_seconds;
+      auto nk_cfg = make_config(machine, core::PathKind::kAutoMpNautilus, n);
+      const double nk = run_nas(nk_cfg, spec).timed_seconds;
+      table.add_row({std::to_string(n), Table::num(omp), Table::num(user),
+                     Table::num(nk)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+}
+
+void print_cck_normalized(const std::string& title, const std::string& machine,
+                          const std::vector<int>& scales,
+                          const std::vector<nas::BenchmarkSpec>& suite) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("   (normalized to Linux-OpenMP = 1.0; higher is better)\n\n");
+  for (const auto& spec : suite) {
+    const double t1 = run_nas(make_config(machine, core::PathKind::kLinuxOmp, 1),
+                              spec)
+                          .timed_seconds;
+    std::printf("%s  (t = %.2f sec single-threaded Linux)\n",
+                spec.full_name().c_str(), t1);
+    Table table({"cpus", "Linux AutoMP", "NK AutoMP"});
+    for (int n : scales) {
+      const double omp =
+          n == 1 ? t1
+                 : run_nas(make_config(machine, core::PathKind::kLinuxOmp, n),
+                           spec)
+                       .timed_seconds;
+      const double user =
+          run_nas(make_config(machine, core::PathKind::kAutoMpLinux, n), spec)
+              .timed_seconds;
+      const double nk =
+          run_nas(make_config(machine, core::PathKind::kAutoMpNautilus, n), spec)
+              .timed_seconds;
+      table.add_row({std::to_string(n), Table::num(omp / user),
+                     Table::num(omp / nk)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+}
+
+void print_epcc_figure(const std::string& title, const std::string& machine,
+                       int threads, const std::vector<core::PathKind>& paths,
+                       const epcc::EpccConfig& config) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("   (per-construct overhead in microseconds, mean +- sd over"
+              " %d samples)\n\n", config.outer_reps);
+
+  std::vector<std::vector<epcc::Measurement>> results;
+  results.reserve(paths.size());
+  for (auto p : paths) {
+    results.push_back(
+        run_epcc(make_config(machine, p, threads), EpccPart::kAll, config));
+  }
+
+  const char* groups[] = {"ARRAY", "SCHEDULE", "SYNCH", "TASK"};
+  const char* labels[] = {"(a) ARRAY", "(b) SCHEDULE", "(c) SYNCH",
+                          "(d) TASK"};
+  for (int g = 0; g < 4; ++g) {
+    std::vector<std::string> headers{"construct"};
+    for (auto p : paths) {
+      headers.push_back(std::string(core::path_name(p)) + " us");
+      headers.push_back("sd");
+    }
+    Table table(headers);
+    // All paths produce the same construct list; walk the first.
+    for (std::size_t i = 0; i < results[0].size(); ++i) {
+      if (results[0][i].group != groups[g]) continue;
+      std::vector<std::string> row{results[0][i].name};
+      for (std::size_t p = 0; p < paths.size(); ++p) {
+        row.push_back(Table::num(results[p][i].overhead_us.mean(), 3));
+        row.push_back(Table::num(results[p][i].overhead_us.stddev(), 3));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n%s\n", labels[g], table.to_string().c_str());
+  }
+}
+
+}  // namespace kop::harness

@@ -1,0 +1,41 @@
+// Shared figure builders: run the experiment matrices behind the
+// paper's figures and print rows in the shapes the paper reports
+// (normalized-performance series with the single-thread baseline `t`,
+// absolute-time triples, EPCC side-by-side overhead tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace kop::harness {
+
+/// Figs. 9/10/14: normalized performance (baseline / path time) of one
+/// or more paths against the Linux baseline across a CPU sweep.
+void print_nas_normalized(const std::string& title, const std::string& machine,
+                          const std::vector<core::PathKind>& paths,
+                          const std::vector<int>& scales,
+                          const std::vector<nas::BenchmarkSpec>& suite);
+
+/// Fig. 11: absolute times for Linux+OMP vs Linux+AutoMP vs NK+AutoMP.
+void print_cck_absolute(const std::string& title, const std::string& machine,
+                        const std::vector<int>& scales,
+                        const std::vector<nas::BenchmarkSpec>& suite);
+
+/// Figs. 12/15: the same matrix normalized to Linux+OMP.
+void print_cck_normalized(const std::string& title, const std::string& machine,
+                          const std::vector<int>& scales,
+                          const std::vector<nas::BenchmarkSpec>& suite);
+
+/// Figs. 7/8/13: EPCC overhead tables for several paths side by side.
+void print_epcc_figure(const std::string& title, const std::string& machine,
+                       int threads, const std::vector<core::PathKind>& paths,
+                       const epcc::EpccConfig& config);
+
+/// Scale a suite's work so full sweeps stay fast; virtual-time ratios
+/// are unchanged (the simulation is linear in per-iteration cost).
+std::vector<nas::BenchmarkSpec> scale_suite(std::vector<nas::BenchmarkSpec> suite,
+                                            double factor, int timesteps);
+
+}  // namespace kop::harness

@@ -1,0 +1,84 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace kop::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::seconds(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fs", v);
+  return buf;
+}
+
+namespace {
+void append_csv_field(std::ostringstream& oss, const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    oss << s;
+    return;
+  }
+  oss << '"';
+  for (char c : s) {
+    if (c == '"') oss << '"';
+    oss << c;
+  }
+  oss << '"';
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) oss << ',';
+      append_csv_field(oss, c < cells.size() ? cells[c] : "");
+    }
+    oss << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      oss << "  ";
+      oss << cells[c];
+      oss << std::string(width[c] - cells[c].size(), ' ');
+    }
+    oss << "\n";
+  };
+  emit(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    rule.push_back(std::string(width[c], '-'));
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+}  // namespace kop::harness

@@ -1,0 +1,28 @@
+// Minimal aligned-table printer for the figure reproductions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kop::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+  /// RFC-4180-style CSV (quotes fields containing commas/quotes), for
+  /// piping figure data into plotting tools.
+  std::string to_csv() const;
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string seconds(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kop::harness

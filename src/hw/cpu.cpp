@@ -1,0 +1,53 @@
+#include "hw/cpu.hpp"
+
+#include <algorithm>
+
+namespace kop::hw {
+
+void Cpu::acquire() {
+  if (!held_ && wait_queue_.empty()) {
+    held_ = true;
+    return;
+  }
+  // FIFO with direct handoff: release() transfers ownership to the
+  // woken waiter, so the releaser cannot barge back in front of it.
+  wait_queue_.push_back(engine_->arm_wake_token());
+  engine_->block();
+  // Woken by release(): we own the CPU now (held_ stayed true).
+}
+
+void Cpu::release() {
+  if (!wait_queue_.empty()) {
+    sim::WakeToken next = wait_queue_.front();
+    wait_queue_.pop_front();
+    engine_->wake_token_at(next, engine_->now());
+    return;  // ownership passed to the woken thread
+  }
+  held_ = false;
+}
+
+void Cpu::occupy(sim::Time duration) {
+  if (duration <= 0) return;
+  sim::Time remaining = duration;
+  acquire();
+  while (remaining > 0) {
+    const bool sliced = timeslice_ns_ != sim::kTimeNever && timeslice_ns_ > 0;
+    const sim::Time slice =
+        sliced ? std::min(remaining, timeslice_ns_) : remaining;
+    engine_->sleep_for(slice);
+    busy_time_ += slice;
+    remaining -= slice;
+    if (remaining > 0 && !wait_queue_.empty()) {
+      // Preempted: pay a context switch, go to the back of the queue.
+      engine_->sleep_for(context_switch_ns_);
+      busy_time_ += context_switch_ns_;
+      release();
+      acquire();
+      engine_->sleep_for(context_switch_ns_);
+      busy_time_ += context_switch_ns_;
+    }
+  }
+  release();
+}
+
+}  // namespace kop::hw

@@ -1,0 +1,98 @@
+#include "hw/exec_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kop::hw {
+
+BlockCharge ExecModel::charge(const WorkBlock& block, int cpu, int data_zone,
+                              sim::Rng& rng) const {
+  BlockCharge out;
+  const double mem_frac = std::clamp(block.mem_fraction, 0.0, 1.0);
+  // Nominal time is calibrated on the reference core; faster machines
+  // divide it down, and no-red-zone code generation inflates the
+  // compute portion.
+  const double nominal =
+      static_cast<double>(block.cpu_ns) / machine_.perf_factor;
+  out.compute_ns = static_cast<sim::Time>(nominal * (1.0 - mem_frac) *
+                                          costs_.compute_inflation);
+  sim::Time mem_base = static_cast<sim::Time>(nominal * mem_frac);
+
+  if (block.region != nullptr && mem_base > 0) {
+    // NUMA placement penalty.
+    const int cpu_zone = machine_.zone_of_cpu(cpu);
+    int zone = data_zone >= 0 ? data_zone : block.region->home_zone();
+    if (zone < 0) zone = cpu_zone;  // sliced without override: assume local
+    double penalty = machine_.numa_penalty(cpu_zone, zone);
+    const double mix = block.region->remote_mix();
+    if (mix > 0.0) {
+      // A slice of the region's pages sits on other nodes regardless
+      // of policy; blend in the average remote latency.
+      double remote_sum = 0.0;
+      int remote_n = 0;
+      for (const auto& z : machine_.zones) {
+        if (z.kind != ZoneKind::kDram || z.id == cpu_zone) continue;
+        remote_sum += machine_.numa_penalty(cpu_zone, z.id);
+        ++remote_n;
+      }
+      if (remote_n > 0)
+        penalty = (1.0 - mix) * penalty + mix * (remote_sum / remote_n);
+    }
+    out.memory_ns =
+        static_cast<sim::Time>(static_cast<double>(mem_base) * penalty);
+
+    // Translation stalls: one memory access per cacheline touched.
+    const TranslationCost tc = translation_cost(
+        machine_.tlb, *block.region, block.working_set_bytes, block.pattern);
+    const double accesses = static_cast<double>(block.bytes_touched) / 64.0;
+    out.tlb_ns = static_cast<sim::Time>(
+        accesses * tc.tlb_miss_rate * static_cast<double>(machine_.tlb.miss_walk_ns));
+
+    // Demand-paging faults on first touch.
+    if (costs_.demand_paging) {
+      const std::uint64_t faults = block.region->touch_new(block.bytes_touched);
+      out.fault_ns = static_cast<sim::Time>(faults) * costs_.minor_fault_ns;
+    }
+  } else {
+    out.memory_ns = mem_base;
+  }
+
+  const sim::Time busy = out.compute_ns + out.memory_ns + out.tlb_ns + out.fault_ns;
+
+  // Periodic tick interference while busy.
+  if (costs_.tick_period_ns != sim::kTimeNever && costs_.tick_period_ns > 0 &&
+      costs_.tick_cost_ns > 0) {
+    const double ticks = static_cast<double>(busy) /
+                         static_cast<double>(costs_.tick_period_ns);
+    out.tick_ns = static_cast<sim::Time>(ticks * static_cast<double>(costs_.tick_cost_ns));
+  }
+
+  // Asynchronous noise: expected stolen time over the interval with
+  // lognormal jitter; small intervals see occasional large events,
+  // which is exactly the jitter the EPCC variance columns show.
+  if (costs_.noise_rate_hz > 0.0 && costs_.noise_mean_ns > 0) {
+    const double expected_events =
+        costs_.noise_rate_hz * sim::to_seconds(busy);
+    double stolen = 0.0;
+    if (expected_events >= 8.0) {
+      // Long block: law of large numbers, jitter the aggregate.
+      stolen = rng.lognormal_mean_cv(
+          expected_events * static_cast<double>(costs_.noise_mean_ns), 0.05);
+    } else {
+      // Short block: draw discrete events.
+      const double lam = expected_events;
+      // Poisson via exponential gaps (lam is tiny here).
+      double t = rng.exponential(1.0);
+      while (t < lam) {
+        stolen += rng.lognormal_mean_cv(
+            static_cast<double>(costs_.noise_mean_ns), costs_.noise_cv);
+        t += rng.exponential(1.0);
+      }
+    }
+    out.noise_ns = static_cast<sim::Time>(stolen);
+  }
+
+  return out;
+}
+
+}  // namespace kop::hw

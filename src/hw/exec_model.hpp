@@ -1,0 +1,50 @@
+// Converts WorkBlocks into effective virtual durations under a given
+// machine + OS personality.  This is where the paper's §6.2 effects are
+// realized: page faults, TLB misses, NUMA placement penalties, timer
+// ticks and OS noise all inflate the nominal compute time.
+#pragma once
+
+#include "hw/cost_params.hpp"
+#include "hw/memory.hpp"
+#include "hw/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace kop::hw {
+
+/// Breakdown of one block's effective duration (for tests and traces).
+struct BlockCharge {
+  sim::Time compute_ns = 0;      // nominal compute (non-mem part)
+  sim::Time memory_ns = 0;       // memory-bound part after NUMA scaling
+  sim::Time tlb_ns = 0;          // translation stalls
+  sim::Time fault_ns = 0;        // demand-paging faults
+  sim::Time tick_ns = 0;         // periodic tick interference
+  sim::Time noise_ns = 0;        // asynchronous OS noise
+  sim::Time total() const {
+    return compute_ns + memory_ns + tlb_ns + fault_ns + tick_ns + noise_ns;
+  }
+};
+
+class ExecModel {
+ public:
+  /// Stores copies: an ExecModel may outlive the arguments it was
+  /// built from (cost sheets are often built inline).
+  ExecModel(MachineConfig machine, OsCosts costs)
+      : machine_(std::move(machine)), costs_(std::move(costs)) {}
+
+  const MachineConfig& machine() const { return machine_; }
+  const OsCosts& costs() const { return costs_; }
+
+  /// Cost of executing `block` on `cpu`.  `data_zone` overrides the
+  /// region's home zone when the caller knows which slice is touched
+  /// (-1: derive from the region).  Mutates the region's fault
+  /// bookkeeping.  `rng` drives the stochastic noise terms.
+  BlockCharge charge(const WorkBlock& block, int cpu, int data_zone,
+                     sim::Rng& rng) const;
+
+ private:
+  MachineConfig machine_;
+  OsCosts costs_;
+};
+
+}  // namespace kop::hw

@@ -1,0 +1,88 @@
+#include "hw/memory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace kop::hw {
+
+int MemRegion::zone_for_partition(int part, int nparts) const {
+  if (!is_sliced()) return home_zone_;
+  if (nparts <= 0) throw std::invalid_argument("zone_for_partition: nparts <= 0");
+  const auto n = static_cast<std::uint64_t>(slice_zones_.size());
+  const auto idx = static_cast<std::uint64_t>(part) * n / static_cast<std::uint64_t>(nparts);
+  return slice_zones_[static_cast<std::size_t>(std::min(idx, n - 1))];
+}
+
+std::uint64_t MemRegion::touch_new(std::uint64_t bytes) {
+  if (!demand_paged_) return 0;
+  const std::uint64_t before = faulted_bytes_;
+  faulted_bytes_ = std::min(bytes_, faulted_bytes_ + bytes);
+  const std::uint64_t newly = faulted_bytes_ - before;
+  if (newly == 0) return 0;
+  // Faults happen at the granularity of the *backing* pages: mostly the
+  // THP size, with the small-page residue faulting 4K at a time.
+  const double pg = static_cast<double>(bytes_of(page_size_));
+  const double big_pages = static_cast<double>(newly) * (1.0 - small_page_fraction_) / pg;
+  const double small_pages =
+      static_cast<double>(newly) * small_page_fraction_ / static_cast<double>(bytes_of(PageSize::k4K));
+  return static_cast<std::uint64_t>(std::ceil(big_pages + small_pages));
+}
+
+namespace {
+
+double pattern_factor(AccessPattern p, PageSize page) {
+  switch (p) {
+    case AccessPattern::kStreaming:
+      // Sequential sweeps take one miss per page, i.e. one miss per
+      // page/64B accesses.
+      return 64.0 / static_cast<double>(bytes_of(page));
+    case AccessPattern::kRandom:
+      return 1.0;
+    case AccessPattern::kBlocked:
+      // Tiled kernels revisit each tile many times; misses amortize.
+      return 0.05;
+  }
+  return 1.0;
+}
+
+double miss_rate_for(int entries, PageSize page, std::uint64_t working_set,
+                     AccessPattern pattern) {
+  if (working_set == 0) return 0.0;
+  const double reach = static_cast<double>(entries) * static_cast<double>(bytes_of(page));
+  const double covered = std::min(1.0, reach / static_cast<double>(working_set));
+  return (1.0 - covered) * pattern_factor(pattern, page);
+}
+
+}  // namespace
+
+TranslationCost translation_cost(const TlbConfig& tlb, const MemRegion& region,
+                                 std::uint64_t working_set_bytes,
+                                 AccessPattern pattern) {
+  TranslationCost out;
+  if (working_set_bytes == 0) return out;
+
+  const double small_frac = region.small_page_fraction();
+  const auto ws_small =
+      static_cast<std::uint64_t>(static_cast<double>(working_set_bytes) * small_frac);
+  const std::uint64_t ws_big = working_set_bytes - ws_small;
+
+  int big_entries = tlb.entries_2m;
+  PageSize big_page = region.page_size();
+  if (big_page == PageSize::k1G) big_entries = tlb.entries_1g;
+  if (big_page == PageSize::k4K) {
+    // Whole region on small pages.
+    out.tlb_miss_rate = miss_rate_for(tlb.entries_4k, PageSize::k4K,
+                                      working_set_bytes, pattern);
+  } else {
+    const double big_rate = miss_rate_for(big_entries, big_page, ws_big, pattern);
+    const double small_rate =
+        miss_rate_for(tlb.entries_4k, PageSize::k4K, ws_small, pattern);
+    out.tlb_miss_rate = big_rate * (1.0 - small_frac) + small_rate * small_frac;
+  }
+  out.stall_per_access_ns = static_cast<sim::Time>(
+      out.tlb_miss_rate * static_cast<double>(tlb.miss_walk_ns));
+  return out;
+}
+
+}  // namespace kop::hw

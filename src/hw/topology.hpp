@@ -1,0 +1,91 @@
+// Machine topology descriptions for the two evaluation platforms of the
+// paper (§2.2): PHI (Colfax Ninja, Xeon Phi 7210) and 8XEON (SuperMicro
+// 8-socket Xeon Platinum 8160).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace kop::hw {
+
+/// Kind of memory backing a NUMA zone.
+enum class ZoneKind {
+  kDram,
+  kMcdram,  // Xeon Phi on-package memory; in flat mode it is a distinct
+            // zone with a high SLIT distance so NUMA-aware OSes avoid it
+};
+
+struct NumaZone {
+  int id = 0;
+  ZoneKind kind = ZoneKind::kDram;
+  std::uint64_t bytes = 0;
+  /// CPUs local to this zone (empty for CPU-less zones like flat MCDRAM).
+  std::vector<int> cpus;
+};
+
+/// Per-level TLB capacity, used by the address-translation cost model.
+struct TlbConfig {
+  int entries_4k = 64;
+  int entries_2m = 32;
+  int entries_1g = 4;
+  sim::Time miss_walk_ns = 70;  // cost of one page walk
+};
+
+struct MachineConfig {
+  std::string name;
+  int num_cpus = 0;
+  int num_sockets = 1;
+  int cores_per_socket = 0;
+  double base_ghz = 1.0;
+  std::vector<NumaZone> zones;
+  /// SLIT-style distance matrix, zone x zone (10 = local).
+  std::vector<std::vector<int>> zone_distance;
+  TlbConfig tlb;
+  /// Uncontended remote-cacheline transfer latency; the synchronization
+  /// cost models scale contention penalties off this.
+  sim::Time cacheline_transfer_ns = 80;
+  /// Local DRAM access latency.
+  sim::Time mem_latency_ns = 90;
+  /// Sustained single-core memcpy bandwidth, bytes per nanosecond.
+  double copy_bytes_per_ns = 8.0;
+  /// Single-core speed relative to PHI's in-order 1.3 GHz cores (the
+  /// reference the workload per-iteration costs are calibrated on).
+  /// Nominal compute time divides by this.
+  double perf_factor = 1.0;
+  /// MMIO hole below 4 GB that the boot image must not overlap
+  /// (relevant to RTK/CCK gigabyte-size static arrays, §6.2).
+  std::uint64_t mmio_base = 0xc000'0000ULL;  // 3 GB
+  std::uint64_t mmio_bytes = 0x4000'0000ULL; // 1 GB hole up to 4 GB
+
+  /// NUMA zone that CPU `cpu` belongs to.
+  int zone_of_cpu(int cpu) const;
+  /// SLIT distance between two zones (10 = local).
+  int distance(int from_zone, int to_zone) const;
+  /// Multiplier applied to memory-bound time for an access from
+  /// `cpu_zone` to data in `mem_zone` (1.0 when local).
+  double numa_penalty(int cpu_zone, int mem_zone) const;
+  /// The DRAM zone with the most free affinity to `cpu` (used by the
+  /// NUMA-aware allocators).
+  int preferred_dram_zone(int cpu) const;
+
+  /// Validity checks (zone/CPU coverage, square distance matrix).
+  void validate() const;
+};
+
+/// PHI: 1.3 GHz Xeon Phi 7210, 64 cores (HT off), 96 GB DRAM (6-way
+/// interleaved, one zone) + 16 GB MCDRAM in flat mode (CPU-less zone,
+/// high distance).  Phi's small TLB and in-order cores make address
+/// translation overheads pronounced.
+MachineConfig phi();
+
+/// 8XEON: 8x 2.1 GHz Xeon Platinum 8160, 24 cores per socket (HT off),
+/// 768 GB DRAM spread over 8 NUMA zones (96 GB each).
+MachineConfig xeon8();
+
+/// Look up by name ("phi" / "8xeon"); throws on unknown names.
+MachineConfig machine_by_name(const std::string& name);
+
+}  // namespace kop::hw

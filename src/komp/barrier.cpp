@@ -1,0 +1,105 @@
+#include "komp/barrier.hpp"
+
+#include <stdexcept>
+
+namespace kop::komp {
+
+TeamBarrier::TeamBarrier(osal::Os& os, int parties,
+                         RuntimeTuning::BarrierAlgo algo, sim::Time spin_ns,
+                         sim::Time step_extra_ns)
+    : os_(&os), parties_(parties), algo_(algo), spin_ns_(spin_ns),
+      step_extra_ns_(step_extra_ns) {
+  if (parties <= 0) throw std::invalid_argument("TeamBarrier: parties <= 0");
+  slots_.resize(static_cast<std::size_t>(parties));
+  for (auto& s : slots_) s.gate = os.make_wait_queue();
+  central_gate_ = os.make_wait_queue();
+}
+
+void TeamBarrier::charge_step() {
+  const sim::Time cost =
+      os_->machine().cacheline_transfer_ns / 2 + step_extra_ns_;
+  if (cost > 0) os_->engine().sleep_for(cost);
+}
+
+void TeamBarrier::park_until(int tid, osal::WaitQueue& gate,
+                             const std::function<bool()>& ready) {
+  while (!ready()) {
+    // Execute pending explicit tasks instead of idling (and re-check:
+    // running a task yields, during which the release may arrive).
+    if (while_waiting_ && while_waiting_(tid)) continue;
+    if (ready()) return;
+    gate.wait(spin_ns_);
+  }
+}
+
+void TeamBarrier::wait(int tid) {
+  if (parties_ == 1) {
+    ++completed_;
+    return;
+  }
+  if (algo_ == RuntimeTuning::BarrierAlgo::kCentralized) {
+    wait_centralized(tid);
+  } else {
+    wait_tree(tid);
+  }
+}
+
+void TeamBarrier::wait_centralized(int tid) {
+  Slot& me = slots_[static_cast<std::size_t>(tid)];
+  const std::uint64_t gen = ++me.local_gen;
+  // Arrival: one contended RMW on the shared counter.
+  os_->atomic_op(static_cast<int>(central_gate_->waiters()));
+  ++arrived_;
+  if (arrived_ == parties_) {
+    arrived_ = 0;
+    central_release_gen_ = gen;
+    ++completed_;
+    central_gate_->notify_all();
+    return;
+  }
+  park_until(tid, *central_gate_, [&] { return central_release_gen_ >= gen; });
+}
+
+void TeamBarrier::wait_tree(int tid) {
+  Slot& me = slots_[static_cast<std::size_t>(tid)];
+  const std::uint64_t gen = ++me.local_gen;
+
+  // --- gather: wait for children, then signal the parent ---
+  int signal_bit = 0;  // the s at which we signal (0 for the root)
+  for (int s = 1; s < parties_; s <<= 1) {
+    if ((tid & s) != 0) {
+      signal_bit = s;
+      break;
+    }
+    const int child = tid + s;
+    if (child >= parties_) continue;
+    Slot& ch = slots_[static_cast<std::size_t>(child)];
+    park_until(tid, *ch.gate, [&] { return ch.arrive_gen >= gen; });
+    charge_step();
+  }
+  if (signal_bit != 0) {
+    me.arrive_gen = gen;
+    charge_step();
+    me.gate->notify_one();  // wake the parent if it sleeps on our slot
+    // --- wait for our release ---
+    park_until(tid, *me.gate, [&] { return me.release_gen >= gen; });
+  } else {
+    ++completed_;
+  }
+
+  // --- release our subtree, largest child first ---
+  const int limit = signal_bit == 0 ? parties_ : signal_bit;
+  int top = 1;
+  while (top < limit && tid + top < parties_) top <<= 1;
+  for (int s = top; s >= 1; s >>= 1) {
+    if (s >= limit) continue;
+    const int child = tid + s;
+    if (child >= parties_) continue;
+    Slot& ch = slots_[static_cast<std::size_t>(child)];
+    ch.release_gen = gen;
+    charge_step();
+    ch.gate->notify_one();
+  }
+}
+
+}  // namespace kop::komp

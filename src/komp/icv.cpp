@@ -1,0 +1,102 @@
+#include "komp/icv.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace kop::komp {
+
+const char* schedule_name(Schedule s) {
+  switch (s) {
+    case Schedule::kStatic: return "static";
+    case Schedule::kStaticChunked: return "static-chunked";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kGuided: return "guided";
+    case Schedule::kRuntime: return "runtime";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+bool parse_int(const std::string& s, int& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+bool parse_omp_schedule(const std::string& text, Schedule& sched, int& chunk) {
+  std::string kind = lower(text);
+  int parsed_chunk = 0;
+  const auto comma = kind.find(',');
+  if (comma != std::string::npos) {
+    if (!parse_int(kind.substr(comma + 1), parsed_chunk) || parsed_chunk <= 0)
+      return false;
+    kind = kind.substr(0, comma);
+  }
+  if (kind == "static") {
+    sched = parsed_chunk > 0 ? Schedule::kStaticChunked : Schedule::kStatic;
+  } else if (kind == "dynamic") {
+    sched = Schedule::kDynamic;
+  } else if (kind == "guided") {
+    sched = Schedule::kGuided;
+  } else {
+    return false;
+  }
+  chunk = parsed_chunk;
+  return true;
+}
+
+bool parse_blocktime(const std::string& text, sim::Time& out) {
+  const std::string t = lower(text);
+  if (t == "infinite") {
+    out = sim::kTimeNever;
+    return true;
+  }
+  int ms = 0;
+  if (!parse_int(t, ms) || ms < 0) return false;
+  out = static_cast<sim::Time>(ms) * sim::kMillisecond;
+  return true;
+}
+
+Icv icv_from_environment(osal::Os& os) {
+  Icv icv;
+  icv.nthreads_var =
+      static_cast<int>(os.sys_conf(osal::SysConfKey::kNumProcessors));
+
+  if (auto v = os.get_env("OMP_NUM_THREADS")) {
+    int n = 0;
+    if (parse_int(*v, n) && n > 0)
+      icv.nthreads_var = std::min(n, static_cast<int>(os.sys_conf(
+                                          osal::SysConfKey::kNumProcessors)));
+  }
+  if (auto v = os.get_env("OMP_DYNAMIC")) {
+    icv.dyn_var = lower(*v) == "true" || *v == "1";
+  }
+  if (auto v = os.get_env("OMP_SCHEDULE")) {
+    parse_omp_schedule(*v, icv.run_sched_var, icv.run_sched_chunk);
+  }
+  if (auto v = os.get_env("KMP_BLOCKTIME")) {
+    parse_blocktime(*v, icv.blocktime_ns);
+  }
+  if (auto v = os.get_env("OMP_PROC_BIND")) {
+    const std::string b = lower(*v);
+    if (b == "spread") icv.proc_bind = ProcBind::kSpread;
+    else if (b == "close" || b == "true") icv.proc_bind = ProcBind::kClose;
+    // "master"/"false"/garbage: keep the default, as libomp does.
+  }
+  return icv;
+}
+
+}  // namespace kop::komp

@@ -1,0 +1,56 @@
+// OpenMP internal control variables (ICVs) and their environment
+// parsing (OMP_NUM_THREADS, OMP_SCHEDULE, OMP_DYNAMIC, KMP_BLOCKTIME).
+//
+// The env-var and sysconf plumbing is exactly the libc dependency
+// surface §3.4 says libomp needs from the kernel: "access to
+// environment variables, and use of the Linux sysconf() call ...
+// essential for correctness and to manipulate the application".
+#pragma once
+
+#include <string>
+
+#include "osal/osal.hpp"
+#include "sim/time.hpp"
+
+namespace kop::komp {
+
+enum class Schedule {
+  kStatic,         // one contiguous block per thread
+  kStaticChunked,  // round-robin chunks of fixed size
+  kDynamic,        // first-come-first-served chunks
+  kGuided,         // exponentially decreasing chunks
+  kRuntime,        // defer to the run-sched ICV (OMP_SCHEDULE)
+};
+
+const char* schedule_name(Schedule s);
+
+/// OMP_PROC_BIND placement policy (the subset the benchmarks use).
+enum class ProcBind {
+  kClose,   // pack team threads onto consecutive CPUs
+  kSpread,  // stride them across the machine (one per socket first)
+};
+
+struct Icv {
+  int nthreads_var = 1;
+  bool dyn_var = false;
+  Schedule run_sched_var = Schedule::kStatic;
+  int run_sched_chunk = 0;  // 0: default for the kind
+  ProcBind proc_bind = ProcBind::kClose;
+  /// KMP_BLOCKTIME: how long idle threads spin before sleeping.
+  /// libomp default is 200 ms.
+  sim::Time blocktime_ns = 200 * sim::kMillisecond;
+};
+
+/// Build the initial ICVs for a runtime: defaults from the machine,
+/// overridden by OMP_* / KMP_* variables read through `os`.
+/// Unparsable values fall back to defaults (as libomp does), never throw.
+Icv icv_from_environment(osal::Os& os);
+
+/// Parse "static", "dynamic,4", "guided,2" etc.  Returns false (and
+/// leaves outputs alone) if malformed.
+bool parse_omp_schedule(const std::string& text, Schedule& sched, int& chunk);
+
+/// Parse KMP_BLOCKTIME: milliseconds, or "infinite".
+bool parse_blocktime(const std::string& text, sim::Time& out);
+
+}  // namespace kop::komp

@@ -1,0 +1,3 @@
+#include "komp/lock.hpp"
+
+// Header-only today; TU anchors the target.

@@ -1,0 +1,20 @@
+// omp_lock_t analog (EPCC LOCK/UNLOCK measures this construct).
+#pragma once
+
+#include "osal/sync.hpp"
+
+namespace kop::komp {
+
+class OmpLock {
+ public:
+  OmpLock(osal::Os& os, sim::Time spin_ns) : impl_(os, spin_ns) {}
+
+  void set() { impl_.lock(); }      // omp_set_lock
+  void unset() { impl_.unlock(); }  // omp_unset_lock
+  bool test() { return impl_.try_lock(); }
+
+ private:
+  osal::Mutex impl_;
+};
+
+}  // namespace kop::komp

@@ -1,0 +1,139 @@
+#include "komp/runtime.hpp"
+
+#include <stdexcept>
+
+namespace kop::komp {
+
+Runtime::Runtime(pthread_compat::Pthreads& pthreads, RuntimeTuning tuning)
+    : pthreads_(&pthreads),
+      os_(&pthreads.os()),
+      tuning_(tuning),
+      icv_(icv_from_environment(pthreads.os())) {}
+
+Runtime::~Runtime() {
+  if (workers_.empty()) return;
+  shutdown_ = true;
+  for (auto& w : workers_) w->gate->notify_all();
+  for (auto& w : workers_) pthreads_->join(w->thread);
+}
+
+void Runtime::set_num_threads(int n) {
+  if (n <= 0) throw std::invalid_argument("set_num_threads: n <= 0");
+  icv_.nthreads_var = std::min(
+      n, static_cast<int>(os_->sys_conf(osal::SysConfKey::kNumProcessors)));
+}
+
+double Runtime::wtime() const {
+  return sim::to_seconds(os_->engine().now());
+}
+
+std::unique_ptr<OmpLock> Runtime::make_lock() {
+  return std::make_unique<OmpLock>(*os_, icv_.blocktime_ns);
+}
+
+OmpLock& Runtime::critical_lock(const std::string& name) {
+  auto& slot = critical_locks_[name];
+  if (slot == nullptr)
+    slot = std::make_unique<OmpLock>(*os_, icv_.blocktime_ns);
+  return *slot;
+}
+
+int Runtime::cpu_for_team_thread(int tid) const {
+  const int ncpus = os_->machine().num_cpus;
+  if (icv_.proc_bind == ProcBind::kSpread) {
+    // Stride team threads across the machine (thread 0 stays on CPU 0,
+    // matching the master's placement).
+    const int team = std::max(1, icv_.nthreads_var);
+    return static_cast<int>((static_cast<long>(tid) * ncpus) / team) % ncpus;
+  }
+  return tid % ncpus;  // close: consecutive CPUs
+}
+
+void Runtime::ensure_pool(int nthreads) {
+  const int needed = nthreads - 1;
+  while (pool_size() < needed) {
+    const int index = pool_size();
+    auto w = std::make_unique<Worker>();
+    w->gate = os_->make_wait_queue();
+    workers_.push_back(std::move(w));
+    // Worker i serves team thread id i+1; placement follows
+    // OMP_PROC_BIND.
+    pthread_compat::PthreadAttr attr;
+    attr.bound_cpu = cpu_for_team_thread(index + 1);
+    workers_.back()->thread = pthreads_->create(
+        &attr, [this, index](void*) -> void* {
+          worker_main(index);
+          return nullptr;
+        },
+        nullptr);
+  }
+}
+
+void Runtime::run_region_body(Team& team, int tid, const RegionBody& body) {
+  TeamThread tt(team, tid);
+  body(tt);
+  // Implicit end-of-region barrier (with task draining).
+  tt.barrier();
+}
+
+void Runtime::worker_main(int worker_index) {
+  Worker& me = *workers_[static_cast<std::size_t>(worker_index)];
+  for (;;) {
+    while (!shutdown_ && me.seen_epoch == epoch_)
+      me.gate->wait(icv_.blocktime_ns);
+    if (shutdown_) return;
+    me.seen_epoch = epoch_;
+    Team* team = current_team_;
+    const RegionBody* body = current_body_;
+    const int tid = worker_index + 1;
+    if (team != nullptr && tid < team->size()) {
+      run_region_body(*team, tid, *body);
+      // Fully out of the region: the master can retire the team once
+      // everyone has checked out.
+      ++team->departed_;
+      team->exit_gate_->notify_one();
+    }
+  }
+}
+
+void Runtime::parallel(int nthreads, const RegionBody& body) {
+  if (os_->current_thread() == nullptr)
+    throw std::logic_error("komp: parallel() outside an OS thread");
+  int n = nthreads > 0 ? nthreads : icv_.nthreads_var;
+  n = std::min(n, os_->machine().num_cpus);
+
+  if (in_parallel_ || n == 1) {
+    // Nested or single-thread region: serialize onto the caller.
+    Team team(*this, 1);
+    run_region_body(team, 0, body);
+    return;
+  }
+
+  // __kmpc_fork_call bookkeeping.
+  os_->compute_ns(tuning_.fork_base_ns +
+                  static_cast<sim::Time>(n) * tuning_.fork_per_thread_ns);
+  ensure_pool(n);
+
+  Team team(*this, n);
+  in_parallel_ = true;
+  current_team_ = &team;
+  current_body_ = &body;
+  ++epoch_;
+  for (int i = 0; i < n - 1; ++i)
+    workers_[static_cast<std::size_t>(i)]->gate->notify_one();
+
+  // The master is team thread 0.
+  run_region_body(team, 0, body);
+
+  // Wait for every worker to leave the region before the Team (and its
+  // barrier gates) is destroyed; their post-barrier wakes may still be
+  // in flight.
+  while (team.departed_ < n - 1) team.exit_gate_->wait(icv_.blocktime_ns);
+
+  current_team_ = nullptr;
+  current_body_ = nullptr;
+  in_parallel_ = false;
+  os_->compute_ns(tuning_.join_base_ns);
+}
+
+}  // namespace kop::komp

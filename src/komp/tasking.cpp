@@ -1,0 +1,120 @@
+#include "komp/tasking.hpp"
+
+namespace kop::komp {
+
+TaskPool::TaskPool(osal::Os& os, int nthreads, const RuntimeTuning& tuning,
+                   sim::Time spin_ns)
+    : os_(&os), tuning_(&tuning), spin_ns_(spin_ns) {
+  deques_.resize(static_cast<std::size_t>(nthreads));
+  locks_.reserve(static_cast<std::size_t>(nthreads));
+  implicit_.reserve(static_cast<std::size_t>(nthreads));
+  current_.reserve(static_cast<std::size_t>(nthreads));
+  for (int i = 0; i < nthreads; ++i) {
+    locks_.push_back(std::make_unique<osal::Spinlock>(os));
+    auto imp = std::make_shared<Task>();
+    implicit_.push_back(imp);
+    current_.push_back(imp);
+  }
+  idle_gate_ = os.make_wait_queue();
+}
+
+void TaskPool::spawn(int tid, TaskBody body) {
+  os_->compute_ns(tuning_->task_spawn_ns);
+  auto task = std::make_shared<Task>();
+  task->body = std::move(body);
+  task->parent = current_[static_cast<std::size_t>(tid)];
+  task->parent->pending_children++;
+  ++incomplete_;
+  ++queued_;
+  auto& lock = *locks_[static_cast<std::size_t>(tid)];
+  lock.lock();
+  deques_[static_cast<std::size_t>(tid)].push_back(std::move(task));
+  lock.unlock();
+  // Poke one idle helper (threads waiting at a scheduling point).
+  idle_gate_->notify_one();
+}
+
+std::shared_ptr<TaskPool::Task> TaskPool::pop_or_steal(int tid) {
+  if (queued_ == 0) return nullptr;  // O(1) bail-out for idle polls
+  const auto n = static_cast<int>(deques_.size());
+  // Own deque: LIFO (depth-first, cache-friendly).
+  {
+    auto& lock = *locks_[static_cast<std::size_t>(tid)];
+    lock.lock();
+    auto& dq = deques_[static_cast<std::size_t>(tid)];
+    if (!dq.empty()) {
+      auto t = std::move(dq.back());
+      dq.pop_back();
+      --queued_;
+      lock.unlock();
+      return t;
+    }
+    lock.unlock();
+  }
+  // Steal: FIFO from a victim (breadth-first, big chunks of work).
+  for (int i = 1; i < n; ++i) {
+    const int victim = (tid + i) % n;
+    auto& lock = *locks_[static_cast<std::size_t>(victim)];
+    if (!lock.try_lock()) continue;
+    auto& dq = deques_[static_cast<std::size_t>(victim)];
+    if (!dq.empty()) {
+      auto t = std::move(dq.front());
+      dq.pop_front();
+      --queued_;
+      lock.unlock();
+      ++steals_;
+      return t;
+    }
+    lock.unlock();
+  }
+  return nullptr;
+}
+
+void TaskPool::run(int tid, std::shared_ptr<Task> task) {
+  os_->compute_ns(tuning_->task_exec_ns);
+  auto& cur = current_[static_cast<std::size_t>(tid)];
+  auto saved = cur;
+  cur = task;
+  if (task->body) task->body(tid);
+  cur = saved;
+  task->parent->pending_children--;
+  --incomplete_;
+  ++executed_;
+  // Wake waiters only when a predicate could have flipped: a taskwait
+  // waits for its task's last child, drain_all for pool exhaustion.
+  // (Broadcasting on every completion makes task-heavy regions
+  // quadratic in wakeups.)
+  if (task->parent->pending_children == 0 || incomplete_ == 0)
+    idle_gate_->notify_all();
+}
+
+bool TaskPool::try_run_one(int tid) {
+  auto t = pop_or_steal(tid);
+  if (t == nullptr) return false;
+  run(tid, std::move(t));
+  return true;
+}
+
+void TaskPool::taskwait(int tid) {
+  auto cur = current_[static_cast<std::size_t>(tid)];
+  for (;;) {
+    if (cur->pending_children == 0) return;
+    if (try_run_one(tid)) continue;
+    // try_run_one yields inside its lock ops, so the last child may
+    // have completed meanwhile; recheck right before parking (no yield
+    // can occur between this check and the wait registration).
+    if (cur->pending_children == 0) return;
+    idle_gate_->wait(spin_ns_);
+  }
+}
+
+void TaskPool::drain_all(int tid) {
+  for (;;) {
+    if (incomplete_ == 0) return;
+    if (try_run_one(tid)) continue;
+    if (incomplete_ == 0) return;
+    idle_gate_->wait(spin_ns_);
+  }
+}
+
+}  // namespace kop::komp

@@ -1,0 +1,73 @@
+// Explicit-task support: per-thread deques with LIFO pop / FIFO steal,
+// tied-task semantics, nesting, and taskwait/barrier scheduling points.
+// This is the part of libomp the EPCC taskbench exercises.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "komp/tuning.hpp"
+#include "osal/sync.hpp"
+
+namespace kop::komp {
+
+/// Task body; receives the id of the thread that executes it.
+using TaskBody = std::function<void(int exec_tid)>;
+
+class TaskPool {
+ public:
+  TaskPool(osal::Os& os, int nthreads, const RuntimeTuning& tuning,
+           sim::Time spin_ns);
+
+  /// Spawn a task as a child of `tid`'s current task.
+  void spawn(int tid, TaskBody body);
+
+  /// Scheduling point: execute tasks until the current task of `tid`
+  /// has no pending children (taskwait semantics).
+  void taskwait(int tid);
+
+  /// Scheduling point: execute tasks until no explicit task in the
+  /// team is incomplete (the task-draining part of a barrier).
+  void drain_all(int tid);
+
+  /// Try to run one task (own deque LIFO, then steal FIFO).
+  bool try_run_one(int tid);
+
+  std::size_t incomplete() const { return incomplete_; }
+  std::uint64_t executed() const { return executed_; }
+  std::uint64_t steals() const { return steals_; }
+
+ private:
+  struct Task {
+    TaskBody body;
+    std::shared_ptr<Task> parent;  // keeps ancestors alive for counts
+    int pending_children = 0;
+  };
+
+  void run(int tid, std::shared_ptr<Task> task);
+  std::shared_ptr<Task> pop_or_steal(int tid);
+
+  osal::Os* os_;
+  const RuntimeTuning* tuning_;
+  sim::Time spin_ns_;
+  std::vector<std::deque<std::shared_ptr<Task>>> deques_;
+  std::vector<std::unique_ptr<osal::Spinlock>> locks_;
+  /// The implicit task of each team thread (children bookkeeping for
+  /// top-level taskwait).
+  std::vector<std::shared_ptr<Task>> implicit_;
+  /// Task currently executing on each thread (the implicit task when
+  /// no explicit task is running).
+  std::vector<std::shared_ptr<Task>> current_;
+  std::unique_ptr<osal::WaitQueue> idle_gate_;
+  std::size_t incomplete_ = 0;
+  /// Tasks sitting in deques (not yet started).  Lets scheduling-point
+  /// polls bail out in O(1) instead of scanning every deque.
+  std::size_t queued_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t steals_ = 0;
+};
+
+}  // namespace kop::komp

@@ -1,0 +1,313 @@
+#include "komp/team.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "komp/runtime.hpp"
+
+namespace kop::komp {
+
+Team::Team(Runtime& rt, int size)
+    : rt_(&rt),
+      size_(size),
+      barrier_(rt.os(), size, rt.tuning().barrier_algo, rt.icv().blocktime_ns,
+               rt.tuning().barrier_step_extra_ns),
+      pool_(rt.os(), size, rt.tuning(), rt.icv().blocktime_ns),
+      members_(static_cast<std::size_t>(size), nullptr),
+      exit_gate_(rt.os().make_wait_queue()) {
+  // Threads waiting at a barrier execute pending explicit tasks.
+  barrier_.set_while_waiting([this](int tid) { return pool_.try_run_one(tid); });
+}
+
+TeamThread& Team::member(int tid) {
+  TeamThread* t = members_.at(static_cast<std::size_t>(tid));
+  if (t == nullptr) throw std::logic_error("Team::member: thread not active");
+  return *t;
+}
+
+std::shared_ptr<Team::LoopState> Team::loop_state(std::uint64_t gen) {
+  auto& slot = loops_[gen];
+  if (slot == nullptr) slot = std::make_shared<LoopState>();
+  return slot;
+}
+
+void Team::finish_loop(std::uint64_t gen, LoopState& st) {
+  ++st.done_count;
+  if (st.done_count == size_) loops_.erase(gen);
+}
+
+TeamThread::TeamThread(Team& team, int tid) : team_(&team), tid_(tid) {
+  team.members_.at(static_cast<std::size_t>(tid)) = this;
+}
+
+TeamThread::~TeamThread() {
+  team_->members_.at(static_cast<std::size_t>(tid_)) = nullptr;
+}
+
+int TeamThread::nthreads() const { return team_->size(); }
+
+Runtime& TeamThread::runtime() { return team_->runtime(); }
+
+osal::Os& TeamThread::os() { return team_->runtime().os(); }
+
+void TeamThread::compute(const hw::WorkBlock& block, int data_zone) {
+  os().compute(block, data_zone);
+}
+
+void TeamThread::compute_ns(sim::Time ns) { os().compute_ns(ns); }
+
+void TeamThread::compute_partitioned(const hw::WorkBlock& block, int part,
+                                     int nparts) {
+  const int zone = os().resolve_data_zone(block.region, part, nparts);
+  os().compute(block, zone);
+}
+
+void TeamThread::charge_memcpy(std::uint64_t bytes) {
+  const double bw = os().machine().copy_bytes_per_ns;
+  hw::WorkBlock b;
+  b.cpu_ns = static_cast<sim::Time>(static_cast<double>(bytes) / bw);
+  b.mem_fraction = 0.9;
+  os().compute(b);
+}
+
+void TeamThread::for_loop(Schedule sched, int chunk, std::int64_t lo,
+                          std::int64_t hi, const RangeBody& body, bool nowait) {
+  const RuntimeTuning& tune = runtime().tuning();
+  os().compute_ns(tune.dispatch_init_ns);
+  if (sched == Schedule::kRuntime) {
+    // schedule(runtime): resolve against the run-sched ICV.
+    sched = runtime().icv().run_sched_var;
+    if (chunk <= 0) chunk = runtime().icv().run_sched_chunk;
+  }
+  const std::uint64_t gen = ++loop_gen_;
+  const int n = nthreads();
+  const std::int64_t total = std::max<std::int64_t>(0, hi - lo);
+
+  switch (sched) {
+    case Schedule::kRuntime:  // resolved above; fall through to static
+    case Schedule::kStatic: {
+      // One contiguous block per thread, split *proportionally*
+      // (thread t gets [t*total/n, (t+1)*total/n)).  Proportional
+      // splitting keeps the block boundaries of loops with different
+      // trip counts over the same data aligned -- which is what makes
+      // first-touch NUMA placement from the init loops land local for
+      // the compute loops, as in the real NAS codes.
+      const std::int64_t b = lo + tid_ * total / n;
+      const std::int64_t e = lo + (tid_ + 1) * total / n;
+      if (b < e) body(b, e);
+      break;
+    }
+    case Schedule::kStaticChunked: {
+      const std::int64_t c = std::max<std::int64_t>(1, chunk);
+      for (std::int64_t b = lo + tid_ * c; b < hi; b += c * n) {
+        os().compute_ns(tune.dispatch_next_ns);
+        body(b, std::min(hi, b + c));
+      }
+      break;
+    }
+    case Schedule::kDynamic: {
+      auto st = team_->loop_state(gen);
+      if (!st->init) {
+        st->init = true;
+        st->next = lo;
+        st->hi = hi;
+        st->chunk = std::max<std::int64_t>(1, chunk);
+      }
+      for (;;) {
+        os().compute_ns(tune.dispatch_next_ns);
+        ++st->grabbers;
+        os().atomic_op(st->grabbers - 1);
+        --st->grabbers;
+        if (st->next >= st->hi) break;
+        const std::int64_t b = st->next;
+        const std::int64_t e = std::min(st->hi, b + st->chunk);
+        st->next = e;
+        body(b, e);
+      }
+      team_->finish_loop(gen, *st);
+      break;
+    }
+    case Schedule::kGuided: {
+      auto st = team_->loop_state(gen);
+      if (!st->init) {
+        st->init = true;
+        st->next = lo;
+        st->hi = hi;
+        st->chunk = std::max<std::int64_t>(1, chunk);  // minimum chunk
+      }
+      for (;;) {
+        os().compute_ns(tune.dispatch_next_ns);
+        ++st->grabbers;
+        os().atomic_op(st->grabbers - 1);
+        --st->grabbers;
+        const std::int64_t remaining = st->hi - st->next;
+        if (remaining <= 0) break;
+        const std::int64_t c =
+            std::max(st->chunk, remaining / (2 * static_cast<std::int64_t>(n)));
+        const std::int64_t b = st->next;
+        const std::int64_t e = std::min(st->hi, b + c);
+        st->next = e;
+        body(b, e);
+      }
+      team_->finish_loop(gen, *st);
+      break;
+    }
+  }
+  if (!nowait) barrier();
+}
+
+void TeamThread::for_ordered(std::int64_t lo, std::int64_t hi,
+                             const std::function<void(std::int64_t)>& body) {
+  const RuntimeTuning& tune = runtime().tuning();
+  os().compute_ns(tune.dispatch_init_ns);
+  const std::uint64_t gen = ++loop_gen_;
+  const int n = nthreads();
+  auto st = team_->loop_state(gen);
+  if (!st->init) {
+    st->init = true;
+    st->ordered_next = lo;
+    st->ordered_gate = os().make_wait_queue();
+  }
+  // schedule(static,1): iteration i on thread i % n; each iteration
+  // waits its turn (ordered-section semantics over the whole body).
+  for (std::int64_t i = lo + tid_; i < hi; i += n) {
+    while (st->ordered_next < i)
+      st->ordered_gate->wait(runtime().icv().blocktime_ns);
+    body(i);
+    st->ordered_next = i + 1;
+    st->ordered_gate->notify_all();
+  }
+  team_->finish_loop(gen, *st);
+  barrier();
+}
+
+void TeamThread::sections(const std::vector<std::function<void()>>& bodies,
+                          bool nowait) {
+  // Lowered exactly like libomp: a dynamic worksharing loop over the
+  // section indices.
+  for_loop(Schedule::kDynamic, 1, 0, static_cast<std::int64_t>(bodies.size()),
+           [&](std::int64_t b, std::int64_t e) {
+             for (std::int64_t i = b; i < e; ++i)
+               bodies[static_cast<std::size_t>(i)]();
+           },
+           nowait);
+}
+
+void TeamThread::barrier() {
+  // Scheduling point: explicit tasks must complete before release.
+  if (team_->pool_.incomplete() > 0) team_->pool_.drain_all(tid_);
+  team_->barrier_.wait(tid_);
+}
+
+bool TeamThread::single(const std::function<void()>& body, bool nowait) {
+  const RuntimeTuning& tune = runtime().tuning();
+  os().compute_ns(tune.single_ns);
+  os().atomic_op(0);
+  const std::uint64_t my_gen = single_seen_++;
+  bool executed = false;
+  if (team_->single_claims_ <= my_gen) {
+    team_->single_claims_ = my_gen + 1;
+    executed = true;
+    body();
+  }
+  if (!nowait) barrier();
+  return executed;
+}
+
+void TeamThread::master(const std::function<void()>& body) {
+  if (tid_ == 0) body();
+}
+
+void TeamThread::critical(const std::string& name,
+                          const std::function<void()>& body) {
+  OmpLock& lock = runtime().critical_lock(name);
+  lock.set();
+  body();
+  lock.unset();
+}
+
+void TeamThread::atomic_update() {
+  // A team hammering one scalar: contention scales with team size.
+  os().atomic_op(nthreads() - 1);
+}
+
+void TeamThread::copyprivate(std::uint64_t bytes,
+                             const std::function<void()>& body) {
+  const bool executed = single(body, /*nowait=*/false);
+  if (!executed) charge_memcpy(bytes);
+  barrier();
+}
+
+double TeamThread::reduce(double value, ReduceOp op) {
+  const RuntimeTuning& tune = runtime().tuning();
+  os().compute_ns(tune.reduction_leaf_ns);
+  const std::uint64_t gen = ++reduce_gen_;
+  auto& slot = team_->reduces_[gen];
+  if (slot == nullptr) slot = std::make_shared<Team::ReduceState>();
+  auto st = slot;
+  if (!st->init) {
+    st->init = true;
+    switch (op) {
+      case ReduceOp::kSum: st->acc = 0.0; break;
+      case ReduceOp::kProd: st->acc = 1.0; break;
+      case ReduceOp::kMin: st->acc = std::numeric_limits<double>::infinity(); break;
+      case ReduceOp::kMax: st->acc = -std::numeric_limits<double>::infinity(); break;
+    }
+  }
+  os().atomic_op(st->arrived);
+  ++st->arrived;
+  switch (op) {
+    case ReduceOp::kSum: st->acc += value; break;
+    case ReduceOp::kProd: st->acc *= value; break;
+    case ReduceOp::kMin: st->acc = std::min(st->acc, value); break;
+    case ReduceOp::kMax: st->acc = std::max(st->acc, value); break;
+  }
+  barrier();
+  const double result = st->acc;
+  // Second rendezvous so the slot can be retired exactly once.
+  barrier();
+  if (tid_ == 0) team_->reduces_.erase(gen);
+  return result;
+}
+
+void TeamThread::task(const std::function<void(TeamThread&)>& body) {
+  Team* team = team_;
+  team_->pool_.spawn(tid_, [team, body](int exec_tid) {
+    body(team->member(exec_tid));
+  });
+}
+
+void TeamThread::task_if(bool cond,
+                         const std::function<void(TeamThread&)>& body) {
+  if (cond) {
+    task(body);
+    return;
+  }
+  // Undeferred: allocation + immediate execution on this thread.
+  os().compute_ns(runtime().tuning().task_spawn_ns +
+                  runtime().tuning().task_exec_ns);
+  body(*this);
+}
+
+void TeamThread::taskwait() { team_->pool_.taskwait(tid_); }
+
+void TeamThread::taskloop(std::int64_t lo, std::int64_t hi,
+                          std::int64_t grainsize,
+                          const std::function<void(TeamThread&, std::int64_t,
+                                                   std::int64_t)>& body) {
+  const std::int64_t total = std::max<std::int64_t>(0, hi - lo);
+  if (total == 0) return;
+  std::int64_t grain = grainsize;
+  if (grain <= 0) {
+    grain = std::max<std::int64_t>(
+        1, total / (8 * static_cast<std::int64_t>(nthreads())));
+  }
+  for (std::int64_t b = lo; b < hi; b += grain) {
+    const std::int64_t e = std::min(hi, b + grain);
+    task([body, b, e](TeamThread& ex) { body(ex, b, e); });
+  }
+  taskwait();
+}
+
+}  // namespace kop::komp

@@ -1,0 +1,40 @@
+#include "linuxmodel/futex.hpp"
+
+#include <algorithm>
+
+namespace kop::linuxmodel {
+
+osal::WaitQueue& FutexTable::queue_for(std::uint64_t addr) {
+  auto it = queues_.find(addr);
+  if (it == queues_.end()) {
+    it = queues_.emplace(addr, os_->make_wait_queue()).first;
+  }
+  return *it->second;
+}
+
+void FutexTable::wait(std::uint64_t addr, sim::Time spin_ns) {
+  queue_for(addr).wait(spin_ns);
+}
+
+bool FutexTable::wait_until(std::uint64_t addr, sim::Time deadline,
+                            sim::Time spin_ns) {
+  return queue_for(addr).wait_until(deadline, spin_ns);
+}
+
+int FutexTable::wake(std::uint64_t addr, int count) {
+  auto it = queues_.find(addr);
+  if (it == queues_.end()) return 0;
+  int woken = 0;
+  while (count-- > 0 && it->second->waiters() > 0) {
+    it->second->notify_one();
+    ++woken;
+  }
+  return woken;
+}
+
+std::size_t FutexTable::waiters(std::uint64_t addr) const {
+  auto it = queues_.find(addr);
+  return it == queues_.end() ? 0 : it->second->waiters();
+}
+
+}  // namespace kop::linuxmodel

@@ -1,0 +1,74 @@
+#include "linuxmodel/linux_os.hpp"
+
+#include "hw/cost_params.hpp"
+
+namespace kop::linuxmodel {
+
+LinuxOs::LinuxOs(sim::Engine& engine, hw::MachineConfig machine)
+    : LinuxOs(engine, machine, hw::linux_costs(machine)) {}
+
+LinuxOs::LinuxOs(sim::Engine& engine, hw::MachineConfig machine,
+                 hw::OsCosts costs)
+    : BaseOs(engine, std::move(machine), std::move(costs)) {
+  futex_ = std::make_unique<FutexTable>(*this);
+}
+
+LinuxOs::~LinuxOs() = default;
+
+void LinuxOs::charge_syscall() {
+  if (engine_->current() != nullptr && costs_.syscall_ns > 0)
+    engine_->sleep_for(costs_.syscall_ns);
+}
+
+Process* LinuxOs::create_process(std::string name) {
+  processes_.push_back(std::make_unique<Process>(next_pid_++, std::move(name)));
+  return processes_.back().get();
+}
+
+int LinuxOs::first_touch_zone(int preferred) { return preferred; }
+
+void LinuxOs::place_region(hw::MemRegion& region, osal::AllocPolicy policy) {
+  // Anonymous memory: demand paged; THP=madvise backs most of a large
+  // region with 2M pages but leaves a 4K residue (§2.2 testbed config).
+  region.set_demand_paged(true);
+  region.set_page_size(hw::PageSize::k2M);
+  region.set_small_page_fraction(1.0 - costs_.thp_2m_fraction);
+  // First touch is the *policy*, but on a busy multi-socket box a
+  // slice of a large allocation ends up off-node anyway: khugepaged
+  // collapses ranges wherever huge pages are free, automatic NUMA
+  // balancing migrates pages mid-run, reclaim breaks locality.
+  // Nautilus's per-zone buddy allocation has none of these (§6.2 gain
+  // (c): "NUMA-cognizant memory allocations").
+  int dram_zones = 0;
+  for (const auto& z : machine_.zones)
+    if (z.kind == hw::ZoneKind::kDram) ++dram_zones;
+  region.set_remote_mix(dram_zones > 1 ? 0.28 : 0.0);
+
+  using Kind = osal::AllocPolicy::Kind;
+  switch (policy.kind) {
+    case Kind::kZone:
+      region.set_home_zone(policy.zone);  // numactl --membind
+      break;
+    case Kind::kInterleave: {
+      std::vector<int> zones;
+      for (const auto& z : machine_.zones) {
+        if (z.kind == hw::ZoneKind::kDram) zones.push_back(z.id);
+      }
+      std::vector<int> slices(kFirstTouchSlices);
+      for (int i = 0; i < kFirstTouchSlices; ++i)
+        slices[static_cast<std::size_t>(i)] =
+            zones[static_cast<std::size_t>((interleave_next_ + i) % zones.size())];
+      interleave_next_ =
+          (interleave_next_ + kFirstTouchSlices) % static_cast<int>(zones.size());
+      region.set_slice_zones(std::move(slices));
+      break;
+    }
+    case Kind::kLocal:
+    case Kind::kFirstTouch:
+      // Default Linux policy: placement deferred to first touch.
+      defer_placement(region);
+      break;
+  }
+}
+
+}  // namespace kop::linuxmodel

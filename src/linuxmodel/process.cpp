@@ -1,0 +1,4 @@
+#include "linuxmodel/process.hpp"
+
+// Process is header-only today; this TU anchors the library and leaves
+// room for /proc-style reporting to grow without touching headers.

@@ -1,0 +1,42 @@
+// Minimal Linux process bookkeeping: a pid, its threads, and its
+// mapped regions.  Exists so the baseline stack mirrors the paper's
+// framing ("the OpenMP application becomes a multithreaded Linux
+// process") and so tests can assert process-level invariants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/memory.hpp"
+#include "osal/osal.hpp"
+
+namespace kop::linuxmodel {
+
+class Process {
+ public:
+  Process(int pid, std::string name) : pid_(pid), name_(std::move(name)) {}
+
+  int pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+
+  void add_thread(osal::Thread* t) { threads_.push_back(t); }
+  const std::vector<osal::Thread*>& threads() const { return threads_; }
+
+  void add_region(hw::MemRegion* r) { regions_.push_back(r); }
+  const std::vector<hw::MemRegion*>& regions() const { return regions_; }
+
+  std::uint64_t mapped_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto* r : regions_) n += r->bytes();
+    return n;
+  }
+
+ private:
+  int pid_;
+  std::string name_;
+  std::vector<osal::Thread*> threads_;
+  std::vector<hw::MemRegion*> regions_;
+};
+
+}  // namespace kop::linuxmodel

@@ -1,0 +1,50 @@
+// NAS executors: run a BenchmarkSpec through the libomp path (komp
+// runtime -- Linux / RTK / PIK) or through the CCK/AutoMP path
+// (compile to tasks, execute on VIRGIL).
+//
+// Both paths follow the NAS protocol: an *untimed* initialization
+// phase touches every region in parallel (demand-paged OSes fault
+// here; first-touch placement happens here), then the timed section
+// runs `timesteps` iterations of the benchmark's loops.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cck/codegen.hpp"
+#include "cck/program.hpp"
+#include "komp/runtime.hpp"
+#include "nas/specs.hpp"
+#include "virgil/virgil.hpp"
+
+namespace kop::nas {
+
+struct RunResult {
+  double timed_seconds = 0.0;
+  double init_seconds = 0.0;
+  /// AutoMP runs carry the compile report (empty for libomp runs).
+  cck::CompileReport compile_report;
+};
+
+/// Convert a workload loop into its IR form, bound to a live region.
+cck::Loop to_cck_loop(const LoopSpec& spec, hw::MemRegion* region);
+
+/// Build the full IR module of a benchmark timestep (what the CCK
+/// front end would produce from the annotated source).
+cck::Module to_cck_module(const BenchmarkSpec& spec,
+                          const std::map<std::string, hw::MemRegion*>& regions);
+
+/// Allocate the benchmark's regions with default (local/first-touch)
+/// policy.
+std::map<std::string, hw::MemRegion*> alloc_regions(osal::Os& os,
+                                                    const BenchmarkSpec& spec);
+
+/// libomp path.  Must be called from the app main thread.
+RunResult run_openmp(komp::Runtime& rt, const BenchmarkSpec& spec);
+
+/// AutoMP path (user or kernel VIRGIL).  Must be called from the app
+/// main thread; `vg` must be started.
+RunResult run_automp(osal::Os& os, virgil::Virgil& vg,
+                     const BenchmarkSpec& spec);
+
+}  // namespace kop::nas

@@ -1,0 +1,65 @@
+// Functional mini-kernels: real numerics executed *through* the komp
+// runtime (worksharing, reductions, barriers, critical sections), at
+// class-S-like sizes.  They validate that the runtime executes real
+// OpenMP patterns correctly -- the timing model is exercised by the
+// workload descriptors, correctness by these.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "komp/runtime.hpp"
+
+namespace kop::nas::functional {
+
+struct CgResult {
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  int iterations = 0;
+};
+
+/// Conjugate-gradient on the 2-D 5-point Laplacian over an n x n grid.
+/// Parallel SpMV + dot products via worksharing and reductions.
+CgResult cg_kernel(komp::Runtime& rt, int n, int iterations);
+
+struct EpResult {
+  std::uint64_t inside = 0;  // points inside the unit circle
+  std::uint64_t total = 0;
+};
+
+/// EP-style Monte Carlo with a deterministic per-index generator:
+/// results are independent of the schedule and thread count.
+EpResult ep_kernel(komp::Runtime& rt, std::uint64_t samples);
+
+/// Serial reference for ep_kernel.
+EpResult ep_reference(std::uint64_t samples);
+
+/// IS-style parallel bucket sort: per-thread histograms merged under
+/// critical, then a parallel permutation.  Returns the sorted keys.
+std::vector<std::uint32_t> is_kernel(komp::Runtime& rt,
+                                     const std::vector<std::uint32_t>& keys,
+                                     int num_buckets);
+
+/// MG-style Jacobi smoothing on an n x n grid; returns the residual
+/// 2-norm after `sweeps` sweeps (must decrease monotonically).
+double mg_kernel(komp::Runtime& rt, int n, int sweeps);
+
+/// FT-style kernel: parallel radix-2 FFT (butterfly stages as
+/// worksharing loops) of a size-n signal (n a power of two), followed
+/// by the inverse; returns the max round-trip reconstruction error
+/// (should be ~1e-12 -- validates stage barriers and worksharing on
+/// strided access).
+double ft_kernel(komp::Runtime& rt, std::size_t n, unsigned seed);
+
+struct VerifyResult {
+  bool passed = false;
+  std::string detail;  // human-readable check summary
+};
+
+/// NAS-style class-S verification for a benchmark by name ("BT", "FT",
+/// ...): runs the matching functional mini-kernel through the runtime
+/// and checks its numerical result, like the real suite's
+/// "VERIFICATION SUCCESSFUL" stage.  Throws on unknown names.
+VerifyResult verify(komp::Runtime& rt, const std::string& benchmark);
+
+}  // namespace kop::nas::functional

@@ -1,0 +1,270 @@
+#include "nas/spec_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace kop::nas {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string tok;
+  for (char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!tok.empty()) out.push_back(tok);
+      tok.clear();
+    } else {
+      tok.push_back(c);
+    }
+  }
+  if (!tok.empty()) out.push_back(tok);
+  return out;
+}
+
+double parse_number(const std::string& s, int line, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw SpecParseError(line, std::string("bad ") + what + ": '" + s + "'");
+  }
+}
+
+std::uint64_t parse_bytes(const std::string& s, int line) {
+  if (s.empty()) throw SpecParseError(line, "empty size");
+  std::uint64_t mult = 1;
+  std::string num = s;
+  switch (std::toupper(static_cast<unsigned char>(s.back()))) {
+    case 'K': mult = 1ULL << 10; num.pop_back(); break;
+    case 'M': mult = 1ULL << 20; num.pop_back(); break;
+    case 'G': mult = 1ULL << 30; num.pop_back(); break;
+    default: break;
+  }
+  return static_cast<std::uint64_t>(parse_number(num, line, "size") *
+                                    static_cast<double>(mult));
+}
+
+double parse_duration_ns(const std::string& s, int line) {
+  double mult = 1.0;
+  std::string num = s;
+  auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::string(suffix).size();
+    return s.size() > n && lower(s.substr(s.size() - n)) == suffix;
+  };
+  if (ends_with("ns")) {
+    num = s.substr(0, s.size() - 2);
+  } else if (ends_with("us")) {
+    mult = 1e3;
+    num = s.substr(0, s.size() - 2);
+  } else if (ends_with("ms")) {
+    mult = 1e6;
+    num = s.substr(0, s.size() - 2);
+  } else if (s.size() > 1 &&
+             std::tolower(static_cast<unsigned char>(s.back())) == 's' &&
+             !std::isalpha(static_cast<unsigned char>(s[s.size() - 2]))) {
+    mult = 1e9;
+    num = s.substr(0, s.size() - 1);
+  }
+  return parse_number(num, line, "duration") * mult;
+}
+
+hw::AccessPattern parse_pattern(const std::string& s, int line) {
+  const std::string p = lower(s);
+  if (p == "streaming") return hw::AccessPattern::kStreaming;
+  if (p == "random") return hw::AccessPattern::kRandom;
+  if (p == "blocked") return hw::AccessPattern::kBlocked;
+  throw SpecParseError(line, "unknown pattern '" + s + "'");
+}
+
+bool parse_bool(const std::string& s, int line) {
+  const std::string b = lower(s);
+  if (b == "true" || b == "1" || b == "yes") return true;
+  if (b == "false" || b == "0" || b == "no") return false;
+  throw SpecParseError(line, "bad boolean '" + s + "'");
+}
+
+}  // namespace
+
+BenchmarkSpec parse_spec(std::istream& in) {
+  BenchmarkSpec spec;
+  spec.timesteps = 1;
+  bool saw_benchmark = false;
+  LoopSpec* current_loop = nullptr;
+  LoopSpec pending;
+  std::map<std::string, std::uint64_t> region_bytes;
+  /// accesses_per_ns values deferred until per_iter is known.
+  double pending_apn = -1.0;
+
+  std::string line;
+  int lineno = 0;
+
+  auto finish_loop = [&](int at_line) {
+    if (current_loop == nullptr) return;
+    if (pending.region.empty())
+      throw SpecParseError(at_line, "loop '" + pending.name + "' has no region");
+    if (region_bytes.count(pending.region) == 0)
+      throw SpecParseError(at_line, "loop '" + pending.name +
+                                        "' references unknown region '" +
+                                        pending.region + "'");
+    if (pending.per_iter_ns <= 0)
+      throw SpecParseError(at_line,
+                           "loop '" + pending.name + "' needs per_iter > 0");
+    if (pending_apn >= 0) {
+      pending.bytes_per_iter = static_cast<std::uint64_t>(
+          pending_apn * pending.per_iter_ns * 64.0);
+    }
+    spec.loops.push_back(pending);
+    current_loop = nullptr;
+    pending = LoopSpec{};
+    pending_apn = -1.0;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto tok = tokenize(line);
+    if (tok.empty()) continue;
+    const std::string key = lower(tok[0]);
+
+    if (current_loop != nullptr) {
+      if (key == "end") {
+        finish_loop(lineno);
+        continue;
+      }
+      if (tok.size() < 2)
+        throw SpecParseError(lineno, "loop attribute '" + key + "' needs a value");
+      if (key == "region") pending.region = tok[1];
+      else if (key == "trip")
+        pending.trip = static_cast<std::int64_t>(parse_number(tok[1], lineno, "trip"));
+      else if (key == "per_iter")
+        pending.per_iter_ns = parse_duration_ns(tok[1], lineno);
+      else if (key == "mem_fraction")
+        pending.mem_fraction = parse_number(tok[1], lineno, "mem_fraction");
+      else if (key == "bytes_per_iter")
+        pending.bytes_per_iter = parse_bytes(tok[1], lineno);
+      else if (key == "accesses_per_ns")
+        pending_apn = parse_number(tok[1], lineno, "accesses_per_ns");
+      else if (key == "pattern")
+        pending.pattern = parse_pattern(tok[1], lineno);
+      else if (key == "skew")
+        pending.skew = parse_number(tok[1], lineno, "skew");
+      else if (key == "privatized_object")
+        pending.needs_object_privatization = parse_bool(tok[1], lineno);
+      else if (key == "schedule") {
+        std::string sched_text = tok[1];
+        if (tok.size() >= 3) sched_text += "," + tok[2];
+        if (lower(tok[1]) == "runtime") {
+          pending.schedule = komp::Schedule::kRuntime;
+        } else if (!komp::parse_omp_schedule(sched_text, pending.schedule,
+                                             pending.chunk)) {
+          throw SpecParseError(lineno, "bad schedule '" + sched_text + "'");
+        }
+      } else {
+        throw SpecParseError(lineno, "unknown loop attribute '" + key + "'");
+      }
+      continue;
+    }
+
+    if (key == "benchmark") {
+      if (tok.size() < 2) throw SpecParseError(lineno, "benchmark needs a name");
+      spec.name = tok[1];
+      saw_benchmark = true;
+      if (tok.size() >= 4 && lower(tok[2]) == "class" && tok[3].size() == 1)
+        spec.clazz = tok[3][0];
+    } else if (key == "timesteps") {
+      if (tok.size() < 2) throw SpecParseError(lineno, "timesteps needs a value");
+      spec.timesteps =
+          static_cast<int>(parse_number(tok[1], lineno, "timesteps"));
+    } else if (key == "region") {
+      if (tok.size() < 3)
+        throw SpecParseError(lineno, "region needs a name and a size");
+      const std::uint64_t bytes = parse_bytes(tok[2], lineno);
+      spec.regions.push_back(RegionSpec{tok[1], bytes});
+      region_bytes[tok[1]] = bytes;
+    } else if (key == "static_bytes") {
+      if (tok.size() < 2) throw SpecParseError(lineno, "static_bytes needs a value");
+      spec.static_bytes = parse_bytes(tok[1], lineno);
+    } else if (key == "serial_per_step") {
+      if (tok.size() < 2)
+        throw SpecParseError(lineno, "serial_per_step needs a value");
+      spec.serial_ns_per_step = parse_duration_ns(tok[1], lineno);
+    } else if (key == "loop") {
+      if (tok.size() < 2) throw SpecParseError(lineno, "loop needs a name");
+      pending = LoopSpec{};
+      pending.name = tok[1];
+      pending_apn = -1.0;
+      current_loop = &pending;
+    } else if (key == "end") {
+      throw SpecParseError(lineno, "'end' outside a loop block");
+    } else {
+      throw SpecParseError(lineno, "unknown directive '" + key + "'");
+    }
+  }
+  if (current_loop != nullptr)
+    throw SpecParseError(lineno, "unterminated loop '" + pending.name + "'");
+  if (!saw_benchmark) throw SpecParseError(lineno, "missing 'benchmark' line");
+  if (spec.regions.empty()) throw SpecParseError(lineno, "no regions declared");
+  if (spec.loops.empty()) throw SpecParseError(lineno, "no loops declared");
+  return spec;
+}
+
+BenchmarkSpec parse_spec(const std::string& text) {
+  std::istringstream in(text);
+  return parse_spec(in);
+}
+
+std::string format_spec(const BenchmarkSpec& spec) {
+  std::ostringstream oss;
+  oss << std::setprecision(17);
+  oss << "benchmark " << spec.name << " class " << spec.clazz << "\n";
+  oss << "timesteps " << spec.timesteps << "\n";
+  for (const auto& r : spec.regions)
+    oss << "region " << r.name << " " << r.bytes << "\n";
+  oss << "static_bytes " << spec.static_bytes << "\n";
+  if (spec.serial_ns_per_step > 0)
+    oss << "serial_per_step " << spec.serial_ns_per_step << "ns\n";
+  for (const auto& l : spec.loops) {
+    oss << "loop " << l.name << "\n";
+    oss << "  region " << l.region << "\n";
+    oss << "  trip " << l.trip << "\n";
+    oss << "  per_iter " << l.per_iter_ns << "ns\n";
+    oss << "  mem_fraction " << l.mem_fraction << "\n";
+    oss << "  bytes_per_iter " << l.bytes_per_iter << "\n";
+    const char* pattern =
+        l.pattern == hw::AccessPattern::kStreaming  ? "streaming"
+        : l.pattern == hw::AccessPattern::kRandom   ? "random"
+                                                    : "blocked";
+    oss << "  pattern " << pattern << "\n";
+    if (l.skew != 0.0) oss << "  skew " << l.skew << "\n";
+    if (l.needs_object_privatization) oss << "  privatized_object true\n";
+    if (l.schedule != komp::Schedule::kStatic || l.chunk > 0) {
+      oss << "  schedule ";
+      switch (l.schedule) {
+        case komp::Schedule::kStatic:
+        case komp::Schedule::kStaticChunked: oss << "static"; break;
+        case komp::Schedule::kDynamic: oss << "dynamic"; break;
+        case komp::Schedule::kGuided: oss << "guided"; break;
+        case komp::Schedule::kRuntime: oss << "runtime"; break;
+      }
+      if (l.chunk > 0) oss << " " << l.chunk;
+      oss << "\n";
+    }
+    oss << "end\n";
+  }
+  return oss.str();
+}
+
+}  // namespace kop::nas

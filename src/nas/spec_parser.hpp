@@ -1,0 +1,53 @@
+// Text format for workload descriptors, so downstream users can define
+// and sweep their own benchmarks without recompiling.
+//
+//   benchmark WAVE class B
+//   timesteps 8
+//   region field 512M
+//   static_bytes 512M
+//   serial_per_step 2ms
+//   loop stencil
+//     region field
+//     trip 2048
+//     per_iter 2ms            # ns / us / ms / s suffixes
+//     mem_fraction 0.55
+//     accesses_per_ns 0.004   # alternative: bytes_per_iter 500K
+//     pattern streaming       # streaming | random | blocked
+//     skew 0.5
+//     privatized_object true
+//     schedule dynamic 4      # static | static,N | dynamic | guided | runtime
+//   end
+//
+// '#' starts a comment; sizes accept K/M/G suffixes.  Errors carry the
+// line number.
+#pragma once
+
+#include <istream>
+#include <stdexcept>
+#include <string>
+
+#include "nas/specs.hpp"
+
+namespace kop::nas {
+
+class SpecParseError : public std::runtime_error {
+ public:
+  SpecParseError(int line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parse one benchmark description.  Throws SpecParseError on malformed
+/// input (unknown keys, bad numbers, loops without regions, ...).
+BenchmarkSpec parse_spec(std::istream& in);
+BenchmarkSpec parse_spec(const std::string& text);
+
+/// Render a spec back to the text format (round-trips through
+/// parse_spec).
+std::string format_spec(const BenchmarkSpec& spec);
+
+}  // namespace kop::nas

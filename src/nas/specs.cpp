@@ -1,0 +1,250 @@
+#include "nas/specs.hpp"
+
+#include <stdexcept>
+
+namespace kop::nas {
+
+std::uint64_t BenchmarkSpec::total_region_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& r : regions) n += r.bytes;
+  return n;
+}
+
+double BenchmarkSpec::base_work_ns() const {
+  double ns = serial_ns_per_step;
+  for (const auto& l : loops) ns += l.per_iter_ns * static_cast<double>(l.trip);
+  return ns * timesteps;
+}
+
+namespace {
+
+constexpr double kSec = 1e9;
+
+/// Build one loop: `step_share_ns` of nominal work per timestep spread
+/// over `trip` iterations; `accesses_per_ns` is the TLB-relevant
+/// cacheline-touch intensity.
+LoopSpec loop(std::string name, std::string region, double step_share_ns,
+              std::int64_t trip, double mem_fraction, double accesses_per_ns,
+              hw::AccessPattern pattern, double skew = 0.0,
+              bool priv = false) {
+  LoopSpec l;
+  l.name = std::move(name);
+  l.region = std::move(region);
+  l.trip = trip;
+  l.per_iter_ns = step_share_ns / static_cast<double>(trip);
+  l.mem_fraction = mem_fraction;
+  l.bytes_per_iter =
+      static_cast<std::uint64_t>(accesses_per_ns * l.per_iter_ns * 64.0);
+  l.pattern = pattern;
+  l.skew = skew;
+  l.needs_object_privatization = priv;
+  return l;
+}
+
+}  // namespace
+
+BenchmarkSpec bt() {
+  // BT-B: block-tridiagonal solver.  The x/y/z line solves stride
+  // across planes (translation-hostile) and privatize per-thread
+  // work arrays (lhs/rhs blocks) -- AutoMP leaves them sequential.
+  BenchmarkSpec b;
+  b.name = "BT";
+  b.clazz = 'B';
+  b.regions = {{"fields", 420ULL << 20}};
+  b.static_bytes = 420ULL << 20;  // class-B globals fit the boot image
+  b.timesteps = 8;
+  const double step = 950.0 * kSec / b.timesteps;
+  b.loops = {
+      loop("compute_rhs", "fields", step * 0.24, 1024, 0.45, 0.0040,
+           hw::AccessPattern::kStreaming),
+      loop("x_solve", "fields", step * 0.23, 1024, 0.50, 0.0073,
+           hw::AccessPattern::kRandom),
+      loop("y_solve", "fields", step * 0.23, 1024, 0.50, 0.0073,
+           hw::AccessPattern::kRandom),
+      loop("z_solve", "fields", step * 0.23, 1024, 0.50, 0.0073,
+           hw::AccessPattern::kRandom),
+      // lhs factorization: per-thread work-array blocks (privatized
+      // objects) -- the slice AutoMP must leave sequential (SS6.2).
+      loop("lhs_factor", "fields", step * 0.07, 1024, 0.50, 0.0073,
+           hw::AccessPattern::kRandom, 0.0, /*priv=*/true),
+  };
+  b.serial_ns_per_step = step * 0.0004;
+  return b;
+}
+
+BenchmarkSpec sp() {
+  // SP-C: scalar pentadiagonal solver, same structure as BT with
+  // lighter per-plane work.
+  BenchmarkSpec b;
+  b.name = "SP";
+  b.clazz = 'C';
+  b.regions = {{"fields", 1100ULL << 20}};
+  b.static_bytes = 1100ULL << 20;
+  b.timesteps = 8;
+  const double step = 2390.0 * kSec / b.timesteps;
+  b.loops = {
+      loop("compute_rhs", "fields", step * 0.28, 1024, 0.45, 0.0035,
+           hw::AccessPattern::kStreaming),
+      loop("x_solve", "fields", step * 0.22, 1024, 0.50, 0.0049,
+           hw::AccessPattern::kRandom),
+      loop("y_solve", "fields", step * 0.22, 1024, 0.50, 0.0049,
+           hw::AccessPattern::kRandom),
+      loop("z_solve", "fields", step * 0.22, 1024, 0.50, 0.0049,
+           hw::AccessPattern::kRandom),
+      loop("lhs_factor", "fields", step * 0.06, 1024, 0.50, 0.0049,
+           hw::AccessPattern::kRandom, 0.0, /*priv=*/true),
+  };
+  b.serial_ns_per_step = step * 0.0004;
+  return b;
+}
+
+BenchmarkSpec lu() {
+  // LU-C: SSOR.  blts/buts sweep wavefronts with per-thread temporary
+  // blocks (privatized objects); many synchronization points per step.
+  BenchmarkSpec b;
+  b.name = "LU";
+  b.clazz = 'C';
+  b.regions = {{"fields", 600ULL << 20}};
+  b.static_bytes = 600ULL << 20;
+  b.timesteps = 8;
+  const double step = 4150.0 * kSec / b.timesteps;
+  b.loops = {
+      loop("rhs", "fields", step * 0.40, 2048, 0.45, 0.0030,
+           hw::AccessPattern::kStreaming),
+      loop("blts", "fields", step * 0.27, 2048, 0.50, 0.0014,
+           hw::AccessPattern::kRandom),
+      loop("buts", "fields", step * 0.27, 2048, 0.50, 0.0014,
+           hw::AccessPattern::kRandom),
+      loop("jac_blocks", "fields", step * 0.06, 2048, 0.50, 0.0014,
+           hw::AccessPattern::kRandom, 0.0, /*priv=*/true),
+  };
+  b.serial_ns_per_step = step * 0.0003;
+  return b;
+}
+
+BenchmarkSpec ft() {
+  // FT-B: 3-D FFT; the dimension passes stride across the whole
+  // volume (random at page granularity), no object privatization.
+  BenchmarkSpec b;
+  b.name = "FT";
+  b.clazz = 'B';
+  b.regions = {{"cmplx", 640ULL << 20}};
+  b.static_bytes = 640ULL << 20;
+  b.timesteps = 8;
+  const double step = 205.0 * kSec / b.timesteps;
+  b.loops = {
+      loop("evolve", "cmplx", step * 0.28, 1024, 0.50, 0.0040,
+           hw::AccessPattern::kStreaming),
+      loop("fft_x", "cmplx", step * 0.24, 1024, 0.55, 0.0011,
+           hw::AccessPattern::kRandom),
+      loop("fft_y", "cmplx", step * 0.24, 1024, 0.55, 0.0011,
+           hw::AccessPattern::kRandom),
+      loop("fft_z", "cmplx", step * 0.24, 1024, 0.55, 0.0011,
+           hw::AccessPattern::kRandom),
+  };
+  b.serial_ns_per_step = step * 0.0004;
+  return b;
+}
+
+BenchmarkSpec ep() {
+  // EP-C: embarrassingly parallel Gaussian pairs; compute-bound, tiny
+  // working set -- only the OS-noise/tick difference shows.
+  BenchmarkSpec b;
+  b.name = "EP";
+  b.clazz = 'C';
+  b.regions = {{"tables", 16ULL << 20}};
+  b.static_bytes = 16ULL << 20;
+  b.timesteps = 8;
+  const double step = 2030.0 * kSec / b.timesteps;
+  b.loops = {
+      loop("gauss", "tables", step, 4096, 0.05, 0.0002,
+           hw::AccessPattern::kBlocked),
+  };
+  b.serial_ns_per_step = step * 0.0002;
+  return b;
+}
+
+BenchmarkSpec cg() {
+  // CG-C: sparse matvec with irregular row lengths (skewed) dominates;
+  // the OpenMP source uses coarse static chunking, which is exactly
+  // where AutoMP's latency-aware chunking wins (§6.2).
+  BenchmarkSpec b;
+  b.name = "CG";
+  b.clazz = 'C';
+  b.regions = {{"matrix", 700ULL << 20}};
+  b.static_bytes = 700ULL << 20;
+  b.timesteps = 8;
+  const double step = 915.0 * kSec / b.timesteps;
+  b.loops = {
+      loop("spmv", "matrix", step * 0.70, 4096, 0.60, 0.0003,
+           hw::AccessPattern::kRandom, /*skew=*/0.60),
+      loop("dot", "matrix", step * 0.15, 1024, 0.40, 0.0030,
+           hw::AccessPattern::kStreaming),
+      loop("axpy", "matrix", step * 0.15, 1024, 0.40, 0.0040,
+           hw::AccessPattern::kStreaming),
+  };
+  b.serial_ns_per_step = step * 0.0003;
+  return b;
+}
+
+BenchmarkSpec mg() {
+  // MG-C: multigrid V-cycles; coarse levels have few, uneven
+  // iterations (skew), and restriction/prolongation is latency-varied.
+  BenchmarkSpec b;
+  b.name = "MG";
+  b.clazz = 'C';
+  b.regions = {{"grids", 450ULL << 20}};
+  b.static_bytes = 450ULL << 20;
+  b.timesteps = 8;
+  const double step = 387.0 * kSec / b.timesteps;
+  b.loops = {
+      loop("resid", "grids", step * 0.35, 2048, 0.55, 0.0010,
+           hw::AccessPattern::kRandom),
+      loop("psinv", "grids", step * 0.25, 2048, 0.55, 0.0040,
+           hw::AccessPattern::kStreaming, /*skew=*/0.60),
+      loop("rprj3", "grids", step * 0.20, 1024, 0.50, 0.0030,
+           hw::AccessPattern::kStreaming, /*skew=*/0.85),
+      loop("interp", "grids", step * 0.20, 1024, 0.50, 0.0030,
+           hw::AccessPattern::kStreaming, /*skew=*/0.85),
+  };
+  b.serial_ns_per_step = step * 0.0004;
+  return b;
+}
+
+BenchmarkSpec is() {
+  // IS-C: integer bucket sort.  Both phases rely on per-thread bucket
+  // count arrays (privatized objects): AutoMP extracts *no*
+  // parallelism here, the paper's extreme case.
+  BenchmarkSpec b;
+  b.name = "IS";
+  b.clazz = 'C';
+  b.regions = {{"keys", 300ULL << 20}};
+  b.static_bytes = 300ULL << 20;
+  b.timesteps = 8;
+  const double step = 40.0 * kSec / b.timesteps;
+  b.loops = {
+      loop("rank", "keys", step * 0.60, 1024, 0.65, 0.0017,
+           hw::AccessPattern::kRandom, 0.0, /*priv=*/true),
+      loop("permute", "keys", step * 0.40, 1024, 0.60, 0.0040,
+           hw::AccessPattern::kStreaming, 0.0, /*priv=*/true),
+  };
+  b.serial_ns_per_step = step * 0.0008;
+  return b;
+}
+
+std::vector<BenchmarkSpec> paper_suite() {
+  return {bt(), ft(), ep(), mg(), sp(), lu(), cg(), is()};
+}
+
+std::vector<BenchmarkSpec> cck_suite() {
+  return {bt(), ft(), ep(), mg(), sp(), lu(), cg()};
+}
+
+BenchmarkSpec by_name(const std::string& name) {
+  for (auto& b : paper_suite()) {
+    if (b.name == name) return b;
+  }
+  throw std::invalid_argument("unknown NAS benchmark: " + name);
+}
+
+}  // namespace kop::nas

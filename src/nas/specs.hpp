@@ -1,0 +1,83 @@
+// Workload descriptors for the NAS 3.0 C+OpenMP benchmarks at the
+// paper's evaluated classes (BT-B, FT-B, EP-C, MG-C, SP-C, LU-C, CG-C,
+// IS-C; §6.2 explains why BT and FT run class B).
+//
+// Each benchmark is described by its memory regions and the parallel
+// loops of one timestep: trip counts, per-iteration cost, memory
+// intensity and pattern, load skew, OpenMP scheduling, and whether the
+// loop's OpenMP version relies on privatizing *objects* (per-thread
+// work arrays) -- the attribute that decides AutoMP's fate (§6.2).
+//
+// The per-iteration costs are calibrated so the simulated Linux
+// single-thread times approximate the paper's `t` values (Figs. 9-12);
+// EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/memory.hpp"
+#include "komp/icv.hpp"
+
+namespace kop::nas {
+
+struct RegionSpec {
+  std::string name;
+  std::uint64_t bytes = 0;
+};
+
+struct LoopSpec {
+  std::string name;
+  std::string region;
+  std::int64_t trip = 1024;
+  double per_iter_ns = 1000.0;
+  double mem_fraction = 0.4;
+  std::uint64_t bytes_per_iter = 0;
+  hw::AccessPattern pattern = hw::AccessPattern::kStreaming;
+  /// Load imbalance across the index space (linear ramp +-skew).
+  double skew = 0.0;
+  /// The OpenMP source privatizes per-thread work *arrays* here; the
+  /// OpenMP runtime handles that fine, AutoMP cannot (§6.2).
+  bool needs_object_privatization = false;
+  komp::Schedule schedule = komp::Schedule::kStatic;
+  int chunk = 0;
+};
+
+struct BenchmarkSpec {
+  std::string name;   // "BT", "FT", ...
+  char clazz = 'C';   // NAS class letter
+  std::vector<RegionSpec> regions;
+  std::vector<LoopSpec> loops;
+  /// Timed iterations (scaled down from the real benchmarks; virtual
+  /// time is linear in this, so only ratios matter).
+  int timesteps = 8;
+  /// Serial (master-only) work per timestep.
+  double serial_ns_per_step = 0.0;
+  /// Sum of link-time static data (drives the RTK/CCK boot-image
+  /// check; benchmarks converted to dynamic allocation report 0).
+  std::uint64_t static_bytes = 0;
+
+  std::string full_name() const { return name + "-" + clazz; }
+  std::uint64_t total_region_bytes() const;
+  /// Total nominal (uninflated) work of the timed section, ns.
+  double base_work_ns() const;
+};
+
+BenchmarkSpec bt();  // BT-B
+BenchmarkSpec sp();  // SP-C
+BenchmarkSpec lu();  // LU-C
+BenchmarkSpec ft();  // FT-B
+BenchmarkSpec ep();  // EP-C
+BenchmarkSpec cg();  // CG-C
+BenchmarkSpec mg();  // MG-C
+BenchmarkSpec is();  // IS-C
+
+/// The full Fig. 9/10/14 suite.
+std::vector<BenchmarkSpec> paper_suite();
+/// The Fig. 11/12/15 suite (IS elided: AutoMP extracts no parallelism).
+std::vector<BenchmarkSpec> cck_suite();
+/// Lookup by name ("BT"...); throws on unknown.
+BenchmarkSpec by_name(const std::string& name);
+
+}  // namespace kop::nas

@@ -1,0 +1,95 @@
+#include "nautilus/buddy.hpp"
+
+#include <algorithm>
+
+namespace kop::nautilus {
+
+namespace {
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+BuddyAllocator::BuddyAllocator(std::uint64_t base, std::uint64_t size,
+                               std::uint64_t min_block)
+    : base_(base), min_block_(min_block) {
+  if (!is_pow2(min_block_)) throw BuddyError("min_block must be a power of two");
+  // Largest power-of-two multiple of min_block that fits in size.
+  max_order_ = -1;
+  std::uint64_t blk = min_block_;
+  while (blk * 2 <= size) {
+    blk *= 2;
+    ++max_order_;
+  }
+  ++max_order_;  // blk == min_block << max_order_
+  capacity_ = blk;
+  if (capacity_ < min_block_) throw BuddyError("zone smaller than min block");
+  free_lists_.assign(static_cast<std::size_t>(max_order_) + 1, {});
+  free_lists_[static_cast<std::size_t>(max_order_)].push_back(base_);
+}
+
+int BuddyAllocator::order_for(std::uint64_t bytes) const {
+  if (bytes == 0) bytes = 1;
+  int order = 0;
+  std::uint64_t blk = min_block_;
+  while (blk < bytes) {
+    blk *= 2;
+    ++order;
+    if (order > max_order_) throw BuddyError("allocation larger than zone");
+  }
+  return order;
+}
+
+std::uint64_t BuddyAllocator::alloc(std::uint64_t bytes) {
+  const int want = order_for(bytes);
+  // Find the smallest free order >= want.
+  int from = -1;
+  for (int o = want; o <= max_order_; ++o) {
+    if (!free_lists_[static_cast<std::size_t>(o)].empty()) {
+      from = o;
+      break;
+    }
+  }
+  if (from < 0)
+    throw BuddyError("out of memory: no free block of order " +
+                     std::to_string(want));
+  std::uint64_t addr = free_lists_[static_cast<std::size_t>(from)].back();
+  free_lists_[static_cast<std::size_t>(from)].pop_back();
+  // Split down to the wanted order, freeing the upper buddies.
+  for (int o = from; o > want; --o) {
+    const std::uint64_t half = block_size(o - 1);
+    free_lists_[static_cast<std::size_t>(o - 1)].push_back(addr + half);
+  }
+  live_[addr] = want;
+  allocated_bytes_ += block_size(want);
+  return addr;
+}
+
+void BuddyAllocator::free(std::uint64_t addr) {
+  auto it = live_.find(addr);
+  if (it == live_.end()) throw BuddyError("free of unallocated address");
+  int order = it->second;
+  live_.erase(it);
+  allocated_bytes_ -= block_size(order);
+
+  // Coalesce with the buddy while possible.
+  while (order < max_order_) {
+    const std::uint64_t size = block_size(order);
+    const std::uint64_t rel = addr - base_;
+    const std::uint64_t buddy = base_ + (rel ^ size);
+    auto& list = free_lists_[static_cast<std::size_t>(order)];
+    auto bit = std::find(list.begin(), list.end(), buddy);
+    if (bit == list.end()) break;
+    list.erase(bit);
+    addr = std::min(addr, buddy);
+    ++order;
+  }
+  free_lists_[static_cast<std::size_t>(order)].push_back(addr);
+}
+
+std::uint64_t BuddyAllocator::largest_free_block() const {
+  for (int o = max_order_; o >= 0; --o) {
+    if (!free_lists_[static_cast<std::size_t>(o)].empty()) return block_size(o);
+  }
+  return 0;
+}
+
+}  // namespace kop::nautilus

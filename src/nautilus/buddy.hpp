@@ -1,0 +1,59 @@
+// Buddy-system physical memory allocator, one instance per NUMA zone
+// (paper §2.1: "allocations are done with buddy system allocators that
+// are selected based on the target zone").
+//
+// This is a real allocator over a simulated physical range: it hands
+// out addresses, splits and coalesces buddies, and fails crisply on
+// exhaustion, so the loader and kernel allocation paths behave like
+// the real thing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace kop::nautilus {
+
+class BuddyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BuddyAllocator {
+ public:
+  /// Manages [base, base + size).  `size` is rounded down to a power
+  /// of two times min_block; min_block must be a power of two.
+  BuddyAllocator(std::uint64_t base, std::uint64_t size,
+                 std::uint64_t min_block = 4096);
+
+  /// Allocate at least `bytes`; returns the block address.
+  /// Throws BuddyError on exhaustion.
+  std::uint64_t alloc(std::uint64_t bytes);
+
+  /// Free a block previously returned by alloc(); coalesces buddies.
+  void free(std::uint64_t addr);
+
+  std::uint64_t base() const { return base_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t allocated_bytes() const { return allocated_bytes_; }
+  std::uint64_t free_bytes() const { return capacity_ - allocated_bytes_; }
+  /// Largest allocation that can currently succeed.
+  std::uint64_t largest_free_block() const;
+
+ private:
+  int order_for(std::uint64_t bytes) const;
+  std::uint64_t block_size(int order) const { return min_block_ << order; }
+
+  std::uint64_t base_;
+  std::uint64_t capacity_;
+  std::uint64_t min_block_;
+  int max_order_;
+  /// free_lists_[k] holds addresses of free blocks of order k.
+  std::vector<std::vector<std::uint64_t>> free_lists_;
+  /// Live allocations: address -> order.
+  std::map<std::uint64_t, int> live_;
+  std::uint64_t allocated_bytes_ = 0;
+};
+
+}  // namespace kop::nautilus

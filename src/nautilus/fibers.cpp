@@ -1,0 +1,84 @@
+#include "nautilus/fibers.hpp"
+
+#include <stdexcept>
+
+namespace kop::nautilus {
+
+FiberPool::FiberPool(osal::Os& os, int cpu, sim::Time create_ns,
+                     sim::Time switch_ns)
+    : os_(&os), cpu_(cpu), create_ns_(create_ns), switch_ns_(switch_ns) {}
+
+void FiberPool::spawn(std::string name, FiberFn fn) {
+  // Fiber creation is a stack + context allocation: hundreds of
+  // nanoseconds, not the microseconds a kernel thread costs.
+  if (os_->engine().current() != nullptr && create_ns_ > 0)
+    os_->engine().sleep_for(create_ns_);
+  pending_.push_back(Fiber{std::move(name), std::move(fn)});
+  ++spawned_;
+}
+
+// Control discipline: exactly one context (the host or one fiber) runs
+// at a time, and every switch passes through the host.  A yielding
+// fiber queues itself and wakes the host; a finishing fiber wakes the
+// host; the host picks the next runnable/pending fiber round-robin.
+
+void FiberPool::yield_current() {
+  if (runnable_.empty() && pending_.empty()) return;  // nothing to switch to
+  if (switch_ns_ > 0) os_->engine().sleep_for(switch_ns_);
+  ++switches_;
+  runnable_.push_back(os_->engine().arm_wake_token());
+  if (host_parked_) {
+    host_parked_ = false;
+    os_->engine().wake_token_at(host_, os_->engine().now());
+  }
+  os_->engine().block();
+}
+
+void FiberPool::run() {
+  if (os_->engine().current() == nullptr)
+    throw std::logic_error("FiberPool::run: must be called on a sim thread");
+
+  auto park_host = [this] {
+    host_ = os_->engine().arm_wake_token();
+    host_parked_ = true;
+    os_->engine().block();
+  };
+
+  while (!pending_.empty() || live_ > 0 || !runnable_.empty()) {
+    // Start fresh fibers before resuming yielded ones: this gives the
+    // natural round-robin (every fiber takes step k before any takes
+    // step k+1).
+    if (!pending_.empty()) {
+      Fiber next = std::move(pending_.front());
+      pending_.pop_front();
+      ++live_;
+      os_->spawn_thread(
+          "fiber:" + next.name,
+          [this, fn = std::move(next.fn)]() {
+            Yield y(*this);
+            fn(y);
+            ++completed_;
+            --live_;
+            if (host_parked_) {
+              host_parked_ = false;
+              os_->engine().wake_token_at(host_, os_->engine().now());
+            }
+          },
+          cpu_, /*create_cost_ns=*/0);
+      park_host();
+      continue;
+    }
+    if (!runnable_.empty()) {
+      const auto tok = runnable_.front();
+      runnable_.pop_front();
+      os_->engine().wake_token_at(tok, os_->engine().now());
+      park_host();
+      continue;
+    }
+    // live_ > 0 with nothing runnable: a fiber is mid-flight and will
+    // wake us when it yields or finishes.
+    park_host();
+  }
+}
+
+}  // namespace kop::nautilus

@@ -1,0 +1,78 @@
+// Nautilus fibers: cooperative, ultra-light execution contexts
+// multiplexed on one kernel thread/CPU (§3.3 names fibers among the
+// models Nautilus offers parallel runtimes; Hale & Dinda report
+// orders-of-magnitude cheaper management than threads).
+//
+// A FiberPool owns a set of fibers bound to one CPU.  Fibers run
+// cooperatively: exactly one executes at a time; yield() hands off
+// round-robin at a cost of a context swap (no scheduler, no interrupt
+// state, no FP save by default).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "osal/osal.hpp"
+
+namespace kop::nautilus {
+
+class FiberPool {
+ public:
+  /// Handle passed to fiber bodies for cooperative control.
+  class Yield {
+   public:
+    explicit Yield(FiberPool& pool) : pool_(&pool) {}
+    /// Hand the CPU to the next runnable fiber (returns when scheduled
+    /// again).  No-op if this is the only live fiber.
+    void operator()() { pool_->yield_current(); }
+
+   private:
+    FiberPool* pool_;
+  };
+
+  using FiberFn = std::function<void(Yield&)>;
+
+  /// `create_ns`/`switch_ns`: fiber management costs -- far below the
+  /// kernel-thread numbers in the OsCosts sheet.
+  FiberPool(osal::Os& os, int cpu, sim::Time create_ns = 350,
+            sim::Time switch_ns = 150);
+
+  /// Create a fiber (charged create_ns to the caller).  Fibers start
+  /// when run() drives the pool.
+  void spawn(std::string name, FiberFn fn);
+
+  /// Run all fibers to completion from the calling thread (which acts
+  /// as the host kernel thread).  Must be called on a sim thread.
+  void run();
+
+  int spawned() const { return spawned_; }
+  int completed() const { return completed_; }
+  std::uint64_t switches() const { return switches_; }
+
+ private:
+  friend class Yield;
+  void yield_current();
+
+  osal::Os* os_;
+  int cpu_;
+  sim::Time create_ns_;
+  sim::Time switch_ns_;
+
+  struct Fiber {
+    std::string name;
+    FiberFn fn;
+  };
+  std::deque<Fiber> pending_;             // not yet started
+  std::deque<sim::WakeToken> runnable_;   // yielded, waiting for turn
+  int live_ = 0;
+  int spawned_ = 0;
+  int completed_ = 0;
+  std::uint64_t switches_ = 0;
+  sim::WakeToken host_;  // the run() caller, parked while fibers run
+  bool host_parked_ = false;
+};
+
+}  // namespace kop::nautilus

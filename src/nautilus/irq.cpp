@@ -1,0 +1,65 @@
+#include "nautilus/irq.hpp"
+
+#include <numeric>
+
+namespace kop::nautilus {
+
+sim::Time FpuManager::interrupt_entry(const std::string& handler,
+                                      bool uses_sse) {
+  if (!uses_sse || no_sse_.count(handler) > 0) return 0;
+  ++offenders_[handler];
+  total_cost_ += save_restore_ns_;
+  return save_restore_ns_;
+}
+
+void FpuManager::mark_no_sse(const std::string& handler) {
+  no_sse_.insert(handler);
+}
+
+IrqController::IrqController(osal::Os& os, FpuManager& fpu)
+    : os_(&os), fpu_(&fpu),
+      delivered_per_cpu_(static_cast<std::size_t>(os.machine().num_cpus), 0) {}
+
+void IrqController::steer_all_to(int cpu) { steer_target_ = cpu; }
+
+void IrqController::unsteer() { steer_target_ = -1; }
+
+int IrqController::pick_cpu() {
+  if (steer_target_ >= 0) return steer_target_;
+  const int cpu = rr_next_;
+  rr_next_ = (rr_next_ + 1) % os_->machine().num_cpus;
+  return cpu;
+}
+
+void IrqController::add_source(std::string handler, sim::Time period,
+                               sim::Time handler_ns, bool uses_sse) {
+  sources_.push_back(Source{std::move(handler), period, handler_ns, uses_sse});
+  schedule_next(sources_.size() - 1);
+}
+
+void IrqController::schedule_next(std::size_t source_index) {
+  const Source& s = sources_[source_index];
+  os_->engine().post_in(s.period, [this, source_index]() {
+    if (stopped_) return;
+    const Source& src = sources_[source_index];
+    const int cpu = pick_cpu();
+    ++delivered_per_cpu_[static_cast<std::size_t>(cpu)];
+    // Interrupts run on the current thread's stack (§3.1).  The time
+    // they steal from computation is part of the OsCosts noise model;
+    // here we account delivery and the lazy-FP cost bookkeeping that
+    // the tests and the FPU-offender report observe.
+    stolen_ns_ += src.handler_ns + fpu_->interrupt_entry(src.handler, src.uses_sse);
+    schedule_next(source_index);
+  });
+}
+
+std::uint64_t IrqController::delivered(int cpu) const {
+  return delivered_per_cpu_.at(static_cast<std::size_t>(cpu));
+}
+
+std::uint64_t IrqController::total_delivered() const {
+  return std::accumulate(delivered_per_cpu_.begin(), delivered_per_cpu_.end(),
+                         std::uint64_t{0});
+}
+
+}  // namespace kop::nautilus

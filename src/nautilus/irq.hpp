@@ -1,0 +1,103 @@
+// Interrupt steering and the lazy SSE save/restore model (§3.4).
+//
+// Nautilus integrates kernel and application code, so it cannot forbid
+// SSE use in "application" code; instead interrupts lazily save/restore
+// SSE state, and the mechanism identifies interrupt handlers that
+// trigger it (Clang aggressively vectorizes handlers) so they can be
+// rebuilt with the no-SSE attribute.  IrqController also models the
+// steering of device interrupts away from application CPUs, which is
+// one of the noise-elimination features §6.2 credits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "osal/osal.hpp"
+
+namespace kop::nautilus {
+
+/// Lazy FP (SSE+) state management for interrupt handlers.
+class FpuManager {
+ public:
+  /// `save_restore_ns`: cost of one lazy save+restore round trip.
+  explicit FpuManager(sim::Time save_restore_ns = 1800)
+      : save_restore_ns_(save_restore_ns) {}
+
+  /// Called on interrupt entry.  Returns the FP-management cost this
+  /// entry incurs (0 if the handler is SSE-clean or marked no-SSE).
+  /// Offending handlers are recorded -- the "point out interrupt code
+  /// that is causing it to be invoked" feature.
+  sim::Time interrupt_entry(const std::string& handler, bool uses_sse);
+
+  /// Apply the no-SSE attribute to a handler (the fix the paper
+  /// applied to the handlers the mechanism identified).
+  void mark_no_sse(const std::string& handler);
+
+  /// Handlers that triggered a lazy save/restore, with counts.
+  const std::map<std::string, std::uint64_t>& offenders() const {
+    return offenders_;
+  }
+  sim::Time total_cost() const { return total_cost_; }
+
+ private:
+  sim::Time save_restore_ns_;
+  std::set<std::string> no_sse_;
+  std::map<std::string, std::uint64_t> offenders_;
+  sim::Time total_cost_ = 0;
+};
+
+/// Device-interrupt routing.  When steering is enabled, periodic device
+/// interrupts land only on the housekeeping CPU; otherwise they are
+/// distributed round-robin over all CPUs (stealing time from
+/// application threads via posted engine events).
+class IrqController {
+ public:
+  IrqController(osal::Os& os, FpuManager& fpu);
+
+  /// Steer all device interrupts to one CPU (Nautilus default policy
+  /// for HRT runs).
+  void steer_all_to(int cpu);
+  /// Disable steering (interrupts hit every CPU round-robin).
+  void unsteer();
+  bool steered() const { return steer_target_ >= 0; }
+  int steer_target() const { return steer_target_; }
+
+  /// Register a device interrupt source firing every `period`; each
+  /// firing charges `handler_ns` (plus FP cost if `uses_sse`) on the
+  /// target CPU.  Sources run until the engine drains or `stop()`.
+  void add_source(std::string handler, sim::Time period, sim::Time handler_ns,
+                  bool uses_sse = false);
+
+  /// Stop generating interrupts (lets the engine drain).
+  void stop() { stopped_ = true; }
+
+  std::uint64_t delivered(int cpu) const;
+  std::uint64_t total_delivered() const;
+  /// Aggregate CPU time interrupt handlers consumed.
+  sim::Time stolen_ns() const { return stolen_ns_; }
+
+ private:
+  struct Source {
+    std::string handler;
+    sim::Time period;
+    sim::Time handler_ns;
+    bool uses_sse;
+  };
+
+  void schedule_next(std::size_t source_index);
+  int pick_cpu();
+
+  osal::Os* os_;
+  FpuManager* fpu_;
+  int steer_target_ = -1;
+  int rr_next_ = 0;
+  bool stopped_ = false;
+  std::vector<Source> sources_;
+  std::vector<std::uint64_t> delivered_per_cpu_;
+  sim::Time stolen_ns_ = 0;
+};
+
+}  // namespace kop::nautilus

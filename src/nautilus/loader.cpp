@@ -1,0 +1,52 @@
+#include "nautilus/loader.hpp"
+
+namespace kop::nautilus {
+
+sim::Time Loader::load_cost(const ExecutableImage& image) const {
+  const double mb = static_cast<double>(image.memory_bytes()) / (1024.0 * 1024.0);
+  return static_cast<sim::Time>(mb * static_cast<double>(copy_ns_per_mb_));
+}
+
+LoadedProgram Loader::load(const ExecutableImage& image) {
+  if (image.header.magic != kMultiboot2Magic64)
+    throw LoaderError(image.name + ": missing or bad multiboot2 header");
+  if (!image.position_independent)
+    throw LoaderError(image.name +
+                      ": not position independent (compile with -fPIE)");
+  if (!image.statically_linked)
+    throw LoaderError(image.name + ": dynamic executables are not loadable");
+  if (image.header.image_bytes != image.loadable_bytes())
+    throw LoaderError(image.name + ": header size does not match sections");
+  if (image.header.entry_offset >= image.text_bytes)
+    throw LoaderError(image.name + ": entry point outside .text");
+
+  LoadedProgram out;
+  out.bytes = image.memory_bytes();
+  // Position independence + static linking + the multiboot2 header let
+  // the loader treat the file as a blob placed anywhere convenient.
+  out.base = allocator_->alloc(out.bytes);
+  out.entry = out.base + image.header.entry_offset;
+  out.tls = image.tls;
+  return out;
+}
+
+void Loader::unload(const LoadedProgram& program) {
+  if (program.bytes > 0) allocator_->free(program.base);
+}
+
+void BootLayout::check(const hw::MachineConfig& machine, const BootImage& image) {
+  if (!fits(machine, image)) {
+    throw BootOverlapError(
+        "boot image of " + std::to_string(image.total() >> 20) +
+        " MB loaded at 1 MB overlaps the MMIO region at " +
+        std::to_string(machine.mmio_base >> 20) +
+        " MB; link smaller static data (use class B) or allocate "
+        "dynamically at startup");
+  }
+}
+
+bool BootLayout::fits(const hw::MachineConfig& machine, const BootImage& image) {
+  return kLoadBase + image.total() <= machine.mmio_base;
+}
+
+}  // namespace kop::nautilus

@@ -1,0 +1,121 @@
+// The Nautilus executable loader and boot-image layout checks.
+//
+// PIK executables are static-PIE blobs with a 64-bit multiboot2-style
+// header prepended as the first section (paper §4.1): the loader
+// validates the header, allocates physical memory wherever convenient,
+// "copies" the image, zeroes BSS/TBSS, and hands back the entry point.
+//
+// RTK/CCK instead *link the application into the kernel boot image*;
+// gigabyte-size static arrays then inflate the image until it overlaps
+// the MMIO hole below 4 GB -- the exact problem that forces the paper
+// to run class-B NAS inputs for some benchmarks (§6.2).  BootLayout
+// reproduces that check.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hw/topology.hpp"
+#include "nautilus/buddy.hpp"
+#include "nautilus/tls.hpp"
+#include "sim/time.hpp"
+
+namespace kop::nautilus {
+
+inline constexpr std::uint32_t kMultiboot2Magic64 = 0xe8525264;  // custom 64-bit variant
+
+struct Multiboot2Header {
+  std::uint32_t magic = 0;
+  std::uint64_t image_bytes = 0;
+  std::uint64_t entry_offset = 0;
+};
+
+/// What the PIK build process (nld) produces: a statically linked,
+/// position-independent executable with all user-space libraries
+/// (libomp, libc, libm, ...) folded in.
+struct ExecutableImage {
+  std::string name;
+  Multiboot2Header header;
+  bool position_independent = false;
+  bool statically_linked = false;
+  std::uint64_t text_bytes = 0;
+  std::uint64_t rodata_bytes = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t bss_bytes = 0;
+  TlsTemplate tls;  // .tdata / .tbss
+  /// Libraries folded in at link time (informational; PIK pulls the
+  /// entire user stack into the image, which is why PIK images are
+  /// large compared to kernel modules, §7).
+  std::vector<std::string> linked_libs;
+
+  std::uint64_t loadable_bytes() const {
+    return text_bytes + rodata_bytes + data_bytes + tls.tdata_bytes;
+  }
+  std::uint64_t memory_bytes() const {
+    return loadable_bytes() + bss_bytes + tls.tbss_bytes;
+  }
+};
+
+struct LoadedProgram {
+  std::uint64_t base = 0;
+  std::uint64_t entry = 0;
+  std::uint64_t bytes = 0;
+  TlsTemplate tls;
+};
+
+class LoaderError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Loads ExecutableImages into a zone allocator; charges virtual time
+/// for the copy + BSS clear on the calling thread.
+class Loader {
+ public:
+  /// `copy_ns_per_mb`: memcpy/memset bandwidth of the loading CPU.
+  Loader(BuddyAllocator& allocator, sim::Time copy_ns_per_mb = 120'000)
+      : allocator_(&allocator), copy_ns_per_mb_(copy_ns_per_mb) {}
+
+  /// Validates and loads; returns the program handle.
+  /// Throws LoaderError for bad magic / non-PIE / non-static images.
+  LoadedProgram load(const ExecutableImage& image);
+
+  /// Release a loaded program's memory.
+  void unload(const LoadedProgram& program);
+
+  /// Virtual time the copy+clear of `image` costs.
+  sim::Time load_cost(const ExecutableImage& image) const;
+
+ private:
+  BuddyAllocator* allocator_;
+  sim::Time copy_ns_per_mb_;
+};
+
+/// RTK/CCK boot-image layout.  Nautilus loads at 1 MB physical; the
+/// image (kernel + linked application + its static data) must not reach
+/// the MMIO hole.
+struct BootImage {
+  std::uint64_t kernel_bytes = 0;
+  /// Static (link-time) application data: globals, including any
+  /// gigabyte-size static arrays the benchmark declares.
+  std::uint64_t app_static_bytes = 0;
+  std::uint64_t total() const { return kernel_bytes + app_static_bytes; }
+};
+
+class BootOverlapError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct BootLayout {
+  static constexpr std::uint64_t kLoadBase = 1ULL << 20;  // 1 MB
+
+  /// Throws BootOverlapError if the image would overlap MMIO.
+  static void check(const hw::MachineConfig& machine, const BootImage& image);
+  /// True if the image fits without touching MMIO.
+  static bool fits(const hw::MachineConfig& machine, const BootImage& image);
+};
+
+}  // namespace kop::nautilus

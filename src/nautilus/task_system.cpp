@@ -1,0 +1,118 @@
+#include "nautilus/task_system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kop::nautilus {
+
+TaskSystem::TaskSystem(osal::Os& os, sim::Time dispatch_cost_ns)
+    : os_(&os), dispatch_cost_ns_(dispatch_cost_ns) {
+  const int n = os.machine().num_cpus;
+  queues_.resize(static_cast<std::size_t>(n));
+  for (auto& q : queues_) {
+    q.lock = std::make_unique<osal::Spinlock>(os);
+    q.idle = os.make_wait_queue();
+  }
+}
+
+TaskSystem::~TaskSystem() {
+  // stop() must have been called (or start() never was); workers hold
+  // pointers into this object.
+}
+
+void TaskSystem::start(int active_cpus) {
+  if (started_) throw std::logic_error("TaskSystem: started twice");
+  started_ = true;
+  stopping_ = false;
+  const int total = os_->machine().num_cpus;
+  const int n = active_cpus > 0 ? std::min(active_cpus, total) : total;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int cpu = 0; cpu < n; ++cpu) {
+    workers_.push_back(os_->spawn_thread(
+        "nk-task-worker-" + std::to_string(cpu),
+        [this, cpu]() { worker_loop(cpu); }, cpu));
+  }
+}
+
+void TaskSystem::stop() {
+  if (!started_) return;
+  stopping_ = true;
+  for (auto& q : queues_) q.idle->notify_all();
+  for (auto* w : workers_) os_->join_thread(w);
+  workers_.clear();
+  started_ = false;
+}
+
+void TaskSystem::enqueue(TaskFn fn, int cpu_hint) {
+  int cpu = cpu_hint;
+  if (cpu < 0) {
+    cpu = next_rr_;
+    next_rr_ = (next_rr_ + 1) % static_cast<int>(queues_.size());
+  }
+  auto& q = queues_[static_cast<std::size_t>(cpu)];
+  q.lock->lock();
+  q.tasks.push_back(std::move(fn));
+  q.lock->unlock();
+  q.idle->notify_one();
+}
+
+bool TaskSystem::try_pop(int cpu, TaskFn& out) {
+  auto& q = queues_[static_cast<std::size_t>(cpu)];
+  q.lock->lock();
+  if (q.tasks.empty()) {
+    q.lock->unlock();
+    return false;
+  }
+  out = std::move(q.tasks.front());
+  q.tasks.pop_front();
+  q.lock->unlock();
+  return true;
+}
+
+bool TaskSystem::try_steal(int thief_cpu, TaskFn& out) {
+  const int n = static_cast<int>(queues_.size());
+  for (int i = 1; i < n; ++i) {
+    const int victim = (thief_cpu + i) % n;
+    auto& q = queues_[static_cast<std::size_t>(victim)];
+    if (!q.lock->try_lock()) continue;
+    if (!q.tasks.empty()) {
+      // Steal from the back (classic work-stealing order).
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      q.lock->unlock();
+      ++steals_;
+      return true;
+    }
+    q.lock->unlock();
+  }
+  return false;
+}
+
+void TaskSystem::worker_loop(int cpu) {
+  for (;;) {
+    TaskFn task;
+    if (try_pop(cpu, task) || try_steal(cpu, task)) {
+      os_->compute_ns(dispatch_cost_ns_);
+      task();
+      ++executed_;
+      continue;
+    }
+    if (stopping_) return;
+    // try_pop/try_steal yield inside their lock operations; a task may
+    // have been enqueued (and its notify lost) meanwhile.  Recheck the
+    // own queue right before parking -- no yield can intervene here.
+    if (!queues_[static_cast<std::size_t>(cpu)].tasks.empty()) continue;
+    // Kernel workers spin briefly (they own the CPU anyway), then
+    // sleep until new work shows up on their own queue.
+    queues_[static_cast<std::size_t>(cpu)].idle->wait(
+        /*spin_ns=*/50 * sim::kMicrosecond);
+  }
+}
+
+std::size_t TaskSystem::pending() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.tasks.size();
+  return n;
+}
+
+}  // namespace kop::nautilus

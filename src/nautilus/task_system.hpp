@@ -1,0 +1,75 @@
+// Nautilus's internal task system: per-CPU task queues drained by one
+// worker per CPU, "operating similarly to the SoftIRQ mechanism in the
+// Linux kernel" (paper §2.1).  The kernel-level VIRGIL runtime is a
+// thin veneer over this.
+//
+// Idle workers steal from sibling queues so independent DOALL tasks
+// balance across CPUs; dispatch cost is a few hundred nanoseconds,
+// which is the whole point of CCK: far cheaper than a full OpenMP
+// fork/join.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "osal/sync.hpp"
+
+namespace kop::nautilus {
+
+using TaskFn = std::function<void()>;
+
+class TaskSystem {
+ public:
+  /// `dispatch_cost_ns`: per-task queue/dequeue bookkeeping charged on
+  /// the executing CPU.
+  TaskSystem(osal::Os& os, sim::Time dispatch_cost_ns = 220);
+  ~TaskSystem();
+
+  TaskSystem(const TaskSystem&) = delete;
+  TaskSystem& operator=(const TaskSystem&) = delete;
+
+  /// Spawn the per-CPU workers (must be called once, from a sim thread
+  /// or before the engine runs).  `active_cpus` limits workers to the
+  /// first N CPUs (<= 0: one worker per CPU) -- used by scaling
+  /// experiments that restrict execution width.
+  void start(int active_cpus = 0);
+  /// Signal workers to drain and exit, then join them.
+  void stop();
+
+  /// Queue a task on a CPU (-1: round-robin).  Safe from any thread.
+  void enqueue(TaskFn fn, int cpu_hint = -1);
+
+  /// Tasks queued but not yet started.
+  std::size_t pending() const;
+  std::uint64_t executed() const { return executed_; }
+  std::uint64_t steals() const { return steals_; }
+  bool started() const { return started_; }
+
+ private:
+  struct CpuQueue {
+    std::deque<TaskFn> tasks;
+    std::unique_ptr<osal::Spinlock> lock;
+    /// Per-CPU idle gate: the worker sleeps here; enqueue pokes only
+    /// the target CPU (like raising a SoftIRQ on that core).
+    std::unique_ptr<osal::WaitQueue> idle;
+  };
+
+  void worker_loop(int cpu);
+  bool try_pop(int cpu, TaskFn& out);
+  bool try_steal(int thief_cpu, TaskFn& out);
+
+  osal::Os* os_;
+  sim::Time dispatch_cost_ns_;
+  std::vector<CpuQueue> queues_;
+  std::vector<osal::Thread*> workers_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::uint64_t executed_ = 0;
+  std::uint64_t steals_ = 0;
+  int next_rr_ = 0;
+};
+
+}  // namespace kop::nautilus

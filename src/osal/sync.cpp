@@ -1,0 +1,99 @@
+#include "osal/sync.hpp"
+
+namespace kop::osal {
+
+Mutex::Mutex(Os& os, sim::Time spin_ns)
+    : os_(&os), spin_ns_(spin_ns), queue_(os.make_wait_queue()) {}
+
+void Mutex::lock() {
+  os_->atomic_op(static_cast<int>(queue_->waiters()));
+  while (held_) {
+    queue_->wait(spin_ns_);
+    // Barging: someone else may have taken the lock between our wake
+    // and our run; loop re-checks.
+  }
+  held_ = true;
+}
+
+bool Mutex::try_lock() {
+  os_->atomic_op(static_cast<int>(queue_->waiters()));
+  if (held_) return false;
+  held_ = true;
+  return true;
+}
+
+void Mutex::unlock() {
+  held_ = false;
+  os_->atomic_op(0);
+  queue_->notify_one();
+}
+
+Spinlock::Spinlock(Os& os) : impl_(os, sim::kTimeNever) {}
+void Spinlock::lock() { impl_.lock(); }
+bool Spinlock::try_lock() { return impl_.try_lock(); }
+void Spinlock::unlock() { impl_.unlock(); }
+
+CondVar::CondVar(Os& os, sim::Time spin_ns)
+    : os_(&os), spin_ns_(spin_ns), queue_(os.make_wait_queue()) {}
+
+void CondVar::wait(Mutex& m) {
+  // The engine is cooperative: between unlock() and queue_->wait() no
+  // other sim thread can run, so the release+sleep pair is atomic and
+  // there is no lost-wakeup window to close.
+  m.unlock();
+  queue_->wait(spin_ns_);
+  m.lock();
+}
+
+bool CondVar::wait_until(Mutex& m, sim::Time deadline) {
+  m.unlock();
+  const bool notified = queue_->wait_until(deadline, spin_ns_);
+  m.lock();
+  return notified;
+}
+
+void CondVar::signal() { queue_->notify_one(); }
+
+void CondVar::broadcast() { queue_->notify_all(); }
+
+Barrier::Barrier(Os& os, int parties, sim::Time spin_ns)
+    : os_(&os), parties_(parties), spin_ns_(spin_ns),
+      queue_(os.make_wait_queue()) {}
+
+void Barrier::arrive_and_wait() {
+  // The arrival counter is a single hot cacheline; concurrent arrivals
+  // serialize on it.
+  os_->atomic_op(static_cast<int>(queue_->waiters()));
+  ++arrived_;
+  if (arrived_ == parties_) {
+    arrived_ = 0;
+    queue_->notify_all();
+  } else {
+    queue_->wait(spin_ns_);
+  }
+}
+
+Semaphore::Semaphore(Os& os, int initial, sim::Time spin_ns)
+    : os_(&os), spin_ns_(spin_ns), count_(initial),
+      queue_(os.make_wait_queue()) {}
+
+void Semaphore::post() {
+  os_->atomic_op(static_cast<int>(queue_->waiters()));
+  ++count_;
+  queue_->notify_one();
+}
+
+void Semaphore::wait() {
+  os_->atomic_op(static_cast<int>(queue_->waiters()));
+  while (count_ <= 0) queue_->wait(spin_ns_);
+  --count_;
+}
+
+bool Semaphore::try_wait() {
+  os_->atomic_op(0);
+  if (count_ <= 0) return false;
+  --count_;
+  return true;
+}
+
+}  // namespace kop::osal

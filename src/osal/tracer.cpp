@@ -1,0 +1,33 @@
+#include "osal/tracer.hpp"
+
+#include <sstream>
+
+namespace kop::osal {
+
+namespace {
+void append_escaped(std::ostringstream& oss, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') oss << '\\';
+    oss << c;
+  }
+}
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+  std::ostringstream oss;
+  oss << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "{\"name\":\"";
+    append_escaped(oss, e.name);
+    oss << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.cpu
+        << ",\"ts\":" << sim::to_micros(e.start)
+        << ",\"dur\":" << sim::to_micros(e.duration) << "}";
+  }
+  oss << "],\"displayTimeUnit\":\"ms\"}";
+  return oss.str();
+}
+
+}  // namespace kop::osal

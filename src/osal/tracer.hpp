@@ -1,0 +1,44 @@
+// Execution tracing: records per-CPU activity intervals and exports
+// them in the Chrome trace-event format (load chrome://tracing or
+// https://ui.perfetto.dev on the JSON to see the simulated machine's
+// timeline -- which threads ran where, barrier waits, stragglers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace kop::osal {
+
+class Tracer {
+ public:
+  struct Event {
+    std::string name;
+    int cpu = 0;
+    sim::Time start = 0;
+    sim::Time duration = 0;
+  };
+
+  void record(std::string name, int cpu, sim::Time start, sim::Time duration) {
+    if (!enabled_) return;
+    events_.push_back(Event{std::move(name), cpu, start, duration});
+  }
+
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+  void clear() { events_.clear(); }
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Chrome trace-event JSON ("X" complete events; pid = 1, tid = CPU;
+  /// timestamps in microseconds as the format requires).
+  std::string to_chrome_json() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+}  // namespace kop::osal

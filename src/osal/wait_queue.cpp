@@ -1,0 +1,82 @@
+#include "osal/wait_queue.hpp"
+
+#include <algorithm>
+
+namespace kop::osal {
+
+void GenericWaitQueue::wait(sim::Time spin_ns) {
+  auto w = std::make_shared<Waiter>();
+  w->token = engine_->arm_wake_token();
+  w->wait_start = engine_->now();
+  w->spin_ns = spin_ns;
+  queue_.push_back(w);
+  engine_->block();
+  // Plain waits are only resumed by a notify.
+}
+
+bool GenericWaitQueue::wait_until(sim::Time deadline, sim::Time spin_ns) {
+  auto w = std::make_shared<Waiter>();
+  w->token = engine_->arm_wake_token();
+  w->wait_start = engine_->now();
+  w->spin_ns = spin_ns;
+  queue_.push_back(w);
+  engine_->wake_token_at(w->token, deadline);
+  engine_->block();
+  if (!w->notified) {
+    // Timed out: drop ourselves from the queue.
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), w), queue_.end());
+    return false;
+  }
+  return true;
+}
+
+bool GenericWaitQueue::wake_waiter(Waiter& w, int rank) {
+  const sim::Time now = engine_->now();
+  const bool was_spinning = (now - w.wait_start) <= w.spin_ns;
+  sim::Time delay;
+  if (was_spinning) {
+    // The waiter is polling a shared flag: it observes the store one
+    // cacheline transfer later (staggered across a broadcast).
+    delay = machine_->cacheline_transfer_ns * (1 + rank / 4);
+  } else {
+    // The waiter went to sleep: pay the OS blocking-wake path.
+    delay = static_cast<sim::Time>(engine_->rng().lognormal_mean_cv(
+        static_cast<double>(costs_->wake_latency_ns), costs_->wake_cv));
+    delay += costs_->context_switch_ns;
+  }
+  w.notified = true;
+  engine_->wake_token_at(w.token, now + delay);
+  return !was_spinning;
+}
+
+void GenericWaitQueue::charge_waker_syscall() {
+  // The waker enters the kernel to perform the wake (futex syscall on
+  // Linux; free for in-kernel code where the wake is a function call).
+  if (costs_->syscall_ns > 0 && engine_->current() != nullptr) {
+    engine_->sleep_for(costs_->syscall_ns);
+  }
+}
+
+void GenericWaitQueue::notify_one() {
+  while (!queue_.empty()) {
+    auto w = queue_.front();
+    queue_.pop_front();
+    if (w->notified) continue;  // already handled (timeout raced us)
+    const bool slept = wake_waiter(*w, 0);
+    if (slept) charge_waker_syscall();
+    return;
+  }
+}
+
+void GenericWaitQueue::notify_all() {
+  bool any_slept = false;
+  int rank = 0;
+  for (auto& w : queue_) {
+    if (w->notified) continue;
+    any_slept |= wake_waiter(*w, rank++);
+  }
+  queue_.clear();
+  if (any_slept) charge_waker_syscall();
+}
+
+}  // namespace kop::osal

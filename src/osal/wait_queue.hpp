@@ -1,0 +1,45 @@
+// Generic, cost-parameterized WaitQueue implementation shared by both
+// OS substrates (they differ only in the OsCosts they pass in).
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "osal/osal.hpp"
+
+namespace kop::osal {
+
+class GenericWaitQueue final : public WaitQueue {
+ public:
+  GenericWaitQueue(sim::Engine& engine, const hw::MachineConfig& machine,
+                   const hw::OsCosts& costs)
+      : engine_(&engine), machine_(&machine), costs_(&costs) {}
+
+  void wait(sim::Time spin_ns) override;
+  bool wait_until(sim::Time deadline, sim::Time spin_ns) override;
+  void notify_one() override;
+  void notify_all() override;
+  std::size_t waiters() const override { return queue_.size(); }
+
+ private:
+  struct Waiter {
+    sim::WakeToken token;
+    sim::Time wait_start = 0;
+    sim::Time spin_ns = 0;
+    bool notified = false;
+  };
+
+  /// Wake `w` with the appropriate latency; `rank` staggers broadcast
+  /// wakes (the release wave of a barrier is serialized on the flag's
+  /// cacheline).  Returns true if the waiter had left its spin window
+  /// (i.e. the waker used the expensive blocking-wake path).
+  bool wake_waiter(Waiter& w, int rank);
+  void charge_waker_syscall();
+
+  sim::Engine* engine_;
+  const hw::MachineConfig* machine_;
+  const hw::OsCosts* costs_;
+  std::deque<std::shared_ptr<Waiter>> queue_;
+};
+
+}  // namespace kop::osal

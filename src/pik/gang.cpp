@@ -1,0 +1,71 @@
+#include "pik/gang.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kop::pik {
+
+GangScheduler::GangScheduler(osal::Os& os, Policy policy, int groups,
+                             sim::Time window_ns)
+    : os_(&os), policy_(policy), groups_(groups), window_ns_(window_ns) {
+  if (groups <= 0) throw std::invalid_argument("GangScheduler: groups <= 0");
+  if (window_ns <= 0) throw std::invalid_argument("GangScheduler: window <= 0");
+}
+
+namespace {
+/// Deterministic per-CPU phase shift for the uncoordinated policy:
+/// CPUs drift apart the way independent tick-aligned runqueues do.
+/// Spread over the whole group cycle so CPUs genuinely disagree about
+/// which group is running.
+sim::Time cpu_phase(int cpu, sim::Time window, int groups) {
+  const sim::Time cycle = window * static_cast<sim::Time>(groups);
+  return (static_cast<sim::Time>(cpu) * 2654435761LL) % cycle;
+}
+}  // namespace
+
+bool GangScheduler::active(int group, int cpu, sim::Time now) const {
+  const sim::Time phase =
+      policy_ == Policy::kGang ? 0 : cpu_phase(cpu, window_ns_, groups_);
+  const sim::Time slot = ((now + phase) / window_ns_) %
+                         static_cast<sim::Time>(groups_);
+  return slot == static_cast<sim::Time>(group);
+}
+
+sim::Time GangScheduler::time_to_active(int group, int cpu,
+                                        sim::Time now) const {
+  if (active(group, cpu, now)) return 0;
+  const sim::Time phase =
+      policy_ == Policy::kGang ? 0 : cpu_phase(cpu, window_ns_, groups_);
+  const sim::Time shifted = now + phase;
+  const sim::Time cycle = window_ns_ * static_cast<sim::Time>(groups_);
+  const sim::Time group_start =
+      static_cast<sim::Time>(group) * window_ns_;
+  const sim::Time pos = shifted % cycle;
+  sim::Time wait = group_start - pos;
+  if (wait < 0) wait += cycle;
+  return wait;
+}
+
+void GangScheduler::compute(int group, int cpu, sim::Time ns) {
+  sim::Time remaining = ns;
+  while (remaining > 0) {
+    const sim::Time now = os_->engine().now();
+    const sim::Time wait = time_to_active(group, cpu, now);
+    if (wait > 0) {
+      // Descheduled: park until the group's window opens here.
+      os_->engine().sleep_for(wait + os_->costs().context_switch_ns);
+      ++window_switches_;
+      continue;
+    }
+    // Run until the work finishes or the window closes.
+    const sim::Time phase =
+        policy_ == Policy::kGang ? 0 : cpu_phase(cpu, window_ns_, groups_);
+    const sim::Time into_window = (os_->engine().now() + phase) % window_ns_;
+    const sim::Time left_in_window = window_ns_ - into_window;
+    const sim::Time slice = std::min(remaining, left_in_window);
+    os_->compute_ns(slice);
+    remaining -= slice;
+  }
+}
+
+}  // namespace kop::pik

@@ -1,0 +1,64 @@
+// Gang scheduling for kernel-mode process thread groups (§4.2: the
+// process abstraction "combines the notion of a kernel thread group
+// (which can be gang-scheduled)").
+//
+// When two processes share the same CPUs, a gang scheduler runs all
+// threads of one group simultaneously in each window, so barrier-heavy
+// teams never wait on a descheduled partner.  Uncoordinated
+// timeslicing instead dephases the team: at any instant only part of a
+// gang runs, and every barrier stretches across scheduling windows.
+//
+// GangScheduler models both policies over the simulated CPUs: group
+// threads execute their compute through the scheduler, which parks
+// them while their gang is inactive.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osal/osal.hpp"
+
+namespace kop::pik {
+
+class GangScheduler {
+ public:
+  enum class Policy {
+    kGang,         // whole-group windows, coordinated across CPUs
+    kUncoordinated  // per-CPU windows with per-CPU phase offsets
+  };
+
+  /// `window_ns`: scheduling window; `groups`: how many thread groups
+  /// share the CPUs (each thread belongs to one group id < groups).
+  GangScheduler(osal::Os& os, Policy policy, int groups,
+                sim::Time window_ns = 2 * sim::kMillisecond);
+
+  Policy policy() const { return policy_; }
+  int groups() const { return groups_; }
+
+  /// Execute `ns` of CPU work on behalf of `group`, running only
+  /// inside the group's scheduling windows (plus a context-switch
+  /// charge at each window boundary crossed).  Must be called from the
+  /// thread's own sim context; `cpu` selects the per-CPU phase for the
+  /// uncoordinated policy.
+  void compute(int group, int cpu, sim::Time ns);
+
+  /// True if `group` is currently scheduled on `cpu`.
+  bool active(int group, int cpu, sim::Time now) const;
+
+  /// Virtual time until `group` next becomes active on `cpu` (0 if
+  /// active now).
+  sim::Time time_to_active(int group, int cpu, sim::Time now) const;
+
+  std::uint64_t window_switches() const { return window_switches_; }
+
+ private:
+  osal::Os* os_;
+  Policy policy_;
+  int groups_;
+  sim::Time window_ns_;
+  std::uint64_t window_switches_ = 0;
+};
+
+}  // namespace kop::pik

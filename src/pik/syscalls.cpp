@@ -1,0 +1,43 @@
+#include "pik/syscalls.hpp"
+
+namespace kop::pik {
+
+SyscallTable::SyscallTable(osal::Os& os) : os_(&os) {}
+
+void SyscallTable::implement(Sys nr, Handler handler) {
+  handlers_[static_cast<int>(nr)] = std::move(handler);
+}
+
+SyscallResult SyscallTable::invoke(int nr, const SyscallArgs& args) {
+  // Same privilege level, same address space, caller's stack: the
+  // crossing is the cost-sheet "syscall", far below a Linux one.
+  if (os_->engine().current() != nullptr && os_->costs().syscall_ns > 0)
+    os_->engine().sleep_for(os_->costs().syscall_ns);
+  ++total_calls_;
+  ++counts_[nr];
+  auto it = handlers_.find(nr);
+  if (it == handlers_.end()) {
+    ++enosys_counts_[nr];
+    return SyscallResult{kEnosys, {}};
+  }
+  return it->second(args);
+}
+
+std::uint64_t SyscallTable::calls(Sys nr) const {
+  auto it = counts_.find(static_cast<int>(nr));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<int> SyscallTable::unimplemented_seen() const {
+  std::vector<int> out;
+  for (const auto& [nr, count] : enosys_counts_) {
+    if (count > 0) out.push_back(nr);
+  }
+  return out;
+}
+
+bool SyscallTable::is_implemented(Sys nr) const {
+  return handlers_.count(static_cast<int>(nr)) > 0;
+}
+
+}  // namespace kop::pik

@@ -1,0 +1,101 @@
+// Linux-emulating system call interface for PIK (paper §4.3).
+//
+// "Syscall stubs were added for each Linux syscall type so we can see
+// all activity, and respond, by default, with an error.  The most
+// important system calls (i.e. those used by the C runtime and libomp)
+// were then implemented iteratively."
+//
+// The table starts with every call answering -ENOSYS (and counting);
+// PikStack then installs real handlers for the set the C runtime and
+// the OpenMP runtime need.  Calls happen at the same privilege level,
+// in the same address space, on the caller's stack (§4.3) -- which is
+// why invoke() charges the cheap PIK crossing, not a Linux one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "osal/osal.hpp"
+
+namespace kop::pik {
+
+/// The subset of x86-64 Linux syscall numbers PIK traffic uses.
+enum class Sys : int {
+  kRead = 0,
+  kWrite = 1,
+  kClose = 3,
+  kMmap = 9,
+  kMprotect = 10,
+  kMunmap = 11,
+  kBrk = 12,
+  kRtSigprocmask = 14,
+  kSchedYield = 24,
+  kNanosleep = 35,
+  kGetpid = 39,
+  kClone = 56,
+  kExit = 60,
+  kArchPrctl = 158,
+  kGettid = 186,
+  kFutex = 202,
+  kSchedGetaffinity = 204,
+  kSetTidAddress = 218,
+  kClockGettime = 228,
+  kExitGroup = 231,
+  kOpenat = 257,
+  kGetrandom = 318,
+};
+
+inline constexpr long kEnosys = -38;
+inline constexpr long kEbadf = -9;
+inline constexpr long kEnoent = -2;
+inline constexpr long kEinval = -22;
+
+struct SyscallArgs {
+  std::array<std::uint64_t, 6> arg{};
+  /// For calls that carry a path (openat) or buffer (write), the
+  /// simulation passes the payload out of band.
+  std::string path;
+  std::string data;
+};
+
+struct SyscallResult {
+  long rv = 0;
+  std::string data;  // read() payloads
+};
+
+class SyscallTable {
+ public:
+  using Handler = std::function<SyscallResult(const SyscallArgs&)>;
+
+  /// `os` is charged one PIK syscall crossing per invoke.
+  explicit SyscallTable(osal::Os& os);
+
+  /// Install a real handler (replacing the -ENOSYS stub).
+  void implement(Sys nr, Handler handler);
+
+  /// Dispatch.  Unknown/unimplemented numbers return -ENOSYS and are
+  /// recorded, mirroring the paper's stub-first bring-up.
+  SyscallResult invoke(int nr, const SyscallArgs& args = {});
+  SyscallResult invoke(Sys nr, const SyscallArgs& args = {}) {
+    return invoke(static_cast<int>(nr), args);
+  }
+
+  std::uint64_t calls(Sys nr) const;
+  std::uint64_t total_calls() const { return total_calls_; }
+  /// Numbers that were invoked but only had stubs (bring-up telemetry).
+  std::vector<int> unimplemented_seen() const;
+  bool is_implemented(Sys nr) const;
+
+ private:
+  osal::Os* os_;
+  std::map<int, Handler> handlers_;
+  std::map<int, std::uint64_t> counts_;
+  std::map<int, std::uint64_t> enosys_counts_;
+  std::uint64_t total_calls_ = 0;
+};
+
+}  // namespace kop::pik

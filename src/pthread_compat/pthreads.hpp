@@ -1,0 +1,150 @@
+// The pthreads interface libomp is written against, with the three
+// implementations the paper discusses:
+//
+//  * LinuxPthreads  -- glibc-style pthreads over the Linux model
+//                      (the user-level baseline, and what PIK reuses
+//                      unmodified inside the kernel).
+//  * PtePthreads    -- the simple port of the embedded PTE library to
+//                      Nautilus (Fig. 2a): portable layering, an OS
+//                      abstraction layer underneath, and measurable
+//                      per-operation indirection overhead.
+//  * NativePthreads -- the customized implementation (Fig. 2b) that
+//                      maps pthread objects directly onto Nautilus
+//                      primitives, "aware of the OpenMP runtime and
+//                      geared to it".
+//
+// All three share one engine-backed implementation; they differ in the
+// Os they sit on and the per-op layering overhead they pay, which makes
+// the Fig. 2a-vs-2b design choice an ablation we can run (see
+// bench/abl_pthread_layers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "osal/osal.hpp"
+#include "osal/sync.hpp"
+
+namespace kop::pthread_compat {
+
+struct PthreadAttr {
+  int bound_cpu = -1;          // CPU affinity (-1: OS placement)
+  std::size_t stack_bytes = 0; // 0: default
+};
+
+class Pthreads;
+
+/// Opaque thread handle (pthread_t).
+class Pthread {
+ public:
+  void* retval() const { return retval_; }
+  osal::Thread* os_thread() const { return os_thread_; }
+
+ private:
+  friend class Pthreads;
+  osal::Thread* os_thread_ = nullptr;
+  void* retval_ = nullptr;
+  std::unordered_map<int, void*> specifics;  // pthread_key values
+};
+
+class PthreadMutex {
+ public:
+  PthreadMutex(Pthreads& api, sim::Time spin_ns);
+  void lock();
+  bool try_lock();
+  void unlock();
+  osal::Mutex& raw() { return impl_; }
+
+ private:
+  Pthreads* api_;
+  osal::Mutex impl_;
+};
+
+class PthreadCond {
+ public:
+  PthreadCond(Pthreads& api, sim::Time spin_ns);
+  void wait(PthreadMutex& m);
+  /// False on timeout (ETIMEDOUT).
+  bool timedwait(PthreadMutex& m, sim::Time deadline);
+  void signal();
+  void broadcast();
+
+ private:
+  Pthreads* api_;
+  osal::CondVar impl_;
+};
+
+class PthreadBarrier {
+ public:
+  PthreadBarrier(Pthreads& api, int parties, sim::Time spin_ns);
+  void wait();
+
+ private:
+  Pthreads* api_;
+  osal::Barrier impl_;
+};
+
+/// The pthreads "library".  One instance per assembled stack.
+class Pthreads {
+ public:
+  struct Tuning {
+    std::string flavor;          // "linux-glibc", "nautilus-pte", ...
+    /// Per-call indirection overhead (the PTE port's platform layers).
+    sim::Time op_overhead_ns = 0;
+    /// Spin window waiters use before sleeping.
+    sim::Time mutex_spin_ns = 0;
+    sim::Time cond_spin_ns = 0;
+    sim::Time barrier_spin_ns = 0;
+    /// Invoked on every pthread_create (PIK wires the clone() syscall
+    /// emulation through this so syscall accounting sees thread
+    /// creation traffic).
+    std::function<void()> on_thread_create;
+  };
+
+  Pthreads(osal::Os& os, Tuning tuning);
+
+  const Tuning& tuning() const { return tuning_; }
+  osal::Os& os() { return *os_; }
+
+  // --- pthread_create / join / self / yield ---
+  using StartFn = std::function<void*(void*)>;
+  Pthread* create(const PthreadAttr* attr, StartFn start, void* arg);
+  void* join(Pthread* t);
+  Pthread* self();
+  void yield();
+
+  // --- object factories ---
+  std::unique_ptr<PthreadMutex> make_mutex();
+  std::unique_ptr<PthreadCond> make_cond();
+  std::unique_ptr<PthreadBarrier> make_barrier(int parties);
+
+  // --- pthread_key_create / get/setspecific (hwtls stand-in) ---
+  int key_create();
+  void set_specific(int key, void* value);
+  void* get_specific(int key);
+
+  /// Charged at the top of every API call (the Fig. 2a layering cost).
+  void charge_op();
+
+  std::uint64_t threads_created() const { return threads_created_; }
+
+ private:
+  osal::Os* os_;
+  Tuning tuning_;
+  std::vector<std::unique_ptr<Pthread>> threads_;
+  std::unordered_map<const osal::Thread*, Pthread*> by_os_thread_;
+  Pthread main_thread_;
+  int next_key_ = 1;
+  std::uint64_t threads_created_ = 0;
+};
+
+/// Factory helpers for the three paper configurations.
+Pthreads::Tuning linux_glibc_tuning();
+Pthreads::Tuning nautilus_pte_tuning();
+Pthreads::Tuning nautilus_native_tuning();
+
+}  // namespace kop::pthread_compat

@@ -1,0 +1,72 @@
+#include "rtk/rtk.hpp"
+
+#include "komp/tuning.hpp"
+#include "nautilus/loader.hpp"
+
+namespace kop::rtk {
+
+RtkStack::RtkStack(RtkOptions options) : options_(std::move(options)) {
+  // The boot-image layout check happens before anything "runs", just
+  // like the link step that produces the bootable kernel.
+  nautilus::BootImage image;
+  image.kernel_bytes = options_.kernel_image_bytes;
+  image.app_static_bytes = options_.app_static_bytes;
+  nautilus::BootLayout::check(options_.machine, image);
+
+  engine_ = std::make_unique<sim::Engine>(options_.seed);
+  kernel_ = std::make_unique<nautilus::NautilusKernel>(
+      *engine_, options_.machine, options_.kernel_config);
+  pthreads_ = std::make_unique<pthread_compat::Pthreads>(
+      *kernel_, options_.use_pte_pthreads
+                    ? pthread_compat::nautilus_pte_tuning()
+                    : pthread_compat::nautilus_native_tuning());
+}
+
+RtkStack::~RtkStack() = default;
+
+void RtkStack::register_app(const std::string& name, AppMain app) {
+  apps_[name] = std::move(app);
+  kernel_->register_shell_command(name, [this, name](
+                                            const std::vector<std::string>&) {
+    // The shell command runs on a kernel thread; the OpenMP runtime
+    // lives exactly as long as the application (it is part of the
+    // kernel image but its thread pool belongs to the app run).
+    komp::RuntimeTuning tuning = komp::rtk_libomp_tuning();
+    if (options_.use_pte_pthreads) {
+      // The ported libomp suspends and wakes through the pthread
+      // layer; the PTE port's per-call indirection (Fig. 2a) therefore
+      // lands on every runtime primitive.
+      const sim::Time extra =
+          pthread_compat::nautilus_pte_tuning().op_overhead_ns -
+          pthread_compat::nautilus_native_tuning().op_overhead_ns;
+      tuning.barrier_step_extra_ns += extra;
+      tuning.fork_per_thread_ns += extra;
+      tuning.dispatch_next_ns += extra / 2;
+      tuning.single_ns += extra;
+      tuning.task_spawn_ns += extra;
+      tuning.task_exec_ns += extra / 2;
+      tuning.reduction_leaf_ns += extra;
+    }
+    komp::Runtime runtime(*pthreads_, tuning);
+    return apps_.at(name)(runtime);
+  });
+}
+
+int RtkStack::run_shell(const std::string& name) {
+  int exit_code = -1;
+  kernel_->spawn_thread(
+      "shell:" + name,
+      [this, name, &exit_code]() {
+        exit_code = kernel_->run_shell_command(name);
+      },
+      /*cpu=*/0);
+  engine_->run();
+  return exit_code;
+}
+
+int RtkStack::run_app(AppMain app) {
+  register_app("app", std::move(app));
+  return run_shell("app");
+}
+
+}  // namespace kop::rtk

@@ -1,0 +1,73 @@
+// Runtime-in-kernel (RTK, paper §3): the OpenMP runtime and the
+// application are linked *into* the Nautilus boot image.  main()
+// becomes a shell command; libomp runs over the pthread compatibility
+// layer; there are no syscalls -- every service is a function call
+// into the kernel.
+//
+// RtkStack assembles that world:
+//   engine -> NautilusKernel -> Pthreads (PTE port or customized) ->
+//   komp::Runtime (rtk tuning) -> application shell command
+// and reproduces the §3.1/§6.2 build-time constraint: the boot image
+// (kernel + statically linked application data) must not overlap MMIO,
+// which is what forces class-B inputs or dynamic allocation for
+// benchmarks with gigabyte-size globals.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "komp/runtime.hpp"
+#include "nautilus/kernel.hpp"
+#include "pthread_compat/pthreads.hpp"
+
+namespace kop::rtk {
+
+struct RtkOptions {
+  hw::MachineConfig machine;
+  nautilus::NautilusConfig kernel_config;
+  /// Fig. 2a (PTE port) vs Fig. 2b (customized) pthreads.
+  bool use_pte_pthreads = false;
+  std::uint64_t seed = 42;
+  /// Size of the Nautilus kernel core in the boot image (compiled
+  /// kernel + ported libomp + pthread layer).
+  std::uint64_t kernel_image_bytes = 48ULL << 20;
+  /// Link-time static data of the application (the NAS globals).
+  /// Checked against the MMIO hole at "boot".
+  std::uint64_t app_static_bytes = 0;
+};
+
+class RtkStack {
+ public:
+  /// "Boots" the kernel: validates the boot-image layout (throws
+  /// nautilus::BootOverlapError on overlap) and brings up the kernel.
+  explicit RtkStack(RtkOptions options);
+  ~RtkStack();
+
+  sim::Engine& engine() { return *engine_; }
+  nautilus::NautilusKernel& kernel() { return *kernel_; }
+  pthread_compat::Pthreads& pthreads() { return *pthreads_; }
+  const RtkOptions& options() const { return options_; }
+
+  /// The application entry point, converted to a shell command (§3.1).
+  /// The komp runtime is brought up on the command's kernel thread and
+  /// torn down when it returns.
+  using AppMain = std::function<int(komp::Runtime&)>;
+  void register_app(const std::string& name, AppMain app);
+
+  /// Run a registered app to completion (drains the engine) and return
+  /// its exit code.
+  int run_shell(const std::string& name);
+
+  /// Convenience: register + run an anonymous app.
+  int run_app(AppMain app);
+
+ private:
+  RtkOptions options_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<nautilus::NautilusKernel> kernel_;
+  std::unique_ptr<pthread_compat::Pthreads> pthreads_;
+  std::map<std::string, AppMain> apps_;
+};
+
+}  // namespace kop::rtk

@@ -1,0 +1,152 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace kop::sim {
+
+SimThread::SimThread(Engine& eng, std::uint64_t id, std::string name,
+                     std::function<void()> body, std::size_t stack_bytes)
+    : engine_(eng), id_(id), name_(std::move(name)) {
+  fiber_ = std::make_unique<Fiber>(std::move(body), stack_bytes);
+}
+
+Engine::Engine(std::uint64_t rng_seed) : rng_(rng_seed) {}
+
+Engine::~Engine() = default;
+
+SimThread* Engine::spawn(std::string name, std::function<void()> body,
+                         std::size_t stack_bytes) {
+  auto thread = std::unique_ptr<SimThread>(new SimThread(
+      *this, next_thread_id_++, std::move(name), std::move(body), stack_bytes));
+  SimThread* raw = thread.get();
+  threads_.push_back(std::move(thread));
+  ++stats_.threads_spawned;
+  return raw;
+}
+
+bool Engine::wake_at(SimThread* t, Time when) {
+  if (t == nullptr) throw std::logic_error("engine: wake of null thread");
+  if (t->finished()) return false;
+  if (when < now_) when = now_;
+  Event ev;
+  ev.at = when;
+  ev.seq = next_seq_++;
+  ev.thread = t;
+  ev.generation = t->wake_generation_;
+  queue_.push(std::move(ev));
+  return true;
+}
+
+void Engine::wake_token_at(WakeToken tok, Time when) {
+  if (tok.thread == nullptr) return;
+  if (when < now_) when = now_;
+  Event ev;
+  ev.at = when;
+  ev.seq = next_seq_++;
+  ev.thread = tok.thread;
+  ev.generation = tok.generation;
+  queue_.push(std::move(ev));
+}
+
+void Engine::post_at(Time when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  Event ev;
+  ev.at = when;
+  ev.seq = next_seq_++;
+  ev.fn = std::move(fn);
+  queue_.push(std::move(ev));
+}
+
+WakeToken Engine::arm_wake_token() {
+  if (current_ == nullptr)
+    throw std::logic_error("engine: arm_wake_token outside a sim thread");
+  return WakeToken{current_, current_->wake_generation_};
+}
+
+void Engine::block() {
+  SimThread* self = current_;
+  if (self == nullptr) throw std::logic_error("engine: block outside a sim thread");
+  self->blocked_ = true;
+  Fiber::yield();
+  // Resumed by dispatch(); generation was bumped there.
+}
+
+void Engine::sleep_for(Time ns) {
+  SimThread* self = current_;
+  if (self == nullptr) throw std::logic_error("engine: sleep outside a sim thread");
+  wake_at(self, now_ + (ns < 0 ? 0 : ns));
+  block();
+}
+
+void Engine::yield_now() {
+  SimThread* self = current_;
+  if (self == nullptr) throw std::logic_error("engine: yield outside a sim thread");
+  wake_at(self, now_);
+  block();
+}
+
+void Engine::dispatch(Event& ev) {
+  now_ = ev.at;
+  if (ev.fn) {
+    ev.fn();
+    return;
+  }
+  SimThread* t = ev.thread;
+  if (t->finished()) return;
+  // Stale wake: the thread already left the block() this wake targeted.
+  if (ev.generation != t->wake_generation_) {
+    ++stats_.stale_wakes;
+    return;
+  }
+  if (!t->blocked_) return;  // duplicate wake for the same generation
+  t->blocked_ = false;
+  t->wake_generation_++;  // invalidate other pending wakes for that block
+  SimThread* prev = current_;
+  current_ = t;
+  t->fiber_->resume();
+  current_ = prev;
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+    Event ev = queue_.top();
+    queue_.pop();
+    ++stats_.events_dispatched;
+    dispatch(ev);
+  }
+  if (live_thread_count() > 0) report_deadlock();
+}
+
+void Engine::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+    Event ev = queue_.top();
+    queue_.pop();
+    ++stats_.events_dispatched;
+    dispatch(ev);
+  }
+  if (now_ < t) now_ = t;
+}
+
+std::size_t Engine::live_thread_count() const {
+  std::size_t n = 0;
+  for (const auto& t : threads_) {
+    if (!t->finished()) ++n;
+  }
+  return n;
+}
+
+void Engine::report_deadlock() const {
+  std::ostringstream oss;
+  oss << "simulation deadlock at t=" << now_ << "ns; blocked threads:";
+  for (const auto& t : threads_) {
+    if (!t->finished()) oss << " [" << t->id() << ":" << t->name() << "]";
+  }
+  throw SimDeadlock(oss.str());
+}
+
+}  // namespace kop::sim

@@ -1,0 +1,177 @@
+// The discrete-event simulation engine.
+//
+// The engine owns a virtual clock, an event queue ordered by
+// (time, sequence), and a set of SimThreads, each backed by a Fiber.
+// Higher layers (the OS models) decide *when* a thread runs; the engine
+// only provides the mechanics:
+//
+//   * spawn()            create a simulated thread (initially blocked)
+//   * wake() / wake_at() make a blocked thread runnable at a time
+//   * block()            called from inside a thread: suspend until woken
+//   * sleep_for()        block for a fixed virtual duration
+//   * post_at/post_in()  run a plain callback at a time (timers, IRQs)
+//
+// Wakeups are generation-counted: each block() bumps the thread's
+// generation and a wake targets the generation it observed, so a stale
+// wake (e.g., a timeout racing a signal) is ignored.  This gives the OS
+// layers race-free timed waits without extra bookkeeping.
+//
+// Determinism: events at equal times fire in posting order, and all
+// randomness flows through the engine-owned Rng.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/fiber.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace kop::sim {
+
+class Engine;
+
+/// A simulated thread: a fiber plus scheduling metadata.  Created via
+/// Engine::spawn(); destroyed with the engine.
+class SimThread {
+ public:
+  std::uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  bool finished() const { return fiber_->finished(); }
+  bool blocked() const { return blocked_; }
+
+  /// Opaque slot for the OS layer that owns this thread (e.g., the
+  /// nautilus::Thread or linuxmodel::Thread wrapping it).
+  void* user_data = nullptr;
+
+ private:
+  friend class Engine;
+  SimThread(Engine& eng, std::uint64_t id, std::string name,
+            std::function<void()> body, std::size_t stack_bytes);
+
+  Engine& engine_;
+  std::uint64_t id_;
+  std::string name_;
+  std::unique_ptr<Fiber> fiber_;
+  bool blocked_ = true;       // threads start blocked until first wake
+  std::uint64_t wake_generation_ = 0;
+};
+
+/// Handle used to target a wake at a particular block() instance.
+struct WakeToken {
+  SimThread* thread = nullptr;
+  std::uint64_t generation = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t rng_seed = 42);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Create a simulated thread.  The thread starts *blocked*; call
+  /// wake() (typically from an OS scheduler) to start it.
+  SimThread* spawn(std::string name, std::function<void()> body,
+                   std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+
+  /// Make `t` runnable now / at `when`.  Returns false (and does
+  /// nothing) if the thread has already finished.
+  bool wake(SimThread* t) { return wake_at(t, now_); }
+  bool wake_at(SimThread* t, Time when);
+
+  /// Wake only if the thread is still in the block() instance the token
+  /// was captured for.  Used for timeouts.
+  void wake_token_at(WakeToken tok, Time when);
+
+  /// Run a plain callback at / after a time.  Callbacks run on the main
+  /// context (not inside any fiber) and may wake threads or post more
+  /// events.
+  void post_at(Time when, std::function<void()> fn);
+  void post_in(Time delta, std::function<void()> fn) { post_at(now_ + delta, std::move(fn)); }
+
+  /// --- Fiber-side API (must be called from a running SimThread) ---
+
+  /// The currently running simulated thread (nullptr on main context).
+  SimThread* current() const { return current_; }
+
+  /// Capture a token for the *next* block() on the current thread.
+  /// Pattern: tok = arm_wake_token(); <publish tok>; block();
+  WakeToken arm_wake_token();
+
+  /// Suspend the current thread until a matching wake arrives.
+  void block();
+
+  /// Suspend for `ns` of virtual time.
+  void sleep_for(Time ns);
+
+  /// Yield to any other work scheduled at the current instant (the
+  /// thread is immediately rescheduled; useful for modelled spin loops).
+  void yield_now();
+
+  /// --- Run loop ---
+
+  /// Process events until the queue drains.  Throws SimDeadlock if
+  /// unfinished threads remain blocked with no pending events.
+  void run();
+
+  /// Process events with timestamps <= t (then stops; more run() calls
+  /// may continue).  Does not deadlock-check.
+  void run_until(Time t);
+
+  std::size_t live_thread_count() const;
+
+  /// Run-loop statistics (engine health / wall-clock budgeting).
+  struct Stats {
+    std::uint64_t events_dispatched = 0;
+    std::uint64_t stale_wakes = 0;      // generation-filtered wakeups
+    std::uint64_t threads_spawned = 0;
+    std::size_t peak_queue_depth = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    // Exactly one of {thread wake, callback}.
+    SimThread* thread = nullptr;
+    std::uint64_t generation = 0;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event& ev);
+  [[noreturn]] void report_deadlock() const;
+
+  Time now_ = 0;
+  Rng rng_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_thread_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  SimThread* current_ = nullptr;
+  Stats stats_;
+};
+
+/// Thrown by Engine::run() when all events drain but simulated threads
+/// remain blocked; the message lists the stuck threads.
+class SimDeadlock : public std::runtime_error {
+ public:
+  explicit SimDeadlock(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace kop::sim

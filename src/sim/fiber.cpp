@@ -1,0 +1,99 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+
+namespace kop::sim {
+
+namespace {
+
+// The fiber whose stack the host thread is currently executing on.
+thread_local Fiber* g_current_fiber = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+}  // namespace
+
+Fiber::Fiber(Entry entry, std::size_t stack_bytes) : entry_(std::move(entry)) {
+  const std::size_t ps = page_size();
+  const std::size_t usable = round_up(stack_bytes, ps);
+  map_bytes_ = usable + ps;  // one guard page below the stack
+  void* base = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (base == MAP_FAILED) throw std::bad_alloc();
+  if (::mprotect(base, ps, PROT_NONE) != 0) {
+    ::munmap(base, map_bytes_);
+    throw std::runtime_error("fiber: mprotect guard page failed");
+  }
+  stack_base_ = base;
+
+  if (getcontext(&context_) != 0) {
+    ::munmap(base, map_bytes_);
+    throw std::runtime_error("fiber: getcontext failed");
+  }
+  context_.uc_stack.ss_sp = static_cast<char*>(base) + ps;
+  context_.uc_stack.ss_size = usable;
+  context_.uc_link = nullptr;  // finish is handled in the trampoline
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+Fiber::~Fiber() {
+  if (stack_base_ != nullptr) ::munmap(stack_base_, map_bytes_);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_current_fiber;
+  try {
+    self->entry_();
+  } catch (...) {
+    self->pending_exception_ = std::current_exception();
+  }
+  self->finished_ = true;
+  self->running_ = false;
+  g_current_fiber = nullptr;
+  // Return to the resumer; this fiber never runs again.
+  swapcontext(&self->context_, &self->return_context_);
+  // Unreachable.
+}
+
+void Fiber::resume() {
+  if (finished_) throw std::logic_error("fiber: resume on finished fiber");
+  if (running_) throw std::logic_error("fiber: resume on running fiber");
+  Fiber* prev = g_current_fiber;
+  g_current_fiber = this;
+  running_ = true;
+  started_ = true;
+  swapcontext(&return_context_, &context_);
+  g_current_fiber = prev;
+  if (pending_exception_) {
+    auto ex = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current_fiber;
+  if (self == nullptr) throw std::logic_error("fiber: yield outside a fiber");
+  self->running_ = false;
+  g_current_fiber = nullptr;
+  swapcontext(&self->context_, &self->return_context_);
+  // Resumed again.
+  g_current_fiber = self;
+  self->running_ = true;
+}
+
+Fiber* Fiber::current() { return g_current_fiber; }
+
+}  // namespace kop::sim

@@ -1,0 +1,41 @@
+// Small statistics helpers used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace kop::sim {
+
+/// Accumulates samples and answers the summary questions the EPCC/NAS
+/// harnesses ask (mean, stddev, min/max, percentiles, outlier-trimmed
+/// mean a la the EPCC reference implementation).
+class Stats {
+ public:
+  void add(double x);
+  void clear();
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  /// Mean of samples within `k` standard deviations of the mean
+  /// (EPCC-style outlier rejection).  Falls back to mean() if everything
+  /// is rejected.
+  double trimmed_mean(double k = 3.0) const;
+  /// Coefficient of variation (stddev / mean); 0 if mean is 0.
+  double cv() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Geometric mean of a set of strictly positive values; 0 if empty.
+double geomean(const std::vector<double>& xs);
+
+}  // namespace kop::sim

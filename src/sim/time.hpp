@@ -1,0 +1,30 @@
+// Virtual-time definitions for the discrete-event simulator.
+//
+// All simulated durations and timestamps are expressed in virtual
+// nanoseconds.  Virtual time has no relation to wall-clock time: a
+// 192-core, hour-long NAS run advances virtual time by an hour while
+// consuming only as much wall-clock as the event processing costs.
+#pragma once
+
+#include <cstdint>
+
+namespace kop::sim {
+
+/// A point in, or span of, virtual time.  Unit: nanoseconds.
+using Time = std::int64_t;
+
+/// Sentinel meaning "no deadline" / "never".
+inline constexpr Time kTimeNever = INT64_MAX;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000;
+inline constexpr Time kMillisecond = 1000 * 1000;
+inline constexpr Time kSecond = 1000 * 1000 * 1000;
+
+/// Convert virtual nanoseconds to floating-point seconds (for reports).
+constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+
+/// Convert virtual nanoseconds to floating-point microseconds.
+constexpr double to_micros(Time t) { return static_cast<double>(t) * 1e-3; }
+
+}  // namespace kop::sim

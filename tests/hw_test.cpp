@@ -1,0 +1,215 @@
+// Unit tests for machine topology, the translation/fault cost model,
+// the execution model, and the CPU resource.
+#include <gtest/gtest.h>
+
+#include "hw/cost_params.hpp"
+#include "hw/cpu.hpp"
+#include "hw/exec_model.hpp"
+#include "hw/memory.hpp"
+#include "hw/topology.hpp"
+
+namespace kop::hw {
+namespace {
+
+TEST(Topology, PhiShape) {
+  const MachineConfig m = phi();
+  EXPECT_EQ(m.num_cpus, 64);
+  EXPECT_EQ(m.zones.size(), 2u);
+  EXPECT_EQ(m.zones[1].kind, ZoneKind::kMcdram);
+  EXPECT_TRUE(m.zones[1].cpus.empty());
+  // Every CPU prefers DRAM (flat-mode MCDRAM is distant).
+  EXPECT_EQ(m.preferred_dram_zone(0), 0);
+  EXPECT_EQ(m.preferred_dram_zone(63), 0);
+}
+
+TEST(Topology, Xeon8Shape) {
+  const MachineConfig m = xeon8();
+  EXPECT_EQ(m.num_cpus, 192);
+  EXPECT_EQ(m.num_sockets, 8);
+  EXPECT_EQ(m.zones.size(), 8u);
+  EXPECT_EQ(m.zone_of_cpu(0), 0);
+  EXPECT_EQ(m.zone_of_cpu(191), 7);
+  EXPECT_EQ(m.distance(0, 0), 10);
+  EXPECT_EQ(m.distance(0, 7), 21);
+  EXPECT_DOUBLE_EQ(m.numa_penalty(0, 7), 2.1);
+}
+
+TEST(Topology, ByNameAndValidation) {
+  EXPECT_EQ(machine_by_name("phi").name, "phi");
+  EXPECT_EQ(machine_by_name("8xeon").name, "8xeon");
+  EXPECT_THROW(machine_by_name("cray"), std::invalid_argument);
+
+  MachineConfig bad = phi();
+  bad.zones[0].cpus.pop_back();  // cpu 63 now uncovered
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Memory, TouchNewCountsPagesOnce) {
+  MemRegion r("r", 10ULL << 20);
+  r.set_demand_paged(true);
+  r.set_page_size(PageSize::k4K);
+  const std::uint64_t first = r.touch_new(1ULL << 20);
+  EXPECT_EQ(first, (1ULL << 20) / 4096);
+  // Touching the same span again faults nothing new.
+  EXPECT_EQ(r.faulted_bytes(), 1ULL << 20);
+  const std::uint64_t again = r.touch_new(1ULL << 20);
+  EXPECT_EQ(r.faulted_bytes(), 2ULL << 20);
+  EXPECT_EQ(again, first);
+  r.reset_faults();
+  EXPECT_EQ(r.faulted_bytes(), 0u);
+}
+
+TEST(Memory, NotDemandPagedNeverFaults) {
+  MemRegion r("r", 1ULL << 20);
+  EXPECT_EQ(r.touch_new(1ULL << 20), 0u);
+}
+
+TEST(Memory, TranslationSmallWorkingSetIsFree) {
+  const TlbConfig tlb = phi().tlb;
+  MemRegion r("r", 1ULL << 30);
+  r.set_page_size(PageSize::k1G);
+  const auto tc = translation_cost(tlb, r, 1ULL << 20, AccessPattern::kRandom);
+  EXPECT_DOUBLE_EQ(tc.tlb_miss_rate, 0.0);
+}
+
+TEST(Memory, TranslationHugeVsSmallPages) {
+  const TlbConfig tlb = phi().tlb;
+  const std::uint64_t ws = 400ULL << 20;
+
+  MemRegion small("s", 1ULL << 30);
+  small.set_page_size(PageSize::k4K);
+  MemRegion huge("h", 1ULL << 30);
+  huge.set_page_size(PageSize::k1G);
+
+  const auto ts = translation_cost(tlb, small, ws, AccessPattern::kRandom);
+  const auto th = translation_cost(tlb, huge, ws, AccessPattern::kRandom);
+  EXPECT_GT(ts.tlb_miss_rate, 0.9);
+  EXPECT_DOUBLE_EQ(th.tlb_miss_rate, 0.0);  // 4x1G reach covers 400MB
+}
+
+TEST(Memory, StreamingMissesAreRarePerAccess) {
+  const TlbConfig tlb = phi().tlb;
+  MemRegion r("r", 1ULL << 30);
+  r.set_page_size(PageSize::k2M);
+  const std::uint64_t ws = 400ULL << 20;
+  const auto stream = translation_cost(tlb, r, ws, AccessPattern::kStreaming);
+  const auto rand = translation_cost(tlb, r, ws, AccessPattern::kRandom);
+  EXPECT_LT(stream.tlb_miss_rate, rand.tlb_miss_rate / 100.0);
+}
+
+TEST(Memory, SlicedZonePartitions) {
+  MemRegion r("r", 64ULL << 20);
+  r.set_slice_zones({0, 0, 1, 1});
+  EXPECT_TRUE(r.is_sliced());
+  EXPECT_EQ(r.zone_for_partition(0, 4), 0);
+  EXPECT_EQ(r.zone_for_partition(3, 4), 1);
+  EXPECT_EQ(r.zone_for_partition(0, 2), 0);
+  EXPECT_EQ(r.zone_for_partition(1, 2), 1);
+}
+
+TEST(ExecModel, NumaPenaltyScalesMemoryTime) {
+  const MachineConfig m = xeon8();
+  const OsCosts costs = nautilus_costs(m);
+  ExecModel em(m, costs);
+  sim::Rng rng(1);
+
+  MemRegion r("r", 1ULL << 30);
+  r.set_page_size(PageSize::k1G);
+  WorkBlock b;
+  b.cpu_ns = 1'000'000;
+  b.mem_fraction = 1.0;
+  b.region = &r;
+
+  const auto local = em.charge(b, /*cpu=*/0, /*zone=*/0, rng);
+  const auto remote = em.charge(b, /*cpu=*/0, /*zone=*/7, rng);
+  // Nominal time divides by the machine's perf factor; the remote
+  // access pays the 2.1x SLIT penalty on top.
+  const auto expected_local =
+      static_cast<sim::Time>(1'000'000.0 / m.perf_factor);
+  EXPECT_EQ(local.memory_ns, expected_local);
+  EXPECT_NEAR(static_cast<double>(remote.memory_ns),
+              static_cast<double>(expected_local) * 2.1, 2.0);
+}
+
+TEST(ExecModel, LinuxChargesFaultsNautilusDoesNot) {
+  const MachineConfig m = phi();
+  ExecModel linux_em(m, linux_costs(m));
+  ExecModel nk_em(m, nautilus_costs(m));
+  sim::Rng rng(1);
+
+  WorkBlock b;
+  b.cpu_ns = 1'000'000;
+  b.mem_fraction = 0.5;
+  b.bytes_touched = 64ULL << 20;
+  b.working_set_bytes = 64ULL << 20;
+
+  MemRegion lr("lr", 1ULL << 30);
+  lr.set_demand_paged(true);
+  lr.set_page_size(PageSize::k2M);
+  lr.set_small_page_fraction(0.2);
+  b.region = &lr;
+  const auto lc = linux_em.charge(b, 0, 0, rng);
+  EXPECT_GT(lc.fault_ns, 0);
+
+  MemRegion nr("nr", 1ULL << 30);
+  nr.set_page_size(PageSize::k1G);
+  b.region = &nr;
+  const auto nc = nk_em.charge(b, 0, 0, rng);
+  EXPECT_EQ(nc.fault_ns, 0);
+  EXPECT_EQ(nc.tlb_ns, 0);
+  EXPECT_EQ(nc.noise_ns, 0);
+}
+
+TEST(ExecModel, NoiseOnlyOnNoisyOs) {
+  const MachineConfig m = phi();
+  ExecModel linux_em(m, linux_costs(m));
+  sim::Rng rng(7);
+  WorkBlock b;
+  b.cpu_ns = 100 * sim::kMillisecond;
+  const auto c = linux_em.charge(b, 0, -1, rng);
+  EXPECT_GT(c.noise_ns, 0);
+  EXPECT_GT(c.tick_ns, 0);
+}
+
+TEST(Cpu, ExclusiveOccupancySerializes) {
+  sim::Engine eng;
+  Cpu cpu(eng, 0, sim::kTimeNever, 0);
+  sim::Time done_a = 0, done_b = 0;
+  auto* a = eng.spawn("a", [&] {
+    cpu.occupy(1000);
+    done_a = eng.now();
+  });
+  auto* b = eng.spawn("b", [&] {
+    cpu.occupy(1000);
+    done_b = eng.now();
+  });
+  eng.wake(a);
+  eng.wake(b);
+  eng.run();
+  // Two 1000ns occupations of one CPU take 2000ns total.
+  EXPECT_EQ(std::max(done_a, done_b), 2000);
+  EXPECT_EQ(cpu.busy_time(), 2000);
+}
+
+TEST(Cpu, TimeslicePreemptsLongRun) {
+  sim::Engine eng;
+  Cpu cpu(eng, 0, /*timeslice=*/100, /*context_switch=*/10);
+  sim::Time done_long = 0, done_short = 0;
+  auto* lng = eng.spawn("long", [&] {
+    cpu.occupy(1000);
+    done_long = eng.now();
+  });
+  auto* sht = eng.spawn("short", [&] {
+    eng.sleep_for(10);  // arrive second
+    cpu.occupy(50);
+    done_short = eng.now();
+  });
+  eng.wake(lng);
+  eng.wake(sht);
+  eng.run();
+  // The short task must not wait for the full long occupation.
+  EXPECT_LT(done_short, done_long);
+}
+
+}  // namespace
+}  // namespace kop::hw

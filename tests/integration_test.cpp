@@ -1,0 +1,181 @@
+// Cross-module integration tests: full stacks running scaled-down NAS
+// workloads on every path, checking the paper's qualitative claims.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/figures.hpp"
+#include "harness/table.hpp"
+
+namespace kop::harness {
+namespace {
+
+// A scaled-down benchmark so integration runs stay fast.
+nas::BenchmarkSpec scaled(nas::BenchmarkSpec b, double factor,
+                          int timesteps = 2) {
+  b.timesteps = timesteps;
+  for (auto& l : b.loops) l.per_iter_ns *= factor;
+  b.serial_ns_per_step *= factor;
+  return b;
+}
+
+core::StackConfig config(core::PathKind path, int threads,
+                         const std::string& machine = "phi") {
+  core::StackConfig cfg;
+  cfg.machine = machine;
+  cfg.path = path;
+  cfg.num_threads = threads;
+  cfg.nk_first_touch = want_first_touch(machine, threads);
+  return cfg;
+}
+
+TEST(Integration, AllFivePathsRunBt) {
+  const auto spec = scaled(nas::bt(), 0.01);
+  for (auto path :
+       {core::PathKind::kLinuxOmp, core::PathKind::kRtk, core::PathKind::kPik,
+        core::PathKind::kAutoMpLinux, core::PathKind::kAutoMpNautilus}) {
+    const auto r = run_nas(config(path, 8), spec);
+    EXPECT_GT(r.timed_seconds, 0.0) << core::path_name(path);
+  }
+}
+
+TEST(Integration, RtkBeatsLinuxOnMemoryHeavyNas) {
+  const auto spec = scaled(nas::bt(), 0.02);
+  const double linux_t =
+      run_nas(config(core::PathKind::kLinuxOmp, 8), spec).timed_seconds;
+  const double rtk_t =
+      run_nas(config(core::PathKind::kRtk, 8), spec).timed_seconds;
+  EXPECT_LT(rtk_t, linux_t);
+}
+
+TEST(Integration, PikBetweenLinuxAndRtk) {
+  const auto spec = scaled(nas::sp(), 0.01);
+  const double linux_t =
+      run_nas(config(core::PathKind::kLinuxOmp, 8), spec).timed_seconds;
+  const double pik_t =
+      run_nas(config(core::PathKind::kPik, 8), spec).timed_seconds;
+  const double rtk_t =
+      run_nas(config(core::PathKind::kRtk, 8), spec).timed_seconds;
+  EXPECT_LT(rtk_t, linux_t);
+  EXPECT_LE(pik_t, linux_t * 1.02);
+  EXPECT_GE(pik_t, rtk_t * 0.9);
+}
+
+TEST(Integration, ParallelScalingSpeedsUpNas) {
+  const auto spec = scaled(nas::ft(), 0.02);
+  const double t1 =
+      run_nas(config(core::PathKind::kRtk, 1), spec).timed_seconds;
+  const double t8 =
+      run_nas(config(core::PathKind::kRtk, 8), spec).timed_seconds;
+  EXPECT_GT(t1 / t8, 4.0);  // decent scaling at 8 threads
+}
+
+TEST(Integration, AutompLosesOnPrivatizationBenchmarksWinsOnSkewed) {
+  // BT: 3 of 4 loops sequential under AutoMP -> much slower than OMP.
+  const auto bt_spec = scaled(nas::bt(), 0.01);
+  const double bt_omp =
+      run_nas(config(core::PathKind::kLinuxOmp, 16), bt_spec).timed_seconds;
+  const double bt_automp =
+      run_nas(config(core::PathKind::kAutoMpLinux, 16), bt_spec).timed_seconds;
+  EXPECT_GT(bt_automp, bt_omp * 1.5);
+
+  // CG: skewed spmv + coarse OMP static chunking -> AutoMP wins.
+  const auto cg_spec = scaled(nas::cg(), 0.01);
+  const double cg_omp =
+      run_nas(config(core::PathKind::kLinuxOmp, 16), cg_spec).timed_seconds;
+  const double cg_automp =
+      run_nas(config(core::PathKind::kAutoMpLinux, 16), cg_spec).timed_seconds;
+  EXPECT_LT(cg_automp, cg_omp);
+}
+
+TEST(Integration, FirstTouchHelpsOn8Xeon) {
+  // §6.3: immediate single-zone allocation hurts once threads span
+  // sockets; the first-touch-at-2MB extension fixes it.
+  auto spec = scaled(nas::mg(), 0.005, 1);
+  auto cfg_no_ft = config(core::PathKind::kRtk, 96, "8xeon");
+  cfg_no_ft.nk_first_touch = false;
+  auto cfg_ft = config(core::PathKind::kRtk, 96, "8xeon");
+  cfg_ft.nk_first_touch = true;
+  const double without = run_nas(cfg_no_ft, spec).timed_seconds;
+  const double with_ft = run_nas(cfg_ft, spec).timed_seconds;
+  EXPECT_LT(with_ft, without);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const auto spec = scaled(nas::ep(), 0.01);
+  const auto cfg = config(core::PathKind::kLinuxOmp, 4);
+  const double a = run_nas(cfg, spec).timed_seconds;
+  const double b = run_nas(cfg, spec).timed_seconds;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Integration, SeedChangesNoiseButNotKernelPaths) {
+  const auto spec = scaled(nas::ep(), 0.01);
+  auto cfg1 = config(core::PathKind::kLinuxOmp, 4);
+  auto cfg2 = cfg1;
+  cfg2.seed = 1234;
+  // Linux has stochastic noise: different seeds -> different times.
+  EXPECT_NE(run_nas(cfg1, spec).timed_seconds,
+            run_nas(cfg2, spec).timed_seconds);
+  // Nautilus is noise-free: identical.
+  auto nk1 = config(core::PathKind::kRtk, 4);
+  auto nk2 = nk1;
+  nk2.seed = 1234;
+  EXPECT_DOUBLE_EQ(run_nas(nk1, spec).timed_seconds,
+                   run_nas(nk2, spec).timed_seconds);
+}
+
+TEST(Harness, TableFormatsAligned) {
+  Table t({"bench", "threads", "time"});
+  t.add_row({"BT-B", "64", Table::seconds(12.345)});
+  t.add_row({"FT-B", "8", Table::seconds(1.5)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("BT-B"), std::string::npos);
+  EXPECT_NE(s.find("12.35s"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Harness, Scales) {
+  EXPECT_EQ(phi_scales().back(), 64);
+  EXPECT_EQ(xeon_scales().back(), 192);
+  EXPECT_TRUE(want_first_touch("8xeon", 48));
+  EXPECT_FALSE(want_first_touch("8xeon", 24));
+  EXPECT_FALSE(want_first_touch("phi", 64));
+}
+
+}  // namespace
+}  // namespace kop::harness
+
+// Appended coverage: table CSV export.
+namespace kop::harness {
+namespace {
+
+TEST(Harness, TableCsvEscapesAndAligns) {
+  Table t({"bench", "note"});
+  t.add_row({"BT-B", "needs class B, \"boot image\" limit"});
+  t.add_row({"FT,B", "ok"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("bench,note\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"needs class B, \"\"boot image\"\" limit\""),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"FT,B\",ok\n"), std::string::npos);
+}
+
+TEST(Harness, ScaleSuitePreservesIntensityAndTotals) {
+  auto base = nas::bt();
+  auto scaled = scale_suite({base}, 2.0, 4)[0];
+  EXPECT_EQ(scaled.timesteps, 4);
+  // Total nominal work preserved: factor 2 x steps 8->4.
+  EXPECT_NEAR(scaled.base_work_ns(), base.base_work_ns(), base.base_work_ns() * 1e-6);
+  // Access intensity (bytes per ns) preserved per loop.
+  for (std::size_t i = 0; i < base.loops.size(); ++i) {
+    const double before = static_cast<double>(base.loops[i].bytes_per_iter) /
+                          base.loops[i].per_iter_ns;
+    const double after =
+        static_cast<double>(scaled.loops[i].bytes_per_iter) /
+        scaled.loops[i].per_iter_ns;
+    EXPECT_NEAR(before, after, before * 0.01) << base.loops[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace kop::harness

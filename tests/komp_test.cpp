@@ -1,0 +1,533 @@
+// Tests for the komp OpenMP runtime: ICV/env parsing, fork/join,
+// worksharing schedules, barrier algorithms, single/master/critical/
+// ordered/atomic, and reductions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "komp/runtime.hpp"
+#include "nautilus/kernel.hpp"
+#include "pthread_compat/pthreads.hpp"
+
+namespace kop::komp {
+namespace {
+
+// Fixture: a komp runtime on a Nautilus kernel.
+struct Fixture {
+  explicit Fixture(int threads = 0, std::uint64_t seed = 42,
+                   RuntimeTuning tuning = {}) {
+    engine = std::make_unique<sim::Engine>(seed);
+    nk = std::make_unique<nautilus::NautilusKernel>(*engine, hw::phi());
+    if (threads > 0) nk->set_env("OMP_NUM_THREADS", std::to_string(threads));
+    pt = std::make_unique<pthread_compat::Pthreads>(
+        *nk, pthread_compat::nautilus_native_tuning());
+    tuning_ = tuning;
+  }
+
+  /// Run `body` on the app main thread with a fresh runtime.
+  void run(const std::function<void(Runtime&)>& body) {
+    nk->spawn_thread(
+        "main",
+        [this, body] {
+          Runtime rt(*pt, tuning_);
+          body(rt);
+        },
+        0);
+    engine->run();
+  }
+
+  std::unique_ptr<sim::Engine> engine;
+  std::unique_ptr<nautilus::NautilusKernel> nk;
+  std::unique_ptr<pthread_compat::Pthreads> pt;
+  RuntimeTuning tuning_;
+};
+
+TEST(Icv, ParseSchedule) {
+  Schedule s = Schedule::kStatic;
+  int chunk = 0;
+  EXPECT_TRUE(parse_omp_schedule("dynamic,4", s, chunk));
+  EXPECT_EQ(s, Schedule::kDynamic);
+  EXPECT_EQ(chunk, 4);
+  EXPECT_TRUE(parse_omp_schedule("GUIDED", s, chunk));
+  EXPECT_EQ(s, Schedule::kGuided);
+  EXPECT_TRUE(parse_omp_schedule("static,8", s, chunk));
+  EXPECT_EQ(s, Schedule::kStaticChunked);
+  EXPECT_FALSE(parse_omp_schedule("fancy", s, chunk));
+  EXPECT_FALSE(parse_omp_schedule("dynamic,-2", s, chunk));
+}
+
+TEST(Icv, ParseBlocktime) {
+  sim::Time t = 0;
+  EXPECT_TRUE(parse_blocktime("200", t));
+  EXPECT_EQ(t, 200 * sim::kMillisecond);
+  EXPECT_TRUE(parse_blocktime("infinite", t));
+  EXPECT_EQ(t, sim::kTimeNever);
+  EXPECT_FALSE(parse_blocktime("soon", t));
+}
+
+TEST(Icv, EnvironmentOverrides) {
+  Fixture f;
+  f.nk->set_env("OMP_NUM_THREADS", "12");
+  f.nk->set_env("OMP_SCHEDULE", "guided,2");
+  f.nk->set_env("KMP_BLOCKTIME", "50");
+  const Icv icv = icv_from_environment(*f.nk);
+  EXPECT_EQ(icv.nthreads_var, 12);
+  EXPECT_EQ(icv.run_sched_var, Schedule::kGuided);
+  EXPECT_EQ(icv.run_sched_chunk, 2);
+  EXPECT_EQ(icv.blocktime_ns, 50 * sim::kMillisecond);
+}
+
+TEST(Icv, DefaultsToAllCpus) {
+  Fixture f;
+  const Icv icv = icv_from_environment(*f.nk);
+  EXPECT_EQ(icv.nthreads_var, 64);
+}
+
+TEST(Runtime, ParallelRunsAllThreadIds) {
+  Fixture f(8);
+  std::set<int> ids;
+  int team_size = 0;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      ids.insert(tt.id());
+      if (tt.id() == 0) team_size = tt.nthreads();
+    });
+  });
+  EXPECT_EQ(team_size, 8);
+  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), 7);
+}
+
+TEST(Runtime, SequentialRegionsReuseThePool) {
+  Fixture f(4);
+  int total = 0;
+  f.run([&](Runtime& rt) {
+    for (int r = 0; r < 5; ++r)
+      rt.parallel([&](TeamThread&) { ++total; });
+    EXPECT_EQ(rt.pool_size(), 3);  // workers created once
+  });
+  EXPECT_EQ(total, 20);
+}
+
+TEST(Runtime, NumThreadsClauseAndGrowingTeams) {
+  Fixture f(8);
+  std::vector<int> sizes;
+  f.run([&](Runtime& rt) {
+    for (int n : {2, 8, 4}) {
+      rt.parallel(n, [&](TeamThread& tt) {
+        if (tt.id() == 0) sizes.push_back(tt.nthreads());
+      });
+    }
+  });
+  EXPECT_EQ(sizes, (std::vector<int>{2, 8, 4}));
+}
+
+TEST(Runtime, NestedParallelSerializes) {
+  Fixture f(4);
+  int inner_size = 0;
+  f.run([&](Runtime& rt) {
+    rt.parallel(2, [&](TeamThread& tt) {
+      if (tt.id() == 0) {
+        rt.parallel(4, [&](TeamThread& inner) {
+          inner_size = inner.nthreads();
+        });
+      }
+    });
+  });
+  EXPECT_EQ(inner_size, 1);
+}
+
+TEST(Runtime, WtimeTracksVirtualTime) {
+  Fixture f(2);
+  double dt = 0;
+  f.run([&](Runtime& rt) {
+    const double t0 = rt.wtime();
+    rt.os().compute_ns(2 * sim::kSecond);
+    dt = rt.wtime() - t0;
+  });
+  EXPECT_NEAR(dt, 2.0, 0.05);  // modulo the no-red-zone inflation
+}
+
+// ------------------------------------------------------- worksharing
+
+TEST(ForLoop, StaticCoversRangeExactlyOnce) {
+  Fixture f(7);
+  std::map<std::int64_t, int> hits;
+  std::map<std::int64_t, int> owner;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      tt.for_loop(Schedule::kStatic, 0, 0, 100,
+                  [&](std::int64_t b, std::int64_t e) {
+                    for (std::int64_t i = b; i < e; ++i) {
+                      ++hits[i];
+                      owner[i] = tt.id();
+                    }
+                  });
+    });
+  });
+  ASSERT_EQ(hits.size(), 100u);
+  for (const auto& [i, count] : hits) EXPECT_EQ(count, 1) << "iter " << i;
+  // Static: each thread owns one contiguous block.
+  int switches = 0;
+  for (std::int64_t i = 1; i < 100; ++i)
+    if (owner[i] != owner[i - 1]) ++switches;
+  EXPECT_EQ(switches, 6);
+}
+
+TEST(ForLoop, StaticChunkedRoundRobins) {
+  Fixture f(4);
+  std::map<std::int64_t, int> owner;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      tt.for_loop(Schedule::kStaticChunked, 5, 0, 40,
+                  [&](std::int64_t b, std::int64_t e) {
+                    EXPECT_LE(e - b, 5);
+                    for (std::int64_t i = b; i < e; ++i) owner[i] = tt.id();
+                  });
+    });
+  });
+  // chunk c of 5 belongs to thread (c % 4).
+  for (std::int64_t i = 0; i < 40; ++i)
+    EXPECT_EQ(owner[i], static_cast<int>((i / 5) % 4)) << i;
+}
+
+TEST(ForLoop, DynamicCoversAll) {
+  Fixture f(8);
+  std::map<std::int64_t, int> hits;
+  std::set<int> participants;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      tt.for_loop(Schedule::kDynamic, 2, 0, 200,
+                  [&](std::int64_t b, std::int64_t e) {
+                    participants.insert(tt.id());
+                    tt.compute_ns(5000);
+                    for (std::int64_t i = b; i < e; ++i) ++hits[i];
+                  });
+    });
+  });
+  ASSERT_EQ(hits.size(), 200u);
+  for (const auto& [i, count] : hits) EXPECT_EQ(count, 1);
+  EXPECT_GT(participants.size(), 1u);
+}
+
+TEST(ForLoop, GuidedChunksDecrease) {
+  Fixture f(4);
+  std::vector<std::int64_t> chunk_sizes;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      tt.for_loop(Schedule::kGuided, 1, 0, 1000,
+                  [&](std::int64_t b, std::int64_t e) {
+                    if (tt.id() == 0) chunk_sizes.push_back(e - b);
+                    tt.compute_ns(100);
+                  });
+    });
+  });
+  ASSERT_GE(chunk_sizes.size(), 2u);
+  EXPECT_GE(chunk_sizes.front(), chunk_sizes.back());
+  // First guided chunk ~ remaining/(2n) = 1000/8.
+  EXPECT_GE(chunk_sizes.front(), 100);
+}
+
+TEST(ForLoop, EmptyAndTinyRanges) {
+  Fixture f(8);
+  int count = 0;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      tt.for_loop(Schedule::kStatic, 0, 0, 0,
+                  [&](std::int64_t, std::int64_t) { ++count; });
+      tt.for_loop(Schedule::kDynamic, 1, 0, 3,
+                  [&](std::int64_t b, std::int64_t e) {
+                    EXPECT_EQ(e - b, 1);
+                    ++count;
+                  });
+    });
+  });
+  EXPECT_EQ(count, 3);  // 0 from the empty loop + 3 dynamic chunks
+}
+
+TEST(ForLoop, DynamicBalancesSkewedWork) {
+  // With per-iteration costs ramping 10x, dynamic should beat static
+  // wall-clock (the MG/CG chunking story at runtime level).
+  auto run_with = [](Schedule sched) {
+    Fixture f(8);
+    double seconds = 0;
+    f.run([&](Runtime& rt) {
+      const double t0 = rt.wtime();
+      rt.parallel([&](TeamThread& tt) {
+        tt.for_loop(sched, 1, 0, 256, [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i)
+            tt.compute_ns(10'000 + 90'000 * i / 256);
+        });
+      });
+      seconds = rt.wtime() - t0;
+    });
+    return seconds;
+  };
+  EXPECT_LT(run_with(Schedule::kDynamic), run_with(Schedule::kStatic));
+}
+
+// ----------------------------------------------------- sync constructs
+
+TEST(Sync, BarrierSeparatesPhases) {
+  Fixture f(16);
+  std::vector<int> phase1(16, 0);
+  bool all_saw_phase1 = true;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      tt.compute_ns(1000 * (tt.id() + 1));
+      phase1[static_cast<std::size_t>(tt.id())] = 1;
+      tt.barrier();
+      for (int v : phase1)
+        if (v != 1) all_saw_phase1 = false;
+    });
+  });
+  EXPECT_TRUE(all_saw_phase1);
+}
+
+TEST(Sync, CentralizedAndTreeBarriersBothWork) {
+  for (auto algo : {RuntimeTuning::BarrierAlgo::kCentralized,
+                    RuntimeTuning::BarrierAlgo::kTree}) {
+    RuntimeTuning tuning;
+    tuning.barrier_algo = algo;
+    Fixture f(13, 42, tuning);  // odd count stresses the tree
+    int rounds_ok = 0;
+    f.run([&](Runtime& rt) {
+      rt.parallel([&](TeamThread& tt) {
+        for (int r = 0; r < 10; ++r) {
+          tt.compute_ns(100 * ((tt.id() + r) % 5));
+          tt.barrier();
+        }
+        if (tt.id() == 0) rounds_ok = 10;
+      });
+    });
+    EXPECT_EQ(rounds_ok, 10);
+  }
+}
+
+TEST(Sync, SingleExecutesExactlyOnce) {
+  Fixture f(8);
+  int executions = 0;
+  int claimed_by_someone = 0;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      for (int r = 0; r < 20; ++r) {
+        const bool ran = tt.single([&] { ++executions; });
+        if (ran) ++claimed_by_someone;
+      }
+    });
+  });
+  EXPECT_EQ(executions, 20);
+  EXPECT_EQ(claimed_by_someone, 20);
+}
+
+TEST(Sync, MasterOnlyThreadZero) {
+  Fixture f(8);
+  std::set<int> runners;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      tt.master([&] { runners.insert(tt.id()); });
+    });
+  });
+  EXPECT_EQ(runners, std::set<int>{0});
+}
+
+TEST(Sync, CriticalIsExclusivePerName) {
+  Fixture f(8);
+  int a = 0, b = 0;
+  int in_a = 0, max_in_a = 0;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      for (int r = 0; r < 5; ++r) {
+        tt.critical("A", [&] {
+          ++in_a;
+          max_in_a = std::max(max_in_a, in_a);
+          tt.compute_ns(300);
+          ++a;
+          --in_a;
+        });
+        tt.critical("B", [&] { ++b; });
+      }
+    });
+  });
+  EXPECT_EQ(a, 40);
+  EXPECT_EQ(b, 40);
+  EXPECT_EQ(max_in_a, 1);
+}
+
+TEST(Sync, OrderedRunsInIterationOrder) {
+  Fixture f(8);
+  std::vector<std::int64_t> order;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      tt.for_ordered(0, 32, [&](std::int64_t i) {
+        order.push_back(i);
+        tt.compute_ns(500);
+      });
+    });
+  });
+  ASSERT_EQ(order.size(), 32u);
+  for (std::int64_t i = 0; i < 32; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Sync, ReduceSumAndMax) {
+  Fixture f(16);
+  double sum = -1, mx = -1;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      const double s = tt.reduce(static_cast<double>(tt.id() + 1),
+                                 ReduceOp::kSum);
+      const double m = tt.reduce(static_cast<double>(tt.id()), ReduceOp::kMax);
+      if (tt.id() == 5) {
+        sum = s;
+        mx = m;
+      }
+    });
+  });
+  EXPECT_DOUBLE_EQ(sum, 16.0 * 17.0 / 2.0);  // 1+2+...+16
+  EXPECT_DOUBLE_EQ(mx, 15.0);
+}
+
+TEST(Sync, ReduceMinProd) {
+  Fixture f(4);
+  double mn = -1, prod = -1;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      mn = tt.reduce(static_cast<double>(10 - tt.id()), ReduceOp::kMin);
+      prod = tt.reduce(2.0, ReduceOp::kProd);
+    });
+  });
+  EXPECT_DOUBLE_EQ(mn, 7.0);
+  EXPECT_DOUBLE_EQ(prod, 16.0);
+}
+
+TEST(Sync, CopyprivateBroadcasts) {
+  Fixture f(8);
+  int filled = 0;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      tt.copyprivate(1 << 20, [&] { ++filled; });
+    });
+  });
+  EXPECT_EQ(filled, 1);
+}
+
+TEST(Tuning, RtkHasHigherPrimitiveCostsThanLinux) {
+  const RuntimeTuning linux = linux_libomp_tuning();
+  const RuntimeTuning rtk = rtk_libomp_tuning();
+  EXPECT_GT(rtk.fork_base_ns, linux.fork_base_ns);
+  EXPECT_GT(rtk.dispatch_next_ns, linux.dispatch_next_ns);
+  EXPECT_GT(rtk.barrier_step_extra_ns, linux.barrier_step_extra_ns);
+  // PIK is the pristine binary.
+  const RuntimeTuning pik = pik_libomp_tuning();
+  EXPECT_EQ(pik.fork_base_ns, linux.fork_base_ns);
+}
+
+}  // namespace
+}  // namespace kop::komp
+
+// Appended coverage: schedule(runtime) and the sections construct.
+namespace kop::komp {
+namespace {
+
+TEST(ForLoop, RuntimeScheduleFollowsIcv) {
+  Fixture f(4);
+  f.nk->set_env("OMP_SCHEDULE", "dynamic,3");
+  std::vector<std::int64_t> chunk_sizes;
+  f.run([&](Runtime& rt) {
+    EXPECT_EQ(rt.icv().run_sched_var, Schedule::kDynamic);
+    rt.parallel([&](TeamThread& tt) {
+      tt.for_loop(Schedule::kRuntime, 0, 0, 30,
+                  [&](std::int64_t b, std::int64_t e) {
+                    chunk_sizes.push_back(e - b);
+                  });
+    });
+  });
+  // dynamic,3 over 30 iterations -> ten 3-iteration chunks.
+  EXPECT_EQ(chunk_sizes.size(), 10u);
+  for (auto c : chunk_sizes) EXPECT_EQ(c, 3);
+}
+
+TEST(Sections, EachBodyRunsOnceAcrossTeam) {
+  Fixture f(4);
+  std::vector<int> runs(6, 0);
+  std::set<int> executors;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      std::vector<std::function<void()>> bodies;
+      for (int s = 0; s < 6; ++s) {
+        bodies.push_back([&, s] {
+          ++runs[static_cast<std::size_t>(s)];
+          executors.insert(tt.id());
+          tt.compute_ns(20'000);
+        });
+      }
+      tt.sections(bodies);
+    });
+  });
+  for (int s = 0; s < 6; ++s) EXPECT_EQ(runs[static_cast<std::size_t>(s)], 1);
+  EXPECT_GT(executors.size(), 1u);  // distributed over the team
+}
+
+TEST(Sections, MoreThreadsThanSections) {
+  Fixture f(8);
+  int total = 0;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      tt.sections({[&] { ++total; }, [&] { ++total; }});
+    });
+  });
+  EXPECT_EQ(total, 2);
+}
+
+}  // namespace
+}  // namespace kop::komp
+
+// Appended coverage: OMP_PROC_BIND placement.
+namespace kop::komp {
+namespace {
+
+std::vector<int> worker_cpus(const char* bind, int threads) {
+  sim::Engine engine(5);
+  nautilus::NautilusKernel nk(engine, hw::xeon8());
+  nk.set_env("OMP_NUM_THREADS", std::to_string(threads));
+  if (bind != nullptr) nk.set_env("OMP_PROC_BIND", bind);
+  pthread_compat::Pthreads pt(nk, pthread_compat::nautilus_native_tuning());
+  std::vector<int> cpus(static_cast<std::size_t>(threads), -1);
+  nk.spawn_thread(
+      "main",
+      [&] {
+        Runtime rt(pt);
+        rt.parallel([&](TeamThread& tt) {
+          cpus[static_cast<std::size_t>(tt.id())] = rt.os().current_cpu();
+        });
+      },
+      0);
+  engine.run();
+  return cpus;
+}
+
+TEST(ProcBind, CloseIsConsecutive) {
+  const auto cpus = worker_cpus("close", 8);
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(cpus[static_cast<std::size_t>(t)], t);
+}
+
+TEST(ProcBind, SpreadStridesAcrossSockets) {
+  // 8 threads on 192 CPUs / 8 sockets: one thread per socket.
+  const auto cpus = worker_cpus("spread", 8);
+  std::set<int> sockets;
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_EQ(cpus[static_cast<std::size_t>(t)], t * 24);
+    sockets.insert(cpus[static_cast<std::size_t>(t)] / 24);
+  }
+  EXPECT_EQ(sockets.size(), 8u);
+}
+
+TEST(ProcBind, DefaultAndGarbageAreClose) {
+  EXPECT_EQ(worker_cpus(nullptr, 4)[3], 3);
+  EXPECT_EQ(worker_cpus("bananas", 4)[3], 3);
+}
+
+}  // namespace
+}  // namespace kop::komp

@@ -1,0 +1,267 @@
+// Tests for the NAS suite: spec sanity, functional kernels through
+// the runtime, and both executors.
+#include <gtest/gtest.h>
+
+#include "core/stack.hpp"
+#include "nas/exec.hpp"
+#include "nas/functional.hpp"
+#include "nas/specs.hpp"
+
+namespace kop::nas {
+namespace {
+
+TEST(Specs, SuiteShapes) {
+  const auto all = paper_suite();
+  ASSERT_EQ(all.size(), 8u);
+  const auto cck = cck_suite();
+  ASSERT_EQ(cck.size(), 7u);
+  for (const auto& b : cck) EXPECT_NE(b.name, "IS");  // elided (§6.2)
+  EXPECT_EQ(by_name("BT").clazz, 'B');
+  EXPECT_EQ(by_name("FT").clazz, 'B');
+  EXPECT_EQ(by_name("LU").clazz, 'C');
+  EXPECT_THROW(by_name("ZZ"), std::invalid_argument);
+}
+
+TEST(Specs, WorkAndRegionsArePositive) {
+  for (const auto& b : paper_suite()) {
+    EXPECT_GT(b.base_work_ns(), 0.0) << b.name;
+    EXPECT_GT(b.total_region_bytes(), 0u) << b.name;
+    EXPECT_FALSE(b.loops.empty()) << b.name;
+    for (const auto& l : b.loops) {
+      EXPECT_GT(l.trip, 0) << b.name << "/" << l.name;
+      EXPECT_GT(l.per_iter_ns, 0.0) << b.name << "/" << l.name;
+    }
+  }
+}
+
+TEST(Specs, PrivatizationFlagsMatchThePaper) {
+  // §6.2: LU, BT, SP and IS lose parallelism to the privatization
+  // limitation; FT, EP, MG, CG do not.
+  auto has_priv = [](const BenchmarkSpec& b) {
+    for (const auto& l : b.loops)
+      if (l.needs_object_privatization) return true;
+    return false;
+  };
+  EXPECT_TRUE(has_priv(bt()));
+  EXPECT_TRUE(has_priv(sp()));
+  EXPECT_TRUE(has_priv(lu()));
+  EXPECT_TRUE(has_priv(is()));
+  EXPECT_FALSE(has_priv(ft()));
+  EXPECT_FALSE(has_priv(ep()));
+  EXPECT_FALSE(has_priv(mg()));
+  EXPECT_FALSE(has_priv(cg()));
+}
+
+// ------------------------------------------------- functional kernels
+
+struct OmpFixture {
+  explicit OmpFixture(int threads) {
+    core::StackConfig cfg;
+    cfg.machine = "phi";
+    cfg.path = core::PathKind::kRtk;
+    cfg.num_threads = threads;
+    stack = core::Stack::create(cfg);
+  }
+  std::unique_ptr<core::Stack> stack;
+};
+
+TEST(Functional, CgResidualDrops) {
+  OmpFixture f(8);
+  functional::CgResult result;
+  f.stack->run_omp_app([&](komp::Runtime& rt) {
+    result = functional::cg_kernel(rt, /*n=*/24, /*iterations=*/40);
+    return 0;
+  });
+  EXPECT_GT(result.initial_residual, 0.0);
+  EXPECT_LT(result.final_residual, result.initial_residual * 1e-3);
+}
+
+TEST(Functional, CgMatchesSingleThread) {
+  auto run = [](int threads) {
+    OmpFixture f(threads);
+    functional::CgResult r;
+    f.stack->run_omp_app([&](komp::Runtime& rt) {
+      r = functional::cg_kernel(rt, 16, 10);
+      return 0;
+    });
+    return r.final_residual;
+  };
+  EXPECT_NEAR(run(1), run(8), 1e-9);
+}
+
+TEST(Functional, EpMatchesSerialReference) {
+  OmpFixture f(8);
+  functional::EpResult par;
+  f.stack->run_omp_app([&](komp::Runtime& rt) {
+    par = functional::ep_kernel(rt, 20'000);
+    return 0;
+  });
+  const functional::EpResult ser = functional::ep_reference(20'000);
+  EXPECT_EQ(par.inside, ser.inside);
+  // Sanity: acceptance ratio near pi/4.
+  EXPECT_NEAR(static_cast<double>(par.inside) / 20'000.0, 0.785, 0.02);
+}
+
+TEST(Functional, IsSortsCorrectly) {
+  OmpFixture f(8);
+  std::vector<std::uint32_t> keys;
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    keys.push_back(static_cast<std::uint32_t>(state >> 40));
+  }
+  std::vector<std::uint32_t> sorted;
+  f.stack->run_omp_app([&](komp::Runtime& rt) {
+    sorted = functional::is_kernel(rt, keys, 64);
+    return 0;
+  });
+  ASSERT_EQ(sorted.size(), keys.size());
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  auto ref = keys;
+  std::sort(ref.begin(), ref.end());
+  EXPECT_EQ(sorted, ref);
+}
+
+TEST(Functional, MgResidualDecreasesWithSweeps) {
+  OmpFixture f(4);
+  double r5 = 0, r20 = 0;
+  f.stack->run_omp_app([&](komp::Runtime& rt) {
+    r5 = functional::mg_kernel(rt, 32, 5);
+    r20 = functional::mg_kernel(rt, 32, 20);
+    return 0;
+  });
+  EXPECT_GT(r5, 0.0);
+  EXPECT_LT(r20, r5);
+}
+
+// -------------------------------------------------------- executors
+
+BenchmarkSpec tiny_spec() {
+  BenchmarkSpec b = ep();
+  b.timesteps = 2;
+  for (auto& l : b.loops) {
+    l.trip = 256;
+    l.per_iter_ns = 20'000;
+  }
+  return b;
+}
+
+TEST(Executors, OpenmpPathRunsAndTimes) {
+  core::StackConfig cfg;
+  cfg.path = core::PathKind::kLinuxOmp;
+  cfg.num_threads = 8;
+  auto stack = core::Stack::create(cfg);
+  RunResult result;
+  stack->run_omp_app([&](komp::Runtime& rt) {
+    result = run_openmp(rt, tiny_spec());
+    return 0;
+  });
+  EXPECT_GT(result.timed_seconds, 0.0);
+  EXPECT_GT(result.init_seconds, 0.0);
+}
+
+TEST(Executors, AutompPathRunsAndReports) {
+  core::StackConfig cfg;
+  cfg.path = core::PathKind::kAutoMpNautilus;
+  cfg.num_threads = 8;
+  cfg.app_static_bytes = 0;
+  auto stack = core::Stack::create(cfg);
+  RunResult result;
+  stack->run_cck_app([&](osal::Os& os, virgil::Virgil& vg) {
+    result = run_automp(os, vg, tiny_spec());
+    return 0;
+  });
+  EXPECT_GT(result.timed_seconds, 0.0);
+  EXPECT_EQ(result.compile_report.sequential_loops, 0);
+  EXPECT_EQ(result.compile_report.doall_loops, 1);
+}
+
+TEST(Executors, AutompSequentializesPrivatizationLoops) {
+  BenchmarkSpec b = tiny_spec();
+  b.loops[0].needs_object_privatization = true;
+  core::StackConfig cfg;
+  cfg.path = core::PathKind::kAutoMpLinux;
+  cfg.num_threads = 8;
+  auto stack = core::Stack::create(cfg);
+  RunResult result;
+  stack->run_cck_app([&](osal::Os& os, virgil::Virgil& vg) {
+    result = run_automp(os, vg, b);
+    return 0;
+  });
+  EXPECT_EQ(result.compile_report.doall_loops, 0);
+  EXPECT_EQ(result.compile_report.sequential_loops, 1);
+}
+
+TEST(Executors, IsExtractsNoParallelismUnderAutomp) {
+  BenchmarkSpec b = is();
+  b.timesteps = 1;
+  for (auto& l : b.loops) {
+    l.trip = 64;
+    l.per_iter_ns = 10'000;
+  }
+  core::StackConfig cfg;
+  cfg.path = core::PathKind::kAutoMpNautilus;
+  cfg.num_threads = 8;
+  cfg.app_static_bytes = 0;
+  auto stack = core::Stack::create(cfg);
+  RunResult result;
+  stack->run_cck_app([&](osal::Os& os, virgil::Virgil& vg) {
+    result = run_automp(os, vg, b);
+    return 0;
+  });
+  EXPECT_EQ(result.compile_report.doall_loops, 0);
+  EXPECT_EQ(result.compile_report.parallel_work_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace kop::nas
+
+// Appended coverage: FT functional kernel.
+namespace kop::nas {
+namespace {
+
+TEST(Functional, FftRoundTripIsExact) {
+  OmpFixture f(8);
+  double err = 1.0;
+  f.stack->run_omp_app([&](komp::Runtime& rt) {
+    err = functional::ft_kernel(rt, 1024, 7);
+    return 0;
+  });
+  EXPECT_LT(err, 1e-10);
+}
+
+TEST(Functional, FftIndependentOfThreadCount) {
+  auto run = [](int threads) {
+    OmpFixture f(threads);
+    double err = 1.0;
+    f.stack->run_omp_app([&](komp::Runtime& rt) {
+      err = functional::ft_kernel(rt, 256, 3);
+      return 0;
+    });
+    return err;
+  };
+  EXPECT_DOUBLE_EQ(run(1), run(16));
+}
+
+}  // namespace
+}  // namespace kop::nas
+
+// Appended coverage: the unified verification dispatcher.
+namespace kop::nas {
+namespace {
+
+TEST(Functional, VerifyDispatcherCoversSuiteAndRejectsUnknown) {
+  OmpFixture f(8);
+  f.stack->run_omp_app([&](komp::Runtime& rt) {
+    for (const auto& spec : paper_suite()) {
+      const auto r = functional::verify(rt, spec.name);
+      EXPECT_TRUE(r.passed) << spec.name << ": " << r.detail;
+      EXPECT_FALSE(r.detail.empty());
+    }
+    EXPECT_THROW(functional::verify(rt, "HPL"), std::invalid_argument);
+    return 0;
+  });
+}
+
+}  // namespace
+}  // namespace kop::nas

@@ -1,0 +1,196 @@
+// Tests for the pthreads compatibility layer and its three flavors
+// (glibc-on-Linux, PTE port, customized native -- Fig. 2a vs 2b).
+#include <gtest/gtest.h>
+
+#include "linuxmodel/linux_os.hpp"
+#include "nautilus/kernel.hpp"
+#include "pthread_compat/pthreads.hpp"
+
+namespace kop::pthread_compat {
+namespace {
+
+TEST(Pthreads, CreateJoinReturnsValue) {
+  sim::Engine eng(1);
+  nautilus::NautilusKernel nk(eng, hw::phi());
+  Pthreads pt(nk, nautilus_native_tuning());
+  int result = 0;
+  nk.spawn_thread(
+      "main",
+      [&] {
+        int arg = 20;
+        PthreadAttr attr;
+        attr.bound_cpu = 3;
+        Pthread* t = pt.create(
+            &attr,
+            [](void* a) -> void* {
+              *static_cast<int*>(a) += 22;
+              return a;
+            },
+            &arg);
+        void* rv = pt.join(t);
+        result = *static_cast<int*>(rv);
+      },
+      0);
+  eng.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(pt.threads_created(), 1u);
+}
+
+TEST(Pthreads, MutexCondBarrierWork) {
+  sim::Engine eng(2);
+  nautilus::NautilusKernel nk(eng, hw::phi());
+  Pthreads pt(nk, nautilus_native_tuning());
+  int counter = 0;
+  nk.spawn_thread(
+      "main",
+      [&] {
+        auto mutex = pt.make_mutex();
+        auto barrier = pt.make_barrier(5);  // 4 workers + main
+        std::vector<Pthread*> threads;
+        struct Ctx {
+          Pthreads* pt;
+          PthreadMutex* m;
+          PthreadBarrier* b;
+          int* counter;
+        } ctx{&pt, mutex.get(), barrier.get(), &counter};
+        for (int i = 0; i < 4; ++i) {
+          threads.push_back(pt.create(
+              nullptr,
+              [](void* p) -> void* {
+                auto* c = static_cast<Ctx*>(p);
+                for (int k = 0; k < 10; ++k) {
+                  c->m->lock();
+                  ++*c->counter;
+                  c->m->unlock();
+                }
+                c->b->wait();
+                return nullptr;
+              },
+              &ctx));
+        }
+        barrier->wait();
+        EXPECT_EQ(counter, 40);  // barrier ordered all increments first
+        for (auto* t : threads) pt.join(t);
+      },
+      0);
+  eng.run();
+  EXPECT_EQ(counter, 40);
+}
+
+TEST(Pthreads, CondVarTimedwait) {
+  sim::Engine eng(3);
+  nautilus::NautilusKernel nk(eng, hw::phi());
+  Pthreads pt(nk, nautilus_native_tuning());
+  bool timed_out = false;
+  nk.spawn_thread(
+      "main",
+      [&] {
+        auto m = pt.make_mutex();
+        auto cv = pt.make_cond();
+        m->lock();
+        timed_out = !cv->timedwait(*m, eng.now() + 10'000);
+        m->unlock();
+      },
+      0);
+  eng.run();
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(Pthreads, KeySpecificIsPerThread) {
+  sim::Engine eng(4);
+  nautilus::NautilusKernel nk(eng, hw::phi());
+  Pthreads pt(nk, nautilus_native_tuning());
+  void* main_val = nullptr;
+  void* worker_val = nullptr;
+  nk.spawn_thread(
+      "main",
+      [&] {
+        const int key = pt.key_create();
+        int a = 1, b = 2;
+        pt.set_specific(key, &a);
+        struct Ctx {
+          Pthreads* pt;
+          int key;
+          int* b;
+          void** out;
+        } ctx{&pt, key, &b, &worker_val};
+        Pthread* t = pt.create(
+            nullptr,
+            [](void* p) -> void* {
+              auto* c = static_cast<Ctx*>(p);
+              EXPECT_EQ(c->pt->get_specific(c->key), nullptr);  // fresh
+              c->pt->set_specific(c->key, c->b);
+              *c->out = c->pt->get_specific(c->key);
+              return nullptr;
+            },
+            &ctx);
+        pt.join(t);
+        main_val = pt.get_specific(key);
+        EXPECT_EQ(main_val, &a);
+        EXPECT_EQ(worker_val, &b);
+      },
+      0);
+  eng.run();
+  EXPECT_NE(main_val, nullptr);
+}
+
+TEST(Pthreads, PtePortIsSlowerThanNative) {
+  // Fig. 2a vs 2b: the layered PTE port pays per-op indirection that
+  // the customized implementation avoids.
+  auto run_with = [](Pthreads::Tuning tuning) {
+    sim::Engine eng(5);
+    nautilus::NautilusKernel nk(eng, hw::phi());
+    Pthreads pt(nk, tuning);
+    sim::Time elapsed = 0;
+    nk.spawn_thread(
+        "main",
+        [&] {
+          auto m = pt.make_mutex();
+          const sim::Time t0 = eng.now();
+          for (int i = 0; i < 1000; ++i) {
+            m->lock();
+            m->unlock();
+          }
+          elapsed = eng.now() - t0;
+        },
+        0);
+    eng.run();
+    return elapsed;
+  };
+  const sim::Time pte = run_with(nautilus_pte_tuning());
+  const sim::Time native = run_with(nautilus_native_tuning());
+  EXPECT_GT(pte, native);
+  EXPECT_GT(static_cast<double>(pte) / static_cast<double>(native), 1.5);
+}
+
+TEST(Pthreads, OnThreadCreateHookFires) {
+  sim::Engine eng(6);
+  linuxmodel::LinuxOs os(eng, hw::phi());
+  auto tuning = linux_glibc_tuning();
+  int hook_calls = 0;
+  tuning.on_thread_create = [&] { ++hook_calls; };
+  Pthreads pt(os, tuning);
+  os.spawn_thread(
+      "main",
+      [&] {
+        Pthread* t = pt.create(nullptr, [](void*) -> void* { return nullptr; },
+                               nullptr);
+        pt.join(t);
+      },
+      0);
+  eng.run();
+  EXPECT_EQ(hook_calls, 1);
+}
+
+TEST(Pthreads, SelfOutsidePoolIsMainHandle) {
+  sim::Engine eng(7);
+  nautilus::NautilusKernel nk(eng, hw::phi());
+  Pthreads pt(nk, nautilus_native_tuning());
+  Pthread* seen = nullptr;
+  nk.spawn_thread("main", [&] { seen = pt.self(); }, 0);
+  eng.run();
+  EXPECT_NE(seen, nullptr);
+}
+
+}  // namespace
+}  // namespace kop::pthread_compat

@@ -1,0 +1,99 @@
+// Tests for the RTK path: boot-image constraint, shell launch,
+// OpenMP-in-kernel execution, pthread flavor selection.
+#include <gtest/gtest.h>
+
+#include "rtk/rtk.hpp"
+
+namespace kop::rtk {
+namespace {
+
+RtkOptions small_options() {
+  RtkOptions o;
+  o.machine = hw::phi();
+  o.app_static_bytes = 64ULL << 20;
+  return o;
+}
+
+TEST(Rtk, BootsAndRunsOmpApp) {
+  RtkStack stack(small_options());
+  int team = 0;
+  const int code = stack.run_app([&](komp::Runtime& rt) {
+    rt.parallel(8, [&](komp::TeamThread& tt) {
+      if (tt.id() == 0) team = tt.nthreads();
+      tt.compute_ns(1000);
+    });
+    return 5;
+  });
+  EXPECT_EQ(code, 5);
+  EXPECT_EQ(team, 8);
+}
+
+TEST(Rtk, MainBecomesShellCommand) {
+  RtkStack stack(small_options());
+  stack.register_app("nas-bt", [](komp::Runtime&) { return 3; });
+  EXPECT_TRUE(stack.kernel().has_shell_command("nas-bt"));
+  EXPECT_EQ(stack.run_shell("nas-bt"), 3);
+}
+
+TEST(Rtk, ClassCStaticsOverlapMmioAtBoot) {
+  RtkOptions o = small_options();
+  o.app_static_bytes = 3400ULL << 20;  // class-C gigabyte globals
+  EXPECT_THROW(RtkStack{o}, nautilus::BootOverlapError);
+}
+
+TEST(Rtk, DynamicAllocationAvoidsTheOverlap) {
+  // §6.2: converting static arrays to startup-time dynamic allocation
+  // shrinks the boot image.
+  RtkOptions o = small_options();
+  o.app_static_bytes = 0;  // moved to malloc at app start
+  RtkStack stack(o);
+  bool allocated = false;
+  stack.run_app([&](komp::Runtime& rt) {
+    auto* r = rt.os().alloc_region("u", 3400ULL << 20,
+                                   osal::AllocPolicy::local());
+    allocated = r != nullptr;
+    rt.os().free_region(r);
+    return 0;
+  });
+  EXPECT_TRUE(allocated);
+}
+
+TEST(Rtk, UsesRtkTuningAndKernelEnvironment) {
+  RtkStack stack(small_options());
+  stack.kernel().set_env("OMP_NUM_THREADS", "4");
+  int team = 0;
+  bool tuning_is_rtk = false;
+  stack.run_app([&](komp::Runtime& rt) {
+    team = rt.max_threads();
+    tuning_is_rtk = rt.tuning().barrier_step_extra_ns > 0;
+    return 0;
+  });
+  EXPECT_EQ(team, 4);
+  EXPECT_TRUE(tuning_is_rtk);
+}
+
+TEST(Rtk, PteFlavorSelectable) {
+  RtkOptions o = small_options();
+  o.use_pte_pthreads = true;
+  RtkStack stack(o);
+  EXPECT_EQ(stack.pthreads().tuning().flavor, "nautilus-pte");
+  RtkStack native(small_options());
+  EXPECT_EQ(native.pthreads().tuning().flavor, "nautilus-native");
+}
+
+TEST(Rtk, OpenMpUsableFromSecondShellCommand) {
+  // RTK's distinctive property: *any* kernel code can use OpenMP, not
+  // just the app (§3, Fig. 6 "applies to all code in kernel").
+  RtkStack stack(small_options());
+  stack.register_app("kernel-worker", [](komp::Runtime& rt) {
+    int sum = 0;
+    rt.parallel(4, [&](komp::TeamThread& tt) {
+      tt.critical("sum", [&] { sum += tt.id(); });
+    });
+    return sum;
+  });
+  EXPECT_EQ(stack.run_shell("kernel-worker"), 0 + 1 + 2 + 3);
+}
+
+}  // namespace
+}  // namespace kop::rtk

@@ -1,0 +1,140 @@
+// Tests for the workload-description text format.
+#include <gtest/gtest.h>
+
+#include "core/stack.hpp"
+#include "nas/exec.hpp"
+#include "nas/spec_parser.hpp"
+
+namespace kop::nas {
+namespace {
+
+constexpr const char* kWave = R"(
+# a custom wave-propagation workload
+benchmark WAVE class B
+timesteps 8
+region field 512M
+static_bytes 512M
+serial_per_step 2ms
+
+loop stencil
+  region field
+  trip 2048
+  per_iter 2ms
+  mem_fraction 0.55
+  accesses_per_ns 0.004
+  pattern streaming
+end
+
+loop gather
+  region field
+  trip 1024
+  per_iter 1.5us
+  mem_fraction 0.6
+  bytes_per_iter 250K
+  pattern random
+  skew 0.5
+  privatized_object true
+  schedule dynamic 4
+end
+)";
+
+TEST(SpecParser, ParsesFullDescription) {
+  const BenchmarkSpec spec = parse_spec(kWave);
+  EXPECT_EQ(spec.name, "WAVE");
+  EXPECT_EQ(spec.clazz, 'B');
+  EXPECT_EQ(spec.timesteps, 8);
+  ASSERT_EQ(spec.regions.size(), 1u);
+  EXPECT_EQ(spec.regions[0].bytes, 512ULL << 20);
+  EXPECT_EQ(spec.static_bytes, 512ULL << 20);
+  EXPECT_DOUBLE_EQ(spec.serial_ns_per_step, 2e6);
+  ASSERT_EQ(spec.loops.size(), 2u);
+
+  const LoopSpec& stencil = spec.loops[0];
+  EXPECT_EQ(stencil.trip, 2048);
+  EXPECT_DOUBLE_EQ(stencil.per_iter_ns, 2e6);
+  // accesses_per_ns 0.004 * 2e6 ns * 64 B.
+  EXPECT_EQ(stencil.bytes_per_iter, 512000u);
+  EXPECT_EQ(stencil.pattern, hw::AccessPattern::kStreaming);
+  EXPECT_FALSE(stencil.needs_object_privatization);
+
+  const LoopSpec& gather = spec.loops[1];
+  EXPECT_DOUBLE_EQ(gather.per_iter_ns, 1500.0);
+  EXPECT_EQ(gather.bytes_per_iter, 250u << 10);
+  EXPECT_EQ(gather.pattern, hw::AccessPattern::kRandom);
+  EXPECT_TRUE(gather.needs_object_privatization);
+  EXPECT_EQ(gather.schedule, komp::Schedule::kDynamic);
+  EXPECT_EQ(gather.chunk, 4);
+  EXPECT_DOUBLE_EQ(gather.skew, 0.5);
+}
+
+TEST(SpecParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_spec("benchmark X class C\nregion r 1M\nloop l\n  trip banana\nend\n");
+    FAIL() << "expected SpecParseError";
+  } catch (const SpecParseError& e) {
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_NE(std::string(e.what()).find("trip"), std::string::npos);
+  }
+}
+
+TEST(SpecParser, RejectsStructuralMistakes) {
+  EXPECT_THROW(parse_spec("timesteps 2\n"), SpecParseError);  // no benchmark
+  EXPECT_THROW(parse_spec("benchmark X\nregion r 1M\n"), SpecParseError);  // no loops
+  EXPECT_THROW(parse_spec("benchmark X\nloop l\n  trip 5\n"), SpecParseError);  // unterminated
+  EXPECT_THROW(
+      parse_spec("benchmark X\nregion r 1M\nloop l\n  region other\n  per_iter 1us\nend\n"),
+      SpecParseError);  // unknown region
+  EXPECT_THROW(parse_spec("benchmark X\nregion r 1M\nwibble 3\n"),
+               SpecParseError);  // unknown directive
+  EXPECT_THROW(
+      parse_spec("benchmark X\nregion r 1M\nloop l\n  region r\n  per_iter 1us\n  pattern diagonal\nend\n"),
+      SpecParseError);  // unknown pattern
+}
+
+TEST(SpecParser, RoundTripsThroughFormat) {
+  const BenchmarkSpec original = parse_spec(kWave);
+  const BenchmarkSpec again = parse_spec(format_spec(original));
+  EXPECT_EQ(again.name, original.name);
+  EXPECT_EQ(again.timesteps, original.timesteps);
+  ASSERT_EQ(again.loops.size(), original.loops.size());
+  for (std::size_t i = 0; i < original.loops.size(); ++i) {
+    EXPECT_EQ(again.loops[i].trip, original.loops[i].trip);
+    EXPECT_NEAR(again.loops[i].per_iter_ns, original.loops[i].per_iter_ns, 1e-6);
+    EXPECT_EQ(again.loops[i].bytes_per_iter, original.loops[i].bytes_per_iter);
+    EXPECT_EQ(again.loops[i].pattern, original.loops[i].pattern);
+    EXPECT_EQ(again.loops[i].needs_object_privatization,
+              original.loops[i].needs_object_privatization);
+    EXPECT_EQ(again.loops[i].chunk, original.loops[i].chunk);
+  }
+}
+
+TEST(SpecParser, ShippedSpecsRoundTrip) {
+  for (const auto& spec : paper_suite()) {
+    const BenchmarkSpec again = parse_spec(format_spec(spec));
+    EXPECT_EQ(again.name, spec.name);
+    EXPECT_EQ(again.loops.size(), spec.loops.size()) << spec.name;
+    EXPECT_NEAR(again.base_work_ns(), spec.base_work_ns(),
+                spec.base_work_ns() * 1e-9)
+        << spec.name;
+  }
+}
+
+TEST(SpecParser, ParsedSpecRunsEndToEnd) {
+  BenchmarkSpec spec = parse_spec(kWave);
+  spec.timesteps = 1;
+  for (auto& l : spec.loops) l.per_iter_ns *= 0.01;
+  core::StackConfig cfg;
+  cfg.path = core::PathKind::kRtk;
+  cfg.num_threads = 8;
+  cfg.app_static_bytes = spec.static_bytes;
+  auto stack = core::Stack::create(cfg);
+  double seconds = 0;
+  stack->run_omp_app([&](komp::Runtime& rt) {
+    seconds = run_openmp(rt, spec).timed_seconds;
+    return 0;
+  });
+  EXPECT_GT(seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace kop::nas
