@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gang.dir/abl_gang.cpp.o"
+  "CMakeFiles/abl_gang.dir/abl_gang.cpp.o.d"
+  "abl_gang"
+  "abl_gang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_numa_firsttouch.dir/abl_numa_firsttouch.cpp.o"
+  "CMakeFiles/abl_numa_firsttouch.dir/abl_numa_firsttouch.cpp.o.d"
+  "abl_numa_firsttouch"
+  "abl_numa_firsttouch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_numa_firsttouch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pthread_layers.dir/abl_pthread_layers.cpp.o"
+  "CMakeFiles/abl_pthread_layers.dir/abl_pthread_layers.cpp.o.d"
+  "abl_pthread_layers"
+  "abl_pthread_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pthread_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

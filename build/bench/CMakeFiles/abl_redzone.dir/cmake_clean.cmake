@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_redzone.dir/abl_redzone.cpp.o"
+  "CMakeFiles/abl_redzone.dir/abl_redzone.cpp.o.d"
+  "abl_redzone"
+  "abl_redzone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_redzone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_tradeoffs.dir/fig06_tradeoffs.cpp.o"
+  "CMakeFiles/fig06_tradeoffs.dir/fig06_tradeoffs.cpp.o.d"
+  "fig06_tradeoffs"
+  "fig06_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_epcc_pik_phi.dir/fig08_epcc_pik_phi.cpp.o"
+  "CMakeFiles/fig08_epcc_pik_phi.dir/fig08_epcc_pik_phi.cpp.o.d"
+  "fig08_epcc_pik_phi"
+  "fig08_epcc_pik_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_epcc_pik_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_epcc_pik_phi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_nas_rtk_phi.dir/fig09_nas_rtk_phi.cpp.o"
+  "CMakeFiles/fig09_nas_rtk_phi.dir/fig09_nas_rtk_phi.cpp.o.d"
+  "fig09_nas_rtk_phi"
+  "fig09_nas_rtk_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_nas_rtk_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

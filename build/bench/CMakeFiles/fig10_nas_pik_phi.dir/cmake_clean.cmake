@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nas_pik_phi.dir/fig10_nas_pik_phi.cpp.o"
+  "CMakeFiles/fig10_nas_pik_phi.dir/fig10_nas_pik_phi.cpp.o.d"
+  "fig10_nas_pik_phi"
+  "fig10_nas_pik_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nas_pik_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

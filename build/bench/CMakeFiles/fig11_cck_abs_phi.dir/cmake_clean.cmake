@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cck_abs_phi.dir/fig11_cck_abs_phi.cpp.o"
+  "CMakeFiles/fig11_cck_abs_phi.dir/fig11_cck_abs_phi.cpp.o.d"
+  "fig11_cck_abs_phi"
+  "fig11_cck_abs_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cck_abs_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

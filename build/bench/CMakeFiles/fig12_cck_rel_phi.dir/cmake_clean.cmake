@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cck_rel_phi.dir/fig12_cck_rel_phi.cpp.o"
+  "CMakeFiles/fig12_cck_rel_phi.dir/fig12_cck_rel_phi.cpp.o.d"
+  "fig12_cck_rel_phi"
+  "fig12_cck_rel_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cck_rel_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

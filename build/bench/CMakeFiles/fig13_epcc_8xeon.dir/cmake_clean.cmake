@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_epcc_8xeon.dir/fig13_epcc_8xeon.cpp.o"
+  "CMakeFiles/fig13_epcc_8xeon.dir/fig13_epcc_8xeon.cpp.o.d"
+  "fig13_epcc_8xeon"
+  "fig13_epcc_8xeon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_epcc_8xeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_nas_8xeon.dir/fig14_nas_8xeon.cpp.o"
+  "CMakeFiles/fig14_nas_8xeon.dir/fig14_nas_8xeon.cpp.o.d"
+  "fig14_nas_8xeon"
+  "fig14_nas_8xeon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_nas_8xeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_nas_8xeon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_nas_8xeon.
+# This may be replaced when dependencies are built.

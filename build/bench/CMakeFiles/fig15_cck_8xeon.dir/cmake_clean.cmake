@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cck_8xeon.dir/fig15_cck_8xeon.cpp.o"
+  "CMakeFiles/fig15_cck_8xeon.dir/fig15_cck_8xeon.cpp.o.d"
+  "fig15_cck_8xeon"
+  "fig15_cck_8xeon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cck_8xeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_cck_8xeon.
+# This may be replaced when dependencies are built.

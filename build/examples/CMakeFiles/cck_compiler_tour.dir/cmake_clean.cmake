@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cck_compiler_tour.dir/cck_compiler_tour.cpp.o"
+  "CMakeFiles/cck_compiler_tour.dir/cck_compiler_tour.cpp.o.d"
+  "cck_compiler_tour"
+  "cck_compiler_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cck_compiler_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_openmp_shell.dir/kernel_openmp_shell.cpp.o"
+  "CMakeFiles/kernel_openmp_shell.dir/kernel_openmp_shell.cpp.o.d"
+  "kernel_openmp_shell"
+  "kernel_openmp_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_openmp_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

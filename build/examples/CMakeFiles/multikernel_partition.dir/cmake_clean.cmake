@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multikernel_partition.dir/multikernel_partition.cpp.o"
+  "CMakeFiles/multikernel_partition.dir/multikernel_partition.cpp.o.d"
+  "multikernel_partition"
+  "multikernel_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multikernel_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

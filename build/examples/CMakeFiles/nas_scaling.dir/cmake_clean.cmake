@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_scaling.dir/nas_scaling.cpp.o"
+  "CMakeFiles/nas_scaling.dir/nas_scaling.cpp.o.d"
+  "nas_scaling"
+  "nas_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_verify.dir/nas_verify.cpp.o"
+  "CMakeFiles/nas_verify.dir/nas_verify.cpp.o.d"
+  "nas_verify"
+  "nas_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pik_strace.dir/pik_strace.cpp.o"
+  "CMakeFiles/pik_strace.dir/pik_strace.cpp.o.d"
+  "pik_strace"
+  "pik_strace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pik_strace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pik_strace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("hw")
+subdirs("osal")
+subdirs("nautilus")
+subdirs("linuxmodel")
+subdirs("pthread_compat")
+subdirs("virgil")
+subdirs("komp")
+subdirs("cck")
+subdirs("rtk")
+subdirs("pik")
+subdirs("epcc")
+subdirs("nas")
+subdirs("core")
+subdirs("harness")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_cck.dir/codegen.cpp.o"
+  "CMakeFiles/kop_cck.dir/codegen.cpp.o.d"
+  "CMakeFiles/kop_cck.dir/ir.cpp.o"
+  "CMakeFiles/kop_cck.dir/ir.cpp.o.d"
+  "CMakeFiles/kop_cck.dir/parallelizer.cpp.o"
+  "CMakeFiles/kop_cck.dir/parallelizer.cpp.o.d"
+  "CMakeFiles/kop_cck.dir/pdg.cpp.o"
+  "CMakeFiles/kop_cck.dir/pdg.cpp.o.d"
+  "CMakeFiles/kop_cck.dir/program.cpp.o"
+  "CMakeFiles/kop_cck.dir/program.cpp.o.d"
+  "CMakeFiles/kop_cck.dir/transforms.cpp.o"
+  "CMakeFiles/kop_cck.dir/transforms.cpp.o.d"
+  "libkop_cck.a"
+  "libkop_cck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_cck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_core.dir/stack.cpp.o"
+  "CMakeFiles/kop_core.dir/stack.cpp.o.d"
+  "libkop_core.a"
+  "libkop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_epcc.dir/epcc.cpp.o"
+  "CMakeFiles/kop_epcc.dir/epcc.cpp.o.d"
+  "libkop_epcc.a"
+  "libkop_epcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_epcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_harness.dir/experiment.cpp.o"
+  "CMakeFiles/kop_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/kop_harness.dir/figures.cpp.o"
+  "CMakeFiles/kop_harness.dir/figures.cpp.o.d"
+  "CMakeFiles/kop_harness.dir/table.cpp.o"
+  "CMakeFiles/kop_harness.dir/table.cpp.o.d"
+  "libkop_harness.a"
+  "libkop_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

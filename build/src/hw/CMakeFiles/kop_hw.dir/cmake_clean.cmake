@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_hw.dir/cpu.cpp.o"
+  "CMakeFiles/kop_hw.dir/cpu.cpp.o.d"
+  "CMakeFiles/kop_hw.dir/exec_model.cpp.o"
+  "CMakeFiles/kop_hw.dir/exec_model.cpp.o.d"
+  "CMakeFiles/kop_hw.dir/memory.cpp.o"
+  "CMakeFiles/kop_hw.dir/memory.cpp.o.d"
+  "CMakeFiles/kop_hw.dir/topology.cpp.o"
+  "CMakeFiles/kop_hw.dir/topology.cpp.o.d"
+  "libkop_hw.a"
+  "libkop_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

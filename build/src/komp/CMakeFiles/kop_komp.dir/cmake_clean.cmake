@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_komp.dir/barrier.cpp.o"
+  "CMakeFiles/kop_komp.dir/barrier.cpp.o.d"
+  "CMakeFiles/kop_komp.dir/icv.cpp.o"
+  "CMakeFiles/kop_komp.dir/icv.cpp.o.d"
+  "CMakeFiles/kop_komp.dir/lock.cpp.o"
+  "CMakeFiles/kop_komp.dir/lock.cpp.o.d"
+  "CMakeFiles/kop_komp.dir/runtime.cpp.o"
+  "CMakeFiles/kop_komp.dir/runtime.cpp.o.d"
+  "CMakeFiles/kop_komp.dir/tasking.cpp.o"
+  "CMakeFiles/kop_komp.dir/tasking.cpp.o.d"
+  "CMakeFiles/kop_komp.dir/team.cpp.o"
+  "CMakeFiles/kop_komp.dir/team.cpp.o.d"
+  "libkop_komp.a"
+  "libkop_komp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_komp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_linuxmodel.dir/futex.cpp.o"
+  "CMakeFiles/kop_linuxmodel.dir/futex.cpp.o.d"
+  "CMakeFiles/kop_linuxmodel.dir/linux_os.cpp.o"
+  "CMakeFiles/kop_linuxmodel.dir/linux_os.cpp.o.d"
+  "CMakeFiles/kop_linuxmodel.dir/process.cpp.o"
+  "CMakeFiles/kop_linuxmodel.dir/process.cpp.o.d"
+  "libkop_linuxmodel.a"
+  "libkop_linuxmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_linuxmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kop_linuxmodel.
+# This may be replaced when dependencies are built.

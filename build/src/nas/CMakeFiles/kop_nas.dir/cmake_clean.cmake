@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_nas.dir/automp_exec.cpp.o"
+  "CMakeFiles/kop_nas.dir/automp_exec.cpp.o.d"
+  "CMakeFiles/kop_nas.dir/functional.cpp.o"
+  "CMakeFiles/kop_nas.dir/functional.cpp.o.d"
+  "CMakeFiles/kop_nas.dir/openmp_exec.cpp.o"
+  "CMakeFiles/kop_nas.dir/openmp_exec.cpp.o.d"
+  "CMakeFiles/kop_nas.dir/spec_parser.cpp.o"
+  "CMakeFiles/kop_nas.dir/spec_parser.cpp.o.d"
+  "CMakeFiles/kop_nas.dir/specs.cpp.o"
+  "CMakeFiles/kop_nas.dir/specs.cpp.o.d"
+  "libkop_nas.a"
+  "libkop_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nautilus/buddy.cpp" "src/nautilus/CMakeFiles/kop_nautilus.dir/buddy.cpp.o" "gcc" "src/nautilus/CMakeFiles/kop_nautilus.dir/buddy.cpp.o.d"
+  "/root/repo/src/nautilus/fibers.cpp" "src/nautilus/CMakeFiles/kop_nautilus.dir/fibers.cpp.o" "gcc" "src/nautilus/CMakeFiles/kop_nautilus.dir/fibers.cpp.o.d"
+  "/root/repo/src/nautilus/irq.cpp" "src/nautilus/CMakeFiles/kop_nautilus.dir/irq.cpp.o" "gcc" "src/nautilus/CMakeFiles/kop_nautilus.dir/irq.cpp.o.d"
+  "/root/repo/src/nautilus/kernel.cpp" "src/nautilus/CMakeFiles/kop_nautilus.dir/kernel.cpp.o" "gcc" "src/nautilus/CMakeFiles/kop_nautilus.dir/kernel.cpp.o.d"
+  "/root/repo/src/nautilus/loader.cpp" "src/nautilus/CMakeFiles/kop_nautilus.dir/loader.cpp.o" "gcc" "src/nautilus/CMakeFiles/kop_nautilus.dir/loader.cpp.o.d"
+  "/root/repo/src/nautilus/task_system.cpp" "src/nautilus/CMakeFiles/kop_nautilus.dir/task_system.cpp.o" "gcc" "src/nautilus/CMakeFiles/kop_nautilus.dir/task_system.cpp.o.d"
+  "/root/repo/src/nautilus/tls.cpp" "src/nautilus/CMakeFiles/kop_nautilus.dir/tls.cpp.o" "gcc" "src/nautilus/CMakeFiles/kop_nautilus.dir/tls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/osal/CMakeFiles/kop_osal.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/kop_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_nautilus.dir/buddy.cpp.o"
+  "CMakeFiles/kop_nautilus.dir/buddy.cpp.o.d"
+  "CMakeFiles/kop_nautilus.dir/fibers.cpp.o"
+  "CMakeFiles/kop_nautilus.dir/fibers.cpp.o.d"
+  "CMakeFiles/kop_nautilus.dir/irq.cpp.o"
+  "CMakeFiles/kop_nautilus.dir/irq.cpp.o.d"
+  "CMakeFiles/kop_nautilus.dir/kernel.cpp.o"
+  "CMakeFiles/kop_nautilus.dir/kernel.cpp.o.d"
+  "CMakeFiles/kop_nautilus.dir/loader.cpp.o"
+  "CMakeFiles/kop_nautilus.dir/loader.cpp.o.d"
+  "CMakeFiles/kop_nautilus.dir/task_system.cpp.o"
+  "CMakeFiles/kop_nautilus.dir/task_system.cpp.o.d"
+  "CMakeFiles/kop_nautilus.dir/tls.cpp.o"
+  "CMakeFiles/kop_nautilus.dir/tls.cpp.o.d"
+  "libkop_nautilus.a"
+  "libkop_nautilus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_nautilus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kop_nautilus.
+# This may be replaced when dependencies are built.

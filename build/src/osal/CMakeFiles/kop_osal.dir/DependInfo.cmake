@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osal/base_os.cpp" "src/osal/CMakeFiles/kop_osal.dir/base_os.cpp.o" "gcc" "src/osal/CMakeFiles/kop_osal.dir/base_os.cpp.o.d"
+  "/root/repo/src/osal/sync.cpp" "src/osal/CMakeFiles/kop_osal.dir/sync.cpp.o" "gcc" "src/osal/CMakeFiles/kop_osal.dir/sync.cpp.o.d"
+  "/root/repo/src/osal/tracer.cpp" "src/osal/CMakeFiles/kop_osal.dir/tracer.cpp.o" "gcc" "src/osal/CMakeFiles/kop_osal.dir/tracer.cpp.o.d"
+  "/root/repo/src/osal/wait_queue.cpp" "src/osal/CMakeFiles/kop_osal.dir/wait_queue.cpp.o" "gcc" "src/osal/CMakeFiles/kop_osal.dir/wait_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/kop_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_osal.dir/base_os.cpp.o"
+  "CMakeFiles/kop_osal.dir/base_os.cpp.o.d"
+  "CMakeFiles/kop_osal.dir/sync.cpp.o"
+  "CMakeFiles/kop_osal.dir/sync.cpp.o.d"
+  "CMakeFiles/kop_osal.dir/tracer.cpp.o"
+  "CMakeFiles/kop_osal.dir/tracer.cpp.o.d"
+  "CMakeFiles/kop_osal.dir/wait_queue.cpp.o"
+  "CMakeFiles/kop_osal.dir/wait_queue.cpp.o.d"
+  "libkop_osal.a"
+  "libkop_osal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_osal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

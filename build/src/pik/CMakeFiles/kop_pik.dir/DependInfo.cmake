@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pik/gang.cpp" "src/pik/CMakeFiles/kop_pik.dir/gang.cpp.o" "gcc" "src/pik/CMakeFiles/kop_pik.dir/gang.cpp.o.d"
+  "/root/repo/src/pik/pik.cpp" "src/pik/CMakeFiles/kop_pik.dir/pik.cpp.o" "gcc" "src/pik/CMakeFiles/kop_pik.dir/pik.cpp.o.d"
+  "/root/repo/src/pik/pik_os.cpp" "src/pik/CMakeFiles/kop_pik.dir/pik_os.cpp.o" "gcc" "src/pik/CMakeFiles/kop_pik.dir/pik_os.cpp.o.d"
+  "/root/repo/src/pik/syscalls.cpp" "src/pik/CMakeFiles/kop_pik.dir/syscalls.cpp.o" "gcc" "src/pik/CMakeFiles/kop_pik.dir/syscalls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/komp/CMakeFiles/kop_komp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/CMakeFiles/kop_nautilus.dir/DependInfo.cmake"
+  "/root/repo/build/src/linuxmodel/CMakeFiles/kop_linuxmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pthread_compat/CMakeFiles/kop_pthread_compat.dir/DependInfo.cmake"
+  "/root/repo/build/src/osal/CMakeFiles/kop_osal.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/kop_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_pik.dir/gang.cpp.o"
+  "CMakeFiles/kop_pik.dir/gang.cpp.o.d"
+  "CMakeFiles/kop_pik.dir/pik.cpp.o"
+  "CMakeFiles/kop_pik.dir/pik.cpp.o.d"
+  "CMakeFiles/kop_pik.dir/pik_os.cpp.o"
+  "CMakeFiles/kop_pik.dir/pik_os.cpp.o.d"
+  "CMakeFiles/kop_pik.dir/syscalls.cpp.o"
+  "CMakeFiles/kop_pik.dir/syscalls.cpp.o.d"
+  "libkop_pik.a"
+  "libkop_pik.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_pik.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_pthread_compat.dir/pthreads.cpp.o"
+  "CMakeFiles/kop_pthread_compat.dir/pthreads.cpp.o.d"
+  "libkop_pthread_compat.a"
+  "libkop_pthread_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_pthread_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_rtk.dir/rtk.cpp.o"
+  "CMakeFiles/kop_rtk.dir/rtk.cpp.o.d"
+  "libkop_rtk.a"
+  "libkop_rtk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_rtk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_sim.dir/engine.cpp.o"
+  "CMakeFiles/kop_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/kop_sim.dir/fiber.cpp.o"
+  "CMakeFiles/kop_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/kop_sim.dir/rng.cpp.o"
+  "CMakeFiles/kop_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/kop_sim.dir/stats.cpp.o"
+  "CMakeFiles/kop_sim.dir/stats.cpp.o.d"
+  "libkop_sim.a"
+  "libkop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virgil/virgil.cpp" "src/virgil/CMakeFiles/kop_virgil.dir/virgil.cpp.o" "gcc" "src/virgil/CMakeFiles/kop_virgil.dir/virgil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nautilus/CMakeFiles/kop_nautilus.dir/DependInfo.cmake"
+  "/root/repo/build/src/linuxmodel/CMakeFiles/kop_linuxmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/osal/CMakeFiles/kop_osal.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/kop_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

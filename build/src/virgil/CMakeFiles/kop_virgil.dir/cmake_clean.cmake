@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kop_virgil.dir/virgil.cpp.o"
+  "CMakeFiles/kop_virgil.dir/virgil.cpp.o.d"
+  "libkop_virgil.a"
+  "libkop_virgil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kop_virgil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkop_virgil.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cck_test.dir/cck_test.cpp.o"
+  "CMakeFiles/cck_test.dir/cck_test.cpp.o.d"
+  "cck_test"
+  "cck_test.pdb"
+  "cck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

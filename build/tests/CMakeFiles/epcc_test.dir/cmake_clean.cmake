@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epcc_test.dir/epcc_test.cpp.o"
+  "CMakeFiles/epcc_test.dir/epcc_test.cpp.o.d"
+  "epcc_test"
+  "epcc_test.pdb"
+  "epcc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/komp_tasking_test.dir/komp_tasking_test.cpp.o"
+  "CMakeFiles/komp_tasking_test.dir/komp_tasking_test.cpp.o.d"
+  "komp_tasking_test"
+  "komp_tasking_test.pdb"
+  "komp_tasking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/komp_tasking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

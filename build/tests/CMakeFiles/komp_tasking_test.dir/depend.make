@@ -1,0 +1,2 @@
+# Empty dependencies file for komp_tasking_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/komp_test.dir/komp_test.cpp.o"
+  "CMakeFiles/komp_test.dir/komp_test.cpp.o.d"
+  "komp_test"
+  "komp_test.pdb"
+  "komp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/komp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linuxmodel_test.dir/linuxmodel_test.cpp.o"
+  "CMakeFiles/linuxmodel_test.dir/linuxmodel_test.cpp.o.d"
+  "linuxmodel_test"
+  "linuxmodel_test.pdb"
+  "linuxmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linuxmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

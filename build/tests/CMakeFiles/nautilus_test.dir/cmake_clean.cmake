@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nautilus_test.dir/nautilus_test.cpp.o"
+  "CMakeFiles/nautilus_test.dir/nautilus_test.cpp.o.d"
+  "nautilus_test"
+  "nautilus_test.pdb"
+  "nautilus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nautilus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pik_test.cpp" "tests/CMakeFiles/pik_test.dir/pik_test.cpp.o" "gcc" "tests/CMakeFiles/pik_test.dir/pik_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/kop_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtk/CMakeFiles/kop_rtk.dir/DependInfo.cmake"
+  "/root/repo/build/src/pik/CMakeFiles/kop_pik.dir/DependInfo.cmake"
+  "/root/repo/build/src/epcc/CMakeFiles/kop_epcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/kop_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/cck/CMakeFiles/kop_cck.dir/DependInfo.cmake"
+  "/root/repo/build/src/virgil/CMakeFiles/kop_virgil.dir/DependInfo.cmake"
+  "/root/repo/build/src/komp/CMakeFiles/kop_komp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pthread_compat/CMakeFiles/kop_pthread_compat.dir/DependInfo.cmake"
+  "/root/repo/build/src/nautilus/CMakeFiles/kop_nautilus.dir/DependInfo.cmake"
+  "/root/repo/build/src/linuxmodel/CMakeFiles/kop_linuxmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/osal/CMakeFiles/kop_osal.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/kop_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pik_test.dir/pik_test.cpp.o"
+  "CMakeFiles/pik_test.dir/pik_test.cpp.o.d"
+  "pik_test"
+  "pik_test.pdb"
+  "pik_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pik_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pthread_compat_test.dir/pthread_compat_test.cpp.o"
+  "CMakeFiles/pthread_compat_test.dir/pthread_compat_test.cpp.o.d"
+  "pthread_compat_test"
+  "pthread_compat_test.pdb"
+  "pthread_compat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pthread_compat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtk_test.dir/rtk_test.cpp.o"
+  "CMakeFiles/rtk_test.dir/rtk_test.cpp.o.d"
+  "rtk_test"
+  "rtk_test.pdb"
+  "rtk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

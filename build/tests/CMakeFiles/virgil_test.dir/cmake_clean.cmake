@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virgil_test.dir/virgil_test.cpp.o"
+  "CMakeFiles/virgil_test.dir/virgil_test.cpp.o.d"
+  "virgil_test"
+  "virgil_test.pdb"
+  "virgil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virgil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

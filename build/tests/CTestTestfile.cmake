@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/osal_test[1]_include.cmake")
+include("/root/repo/build/tests/nautilus_test[1]_include.cmake")
+include("/root/repo/build/tests/linuxmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/pthread_compat_test[1]_include.cmake")
+include("/root/repo/build/tests/komp_test[1]_include.cmake")
+include("/root/repo/build/tests/komp_tasking_test[1]_include.cmake")
+include("/root/repo/build/tests/virgil_test[1]_include.cmake")
+include("/root/repo/build/tests/cck_test[1]_include.cmake")
+include("/root/repo/build/tests/rtk_test[1]_include.cmake")
+include("/root/repo/build/tests/pik_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_test[1]_include.cmake")
+include("/root/repo/build/tests/epcc_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_parser_test[1]_include.cmake")
