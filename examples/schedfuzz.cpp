@@ -1,0 +1,137 @@
+// Schedule-exploration fuzzer CLI.
+//
+//   schedfuzz                                sweep the default scenario
+//                                            set (random + PCT policies)
+//   schedfuzz --seeds=N --seed-begin=S       widen / shift the sweep
+//   schedfuzz --scenario=NAME                restrict to one scenario
+//   schedfuzz --policy=P --sched-seed=S      replay one exact schedule
+//   schedfuzz --regressions=FILE             replay a pinned seed list
+//   schedfuzz --inject-bug                   include the buggy-unlock
+//                                            fixture (must be caught)
+//   schedfuzz --list                         print scenario names
+//
+// Exit code 0 = every run clean; 1 = at least one failure (the summary
+// names the racy pair / deadlock and prints the replay command line).
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/schedfuzz.hpp"
+
+namespace sf = kop::harness::schedfuzz;
+
+namespace {
+
+bool arg_value(const std::string& arg, const std::string& key,
+               std::string& out) {
+  const std::string prefix = "--" + key + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sf::Options opt;
+  std::string only, policy_str, regressions;
+  std::uint64_t sched_seed = 0;
+  bool have_sched_seed = false, inject_bug = false, list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (arg_value(arg, "seeds", v)) {
+      opt.seeds_per_policy = std::atoi(v.c_str());
+      if (opt.seeds_per_policy <= 0) {
+        std::cerr << "schedfuzz: --seeds needs a positive count, got '" << v
+                  << "'\n";
+        return 2;
+      }
+    } else if (arg_value(arg, "seed-begin", v)) {
+      opt.seed_begin = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (arg_value(arg, "scenario", v)) {
+      only = v;
+    } else if (arg_value(arg, "policy", v)) {
+      policy_str = v;
+    } else if (arg_value(arg, "sched-seed", v)) {
+      sched_seed = std::strtoull(v.c_str(), nullptr, 10);
+      have_sched_seed = true;
+    } else if (arg_value(arg, "regressions", v)) {
+      regressions = v;
+    } else if (arg == "--inject-bug") {
+      inject_bug = true;
+    } else if (arg == "--no-racecheck") {
+      opt.racecheck = false;
+    } else if (arg == "--keep-going") {
+      opt.stop_on_failure = false;
+    } else if (arg == "--list") {
+      list = true;
+    } else {
+      std::cerr << "schedfuzz: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<sf::Scenario> scenarios = sf::default_scenarios();
+  // Asking for the buggy fixture by name is as explicit an opt-in as
+  // --inject-bug, and keeps the replay command printed for its
+  // failures runnable verbatim.
+  if (inject_bug || only == sf::buggy_unlock_scenario().name)
+    scenarios.push_back(sf::buggy_unlock_scenario());
+
+  if (list) {
+    for (const auto& s : scenarios) std::cout << s.name << "\n";
+    return 0;
+  }
+
+  if (!regressions.empty()) {
+    sf::Report report;
+    try {
+      report = sf::replay_regressions(scenarios, regressions, opt.racecheck);
+    } catch (const std::exception& e) {
+      std::cerr << "schedfuzz: " << e.what() << "\n";
+      return 2;
+    }
+    std::cout << report.summary() << "\n";
+    return report.ok() ? 0 : 1;
+  }
+
+  if (!only.empty()) {
+    const sf::Scenario* s = sf::find_scenario(scenarios, only);
+    if (s == nullptr) {
+      std::cerr << "schedfuzz: unknown scenario " << only
+                << " (try --list)\n";
+      return 2;
+    }
+    scenarios = {*s};
+  }
+
+  if (have_sched_seed || !policy_str.empty()) {
+    // Replay mode: one exact (policy, seed) pair per listed scenario.
+    kop::sim::SchedConfig sched;
+    sched.seed = sched_seed;
+    if (policy_str == "fifo") sched.policy = kop::sim::SchedPolicy::kFifo;
+    else if (policy_str == "pct") sched.policy = kop::sim::SchedPolicy::kPct;
+    else if (policy_str == "random" || policy_str.empty())
+      sched.policy = kop::sim::SchedPolicy::kRandom;
+    else {
+      std::cerr << "schedfuzz: unknown policy " << policy_str << "\n";
+      return 2;
+    }
+    sf::Report report;
+    for (const auto& s : scenarios) {
+      sf::Failure f = sf::run_one(s, sched, opt.racecheck);
+      ++report.runs;
+      if (f.verdict != sf::Verdict::kOk)
+        report.failures.push_back(std::move(f));
+    }
+    std::cout << report.summary() << "\n";
+    return report.ok() ? 0 : 1;
+  }
+
+  sf::Report report = sf::sweep(scenarios, opt);
+  std::cout << report.summary() << "\n";
+  return report.ok() ? 0 : 1;
+}

@@ -45,9 +45,10 @@ class LinuxOmpStack final : public Stack {
   explicit LinuxOmpStack(StackConfig config)
       : config_(std::move(config)),
         machine_(hw::machine_by_name(config_.machine)),
-        engine_(config_.seed),
+        engine_(config_.seed, config_.sched),
         os_(engine_, machine_),
         pthreads_(os_, pthread_compat::linux_glibc_tuning()) {
+    if (config_.racecheck) engine_.enable_racecheck();
     apply_env(os_, config_);
   }
 
@@ -87,6 +88,8 @@ class RtkPathStack final : public Stack {
     opts.kernel_config.first_touch_at_2mb = config_.nk_first_touch;
     opts.use_pte_pthreads = config_.rtk_use_pte;
     opts.seed = config_.seed;
+    opts.sched = config_.sched;
+    opts.racecheck = config_.racecheck;
     opts.app_static_bytes = config_.app_static_bytes;
     impl_ = std::make_unique<rtk::RtkStack>(std::move(opts));
     apply_env(impl_->kernel(), config_);
@@ -113,6 +116,8 @@ class PikPathStack final : public Stack {
     pik::PikOptions opts;
     opts.machine = hw::machine_by_name(config_.machine);
     opts.seed = config_.seed;
+    opts.sched = config_.sched;
+    opts.racecheck = config_.racecheck;
     opts.app_static_bytes = config_.app_static_bytes;
     impl_ = std::make_unique<pik::PikStack>(std::move(opts));
     apply_env(impl_->os(), config_);
@@ -140,8 +145,9 @@ class AutoMpLinuxStack final : public Stack {
   explicit AutoMpLinuxStack(StackConfig config)
       : config_(std::move(config)),
         machine_(hw::machine_by_name(config_.machine)),
-        engine_(config_.seed),
+        engine_(config_.seed, config_.sched),
         os_(engine_, machine_) {
+    if (config_.racecheck) engine_.enable_racecheck();
     apply_env(os_, config_);
   }
 
@@ -187,7 +193,8 @@ class AutoMpNautilusStack final : public Stack {
     image.app_static_bytes = config_.app_static_bytes;
     nautilus::BootLayout::check(machine_, image);
 
-    engine_ = std::make_unique<sim::Engine>(config_.seed);
+    engine_ = std::make_unique<sim::Engine>(config_.seed, config_.sched);
+    if (config_.racecheck) engine_->enable_racecheck();
     nautilus::NautilusConfig kc;
     kc.first_touch_at_2mb = config_.nk_first_touch;
     kernel_ = std::make_unique<nautilus::NautilusKernel>(*engine_, machine_, kc);

@@ -21,6 +21,7 @@
 
 #include "komp/runtime.hpp"
 #include "osal/osal.hpp"
+#include "sim/engine.hpp"
 #include "virgil/virgil.hpp"
 
 namespace kop::core {
@@ -35,6 +36,11 @@ struct StackConfig {
   /// Execution width (OMP_NUM_THREADS / VIRGIL lanes); 0 = all CPUs.
   int num_threads = 0;
   std::uint64_t seed = 42;
+  /// Ready-queue tie-break policy for the engine: FIFO (default), or a
+  /// seeded random / PCT-style perturbation for schedule exploration.
+  sim::SchedConfig sched;
+  /// Attach the vector-clock race detector to the engine.
+  bool racecheck = false;
   /// RTK: use the PTE pthread port (Fig. 2a) instead of the customized
   /// layer (Fig. 2b).
   bool rtk_use_pte = false;

@@ -1,0 +1,587 @@
+#include "harness/schedfuzz.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "epcc/epcc.hpp"
+#include "hw/topology.hpp"
+#include "komp/runtime.hpp"
+#include "komp/team.hpp"
+#include "linuxmodel/linux_os.hpp"
+#include "nas/functional.hpp"
+#include "osal/sync.hpp"
+#include "sim/racecheck.hpp"
+
+namespace kop::harness::schedfuzz {
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kRace: return "race";
+    case Verdict::kDeadlock: return "deadlock";
+    case Verdict::kException: return "exception";
+    case Verdict::kWrongAnswer: return "wrong-answer";
+  }
+  return "?";
+}
+
+core::StackConfig FuzzConfig::stack(int num_threads) const {
+  core::StackConfig cfg;
+  cfg.machine = "phi";
+  cfg.path = core::PathKind::kLinuxOmp;
+  cfg.num_threads = num_threads;
+  apply(cfg);
+  return cfg;
+}
+
+void FuzzConfig::apply(core::StackConfig& cfg) const {
+  cfg.sched = sched;
+  cfg.racecheck = racecheck;
+}
+
+std::unique_ptr<sim::Engine> FuzzConfig::make_engine(
+    std::uint64_t rng_seed) const {
+  auto engine = std::make_unique<sim::Engine>(rng_seed, sched);
+  if (racecheck) engine->enable_racecheck();
+  return engine;
+}
+
+std::vector<std::string> collect_races(sim::Engine& engine) {
+  std::vector<std::string> out;
+  if (const sim::RaceChecker* rc = engine.racecheck())
+    for (const auto& r : rc->reports()) out.push_back(r.to_string());
+  return out;
+}
+
+namespace {
+
+// --- scenario plumbing ----------------------------------------------
+
+/// Run `body` on a raw engine+OS; body spawns threads and returns a
+/// checker evaluated after the engine drains.  Race reports are
+/// harvested even when the run dies (deadlocks rethrow afterwards).
+Outcome run_osal_scenario(
+    const FuzzConfig& cfg,
+    const std::function<std::function<std::string()>(osal::Os&)>& body) {
+  Outcome out;
+  auto engine = cfg.make_engine();
+  linuxmodel::LinuxOs os(*engine, hw::machine_by_name("phi"));
+  auto check = body(os);
+  try {
+    engine->run();
+  } catch (...) {
+    out.races = collect_races(*engine);
+    if (out.races.empty()) throw;
+    return out;  // a race explains the blow-up better than the symptom
+  }
+  out.races = collect_races(*engine);
+  if (out.races.empty()) out.wrong = check();
+  return out;
+}
+
+/// Run `body` as an OpenMP app on a freshly booted linux-omp stack.
+Outcome run_omp_scenario(
+    const FuzzConfig& cfg, int threads,
+    const std::function<std::string(komp::Runtime&)>& body) {
+  Outcome out;
+  auto stack = core::Stack::create(cfg.stack(threads));
+  std::string wrong;
+  try {
+    stack->run_omp_app([&body, &wrong](komp::Runtime& rt) {
+      wrong = body(rt);
+      return wrong.empty() ? 0 : 1;
+    });
+  } catch (...) {
+    out.races = collect_races(stack->engine());
+    if (out.races.empty()) throw;
+    return out;
+  }
+  out.races = collect_races(stack->engine());
+  if (out.races.empty()) out.wrong = wrong;
+  return out;
+}
+
+std::string expect_eq(const char* what, long long got, long long want) {
+  if (got == want) return {};
+  std::ostringstream oss;
+  oss << what << ": got " << got << ", want " << want;
+  return oss.str();
+}
+
+// --- osal-level scenarios -------------------------------------------
+
+Scenario osal_mutex_counter() {
+  return {"osal-mutex-counter", [](const FuzzConfig& cfg) {
+    return run_osal_scenario(cfg, [](osal::Os& os) {
+      auto mu = std::make_shared<osal::Mutex>(os, 1000);
+      auto counter = std::make_shared<long long>(0);
+      constexpr int kThreads = 4, kIters = 8;
+      for (int t = 0; t < kThreads; ++t) {
+        os.spawn_thread("inc" + std::to_string(t), [&os, mu, counter]() {
+          for (int i = 0; i < kIters; ++i) {
+            mu->lock();
+            sim::race::plain_read(os.engine(), counter.get(), "fuzz counter");
+            const long long v = *counter;
+            os.compute_ns(50);
+            sim::race::plain_write(os.engine(), counter.get(), "fuzz counter");
+            *counter = v + 1;
+            mu->unlock();
+            os.compute_ns(20);
+          }
+        }, t % os.machine().num_cpus);
+      }
+      return [counter]() {
+        return expect_eq("mutex counter", *counter, kThreads * kIters);
+      };
+    });
+  }};
+}
+
+Scenario osal_sem_pingpong() {
+  return {"osal-sem-pingpong", [](const FuzzConfig& cfg) {
+    return run_osal_scenario(cfg, [](osal::Os& os) {
+      auto empty = std::make_shared<osal::Semaphore>(os, 1, 1000);
+      auto full = std::make_shared<osal::Semaphore>(os, 0, 1000);
+      auto mailbox = std::make_shared<long long>(0);
+      auto sum = std::make_shared<long long>(0);
+      constexpr int kItems = 12;
+      os.spawn_thread("producer", [&os, empty, full, mailbox]() {
+        for (int i = 1; i <= kItems; ++i) {
+          empty->wait();
+          sim::race::plain_write(os.engine(), mailbox.get(), "fuzz mailbox");
+          *mailbox = i;
+          os.compute_ns(30);
+          full->post();
+        }
+      }, 0);
+      os.spawn_thread("consumer", [&os, empty, full, mailbox, sum]() {
+        for (int i = 0; i < kItems; ++i) {
+          full->wait();
+          sim::race::plain_read(os.engine(), mailbox.get(), "fuzz mailbox");
+          *sum += *mailbox;
+          os.compute_ns(40);
+          empty->post();
+        }
+      }, 1);
+      return [sum]() {
+        return expect_eq("pingpong sum", *sum, kItems * (kItems + 1) / 2);
+      };
+    });
+  }};
+}
+
+Scenario osal_condvar_queue() {
+  return {"osal-condvar-queue", [](const FuzzConfig& cfg) {
+    return run_osal_scenario(cfg, [](osal::Os& os) {
+      struct Shared {
+        osal::Mutex mu;
+        osal::CondVar cv;
+        std::vector<int> queue;
+        long long sum = 0;
+        explicit Shared(osal::Os& o) : mu(o, 1000), cv(o, 1000) {}
+      };
+      auto sh = std::make_shared<Shared>(os);
+      constexpr int kProducers = 2, kItems = 6;
+      for (int p = 0; p < kProducers; ++p) {
+        os.spawn_thread("prod" + std::to_string(p), [&os, sh, p]() {
+          for (int i = 0; i < kItems; ++i) {
+            os.compute_ns(35);
+            sh->mu.lock();
+            sim::race::plain_write(os.engine(), &sh->queue, "fuzz queue");
+            sh->queue.push_back(p * kItems + i + 1);
+            sh->mu.unlock();
+            sh->cv.signal();
+          }
+        }, p);
+      }
+      os.spawn_thread("cons", [&os, sh]() {
+        int popped = 0;
+        sh->mu.lock();
+        while (popped < kProducers * kItems) {
+          while (sh->queue.empty()) sh->cv.wait(sh->mu);
+          sim::race::plain_write(os.engine(), &sh->queue, "fuzz queue");
+          sh->sum += sh->queue.back();
+          sh->queue.pop_back();
+          ++popped;
+        }
+        sh->mu.unlock();
+      }, 2);
+      const long long n = kProducers * kItems;
+      return [sh, n]() { return expect_eq("cv queue sum", sh->sum, n * (n + 1) / 2); };
+    });
+  }};
+}
+
+Scenario osal_barrier_rounds() {
+  return {"osal-barrier-rounds", [](const FuzzConfig& cfg) {
+    return run_osal_scenario(cfg, [](osal::Os& os) {
+      constexpr int kThreads = 4, kRounds = 5;
+      struct Shared {
+        osal::Barrier bar;
+        long long value = 0;
+        long long sum = 0;  // thread 0's accumulator of observed values
+        explicit Shared(osal::Os& o) : bar(o, kThreads, 1000) {}
+      };
+      auto sh = std::make_shared<Shared>(os);
+      for (int t = 0; t < kThreads; ++t) {
+        os.spawn_thread("bt" + std::to_string(t), [&os, sh, t]() {
+          for (int r = 0; r < kRounds; ++r) {
+            if (r % kThreads == t) {
+              sim::race::plain_write(os.engine(), &sh->value, "fuzz round value");
+              sh->value = r + 1;
+            }
+            os.compute_ns(25 + 10 * t);
+            sh->bar.arrive_and_wait();
+            sim::race::plain_read(os.engine(), &sh->value, "fuzz round value");
+            if (t == 0) sh->sum += sh->value;
+            sh->bar.arrive_and_wait();
+          }
+        }, t);
+      }
+      return [sh]() {
+        return expect_eq("barrier sum", sh->sum, kRounds * (kRounds + 1) / 2);
+      };
+    });
+  }};
+}
+
+// --- komp scenarios -------------------------------------------------
+
+Scenario komp_barrier() {
+  return {"komp-barrier", [](const FuzzConfig& cfg) {
+    return run_omp_scenario(cfg, 4, [](komp::Runtime& rt) {
+      sim::Engine& eng = rt.os().engine();
+      long long value = 0, sum = 0;
+      constexpr int kRounds = 4;
+      rt.parallel(4, [&](komp::TeamThread& tt) {
+        for (int r = 0; r < kRounds; ++r) {
+          if (tt.id() == r % tt.nthreads()) {
+            sim::race::plain_write(eng, &value, "fuzz team value");
+            value = r + 1;
+          }
+          tt.compute_ns(30 + 7 * tt.id());
+          tt.barrier();
+          sim::race::plain_read(eng, &value, "fuzz team value");
+          const long long seen = value;
+          tt.barrier();
+          tt.master([&]() { sum += seen; });
+          tt.barrier();
+        }
+      });
+      return expect_eq("komp barrier sum", sum, kRounds * (kRounds + 1) / 2);
+    });
+  }};
+}
+
+Scenario komp_lock() {
+  return {"komp-lock", [](const FuzzConfig& cfg) {
+    return run_omp_scenario(cfg, 4, [](komp::Runtime& rt) {
+      sim::Engine& eng = rt.os().engine();
+      long long crit_counter = 0, lock_counter = 0;
+      auto lock = rt.make_lock();
+      constexpr int kIters = 6;
+      rt.parallel(4, [&](komp::TeamThread& tt) {
+        for (int i = 0; i < kIters; ++i) {
+          tt.critical("fuzz", [&]() {
+            sim::race::plain_write(eng, &crit_counter, "fuzz crit counter");
+            ++crit_counter;
+          });
+          tt.compute_ns(20);
+          lock->set();
+          sim::race::plain_write(eng, &lock_counter, "fuzz lock counter");
+          ++lock_counter;
+          lock->unset();
+        }
+      });
+      std::string err = expect_eq("critical counter", crit_counter, 4 * kIters);
+      if (err.empty()) err = expect_eq("omp-lock counter", lock_counter, 4 * kIters);
+      return err;
+    });
+  }};
+}
+
+Scenario komp_workshare() {
+  return {"komp-workshare", [](const FuzzConfig& cfg) {
+    return run_omp_scenario(cfg, 4, [](komp::Runtime& rt) {
+      constexpr std::int64_t kN = 96;
+      double total = 0.0;
+      rt.parallel(4, [&](komp::TeamThread& tt) {
+        double local = 0.0;
+        tt.for_loop(komp::Schedule::kDynamic, 4, 0, kN,
+                    [&](std::int64_t b, std::int64_t e) {
+                      for (std::int64_t i = b; i < e; ++i) local += double(i);
+                      tt.compute_ns(15);
+                    });
+        tt.for_loop(komp::Schedule::kGuided, 2, 0, kN,
+                    [&](std::int64_t b, std::int64_t e) {
+                      for (std::int64_t i = b; i < e; ++i) local += double(i);
+                      tt.compute_ns(15);
+                    });
+        const double got = tt.reduce(local, komp::ReduceOp::kSum);
+        tt.master([&]() { total = got; });
+      });
+      const double want = double(kN * (kN - 1));  // both loops sum 0..N-1
+      if (total != want) {
+        std::ostringstream oss;
+        oss << "workshare reduce: got " << total << ", want " << want;
+        return oss.str();
+      }
+      return std::string();
+    });
+  }};
+}
+
+Scenario komp_tasking() {
+  return {"komp-tasking", [](const FuzzConfig& cfg) {
+    return run_omp_scenario(cfg, 4, [](komp::Runtime& rt) {
+      sim::Engine& eng = rt.os().engine();
+      long long counter = 0;
+      constexpr int kTasks = 24;
+      rt.parallel(4, [&](komp::TeamThread& tt) {
+        tt.single([&]() {
+          for (int i = 0; i < kTasks; ++i) {
+            tt.task([&eng, &counter](komp::TeamThread& ex) {
+              ex.compute_ns(40);
+              ex.critical("fuzz-task", [&]() {
+                sim::race::plain_write(eng, &counter, "fuzz task counter");
+                ++counter;
+              });
+            });
+          }
+        });
+        // The single's closing barrier drains the pool.
+      });
+      return expect_eq("task counter", counter, kTasks);
+    });
+  }};
+}
+
+// --- EPCC / NAS scenarios -------------------------------------------
+
+Scenario epcc_sync_small() {
+  return {"epcc-sync-small", [](const FuzzConfig& cfg) {
+    return run_omp_scenario(cfg, 4, [](komp::Runtime& rt) {
+      epcc::EpccConfig ecfg;
+      ecfg.outer_reps = 2;
+      ecfg.inner_iters = 2;
+      ecfg.delay_ns = 200;
+      ecfg.mutex_delay_ns = 50;
+      epcc::Suite suite(rt, ecfg);
+      auto ms = suite.run_syncbench();
+      return ms.empty() ? std::string("syncbench produced no measurements")
+                        : std::string();
+    });
+  }};
+}
+
+Scenario epcc_task_small() {
+  return {"epcc-task-small", [](const FuzzConfig& cfg) {
+    return run_omp_scenario(cfg, 4, [](komp::Runtime& rt) {
+      epcc::EpccConfig ecfg;
+      ecfg.outer_reps = 2;
+      ecfg.inner_iters = 2;
+      ecfg.delay_ns = 200;
+      ecfg.tasks_per_thread = 2;
+      ecfg.tree_depth = 3;
+      epcc::Suite suite(rt, ecfg);
+      auto ms = suite.run_taskbench();
+      return ms.empty() ? std::string("taskbench produced no measurements")
+                        : std::string();
+    });
+  }};
+}
+
+Scenario nas_functional(const std::string& bench) {
+  std::string lower = bench;
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  return {"nas-" + lower + "-s", [bench](const FuzzConfig& cfg) {
+    return run_omp_scenario(cfg, 4, [bench](komp::Runtime& rt) {
+      auto v = nas::functional::verify(rt, bench);
+      return v.passed ? std::string() : bench + " verification: " + v.detail;
+    });
+  }};
+}
+
+}  // namespace
+
+std::vector<Scenario> core_scenarios() {
+  return {komp_barrier(), komp_lock(), komp_workshare(), komp_tasking(),
+          nas_functional("CG"), nas_functional("IS")};
+}
+
+std::vector<Scenario> default_scenarios() {
+  std::vector<Scenario> all = {osal_mutex_counter(), osal_sem_pingpong(),
+                               osal_condvar_queue(), osal_barrier_rounds()};
+  for (auto& s : core_scenarios()) all.push_back(std::move(s));
+  all.push_back(epcc_sync_small());
+  all.push_back(epcc_task_small());
+  return all;
+}
+
+Scenario buggy_unlock_scenario() {
+  return {"buggy-unlock", [](const FuzzConfig& cfg) {
+    return run_osal_scenario(cfg, [](osal::Os& os) {
+      auto mu = std::make_shared<osal::Mutex>(os, 1000);
+      auto balance = std::make_shared<long long>(0);
+      constexpr int kThreads = 2, kIters = 3;
+      for (int t = 0; t < kThreads; ++t) {
+        os.spawn_thread("acct" + std::to_string(t), [&os, mu, balance]() {
+          for (int i = 0; i < kIters; ++i) {
+            mu->lock();
+            sim::race::plain_read(os.engine(), balance.get(), "account balance");
+            const long long v = *balance;
+            // BUG (deliberate): the lock is dropped before the deposit
+            // lands, so the write is outside the critical section.
+            mu->unlock();
+            os.compute_ns(60);
+            sim::race::plain_write(os.engine(), balance.get(), "account balance");
+            *balance = v + 1;
+          }
+        }, t);
+      }
+      return [balance]() {
+        return expect_eq("account balance", *balance, kThreads * kIters);
+      };
+    });
+  }};
+}
+
+const Scenario* find_scenario(const std::vector<Scenario>& list,
+                              const std::string& name) {
+  for (const auto& s : list)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::string Failure::replay() const {
+  std::ostringstream oss;
+  oss << "schedfuzz --scenario=" << scenario
+      << " --policy=" << sim::sched_policy_name(sched.policy)
+      << " --sched-seed=" << sched.seed;
+  return oss.str();
+}
+
+std::string Report::summary() const {
+  std::ostringstream oss;
+  oss << "schedfuzz: " << runs << " runs, " << failures.size() << " failure"
+      << (failures.size() == 1 ? "" : "s");
+  for (const auto& f : failures) {
+    oss << "\n  [" << verdict_name(f.verdict) << "] " << f.scenario
+        << " (policy=" << sim::sched_policy_name(f.sched.policy)
+        << " seed=" << f.sched.seed << ")\n    " << f.detail
+        << "\n    replay: " << f.replay();
+  }
+  return oss.str();
+}
+
+Failure run_one(const Scenario& scenario, sim::SchedConfig sched,
+                bool racecheck) {
+  Failure f;
+  f.scenario = scenario.name;
+  f.sched = sched;
+  FuzzConfig cfg;
+  cfg.sched = sched;
+  cfg.racecheck = racecheck;
+  try {
+    Outcome out = scenario.run(cfg);
+    if (!out.races.empty()) {
+      f.verdict = Verdict::kRace;
+      std::ostringstream oss;
+      for (std::size_t i = 0; i < out.races.size(); ++i)
+        oss << (i ? "\n    " : "") << out.races[i];
+      f.detail = oss.str();
+    } else if (!out.wrong.empty()) {
+      f.verdict = Verdict::kWrongAnswer;
+      f.detail = out.wrong;
+    }
+  } catch (const sim::SimDeadlock& e) {
+    f.verdict = Verdict::kDeadlock;
+    f.detail = e.what();
+  } catch (const std::exception& e) {
+    f.verdict = Verdict::kException;
+    f.detail = e.what();
+  }
+  return f;
+}
+
+Report sweep(const std::vector<Scenario>& scenarios, const Options& opt) {
+  Report report;
+  for (const auto& scenario : scenarios) {
+    bool failed = false;
+    for (sim::SchedPolicy policy : opt.policies) {
+      if (failed && opt.stop_on_failure) break;
+      for (int i = 0; i < opt.seeds_per_policy; ++i) {
+        sim::SchedConfig sched;
+        sched.policy = policy;
+        sched.seed = opt.seed_begin + static_cast<std::uint64_t>(i);
+        Failure f = run_one(scenario, sched, opt.racecheck);
+        ++report.runs;
+        if (f.verdict != Verdict::kOk) {
+          report.failures.push_back(std::move(f));
+          failed = true;
+          if (opt.stop_on_failure) break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+bool parse_policy(const std::string& s, sim::SchedPolicy& out) {
+  if (s == "fifo") out = sim::SchedPolicy::kFifo;
+  else if (s == "random") out = sim::SchedPolicy::kRandom;
+  else if (s == "pct") out = sim::SchedPolicy::kPct;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<RegressionEntry> load_regressions(const std::string& path) {
+  std::vector<RegressionEntry> entries;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream iss(line);
+    std::string name, policy;
+    std::uint64_t seed = 0;
+    if (!(iss >> name >> policy >> seed)) continue;  // blank / comment
+    RegressionEntry e;
+    e.scenario = name;
+    if (!parse_policy(policy, e.sched.policy))
+      throw std::runtime_error("bad policy '" + policy + "' in " +
+                               path);
+    e.sched.seed = seed;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+Report replay_regressions(const std::vector<Scenario>& scenarios,
+                          const std::string& path, bool racecheck) {
+  Report report;
+  for (const auto& e : load_regressions(path)) {
+    const Scenario* s = find_scenario(scenarios, e.scenario);
+    if (s == nullptr) {
+      Failure f;
+      f.scenario = e.scenario;
+      f.sched = e.sched;
+      f.verdict = Verdict::kException;
+      f.detail = "regression list names an unknown scenario";
+      report.failures.push_back(std::move(f));
+      continue;
+    }
+    Failure f = run_one(*s, e.sched, racecheck);
+    ++report.runs;
+    if (f.verdict != Verdict::kOk) report.failures.push_back(std::move(f));
+  }
+  return report;
+}
+
+}  // namespace kop::harness::schedfuzz

@@ -1,0 +1,121 @@
+// Schedule-exploration fuzzing for the simulated OpenMP stack.
+//
+// The engine's ready-queue policy (sim::SchedConfig) turns one seed
+// into one deterministic interleaving.  schedfuzz sweeps many seeds
+// under the random and PCT policies over a set of schedule-sensitive
+// *scenarios* -- osal primitives, komp barrier/lock/tasking, EPCC
+// microbenchmarks, NAS class-S functional kernels -- with the
+// vector-clock race detector attached, and classifies every run:
+//
+//   kOk           clean finish, correct answer, no races
+//   kRace         the detector reported an unordered access pair
+//   kDeadlock     Engine::run() threw SimDeadlock
+//   kException    any other exception escaped the workload
+//   kWrongAnswer  the scenario's own result check failed
+//
+// A failure carries the exact (scenario, policy, seed) triple, so it
+// replays verbatim:  schedfuzz --scenario=<name> --policy=<p>
+// --sched-seed=<s>  (examples/schedfuzz.cpp) or run_one() in code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stack.hpp"
+#include "sim/engine.hpp"
+
+namespace kop::harness::schedfuzz {
+
+enum class Verdict { kOk, kRace, kDeadlock, kException, kWrongAnswer };
+const char* verdict_name(Verdict v);
+
+/// What one scenario run hands back to the driver.  Scenarios harvest
+/// race reports themselves (the engine dies with the scenario's stack).
+struct Outcome {
+  std::string wrong;               // non-empty = wrong answer
+  std::vector<std::string> races;  // detector reports, if any
+};
+
+/// Knobs the driver passes into a scenario run.
+struct FuzzConfig {
+  sim::SchedConfig sched;
+  bool racecheck = true;
+
+  /// A ready-to-use StackConfig (linux-omp path, small thread count)
+  /// with the schedule policy and detector applied.
+  core::StackConfig stack(int num_threads = 4) const;
+  /// Apply just the schedule/detector knobs to an existing config.
+  void apply(core::StackConfig& cfg) const;
+  /// A raw engine for osal-level scenarios.
+  std::unique_ptr<sim::Engine> make_engine(std::uint64_t rng_seed = 42) const;
+};
+
+/// Pull the detector's reports out of an engine (empty if disabled).
+std::vector<std::string> collect_races(sim::Engine& engine);
+
+struct Scenario {
+  std::string name;
+  std::function<Outcome(const FuzzConfig&)> run;
+};
+
+/// The standard sweep set: osal primitives, komp barrier / locks /
+/// worksharing / tasking, EPCC sync+task (small), NAS CG/IS class S.
+std::vector<Scenario> default_scenarios();
+/// The subset touching the komp runtime and NAS kernels (the
+/// acceptance sweep: cheap enough for many seeds).
+std::vector<Scenario> core_scenarios();
+/// Test fixture: a shared balance updated *after* the lock protecting
+/// it is released.  The detector must name the racy pair on any seed.
+Scenario buggy_unlock_scenario();
+/// Look up a scenario by name in a list (nullptr if absent).
+const Scenario* find_scenario(const std::vector<Scenario>& list,
+                              const std::string& name);
+
+struct Options {
+  std::uint64_t seed_begin = 1;
+  /// Seeds swept per (scenario, policy) pair.
+  int seeds_per_policy = 8;
+  std::vector<sim::SchedPolicy> policies = {sim::SchedPolicy::kRandom,
+                                            sim::SchedPolicy::kPct};
+  bool racecheck = true;
+  bool stop_on_failure = true;
+};
+
+struct Failure {
+  std::string scenario;
+  sim::SchedConfig sched;
+  Verdict verdict = Verdict::kOk;
+  std::string detail;
+  /// The exact CLI invocation that reproduces this run.
+  std::string replay() const;
+};
+
+struct Report {
+  int runs = 0;  // schedule seeds executed
+  std::vector<Failure> failures;
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+};
+
+/// One deterministic run: same (scenario, sched) => same verdict.
+Failure run_one(const Scenario& scenario, sim::SchedConfig sched,
+                bool racecheck = true);
+
+/// seeds x policies x scenarios; first failure per scenario is kept.
+Report sweep(const std::vector<Scenario>& scenarios, const Options& opt);
+
+/// Regression list: one "scenario policy seed" triple per line ('#'
+/// starts a comment).  Unknown scenario names are reported as failures
+/// (a renamed scenario must not silently drop its pinned seeds).
+struct RegressionEntry {
+  std::string scenario;
+  sim::SchedConfig sched;
+};
+std::vector<RegressionEntry> load_regressions(const std::string& path);
+Report replay_regressions(const std::vector<Scenario>& scenarios,
+                          const std::string& path, bool racecheck = true);
+
+}  // namespace kop::harness::schedfuzz

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/racecheck.hpp"
+
 namespace kop::komp {
 
 TeamBarrier::TeamBarrier(osal::Os& os, int parties,
@@ -37,11 +39,17 @@ void TeamBarrier::wait(int tid) {
     ++completed_;
     return;
   }
+  // Happens-before: entering the barrier publishes everything this
+  // thread did before it; leaving joins every other party's arrival
+  // (the generation counters below additionally model the hardware
+  // atomics the spin-poll paths read).
+  sim::race::release(os_->engine(), this);
   if (algo_ == RuntimeTuning::BarrierAlgo::kCentralized) {
     wait_centralized(tid);
   } else {
     wait_tree(tid);
   }
+  sim::race::acquire(os_->engine(), this);
 }
 
 void TeamBarrier::wait_centralized(int tid) {
@@ -49,15 +57,21 @@ void TeamBarrier::wait_centralized(int tid) {
   const std::uint64_t gen = ++me.local_gen;
   // Arrival: one contended RMW on the shared counter.
   os_->atomic_op(static_cast<int>(central_gate_->waiters()));
+  sim::race::atomic_rmw(os_->engine(), &arrived_, "TeamBarrier::arrived_");
   ++arrived_;
   if (arrived_ == parties_) {
     arrived_ = 0;
-    central_release_gen_ = gen;
     ++completed_;
+    sim::race::atomic_store(os_->engine(), &central_release_gen_,
+                            "TeamBarrier::central_release_gen_");
+    central_release_gen_ = gen;
     central_gate_->notify_all();
     return;
   }
-  park_until(tid, *central_gate_, [&] { return central_release_gen_ >= gen; });
+  park_until(tid, *central_gate_, [&] {
+    sim::race::atomic_load(os_->engine(), &central_release_gen_);
+    return central_release_gen_ >= gen;
+  });
 }
 
 void TeamBarrier::wait_tree(int tid) {
@@ -74,15 +88,23 @@ void TeamBarrier::wait_tree(int tid) {
     const int child = tid + s;
     if (child >= parties_) continue;
     Slot& ch = slots_[static_cast<std::size_t>(child)];
-    park_until(tid, *ch.gate, [&] { return ch.arrive_gen >= gen; });
+    park_until(tid, *ch.gate, [&] {
+      sim::race::atomic_load(os_->engine(), &ch.arrive_gen);
+      return ch.arrive_gen >= gen;
+    });
     charge_step();
   }
   if (signal_bit != 0) {
+    sim::race::atomic_store(os_->engine(), &me.arrive_gen,
+                            "TeamBarrier::Slot::arrive_gen");
     me.arrive_gen = gen;
     charge_step();
     me.gate->notify_one();  // wake the parent if it sleeps on our slot
     // --- wait for our release ---
-    park_until(tid, *me.gate, [&] { return me.release_gen >= gen; });
+    park_until(tid, *me.gate, [&] {
+      sim::race::atomic_load(os_->engine(), &me.release_gen);
+      return me.release_gen >= gen;
+    });
   } else {
     ++completed_;
   }
@@ -96,6 +118,8 @@ void TeamBarrier::wait_tree(int tid) {
     const int child = tid + s;
     if (child >= parties_) continue;
     Slot& ch = slots_[static_cast<std::size_t>(child)];
+    sim::race::atomic_store(os_->engine(), &ch.release_gen,
+                            "TeamBarrier::Slot::release_gen");
     ch.release_gen = gen;
     charge_step();
     ch.gate->notify_one();

@@ -2,7 +2,16 @@
 
 #include <stdexcept>
 
+#include "sim/racecheck.hpp"
+
 namespace kop::komp {
+
+// The fork/join protocol is published through epoch_: the master writes
+// current_team_/current_body_ *before* the release-store to epoch_, and
+// a worker only dereferences them after the acquire-load that saw the
+// new epoch.  The race detector checks exactly that discipline (the
+// team pointers are plain data; epoch_, shutdown_ and departed_ model
+// the runtime's atomics).
 
 Runtime::Runtime(pthread_compat::Pthreads& pthreads, RuntimeTuning tuning)
     : pthreads_(&pthreads),
@@ -12,6 +21,7 @@ Runtime::Runtime(pthread_compat::Pthreads& pthreads, RuntimeTuning tuning)
 
 Runtime::~Runtime() {
   if (workers_.empty()) return;
+  sim::race::atomic_store(os_->engine(), &shutdown_, "Runtime::shutdown_");
   shutdown_ = true;
   for (auto& w : workers_) w->gate->notify_all();
   for (auto& w : workers_) pthreads_->join(w->thread);
@@ -19,6 +29,8 @@ Runtime::~Runtime() {
 
 void Runtime::set_num_threads(int n) {
   if (n <= 0) throw std::invalid_argument("set_num_threads: n <= 0");
+  sim::race::plain_write(os_->engine(), &icv_.nthreads_var,
+                         "Icv::nthreads_var");
   icv_.nthreads_var = std::min(
       n, static_cast<int>(os_->sys_conf(osal::SysConfKey::kNumProcessors)));
 }
@@ -79,17 +91,28 @@ void Runtime::run_region_body(Team& team, int tid, const RegionBody& body) {
 void Runtime::worker_main(int worker_index) {
   Worker& me = *workers_[static_cast<std::size_t>(worker_index)];
   for (;;) {
-    while (!shutdown_ && me.seen_epoch == epoch_)
+    sim::race::atomic_load(os_->engine(), &shutdown_);
+    sim::race::atomic_load(os_->engine(), &epoch_);
+    while (!shutdown_ && me.seen_epoch == epoch_) {
       me.gate->wait(icv_.blocktime_ns);
+      sim::race::atomic_load(os_->engine(), &shutdown_);
+      sim::race::atomic_load(os_->engine(), &epoch_);
+    }
     if (shutdown_) return;
     me.seen_epoch = epoch_;
+    sim::race::plain_read(os_->engine(), &current_team_,
+                          "Runtime::current_team_");
     Team* team = current_team_;
+    sim::race::plain_read(os_->engine(), &current_body_,
+                          "Runtime::current_body_");
     const RegionBody* body = current_body_;
     const int tid = worker_index + 1;
     if (team != nullptr && tid < team->size()) {
       run_region_body(*team, tid, *body);
       // Fully out of the region: the master can retire the team once
       // everyone has checked out.
+      sim::race::atomic_rmw(os_->engine(), &team->departed_,
+                            "Team::departed_");
       ++team->departed_;
       team->exit_gate_->notify_one();
     }
@@ -99,6 +122,8 @@ void Runtime::worker_main(int worker_index) {
 void Runtime::parallel(int nthreads, const RegionBody& body) {
   if (os_->current_thread() == nullptr)
     throw std::logic_error("komp: parallel() outside an OS thread");
+  sim::race::plain_read(os_->engine(), &icv_.nthreads_var,
+                        "Icv::nthreads_var");
   int n = nthreads > 0 ? nthreads : icv_.nthreads_var;
   n = std::min(n, os_->machine().num_cpus);
 
@@ -116,8 +141,13 @@ void Runtime::parallel(int nthreads, const RegionBody& body) {
 
   Team team(*this, n);
   in_parallel_ = true;
+  sim::race::plain_write(os_->engine(), &current_team_,
+                         "Runtime::current_team_");
   current_team_ = &team;
+  sim::race::plain_write(os_->engine(), &current_body_,
+                         "Runtime::current_body_");
   current_body_ = &body;
+  sim::race::atomic_store(os_->engine(), &epoch_, "Runtime::epoch_");
   ++epoch_;
   for (int i = 0; i < n - 1; ++i)
     workers_[static_cast<std::size_t>(i)]->gate->notify_one();
@@ -128,9 +158,17 @@ void Runtime::parallel(int nthreads, const RegionBody& body) {
   // Wait for every worker to leave the region before the Team (and its
   // barrier gates) is destroyed; their post-barrier wakes may still be
   // in flight.
-  while (team.departed_ < n - 1) team.exit_gate_->wait(icv_.blocktime_ns);
+  sim::race::atomic_load(os_->engine(), &team.departed_);
+  while (team.departed_ < n - 1) {
+    team.exit_gate_->wait(icv_.blocktime_ns);
+    sim::race::atomic_load(os_->engine(), &team.departed_);
+  }
 
+  sim::race::plain_write(os_->engine(), &current_team_,
+                         "Runtime::current_team_");
   current_team_ = nullptr;
+  sim::race::plain_write(os_->engine(), &current_body_,
+                         "Runtime::current_body_");
   current_body_ = nullptr;
   in_parallel_ = false;
   os_->compute_ns(tuning_.join_base_ns);

@@ -1,6 +1,13 @@
 #include "komp/tasking.hpp"
 
+#include "sim/racecheck.hpp"
+
 namespace kop::komp {
+
+// Shared-access annotations: the deque contents are guarded by the
+// per-deque spinlocks (plain accesses -- the detector verifies the lock
+// discipline); the counters model the runtime's atomics (hb edges, so
+// task completion is visible to scheduling-point polls).
 
 TaskPool::TaskPool(osal::Os& os, int nthreads, const RuntimeTuning& tuning,
                    sim::Time spin_ns)
@@ -23,11 +30,17 @@ void TaskPool::spawn(int tid, TaskBody body) {
   auto task = std::make_shared<Task>();
   task->body = std::move(body);
   task->parent = current_[static_cast<std::size_t>(tid)];
+  sim::race::atomic_rmw(os_->engine(), &task->parent->pending_children,
+                        "Task::pending_children");
   task->parent->pending_children++;
+  sim::race::atomic_rmw(os_->engine(), &incomplete_, "TaskPool::incomplete_");
   ++incomplete_;
+  sim::race::atomic_rmw(os_->engine(), &queued_, "TaskPool::queued_");
   ++queued_;
   auto& lock = *locks_[static_cast<std::size_t>(tid)];
   lock.lock();
+  sim::race::plain_write(os_->engine(), &deques_[static_cast<std::size_t>(tid)],
+                         "TaskPool task deque");
   deques_[static_cast<std::size_t>(tid)].push_back(std::move(task));
   lock.unlock();
   // Poke one idle helper (threads waiting at a scheduling point).
@@ -35,6 +48,7 @@ void TaskPool::spawn(int tid, TaskBody body) {
 }
 
 std::shared_ptr<TaskPool::Task> TaskPool::pop_or_steal(int tid) {
+  sim::race::atomic_load(os_->engine(), &queued_);
   if (queued_ == 0) return nullptr;  // O(1) bail-out for idle polls
   const auto n = static_cast<int>(deques_.size());
   // Own deque: LIFO (depth-first, cache-friendly).
@@ -42,9 +56,12 @@ std::shared_ptr<TaskPool::Task> TaskPool::pop_or_steal(int tid) {
     auto& lock = *locks_[static_cast<std::size_t>(tid)];
     lock.lock();
     auto& dq = deques_[static_cast<std::size_t>(tid)];
+    sim::race::plain_read(os_->engine(), &dq, "TaskPool task deque");
     if (!dq.empty()) {
+      sim::race::plain_write(os_->engine(), &dq, "TaskPool task deque");
       auto t = std::move(dq.back());
       dq.pop_back();
+      sim::race::atomic_rmw(os_->engine(), &queued_, "TaskPool::queued_");
       --queued_;
       lock.unlock();
       return t;
@@ -57,9 +74,12 @@ std::shared_ptr<TaskPool::Task> TaskPool::pop_or_steal(int tid) {
     auto& lock = *locks_[static_cast<std::size_t>(victim)];
     if (!lock.try_lock()) continue;
     auto& dq = deques_[static_cast<std::size_t>(victim)];
+    sim::race::plain_read(os_->engine(), &dq, "TaskPool task deque");
     if (!dq.empty()) {
+      sim::race::plain_write(os_->engine(), &dq, "TaskPool task deque");
       auto t = std::move(dq.front());
       dq.pop_front();
+      sim::race::atomic_rmw(os_->engine(), &queued_, "TaskPool::queued_");
       --queued_;
       lock.unlock();
       ++steals_;
@@ -77,7 +97,10 @@ void TaskPool::run(int tid, std::shared_ptr<Task> task) {
   cur = task;
   if (task->body) task->body(tid);
   cur = saved;
+  sim::race::atomic_rmw(os_->engine(), &task->parent->pending_children,
+                        "Task::pending_children");
   task->parent->pending_children--;
+  sim::race::atomic_rmw(os_->engine(), &incomplete_, "TaskPool::incomplete_");
   --incomplete_;
   ++executed_;
   // Wake waiters only when a predicate could have flipped: a taskwait
@@ -98,11 +121,13 @@ bool TaskPool::try_run_one(int tid) {
 void TaskPool::taskwait(int tid) {
   auto cur = current_[static_cast<std::size_t>(tid)];
   for (;;) {
+    sim::race::atomic_load(os_->engine(), &cur->pending_children);
     if (cur->pending_children == 0) return;
     if (try_run_one(tid)) continue;
     // try_run_one yields inside its lock ops, so the last child may
     // have completed meanwhile; recheck right before parking (no yield
     // can occur between this check and the wait registration).
+    sim::race::atomic_load(os_->engine(), &cur->pending_children);
     if (cur->pending_children == 0) return;
     idle_gate_->wait(spin_ns_);
   }
@@ -110,8 +135,10 @@ void TaskPool::taskwait(int tid) {
 
 void TaskPool::drain_all(int tid) {
   for (;;) {
+    sim::race::atomic_load(os_->engine(), &incomplete_);
     if (incomplete_ == 0) return;
     if (try_run_one(tid)) continue;
+    sim::race::atomic_load(os_->engine(), &incomplete_);
     if (incomplete_ == 0) return;
     idle_gate_->wait(spin_ns_);
   }

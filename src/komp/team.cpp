@@ -5,8 +5,15 @@
 #include <stdexcept>
 
 #include "komp/runtime.hpp"
+#include "sim/racecheck.hpp"
 
 namespace kop::komp {
+
+// Worksharing state is annotated for the race detector the way the
+// modelled runtime would implement it: dispatch-buffer init is an
+// acquire/release-published claim, grab counters are hardware atomics,
+// and payload fields (bounds, accumulators) are plain data whose
+// ordering must come from those edges or from the team barrier.
 
 Team::Team(Runtime& rt, int size)
     : rt_(&rt),
@@ -33,6 +40,8 @@ std::shared_ptr<Team::LoopState> Team::loop_state(std::uint64_t gen) {
 }
 
 void Team::finish_loop(std::uint64_t gen, LoopState& st) {
+  sim::race::atomic_rmw(rt_->os().engine(), &st.done_count,
+                        "LoopState::done_count");
   ++st.done_count;
   if (st.done_count == size_) loops_.erase(gen);
 }
@@ -108,17 +117,21 @@ void TeamThread::for_loop(Schedule sched, int chunk, std::int64_t lo,
     }
     case Schedule::kDynamic: {
       auto st = team_->loop_state(gen);
+      sim::race::atomic_load(os().engine(), &st->init);
       if (!st->init) {
         st->init = true;
         st->next = lo;
         st->hi = hi;
         st->chunk = std::max<std::int64_t>(1, chunk);
+        sim::race::atomic_store(os().engine(), &st->init, "LoopState::init");
       }
       for (;;) {
         os().compute_ns(tune.dispatch_next_ns);
         ++st->grabbers;
         os().atomic_op(st->grabbers - 1);
         --st->grabbers;
+        sim::race::atomic_rmw(os().engine(), &st->next, "LoopState::next");
+        sim::race::plain_read(os().engine(), &st->hi, "LoopState::hi");
         if (st->next >= st->hi) break;
         const std::int64_t b = st->next;
         const std::int64_t e = std::min(st->hi, b + st->chunk);
@@ -130,17 +143,21 @@ void TeamThread::for_loop(Schedule sched, int chunk, std::int64_t lo,
     }
     case Schedule::kGuided: {
       auto st = team_->loop_state(gen);
+      sim::race::atomic_load(os().engine(), &st->init);
       if (!st->init) {
         st->init = true;
         st->next = lo;
         st->hi = hi;
         st->chunk = std::max<std::int64_t>(1, chunk);  // minimum chunk
+        sim::race::atomic_store(os().engine(), &st->init, "LoopState::init");
       }
       for (;;) {
         os().compute_ns(tune.dispatch_next_ns);
         ++st->grabbers;
         os().atomic_op(st->grabbers - 1);
         --st->grabbers;
+        sim::race::atomic_rmw(os().engine(), &st->next, "LoopState::next");
+        sim::race::plain_read(os().engine(), &st->hi, "LoopState::hi");
         const std::int64_t remaining = st->hi - st->next;
         if (remaining <= 0) break;
         const std::int64_t c =
@@ -164,17 +181,24 @@ void TeamThread::for_ordered(std::int64_t lo, std::int64_t hi,
   const std::uint64_t gen = ++loop_gen_;
   const int n = nthreads();
   auto st = team_->loop_state(gen);
+  sim::race::atomic_load(os().engine(), &st->init);
   if (!st->init) {
     st->init = true;
     st->ordered_next = lo;
     st->ordered_gate = os().make_wait_queue();
+    sim::race::atomic_store(os().engine(), &st->init, "LoopState::init");
   }
   // schedule(static,1): iteration i on thread i % n; each iteration
   // waits its turn (ordered-section semantics over the whole body).
   for (std::int64_t i = lo + tid_; i < hi; i += n) {
-    while (st->ordered_next < i)
+    sim::race::atomic_load(os().engine(), &st->ordered_next);
+    while (st->ordered_next < i) {
       st->ordered_gate->wait(runtime().icv().blocktime_ns);
+      sim::race::atomic_load(os().engine(), &st->ordered_next);
+    }
     body(i);
+    sim::race::atomic_store(os().engine(), &st->ordered_next,
+                            "LoopState::ordered_next");
     st->ordered_next = i + 1;
     st->ordered_gate->notify_all();
   }
@@ -206,6 +230,8 @@ bool TeamThread::single(const std::function<void()>& body, bool nowait) {
   os().atomic_op(0);
   const std::uint64_t my_gen = single_seen_++;
   bool executed = false;
+  sim::race::atomic_rmw(os().engine(), &team_->single_claims_,
+                        "Team::single_claims_");
   if (team_->single_claims_ <= my_gen) {
     team_->single_claims_ = my_gen + 1;
     executed = true;
@@ -246,6 +272,7 @@ double TeamThread::reduce(double value, ReduceOp op) {
   auto& slot = team_->reduces_[gen];
   if (slot == nullptr) slot = std::make_shared<Team::ReduceState>();
   auto st = slot;
+  sim::race::atomic_load(os().engine(), &st->init);
   if (!st->init) {
     st->init = true;
     switch (op) {
@@ -254,9 +281,13 @@ double TeamThread::reduce(double value, ReduceOp op) {
       case ReduceOp::kMin: st->acc = std::numeric_limits<double>::infinity(); break;
       case ReduceOp::kMax: st->acc = -std::numeric_limits<double>::infinity(); break;
     }
+    sim::race::atomic_store(os().engine(), &st->acc, "ReduceState::acc");
+    sim::race::atomic_store(os().engine(), &st->init, "ReduceState::init");
   }
   os().atomic_op(st->arrived);
+  sim::race::atomic_rmw(os().engine(), &st->arrived, "ReduceState::arrived");
   ++st->arrived;
+  sim::race::atomic_rmw(os().engine(), &st->acc, "ReduceState::acc");
   switch (op) {
     case ReduceOp::kSum: st->acc += value; break;
     case ReduceOp::kProd: st->acc *= value; break;
@@ -264,6 +295,10 @@ double TeamThread::reduce(double value, ReduceOp op) {
     case ReduceOp::kMax: st->acc = std::max(st->acc, value); break;
   }
   barrier();
+  // The combined value is read plainly: the barrier's release/acquire
+  // edges are the only thing making this safe, which is exactly what
+  // the detector verifies here.
+  sim::race::plain_read(os().engine(), &st->acc, "ReduceState::acc");
   const double result = st->acc;
   // Second rendezvous so the slot can be retired exactly once.
   barrier();

@@ -25,7 +25,8 @@ nautilus::ExecutableImage default_app_image(const std::string& name,
 }
 
 PikStack::PikStack(PikOptions options) : options_(std::move(options)) {
-  engine_ = std::make_unique<sim::Engine>(options_.seed);
+  engine_ = std::make_unique<sim::Engine>(options_.seed, options_.sched);
+  if (options_.racecheck) engine_->enable_racecheck();
   os_ = std::make_unique<PikOs>(*engine_, options_.machine);
   // Physical window the loader and mmap emulation draw from.
   phys_ = std::make_unique<nautilus::BuddyAllocator>(

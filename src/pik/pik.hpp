@@ -27,6 +27,10 @@ namespace kop::pik {
 struct PikOptions {
   hw::MachineConfig machine;
   std::uint64_t seed = 42;
+  /// Engine scheduling policy (FIFO / seeded-random / PCT).
+  sim::SchedConfig sched;
+  /// Attach the vector-clock race detector.
+  bool racecheck = false;
   /// Static data the application links in (PIK has no boot-image/MMIO
   /// constraint: the loader places the image anywhere, §6.2).
   std::uint64_t app_static_bytes = 64ULL << 20;

@@ -13,7 +13,8 @@ RtkStack::RtkStack(RtkOptions options) : options_(std::move(options)) {
   image.app_static_bytes = options_.app_static_bytes;
   nautilus::BootLayout::check(options_.machine, image);
 
-  engine_ = std::make_unique<sim::Engine>(options_.seed);
+  engine_ = std::make_unique<sim::Engine>(options_.seed, options_.sched);
+  if (options_.racecheck) engine_->enable_racecheck();
   kernel_ = std::make_unique<nautilus::NautilusKernel>(
       *engine_, options_.machine, options_.kernel_config);
   pthreads_ = std::make_unique<pthread_compat::Pthreads>(

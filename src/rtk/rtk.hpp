@@ -29,6 +29,10 @@ struct RtkOptions {
   /// Fig. 2a (PTE port) vs Fig. 2b (customized) pthreads.
   bool use_pte_pthreads = false;
   std::uint64_t seed = 42;
+  /// Engine scheduling policy (FIFO / seeded-random / PCT).
+  sim::SchedConfig sched;
+  /// Attach the vector-clock race detector.
+  bool racecheck = false;
   /// Size of the Nautilus kernel core in the boot image (compiled
   /// kernel + ported libomp + pthread layer).
   std::uint64_t kernel_image_bytes = 48ULL << 20;

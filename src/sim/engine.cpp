@@ -5,7 +5,18 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/racecheck.hpp"
+
 namespace kop::sim {
+
+const char* sched_policy_name(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kFifo: return "fifo";
+    case SchedPolicy::kRandom: return "random";
+    case SchedPolicy::kPct: return "pct";
+  }
+  return "?";
+}
 
 SimThread::SimThread(Engine& eng, std::uint64_t id, std::string name,
                      std::function<void()> body, std::size_t stack_bytes)
@@ -13,18 +24,52 @@ SimThread::SimThread(Engine& eng, std::uint64_t id, std::string name,
   fiber_ = std::make_unique<Fiber>(std::move(body), stack_bytes);
 }
 
-Engine::Engine(std::uint64_t rng_seed) : rng_(rng_seed) {}
+Engine::Engine(std::uint64_t rng_seed, SchedConfig sched)
+    : rng_(rng_seed),
+      sched_(sched),
+      // Offset the seed so sched seed 0 and rng seed 0 decorrelate.
+      sched_rng_(sched.seed ^ 0xc2b2ae3d27d4eb4fULL) {}
 
 Engine::~Engine() = default;
+
+RaceChecker& Engine::enable_racecheck() {
+  if (!racecheck_) racecheck_ = std::make_unique<RaceChecker>(*this);
+  return *racecheck_;
+}
 
 SimThread* Engine::spawn(std::string name, std::function<void()> body,
                          std::size_t stack_bytes) {
   auto thread = std::unique_ptr<SimThread>(new SimThread(
       *this, next_thread_id_++, std::move(name), std::move(body), stack_bytes));
   SimThread* raw = thread.get();
+  if (sched_.policy == SchedPolicy::kPct)
+    raw->sched_priority_ = sched_rng_.next_u64();
+  if (racecheck_)
+    racecheck_->on_spawn(raw->id(), raw->name(), current_tid());
   threads_.push_back(std::move(thread));
   ++stats_.threads_spawned;
   return raw;
+}
+
+std::uint64_t Engine::sched_key(const SimThread* target) {
+  switch (sched_.policy) {
+    case SchedPolicy::kFifo:
+      return 0;
+    case SchedPolicy::kRandom:
+      return sched_rng_.next_u64();
+    case SchedPolicy::kPct:
+      // Higher thread priority -> smaller key -> dispatched first.
+      // Callback events draw a fresh key (timers behave like devices
+      // with no stable priority).
+      return target != nullptr ? ~target->sched_priority_
+                               : sched_rng_.next_u64();
+  }
+  return 0;
+}
+
+std::shared_ptr<const std::vector<std::uint64_t>> Engine::hb_snapshot() {
+  if (!racecheck_) return nullptr;
+  return racecheck_->release_snapshot(current_tid());
 }
 
 bool Engine::wake_at(SimThread* t, Time when) {
@@ -34,8 +79,10 @@ bool Engine::wake_at(SimThread* t, Time when) {
   Event ev;
   ev.at = when;
   ev.seq = next_seq_++;
+  ev.key = sched_key(t);
   ev.thread = t;
   ev.generation = t->wake_generation_;
+  ev.hb = hb_snapshot();
   queue_.push(std::move(ev));
   return true;
 }
@@ -46,8 +93,10 @@ void Engine::wake_token_at(WakeToken tok, Time when) {
   Event ev;
   ev.at = when;
   ev.seq = next_seq_++;
+  ev.key = sched_key(tok.thread);
   ev.thread = tok.thread;
   ev.generation = tok.generation;
+  ev.hb = hb_snapshot();
   queue_.push(std::move(ev));
 }
 
@@ -56,7 +105,9 @@ void Engine::post_at(Time when, std::function<void()> fn) {
   Event ev;
   ev.at = when;
   ev.seq = next_seq_++;
+  ev.key = sched_key(nullptr);
   ev.fn = std::move(fn);
+  ev.hb = hb_snapshot();
   queue_.push(std::move(ev));
 }
 
@@ -91,6 +142,7 @@ void Engine::yield_now() {
 void Engine::dispatch(Event& ev) {
   now_ = ev.at;
   if (ev.fn) {
+    if (racecheck_) racecheck_->on_callback(ev.hb);
     ev.fn();
     return;
   }
@@ -104,6 +156,14 @@ void Engine::dispatch(Event& ev) {
   if (!t->blocked_) return;  // duplicate wake for the same generation
   t->blocked_ = false;
   t->wake_generation_++;  // invalidate other pending wakes for that block
+  if (racecheck_) racecheck_->on_resume(t->id(), ev.hb);
+  if (sched_.policy == SchedPolicy::kPct) {
+    // PCT-style priority change point: occasionally re-draw the
+    // resumed thread's priority so a single high-priority thread
+    // cannot dominate the whole run.
+    if (sched_rng_.bernoulli(1.0 / 32.0))
+      t->sched_priority_ = sched_rng_.next_u64();
+  }
   SimThread* prev = current_;
   current_ = t;
   t->fiber_->resume();
@@ -142,7 +202,12 @@ std::size_t Engine::live_thread_count() const {
 
 void Engine::report_deadlock() const {
   std::ostringstream oss;
-  oss << "simulation deadlock at t=" << now_ << "ns; blocked threads:";
+  oss << "simulation deadlock at t=" << now_ << "ns";
+  if (sched_.policy != SchedPolicy::kFifo) {
+    oss << " [sched=" << sched_policy_name(sched_.policy) << " seed="
+        << sched_.seed << "]";
+  }
+  oss << "; blocked threads:";
   for (const auto& t : threads_) {
     if (!t->finished()) oss << " [" << t->id() << ":" << t->name() << "]";
   }

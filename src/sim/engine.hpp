@@ -16,8 +16,15 @@
 // wake (e.g., a timeout racing a signal) is ignored.  This gives the OS
 // layers race-free timed waits without extra bookkeeping.
 //
-// Determinism: events at equal times fire in posting order, and all
-// randomness flows through the engine-owned Rng.
+// Determinism: events at equal times fire in posting order *under the
+// default FIFO ready-queue policy*, and all randomness flows through
+// the engine-owned Rng.  The ready-queue policy is pluggable: a
+// SchedConfig selects how ties between events at the same virtual
+// instant are broken (FIFO, seeded-random shuffle, or a PCT-style
+// priority scheme).  Any (policy, sched seed) pair is itself fully
+// deterministic -- the same pair replays the same interleaving
+// bit-for-bit -- which is what lets the schedfuzz harness sweep seeds
+// and replay failures.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +41,26 @@
 namespace kop::sim {
 
 class Engine;
+class RaceChecker;
+
+/// How the engine breaks ties between events at the same virtual time
+/// (the "ready queue" of the simulated instant).
+enum class SchedPolicy {
+  kFifo,    // posting order (the historical, calibrated behavior)
+  kRandom,  // seeded-random order among same-time events
+  kPct,     // PCT-style: random per-thread priorities, occasionally
+            // perturbed; high-priority threads run first
+};
+
+const char* sched_policy_name(SchedPolicy p);
+
+/// Selects one deterministic interleaving.  The seed feeds a dedicated
+/// scheduling Rng, fully independent of the cost-model Rng, so FIFO
+/// runs are bit-identical with or without this feature.
+struct SchedConfig {
+  SchedPolicy policy = SchedPolicy::kFifo;
+  std::uint64_t seed = 0;
+};
 
 /// A simulated thread: a fiber plus scheduling metadata.  Created via
 /// Engine::spawn(); destroyed with the engine.
@@ -59,6 +86,7 @@ class SimThread {
   std::unique_ptr<Fiber> fiber_;
   bool blocked_ = true;       // threads start blocked until first wake
   std::uint64_t wake_generation_ = 0;
+  std::uint64_t sched_priority_ = 0;  // PCT priority (higher runs first)
 };
 
 /// Handle used to target a wake at a particular block() instance.
@@ -69,7 +97,7 @@ struct WakeToken {
 
 class Engine {
  public:
-  explicit Engine(std::uint64_t rng_seed = 42);
+  explicit Engine(std::uint64_t rng_seed = 42, SchedConfig sched = {});
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -77,6 +105,7 @@ class Engine {
 
   Time now() const { return now_; }
   Rng& rng() { return rng_; }
+  const SchedConfig& sched() const { return sched_; }
 
   /// Create a simulated thread.  The thread starts *blocked*; call
   /// wake() (typically from an OS scheduler) to start it.
@@ -103,6 +132,9 @@ class Engine {
   /// The currently running simulated thread (nullptr on main context).
   SimThread* current() const { return current_; }
 
+  /// Id of the current simulated thread; 0 on the main context.
+  std::uint64_t current_tid() const { return current_ ? current_->id() : 0; }
+
   /// Capture a token for the *next* block() on the current thread.
   /// Pattern: tok = arm_wake_token(); <publish tok>; block();
   WakeToken arm_wake_token();
@@ -116,6 +148,16 @@ class Engine {
   /// Yield to any other work scheduled at the current instant (the
   /// thread is immediately rescheduled; useful for modelled spin loops).
   void yield_now();
+
+  /// --- Race detection ---
+
+  /// Attach a happens-before race detector.  Must be called before any
+  /// threads are spawned or events posted; all subsequent wakes carry
+  /// vector-clock edges and the annotation hooks in sim/racecheck.hpp
+  /// become live.  Idempotent.
+  RaceChecker& enable_racecheck();
+  /// The attached detector, or nullptr when disabled (the default).
+  RaceChecker* racecheck() const { return racecheck_.get(); }
 
   /// --- Run loop ---
 
@@ -139,32 +181,48 @@ class Engine {
   const Stats& stats() const { return stats_; }
 
  private:
+  friend class RaceChecker;
+
   struct Event {
     Time at;
     std::uint64_t seq;
+    /// Policy tie-break key among events at the same time (0 = FIFO).
+    std::uint64_t key = 0;
     // Exactly one of {thread wake, callback}.
     SimThread* thread = nullptr;
     std::uint64_t generation = 0;
     std::function<void()> fn;
+    /// Vector-clock snapshot of the posting context (racecheck only).
+    std::shared_ptr<const std::vector<std::uint64_t>> hb;
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at > b.at;
+      if (a.key != b.key) return a.key > b.key;
       return a.seq > b.seq;
     }
   };
+
+  /// Tie-break key for an event being posted now (depends on policy).
+  std::uint64_t sched_key(const SimThread* target);
+  /// Release-snapshot of the posting context's vector clock (null when
+  /// race checking is off).
+  std::shared_ptr<const std::vector<std::uint64_t>> hb_snapshot();
 
   void dispatch(Event& ev);
   [[noreturn]] void report_deadlock() const;
 
   Time now_ = 0;
   Rng rng_;
+  SchedConfig sched_;
+  Rng sched_rng_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_thread_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::vector<std::unique_ptr<SimThread>> threads_;
   SimThread* current_ = nullptr;
   Stats stats_;
+  std::unique_ptr<RaceChecker> racecheck_;
 };
 
 /// Thrown by Engine::run() when all events drain but simulated threads

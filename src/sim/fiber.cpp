@@ -7,12 +7,54 @@
 #include <new>
 #include <stdexcept>
 
+// AddressSanitizer tracks one shadow stack per host thread, so fiber
+// switches need shadow bookkeeping.  GCC's ASan runtime intercepts
+// swapcontext itself and manages the shadow across switches natively
+// (manual annotations on top of the interceptor corrupt the shadow
+// state and cause false stack-buffer-overflow reports after exception
+// unwinds).  Clang has no such interceptor, so there the explicit
+// __sanitizer_*_switch_fiber annotations below do that job.
+#if defined(__clang__) && defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define KOP_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef KOP_ASAN_FIBERS
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* stack_bottom,
+                                    size_t stack_size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** stack_bottom_old,
+                                     size_t* stack_size_old);
+}
+#endif
+
 namespace kop::sim {
 
 namespace {
 
 // The fiber whose stack the host thread is currently executing on.
 thread_local Fiber* g_current_fiber = nullptr;
+
+#ifdef KOP_ASAN_FIBERS
+// Where the currently suspended *host* context's stack lives, so a
+// yielding fiber can announce it as the switch destination.  Written on
+// arrival in a fiber (finish_switch_fiber out-params), read on yield.
+thread_local const void* g_host_stack_bottom = nullptr;
+thread_local size_t g_host_stack_size = 0;
+
+void asan_start_switch(void** fake_save, const void* bottom, size_t size) {
+  __sanitizer_start_switch_fiber(fake_save, bottom, size);
+}
+void asan_finish_switch(void* fake_save, const void** bottom, size_t* size) {
+  __sanitizer_finish_switch_fiber(fake_save, bottom, size);
+}
+#else
+void asan_start_switch(void**, const void*, size_t) {}
+void asan_finish_switch(void*, const void**, size_t*) {}
+#endif
 
 std::size_t page_size() {
   static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
@@ -53,6 +95,11 @@ Fiber::~Fiber() {
 }
 
 void Fiber::trampoline() {
+  // First arrival on this fiber's stack: tell ASan the switch landed
+  // and remember the resumer's stack for the trip back.
+#ifdef KOP_ASAN_FIBERS
+  asan_finish_switch(nullptr, &g_host_stack_bottom, &g_host_stack_size);
+#endif
   Fiber* self = g_current_fiber;
   try {
     self->entry_();
@@ -62,7 +109,11 @@ void Fiber::trampoline() {
   self->finished_ = true;
   self->running_ = false;
   g_current_fiber = nullptr;
-  // Return to the resumer; this fiber never runs again.
+  // Return to the resumer; this fiber never runs again (a null
+  // fake-stack save lets ASan retire this stack's fake frames).
+#ifdef KOP_ASAN_FIBERS
+  asan_start_switch(nullptr, g_host_stack_bottom, g_host_stack_size);
+#endif
   swapcontext(&self->context_, &self->return_context_);
   // Unreachable.
 }
@@ -74,7 +125,10 @@ void Fiber::resume() {
   g_current_fiber = this;
   running_ = true;
   started_ = true;
+  void* fake = nullptr;
+  asan_start_switch(&fake, context_.uc_stack.ss_sp, context_.uc_stack.ss_size);
   swapcontext(&return_context_, &context_);
+  asan_finish_switch(fake, nullptr, nullptr);
   g_current_fiber = prev;
   if (pending_exception_) {
     auto ex = pending_exception_;
@@ -88,8 +142,17 @@ void Fiber::yield() {
   if (self == nullptr) throw std::logic_error("fiber: yield outside a fiber");
   self->running_ = false;
   g_current_fiber = nullptr;
+  void* fake = nullptr;
+#ifdef KOP_ASAN_FIBERS
+  asan_start_switch(&fake, g_host_stack_bottom, g_host_stack_size);
+#endif
   swapcontext(&self->context_, &self->return_context_);
   // Resumed again.
+#ifdef KOP_ASAN_FIBERS
+  asan_finish_switch(fake, &g_host_stack_bottom, &g_host_stack_size);
+#else
+  (void)fake;
+#endif
   g_current_fiber = self;
   self->running_ = true;
 }

@@ -1,0 +1,166 @@
+#include "sim/racecheck.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace kop::sim {
+
+RaceChecker::RaceChecker(Engine& engine) : engine_(&engine) {
+  clocks_.emplace_back();      // tid 0: the main context
+  names_.emplace_back("main");
+}
+
+RaceChecker::Clock& RaceChecker::clock_of(std::uint64_t tid) {
+  if (tid >= clocks_.size()) {
+    clocks_.resize(tid + 1);
+    names_.resize(tid + 1, "?");
+  }
+  Clock& c = clocks_[tid];
+  if (c.size() <= tid) c.resize(tid + 1, 0);
+  return c;
+}
+
+const std::string& RaceChecker::name_of(std::uint64_t tid) {
+  clock_of(tid);
+  return names_[tid];
+}
+
+void RaceChecker::join(Clock& into, const Clock& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i)
+    into[i] = std::max(into[i], from[i]);
+}
+
+void RaceChecker::on_spawn(std::uint64_t child, const std::string& name,
+                           std::uint64_t creator) {
+  Clock creator_clock = clock_of(creator);  // copy: clock_of may realloc
+  Clock& c = clock_of(child);
+  names_[child] = name;
+  join(c, creator_clock);
+  c[child] += 1;  // the child's first epoch is its own
+}
+
+std::shared_ptr<const RaceChecker::Clock> RaceChecker::release_snapshot(
+    std::uint64_t tid) {
+  Clock& c = clock_of(tid);
+  auto snap = std::make_shared<Clock>(c);
+  c[tid] += 1;  // release: later work of the poster is not covered
+  return snap;
+}
+
+void RaceChecker::on_resume(std::uint64_t tid,
+                            const std::shared_ptr<const Clock>& hb) {
+  if (hb) join(clock_of(tid), *hb);
+}
+
+void RaceChecker::on_callback(const std::shared_ptr<const Clock>& hb) {
+  // Callbacks run on the main context but act *for the poster*: the
+  // main clock is replaced (not joined) so unrelated callbacks do not
+  // launder happens-before through tid 0.
+  Clock& c = clock_of(0);
+  if (hb) {
+    c.assign(hb->begin(), hb->end());
+    if (c.empty()) c.resize(1, 0);
+  }
+}
+
+void RaceChecker::acquire(const void* obj) {
+  auto it = sync_.find(obj);
+  if (it == sync_.end()) return;  // never released: nothing to learn
+  join(clock_of(engine_->current_tid()), it->second);
+}
+
+void RaceChecker::release(const void* obj) {
+  const std::uint64_t tid = engine_->current_tid();
+  Clock& c = clock_of(tid);
+  join(sync_[obj], c);
+  c[tid] += 1;
+}
+
+void RaceChecker::atomic_load(const void* addr) { acquire(addr); }
+
+void RaceChecker::atomic_store(const void* addr, const char* label) {
+  release(addr);
+  // Record the write (post-release epoch) so plain accesses that are
+  // not ordered with it get flagged; atomics themselves never report.
+  const std::uint64_t tid = engine_->current_tid();
+  const Clock& c = clock_of(tid);
+  VarState& v = vars_[addr];
+  v.write = LastAccess{tid, c[tid], engine_->now(), label};
+  v.has_write = true;
+}
+
+void RaceChecker::atomic_rmw(const void* addr, const char* label) {
+  acquire(addr);
+  atomic_store(addr, label);
+}
+
+bool RaceChecker::ordered(const LastAccess& prev, std::uint64_t tid) {
+  if (prev.tid == tid) return true;  // program order
+  Clock& c = clock_of(tid);
+  return prev.tid < c.size() && prev.epoch <= c[prev.tid];
+}
+
+void RaceChecker::report(const void* addr, const LastAccess& prev,
+                         bool prev_write, std::uint64_t tid, bool write,
+                         const char* label) {
+  if (reports_.size() >= max_reports) return;
+  Report r;
+  r.addr = addr;
+  r.prev = Access{prev.tid, name_of(prev.tid), prev_write, prev.at, prev.label};
+  r.cur = Access{tid, name_of(tid), write, engine_->now(), label};
+  reports_.push_back(std::move(r));
+}
+
+void RaceChecker::plain_read(const void* addr, const char* label) {
+  const std::uint64_t tid = engine_->current_tid();
+  VarState& v = vars_[addr];
+  if (v.has_write && !v.reported && !ordered(v.write, tid)) {
+    v.reported = true;
+    report(addr, v.write, /*prev_write=*/true, tid, /*write=*/false, label);
+  }
+  const Clock& c = clock_of(tid);
+  const LastAccess me{tid, c[tid], engine_->now(), label};
+  for (auto& r : v.reads) {
+    if (r.tid == tid) {
+      r = me;
+      return;
+    }
+  }
+  v.reads.push_back(me);
+}
+
+void RaceChecker::plain_write(const void* addr, const char* label) {
+  const std::uint64_t tid = engine_->current_tid();
+  VarState& v = vars_[addr];
+  if (!v.reported) {
+    if (v.has_write && !ordered(v.write, tid)) {
+      v.reported = true;
+      report(addr, v.write, /*prev_write=*/true, tid, /*write=*/true, label);
+    } else {
+      for (const auto& r : v.reads) {
+        if (!ordered(r, tid)) {
+          v.reported = true;
+          report(addr, r, /*prev_write=*/false, tid, /*write=*/true, label);
+          break;
+        }
+      }
+    }
+  }
+  const Clock& c = clock_of(tid);
+  v.write = LastAccess{tid, c[tid], engine_->now(), label};
+  v.has_write = true;
+  v.reads.clear();
+}
+
+std::string RaceChecker::Report::to_string() const {
+  std::ostringstream oss;
+  oss << "data race on " << cur.label << " (" << addr << "): "
+      << (cur.write ? "write" : "read") << " by [" << cur.tid << ":"
+      << cur.thread << "] at t=" << cur.at << "ns is unordered with "
+      << (prev.write ? "write" : "read") << " by [" << prev.tid << ":"
+      << prev.thread << "] (" << prev.label << ") at t=" << prev.at << "ns";
+  return oss.str();
+}
+
+}  // namespace kop::sim

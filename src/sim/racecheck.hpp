@@ -1,0 +1,149 @@
+// Vector-clock happens-before race detection for the simulator.
+//
+// The cooperative engine serializes execution, so nothing ever *tears*
+// -- but the simulated program still has a concurrency structure, and
+// an access pattern that is only correct because the simulator happened
+// to serialize it is a real bug in the system being modelled.  The
+// RaceChecker makes that structure explicit:
+//
+//   * every SimThread (plus the main context, tid 0) carries a vector
+//     clock; spawn, wake, and callback posting transfer clocks exactly
+//     the way sched_wakeup / futex-wake edges do in a real kernel;
+//   * synchronization objects (osal::Mutex, WaitQueue notifies, komp
+//     barriers) publish and acquire clocks through acquire()/release();
+//   * shared locations the runtime layers care about (barrier
+//     generation counters, task-deque heads/tails, ICVs) are annotated
+//     with plain_read/plain_write -- the detector reports any pair of
+//     accesses, at least one a write, that are not ordered by
+//     happens-before;
+//   * locations that model hardware atomics (lock words, arrival
+//     counters) use the atomic_* hooks: they create per-address
+//     acquire/release edges instead of being race-checked, exactly like
+//     std::atomic with memory_order_acq_rel.
+//
+// The detector is opt-in (Engine::enable_racecheck) and costs nothing
+// when disabled: every annotation helper below is a null-check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace kop::sim {
+
+class RaceChecker {
+ public:
+  using Clock = std::vector<std::uint64_t>;  // indexed by thread id
+
+  explicit RaceChecker(Engine& engine);
+
+  /// One side of a racy pair.
+  struct Access {
+    std::uint64_t tid = 0;
+    std::string thread;  // SimThread name ("main" for the main context)
+    bool write = false;
+    Time at = 0;
+    std::string label;  // the annotation's location label
+  };
+
+  struct Report {
+    const void* addr = nullptr;
+    Access prev, cur;
+    std::string to_string() const;
+  };
+
+  // --- annotation surface (call via the helpers in sim::race) ---
+
+  /// Acquire/release on a synchronization *object* (a mutex, a wait
+  /// queue, a whole barrier).  release publishes the caller's clock
+  /// into the object; acquire joins the object's clock into the caller.
+  void acquire(const void* obj);
+  void release(const void* obj);
+
+  /// Modelled hardware atomics on an *address*: hb edges.  Atomic
+  /// accesses never trigger reports themselves, but atomic writes are
+  /// recorded so an *unsynchronized plain* access to the same location
+  /// is still flagged (mixing atomic and plain unordered accesses is a
+  /// data race in the C++ model too).
+  void atomic_load(const void* addr);                       // acquire
+  void atomic_store(const void* addr, const char* label);   // release
+  void atomic_rmw(const void* addr, const char* label);     // acquire+release
+
+  /// Plain shared accesses: race-checked against the location history.
+  void plain_read(const void* addr, const char* label);
+  void plain_write(const void* addr, const char* label);
+
+  bool racy() const { return !reports_.empty(); }
+  const std::vector<Report>& reports() const { return reports_; }
+  /// Reporting stops (but hb tracking continues) after this many races.
+  std::size_t max_reports = 16;
+
+  // --- engine hooks (called by Engine; not part of the public API) ---
+  void on_spawn(std::uint64_t child, const std::string& name,
+                std::uint64_t creator);
+  std::shared_ptr<const Clock> release_snapshot(std::uint64_t tid);
+  void on_resume(std::uint64_t tid,
+                 const std::shared_ptr<const Clock>& hb);
+  void on_callback(const std::shared_ptr<const Clock>& hb);
+
+ private:
+  struct LastAccess {
+    std::uint64_t tid = 0;
+    std::uint64_t epoch = 0;
+    Time at = 0;
+    const char* label = "";
+  };
+  struct VarState {
+    LastAccess write;
+    bool has_write = false;
+    std::vector<LastAccess> reads;  // at most one entry per tid
+    bool reported = false;          // one report per location
+  };
+
+  Clock& clock_of(std::uint64_t tid);
+  const std::string& name_of(std::uint64_t tid);
+  static void join(Clock& into, const Clock& from);
+  /// prev happens-before the current state of `tid`?
+  bool ordered(const LastAccess& prev, std::uint64_t tid);
+  void report(const void* addr, const LastAccess& prev, bool prev_write,
+              std::uint64_t tid, bool write, const char* label);
+
+  Engine* engine_;
+  std::vector<Clock> clocks_;        // by tid; [0] is the main context
+  std::vector<std::string> names_;
+  std::unordered_map<const void*, Clock> sync_;
+  std::unordered_map<const void*, VarState> vars_;
+  std::vector<Report> reports_;
+};
+
+/// Annotation helpers: no-ops when the engine has no checker attached.
+namespace race {
+
+inline void acquire(Engine& e, const void* obj) {
+  if (auto* rc = e.racecheck()) rc->acquire(obj);
+}
+inline void release(Engine& e, const void* obj) {
+  if (auto* rc = e.racecheck()) rc->release(obj);
+}
+inline void atomic_load(Engine& e, const void* addr) {
+  if (auto* rc = e.racecheck()) rc->atomic_load(addr);
+}
+inline void atomic_store(Engine& e, const void* addr, const char* label) {
+  if (auto* rc = e.racecheck()) rc->atomic_store(addr, label);
+}
+inline void atomic_rmw(Engine& e, const void* addr, const char* label) {
+  if (auto* rc = e.racecheck()) rc->atomic_rmw(addr, label);
+}
+inline void plain_read(Engine& e, const void* addr, const char* label) {
+  if (auto* rc = e.racecheck()) rc->plain_read(addr, label);
+}
+inline void plain_write(Engine& e, const void* addr, const char* label) {
+  if (auto* rc = e.racecheck()) rc->plain_write(addr, label);
+}
+
+}  // namespace race
+}  // namespace kop::sim

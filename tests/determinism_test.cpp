@@ -1,0 +1,160 @@
+// Schedule determinism: one (rng seed, sched policy, sched seed) triple
+// names exactly one interleaving.  Re-running it must reproduce the
+// virtual clock bit for bit at every layer -- raw engine, EPCC
+// microbenchmarks, and a NAS functional kernel -- which is what makes
+// a fuzzer-found seed replayable.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/stack.hpp"
+#include "epcc/epcc.hpp"
+#include "harness/experiment.hpp"
+#include "hw/topology.hpp"
+#include "linuxmodel/linux_os.hpp"
+#include "nas/functional.hpp"
+#include "osal/sync.hpp"
+#include "sim/engine.hpp"
+
+namespace kop {
+namespace {
+
+const sim::SchedPolicy kAllPolicies[] = {
+    sim::SchedPolicy::kFifo, sim::SchedPolicy::kRandom, sim::SchedPolicy::kPct};
+
+/// A contended workload on a raw engine: returns (end time, order in
+/// which threads got the lock).
+struct SimTrace {
+  sim::Time end = 0;
+  std::vector<int> order;
+  bool operator==(const SimTrace& o) const {
+    return end == o.end && order == o.order;
+  }
+};
+
+SimTrace run_sim_workload(sim::SchedConfig sched) {
+  sim::Engine engine(42, sched);
+  linuxmodel::LinuxOs os(engine, hw::phi());
+  osal::Mutex mu(os, 1000);
+  SimTrace trace;
+  for (int t = 0; t < 6; ++t) {
+    os.spawn_thread(
+        "t" + std::to_string(t),
+        [&, t] {
+          for (int i = 0; i < 3; ++i) {
+            mu.lock();
+            trace.order.push_back(t);
+            os.compute_ns(100);
+            mu.unlock();
+            os.compute_ns(50 + 10 * t);
+          }
+        },
+        t % os.machine().num_cpus);
+  }
+  engine.run();
+  trace.end = engine.now();
+  return trace;
+}
+
+TEST(Determinism, SimWorkloadIsBitIdenticalPerSeed) {
+  for (sim::SchedPolicy policy : kAllPolicies) {
+    sim::SchedConfig sched;
+    sched.policy = policy;
+    sched.seed = 77;
+    const SimTrace a = run_sim_workload(sched);
+    const SimTrace b = run_sim_workload(sched);
+    EXPECT_EQ(a, b) << "policy " << sim::sched_policy_name(policy);
+    EXPECT_EQ(a.order.size(), 18u);
+  }
+}
+
+TEST(Determinism, RandomSeedsActuallyChangeTheInterleaving) {
+  // Not a tautology: if the policy ignored its seed, every "random"
+  // schedule would be the same schedule.
+  const SimTrace base = run_sim_workload({sim::SchedPolicy::kRandom, 1});
+  bool varied = false;
+  for (std::uint64_t seed = 2; seed <= 8 && !varied; ++seed)
+    varied = !(run_sim_workload({sim::SchedPolicy::kRandom, seed}) == base);
+  EXPECT_TRUE(varied) << "8 random seeds produced identical lock orders";
+}
+
+TEST(Determinism, FifoDefaultMatchesLegacyEngineBehavior) {
+  // SchedConfig{} must be indistinguishable from the pre-policy engine:
+  // FIFO tie-break, untouched cost-model RNG.
+  sim::Engine legacy(42);
+  linuxmodel::LinuxOs os1(legacy, hw::phi());
+  int done1 = 0;
+  for (int t = 0; t < 4; ++t)
+    os1.spawn_thread("t" + std::to_string(t), [&] {
+      os1.compute_ns(1000);
+      ++done1;
+    }, t);
+  legacy.run();
+
+  sim::Engine configured(42, sim::SchedConfig{});
+  linuxmodel::LinuxOs os2(configured, hw::phi());
+  int done2 = 0;
+  for (int t = 0; t < 4; ++t)
+    os2.spawn_thread("t" + std::to_string(t), [&] {
+      os2.compute_ns(1000);
+      ++done2;
+    }, t);
+  configured.run();
+
+  EXPECT_EQ(done1, done2);
+  EXPECT_EQ(legacy.now(), configured.now());
+}
+
+std::vector<double> run_epcc_sync(sim::SchedConfig sched) {
+  core::StackConfig cfg;
+  cfg.path = core::PathKind::kLinuxOmp;
+  cfg.num_threads = 4;
+  cfg.sched = sched;
+  epcc::EpccConfig ecfg;
+  ecfg.outer_reps = 2;
+  ecfg.inner_iters = 4;
+  ecfg.delay_ns = 200;
+  auto ms = harness::run_epcc(cfg, harness::EpccPart::kSync, ecfg);
+  std::vector<double> means;
+  for (const auto& m : ms) means.push_back(m.overhead_us.mean());
+  return means;
+}
+
+TEST(Determinism, EpccOverheadsAreBitIdenticalPerSeed) {
+  for (sim::SchedPolicy policy : kAllPolicies) {
+    sim::SchedConfig sched;
+    sched.policy = policy;
+    sched.seed = 9;
+    const auto a = run_epcc_sync(sched);
+    const auto b = run_epcc_sync(sched);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "policy " << sim::sched_policy_name(policy);
+  }
+}
+
+sim::Time run_nas_cg(sim::SchedConfig sched) {
+  core::StackConfig cfg;
+  cfg.path = core::PathKind::kLinuxOmp;
+  cfg.num_threads = 4;
+  cfg.sched = sched;
+  auto stack = core::Stack::create(cfg);
+  const int code = stack->run_omp_app([](komp::Runtime& rt) {
+    auto v = nas::functional::verify(rt, "CG");
+    return v.passed ? 0 : 1;
+  });
+  EXPECT_EQ(code, 0);
+  return stack->engine().now();
+}
+
+TEST(Determinism, NasCgVirtualTimeIsBitIdenticalPerSeed) {
+  for (sim::SchedPolicy policy : kAllPolicies) {
+    sim::SchedConfig sched;
+    sched.policy = policy;
+    sched.seed = 1337;
+    EXPECT_EQ(run_nas_cg(sched), run_nas_cg(sched))
+        << "policy " << sim::sched_policy_name(policy);
+  }
+}
+
+}  // namespace
+}  // namespace kop

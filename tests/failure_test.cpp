@@ -57,6 +57,78 @@ TEST(Failure, AbbaDeadlockIsDetectedAndNamed) {
   }
 }
 
+// Failure detection must hold under *every* scheduling policy, not
+// just the FIFO order the tests above happen to exercise: a fuzzer
+// that explores schedules is only useful if deadlocks and fiber
+// exceptions stay loud on each of them.
+class FailureUnderPolicy
+    : public ::testing::TestWithParam<sim::SchedPolicy> {};
+
+TEST_P(FailureUnderPolicy, AbbaDeadlockIsDetectedAndNamed) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::SchedConfig sched;
+    sched.policy = GetParam();
+    sched.seed = seed;
+    sim::Engine engine(42, sched);
+    nautilus::NautilusKernel nk(engine, hw::phi());
+    osal::Mutex a(nk), b(nk);
+    nk.spawn_thread(
+        "locker-ab",
+        [&] {
+          a.lock();
+          engine.sleep_for(1000);
+          b.lock();
+          b.unlock();
+          a.unlock();
+        },
+        0);
+    nk.spawn_thread(
+        "locker-ba",
+        [&] {
+          b.lock();
+          engine.sleep_for(1000);
+          a.lock();
+          a.unlock();
+          b.unlock();
+        },
+        1);
+    try {
+      engine.run();
+      FAIL() << "expected SimDeadlock (seed " << seed << ")";
+    } catch (const sim::SimDeadlock& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("locker-ab"), std::string::npos) << what;
+      EXPECT_NE(what.find("locker-ba"), std::string::npos) << what;
+      // The message must carry the schedule so the hang replays.
+      EXPECT_NE(what.find(sim::sched_policy_name(sched.policy)),
+                std::string::npos)
+          << what;
+    }
+  }
+}
+
+TEST_P(FailureUnderPolicy, FiberExceptionPropagatesToRun) {
+  sim::SchedConfig sched;
+  sched.policy = GetParam();
+  sched.seed = 3;
+  sim::Engine engine(42, sched);
+  auto* quiet = engine.spawn("bystander", [] {});
+  auto* t = engine.spawn("thrower", [] {
+    throw std::runtime_error("app exploded");
+  });
+  engine.wake(quiet);
+  engine.wake(t);
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, FailureUnderPolicy,
+                         ::testing::Values(sim::SchedPolicy::kRandom,
+                                           sim::SchedPolicy::kPct),
+                         [](const auto& info) {
+                           return std::string(
+                               sim::sched_policy_name(info.param));
+                         });
+
 TEST(Failure, LostCondvarSignalDeadlocksLoudly) {
   sim::Engine engine;
   nautilus::NautilusKernel nk(engine, hw::phi());
