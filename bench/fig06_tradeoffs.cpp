@@ -4,10 +4,21 @@
 // the paper's numbers.
 #include <cstdio>
 
+#include "harness/metrics.hpp"
 #include "harness/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using kop::harness::Table;
+
+  const auto opts = kop::harness::parse_fig_options(argc, argv);
+  if (!opts.ok) return 2;
+  if (!opts.json_path.empty()) {
+    // Uniform CLI with the other fig* binaries, but this figure is a
+    // static design-tradeoff table: there are no experiment runs, and
+    // the kop-metrics schema requires at least one.
+    std::fprintf(stderr,
+                 "fig06 is a static table; no metrics artifact written\n");
+  }
 
   std::printf("== Figure 6: design and software engineering tradeoffs ==\n\n");
 

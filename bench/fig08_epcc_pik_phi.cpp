@@ -4,12 +4,17 @@
 // same binary, but cheap kernel-mode crossings and no OS noise).
 #include "harness/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = kop::harness::parse_fig_options(argc, argv);
+  if (!opts.ok) return 2;
   kop::epcc::EpccConfig cfg;
-  cfg.outer_reps = 6;
-  cfg.inner_iters = 16;
+  cfg.outer_reps = opts.quick ? 2 : 6;
+  cfg.inner_iters = opts.quick ? 4 : 16;
+  const int threads = opts.quick ? 8 : 64;
+  kop::harness::MetricsSink sink("fig08_epcc_pik_phi");
   kop::harness::print_epcc_figure(
-      "Figure 8: EPCC, PIK vs Linux, 64 cores of PHI", "phi", 64,
-      {kop::core::PathKind::kLinuxOmp, kop::core::PathKind::kPik}, cfg);
-  return 0;
+      "Figure 8: EPCC, PIK vs Linux, 64 cores of PHI", "phi", threads,
+      {kop::core::PathKind::kLinuxOmp, kop::core::PathKind::kPik}, cfg,
+      &sink);
+  return kop::harness::finish_figure(opts, sink);
 }

@@ -5,11 +5,18 @@
 // allocation, no noise, no competing threads).
 #include "harness/figures.hpp"
 
-int main() {
-  const auto suite =
-      kop::harness::scale_suite(kop::nas::paper_suite(), 2.0, 4);
+int main(int argc, char** argv) {
+  const auto opts = kop::harness::parse_fig_options(argc, argv);
+  if (!opts.ok) return 2;
+  auto suite = kop::harness::scale_suite(kop::nas::paper_suite(),
+                                         opts.quick ? 0.5 : 2.0,
+                                         opts.quick ? 2 : 4);
+  if (opts.quick) suite.resize(2);
+  const auto scales =
+      opts.quick ? std::vector<int>{1, 8} : kop::harness::phi_scales();
+  kop::harness::MetricsSink sink("fig09_nas_rtk_phi");
   kop::harness::print_nas_normalized(
       "Figure 9: NAS, RTK vs Linux on PHI", "phi",
-      {kop::core::PathKind::kRtk}, kop::harness::phi_scales(), suite);
-  return 0;
+      {kop::core::PathKind::kRtk}, scales, suite, &sink);
+  return kop::harness::finish_figure(opts, sink);
 }

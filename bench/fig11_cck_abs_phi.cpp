@@ -7,13 +7,21 @@
 
 #include "harness/figures.hpp"
 
-int main() {
-  const auto suite = kop::harness::scale_suite(kop::nas::cck_suite(), 2.0, 4);
+int main(int argc, char** argv) {
+  const auto opts = kop::harness::parse_fig_options(argc, argv);
+  if (!opts.ok) return 2;
+  auto suite = kop::harness::scale_suite(kop::nas::cck_suite(),
+                                         opts.quick ? 0.5 : 2.0,
+                                         opts.quick ? 2 : 4);
+  if (opts.quick) suite.resize(2);
+  const auto scales =
+      opts.quick ? std::vector<int>{1, 8} : kop::harness::phi_scales();
+  kop::harness::MetricsSink sink("fig11_cck_abs_phi");
   kop::harness::print_cck_absolute(
       "Figure 11: CCK absolute times on PHI (Linux OMP vs Linux AutoMP vs "
       "NK AutoMP)",
-      "phi", kop::harness::phi_scales(), suite);
+      "phi", scales, suite, &sink);
   std::printf("IS-C is elided: AutoMP extracts no parallelism from it "
               "(every loop needs object privatization).\n");
-  return 0;
+  return kop::harness::finish_figure(opts, sink);
 }

@@ -3,10 +3,18 @@
 // normalization.
 #include "harness/figures.hpp"
 
-int main() {
-  const auto suite = kop::harness::scale_suite(kop::nas::cck_suite(), 2.0, 4);
+int main(int argc, char** argv) {
+  const auto opts = kop::harness::parse_fig_options(argc, argv);
+  if (!opts.ok) return 2;
+  auto suite = kop::harness::scale_suite(kop::nas::cck_suite(),
+                                         opts.quick ? 0.5 : 2.0,
+                                         opts.quick ? 2 : 4);
+  if (opts.quick) suite.resize(2);
+  const auto scales =
+      opts.quick ? std::vector<int>{1, 8} : kop::harness::phi_scales();
+  kop::harness::MetricsSink sink("fig12_cck_rel_phi");
   kop::harness::print_cck_normalized(
-      "Figure 12: CCK normalized performance on PHI", "phi",
-      kop::harness::phi_scales(), suite);
-  return 0;
+      "Figure 12: CCK normalized performance on PHI", "phi", scales, suite,
+      &sink);
+  return kop::harness::finish_figure(opts, sink);
 }

@@ -5,20 +5,24 @@
 // task paths much more at 192 threads).
 #include "harness/figures.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = kop::harness::parse_fig_options(argc, argv);
+  if (!opts.ok) return 2;
   kop::epcc::EpccConfig cfg;
-  cfg.outer_reps = 4;
-  cfg.inner_iters = 8;
+  cfg.outer_reps = opts.quick ? 2 : 4;
+  cfg.inner_iters = opts.quick ? 4 : 8;
   // 192 threads: keep per-construct iteration counts moderate so the
   // full three-path sweep stays fast.
-  cfg.sched_iters_per_thread = 32;
-  cfg.tasks_per_thread = 8;
-  cfg.tree_depth = 5;
+  cfg.sched_iters_per_thread = opts.quick ? 16 : 32;
+  cfg.tasks_per_thread = opts.quick ? 4 : 8;
+  cfg.tree_depth = opts.quick ? 4 : 5;
+  const int threads = opts.quick ? 16 : 192;
+  kop::harness::MetricsSink sink("fig13_epcc_8xeon");
   kop::harness::print_epcc_figure(
       "Figure 13: EPCC, RTK and PIK vs Linux, 192 cores of 8XEON", "8xeon",
-      192,
+      threads,
       {kop::core::PathKind::kLinuxOmp, kop::core::PathKind::kRtk,
        kop::core::PathKind::kPik},
-      cfg);
-  return 0;
+      cfg, &sink);
+  return kop::harness::finish_figure(opts, sink);
 }

@@ -4,12 +4,19 @@
 // use the first-touch-at-2MB extension.
 #include "harness/figures.hpp"
 
-int main() {
-  const auto suite =
-      kop::harness::scale_suite(kop::nas::paper_suite(), 8.0/3.0, 3);
+int main(int argc, char** argv) {
+  const auto opts = kop::harness::parse_fig_options(argc, argv);
+  if (!opts.ok) return 2;
+  auto suite = kop::harness::scale_suite(kop::nas::paper_suite(),
+                                         opts.quick ? 0.5 : 8.0 / 3.0,
+                                         opts.quick ? 2 : 3);
+  if (opts.quick) suite.resize(2);
+  const auto scales =
+      opts.quick ? std::vector<int>{1, 16} : kop::harness::xeon_scales();
+  kop::harness::MetricsSink sink("fig14_nas_8xeon");
   kop::harness::print_nas_normalized(
       "Figure 14: NAS, RTK and PIK vs Linux on 8XEON", "8xeon",
-      {kop::core::PathKind::kRtk, kop::core::PathKind::kPik},
-      kop::harness::xeon_scales(), suite);
-  return 0;
+      {kop::core::PathKind::kRtk, kop::core::PathKind::kPik}, scales, suite,
+      &sink);
+  return kop::harness::finish_figure(opts, sink);
 }

@@ -1,0 +1,41 @@
+// kop-metrics artifact linter: validates JSON files emitted by
+// run_experiment --json, the bench/fig* binaries, and omp_profiler
+// against the versioned schema (telemetry/metrics.hpp).  CI runs this
+// over every artifact the bench-smoke job produces.
+//
+//   metrics_lint <file.json> [<file.json> ...]
+//
+// Exit code: 0 if every file validates, 1 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.json> [<file.json> ...]\n", argv[0]);
+    return 2;
+  }
+  int bad = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      ++bad;
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const auto violations = kop::telemetry::validate_metrics_json(ss.str());
+    if (violations.empty()) {
+      std::printf("%s: OK\n", argv[i]);
+      continue;
+    }
+    ++bad;
+    std::printf("%s: %zu violation(s)\n", argv[i], violations.size());
+    for (const auto& v : violations) std::printf("  %s\n", v.c_str());
+  }
+  return bad == 0 ? 0 : 1;
+}

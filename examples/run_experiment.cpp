@@ -3,6 +3,11 @@
 //   run_experiment [--bench BT,FT,...|all] [--machine phi|8xeon]
 //                  [--paths linux,rtk,pik,automp-linux,automp-nk]
 //                  [--threads 1,2,4,...] [--scale <factor>] [--csv]
+//                  [--json <path>]
+//
+// --json writes a kop-metrics v1 artifact (telemetry/metrics.hpp): one
+// run entry per (bench, path, threads) cell with the stack's event
+// counters -- the same schema the bench/fig* binaries emit.
 //
 // Examples:
 //   run_experiment --bench BT --threads 1,16,64
@@ -50,6 +55,7 @@ int main(int argc, char** argv) {
   std::vector<int> threads = {1, 8, 64};
   double scale = 1.0;
   bool csv = false;
+  std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,9 +72,11 @@ int main(int argc, char** argv) {
         for (const auto& t : split(next())) threads.push_back(std::stoi(t));
       } else if (arg == "--scale") scale = std::stod(next());
       else if (arg == "--csv") csv = true;
+      else if (arg == "--json") json_path = next();
       else if (arg == "--help" || arg == "-h") {
         std::puts("usage: run_experiment [--bench B1,B2|all] [--machine m]\n"
-                  "         [--paths p1,p2] [--threads n1,n2] [--scale f] [--csv]");
+                  "         [--paths p1,p2] [--threads n1,n2] [--scale f]\n"
+                  "         [--csv] [--json <path>]");
         return 0;
       } else {
         throw std::invalid_argument("unknown flag " + arg);
@@ -84,6 +92,7 @@ int main(int argc, char** argv) {
     for (const auto& b : nas::paper_suite()) benches.push_back(b.name);
   }
 
+  harness::MetricsSink sink("run_experiment");
   try {
     for (const auto& bench : benches) {
       auto spec = harness::scale_suite({nas::by_name(bench)}, scale,
@@ -100,8 +109,10 @@ int main(int argc, char** argv) {
           cfg.num_threads = n;
           cfg.nk_first_touch = harness::want_first_touch(machine, n);
           if (!core::Stack::create(cfg)->is_omp_path()) cfg.app_static_bytes = 0;
+          harness::RunMetrics m;
           row.push_back(harness::Table::num(
-              harness::run_nas(cfg, spec).timed_seconds, 3));
+              harness::run_nas(cfg, spec, &m).timed_seconds, 3));
+          sink.add(std::move(m));
         }
         table.add_row(std::move(row));
       }
@@ -114,6 +125,16 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  }
+  if (!json_path.empty()) {
+    try {
+      sink.write_file(json_path);
+      std::printf("wrote %s (%zu runs)\n", json_path.c_str(),
+                  sink.runs().size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
   return 0;
 }

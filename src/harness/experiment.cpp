@@ -1,11 +1,28 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace kop::harness {
 
+namespace {
+
+// Identity + counter snapshot shared by both drivers.
+void fill_metrics(RunMetrics* m, core::Stack& stack,
+                  const core::StackConfig& cfg, const std::string& label) {
+  m->label = label;
+  m->machine = cfg.machine;
+  m->path = core::path_name(cfg.path);
+  m->threads = cfg.num_threads > 0 ? cfg.num_threads
+                                   : stack.os().machine().num_cpus;
+  m->counters = stack.os().counters().snapshot();
+}
+
+}  // namespace
+
 nas::RunResult run_nas(const core::StackConfig& config,
-                       const nas::BenchmarkSpec& spec) {
+                       const nas::BenchmarkSpec& spec,
+                       RunMetrics* metrics) {
   core::StackConfig cfg = config;
   // RTK/CCK link the app's static data into the boot image (§3.1);
   // PIK and Linux have no such constraint.
@@ -27,12 +44,18 @@ nas::RunResult run_nas(const core::StackConfig& config,
       return 0;
     });
   }
+  if (metrics != nullptr) {
+    fill_metrics(metrics, *stack, cfg, spec.full_name());
+    metrics->timed_seconds = result.timed_seconds;
+    metrics->init_seconds = result.init_seconds;
+  }
   return result;
 }
 
 std::vector<epcc::Measurement> run_epcc(const core::StackConfig& config,
                                         EpccPart part,
-                                        const epcc::EpccConfig& ecfg) {
+                                        const epcc::EpccConfig& ecfg,
+                                        RunMetrics* metrics) {
   auto stack = core::Stack::create(config);
   if (!stack->is_omp_path())
     throw std::invalid_argument(
@@ -49,6 +72,22 @@ std::vector<epcc::Measurement> run_epcc(const core::StackConfig& config,
     }
     return 0;
   });
+  if (metrics != nullptr) {
+    const char* labels[] = {"syncbench", "schedbench", "arraybench",
+                            "taskbench", "epcc-all"};
+    fill_metrics(metrics, *stack, config, labels[static_cast<int>(part)]);
+    metrics->timed_seconds =
+        static_cast<double>(stack->engine().now()) / 1e9;
+    for (const auto& m : out) {
+      ConstructStat stat;
+      stat.count = m.overhead_us.count();
+      // EPCC overheads can be slightly negative (construct faster than
+      // the reference); clamp for the schema's non-negative fields.
+      stat.mean_us = std::max(0.0, m.overhead_us.mean());
+      stat.total_us = stat.mean_us * static_cast<double>(stat.count);
+      metrics->constructs[m.group + "." + m.name] = stat;
+    }
+  }
   return out;
 }
 

@@ -8,22 +8,29 @@
 
 #include "core/stack.hpp"
 #include "epcc/epcc.hpp"
+#include "harness/metrics.hpp"
 #include "nas/exec.hpp"
 
 namespace kop::harness {
 
-/// Run one NAS benchmark on a freshly booted stack.
+/// Run one NAS benchmark on a freshly booted stack.  If `metrics` is
+/// non-null it is filled with the run's identity, timing, and the
+/// stack's event-counter snapshot.
 nas::RunResult run_nas(const core::StackConfig& config,
-                       const nas::BenchmarkSpec& spec);
+                       const nas::BenchmarkSpec& spec,
+                       RunMetrics* metrics = nullptr);
 
 /// Which EPCC component to run.
 enum class EpccPart { kSync, kSched, kArray, kTask, kAll };
 
 /// Run EPCC on a freshly booted stack (libomp paths only; CCK has no
 /// OpenMP directives to measure, §6.1).
+/// If `metrics` is non-null, also fills the counter snapshot and a
+/// per-construct breakdown derived from the measurements.
 std::vector<epcc::Measurement> run_epcc(const core::StackConfig& config,
                                         EpccPart part,
-                                        const epcc::EpccConfig& ecfg = {});
+                                        const epcc::EpccConfig& ecfg = {},
+                                        RunMetrics* metrics = nullptr);
 
 /// The paper's convention for 8XEON: Nautilus uses first-touch-at-2MB
 /// for runs on more than one socket (§6.3).

@@ -10,6 +10,16 @@ namespace kop::harness {
 
 namespace {
 
+// Run + optionally record into the sink.
+double timed_nas(const core::StackConfig& cfg, const nas::BenchmarkSpec& spec,
+                 MetricsSink* sink) {
+  if (sink == nullptr) return run_nas(cfg, spec).timed_seconds;
+  RunMetrics m;
+  const double t = run_nas(cfg, spec, &m).timed_seconds;
+  sink->add(std::move(m));
+  return t;
+}
+
 core::StackConfig make_config(const std::string& machine, core::PathKind path,
                               int threads) {
   core::StackConfig cfg;
@@ -41,7 +51,8 @@ std::vector<nas::BenchmarkSpec> scale_suite(std::vector<nas::BenchmarkSpec> suit
 void print_nas_normalized(const std::string& title, const std::string& machine,
                           const std::vector<core::PathKind>& paths,
                           const std::vector<int>& scales,
-                          const std::vector<nas::BenchmarkSpec>& suite) {
+                          const std::vector<nas::BenchmarkSpec>& suite,
+                          MetricsSink* sink) {
   std::printf("== %s ==\n", title.c_str());
   std::printf("   (normalized performance: Linux-OpenMP time / path time;"
               " higher is better; baseline = 1.0)\n\n");
@@ -49,9 +60,8 @@ void print_nas_normalized(const std::string& title, const std::string& machine,
 
   for (const auto& spec : suite) {
     // Single-thread Linux absolute time: the figure's `t` label.
-    const double t1 = run_nas(make_config(machine, core::PathKind::kLinuxOmp, 1),
-                              spec)
-                          .timed_seconds;
+    const double t1 = timed_nas(
+        make_config(machine, core::PathKind::kLinuxOmp, 1), spec, sink);
     std::printf("%s  (t = %.2f sec single-threaded Linux)\n",
                 spec.full_name().c_str(), t1);
 
@@ -62,12 +72,11 @@ void print_nas_normalized(const std::string& title, const std::string& machine,
     for (int n : scales) {
       const double linux_t =
           n == 1 ? t1
-                 : run_nas(make_config(machine, core::PathKind::kLinuxOmp, n),
-                           spec)
-                       .timed_seconds;
+                 : timed_nas(make_config(machine, core::PathKind::kLinuxOmp, n),
+                             spec, sink);
       std::vector<std::string> row{std::to_string(n), Table::seconds(linux_t)};
       for (auto p : paths) {
-        const double pt = run_nas(make_config(machine, p, n), spec).timed_seconds;
+        const double pt = timed_nas(make_config(machine, p, n), spec, sink);
         const double ratio = linux_t / pt;
         ratios_all[p].push_back(ratio);
         row.push_back(Table::num(ratio));
@@ -86,21 +95,20 @@ void print_nas_normalized(const std::string& title, const std::string& machine,
 
 void print_cck_absolute(const std::string& title, const std::string& machine,
                         const std::vector<int>& scales,
-                        const std::vector<nas::BenchmarkSpec>& suite) {
+                        const std::vector<nas::BenchmarkSpec>& suite,
+                        MetricsSink* sink) {
   std::printf("== %s ==\n", title.c_str());
   std::printf("   (average time in seconds; lower is better)\n\n");
   for (const auto& spec : suite) {
     std::printf("%s\n", spec.full_name().c_str());
     Table table({"cpus", "LINUX OMP", "LINUX AutoMP", "NK AutoMP"});
     for (int n : scales) {
-      const double omp =
-          run_nas(make_config(machine, core::PathKind::kLinuxOmp, n), spec)
-              .timed_seconds;
-      const double user =
-          run_nas(make_config(machine, core::PathKind::kAutoMpLinux, n), spec)
-              .timed_seconds;
-      auto nk_cfg = make_config(machine, core::PathKind::kAutoMpNautilus, n);
-      const double nk = run_nas(nk_cfg, spec).timed_seconds;
+      const double omp = timed_nas(
+          make_config(machine, core::PathKind::kLinuxOmp, n), spec, sink);
+      const double user = timed_nas(
+          make_config(machine, core::PathKind::kAutoMpLinux, n), spec, sink);
+      const double nk = timed_nas(
+          make_config(machine, core::PathKind::kAutoMpNautilus, n), spec, sink);
       table.add_row({std::to_string(n), Table::num(omp), Table::num(user),
                      Table::num(nk)});
     }
@@ -110,28 +118,25 @@ void print_cck_absolute(const std::string& title, const std::string& machine,
 
 void print_cck_normalized(const std::string& title, const std::string& machine,
                           const std::vector<int>& scales,
-                          const std::vector<nas::BenchmarkSpec>& suite) {
+                          const std::vector<nas::BenchmarkSpec>& suite,
+                          MetricsSink* sink) {
   std::printf("== %s ==\n", title.c_str());
   std::printf("   (normalized to Linux-OpenMP = 1.0; higher is better)\n\n");
   for (const auto& spec : suite) {
-    const double t1 = run_nas(make_config(machine, core::PathKind::kLinuxOmp, 1),
-                              spec)
-                          .timed_seconds;
+    const double t1 = timed_nas(
+        make_config(machine, core::PathKind::kLinuxOmp, 1), spec, sink);
     std::printf("%s  (t = %.2f sec single-threaded Linux)\n",
                 spec.full_name().c_str(), t1);
     Table table({"cpus", "Linux AutoMP", "NK AutoMP"});
     for (int n : scales) {
       const double omp =
           n == 1 ? t1
-                 : run_nas(make_config(machine, core::PathKind::kLinuxOmp, n),
-                           spec)
-                       .timed_seconds;
-      const double user =
-          run_nas(make_config(machine, core::PathKind::kAutoMpLinux, n), spec)
-              .timed_seconds;
-      const double nk =
-          run_nas(make_config(machine, core::PathKind::kAutoMpNautilus, n), spec)
-              .timed_seconds;
+                 : timed_nas(make_config(machine, core::PathKind::kLinuxOmp, n),
+                             spec, sink);
+      const double user = timed_nas(
+          make_config(machine, core::PathKind::kAutoMpLinux, n), spec, sink);
+      const double nk = timed_nas(
+          make_config(machine, core::PathKind::kAutoMpNautilus, n), spec, sink);
       table.add_row({std::to_string(n), Table::num(omp / user),
                      Table::num(omp / nk)});
     }
@@ -141,7 +146,7 @@ void print_cck_normalized(const std::string& title, const std::string& machine,
 
 void print_epcc_figure(const std::string& title, const std::string& machine,
                        int threads, const std::vector<core::PathKind>& paths,
-                       const epcc::EpccConfig& config) {
+                       const epcc::EpccConfig& config, MetricsSink* sink) {
   std::printf("== %s ==\n", title.c_str());
   std::printf("   (per-construct overhead in microseconds, mean +- sd over"
               " %d samples)\n\n", config.outer_reps);
@@ -149,8 +154,15 @@ void print_epcc_figure(const std::string& title, const std::string& machine,
   std::vector<std::vector<epcc::Measurement>> results;
   results.reserve(paths.size());
   for (auto p : paths) {
-    results.push_back(
-        run_epcc(make_config(machine, p, threads), EpccPart::kAll, config));
+    if (sink == nullptr) {
+      results.push_back(
+          run_epcc(make_config(machine, p, threads), EpccPart::kAll, config));
+    } else {
+      RunMetrics m;
+      results.push_back(run_epcc(make_config(machine, p, threads),
+                                 EpccPart::kAll, config, &m));
+      sink->add(std::move(m));
+    }
   }
 
   const char* groups[] = {"ARRAY", "SCHEDULE", "SYNCH", "TASK"};

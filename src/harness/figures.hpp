@@ -8,30 +8,39 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/metrics.hpp"
 
 namespace kop::harness {
+
+// Every builder takes an optional MetricsSink; when non-null each
+// underlying experiment run is recorded (kop-metrics v1, satellite of
+// the telemetry subsystem) in addition to the printed tables.
 
 /// Figs. 9/10/14: normalized performance (baseline / path time) of one
 /// or more paths against the Linux baseline across a CPU sweep.
 void print_nas_normalized(const std::string& title, const std::string& machine,
                           const std::vector<core::PathKind>& paths,
                           const std::vector<int>& scales,
-                          const std::vector<nas::BenchmarkSpec>& suite);
+                          const std::vector<nas::BenchmarkSpec>& suite,
+                          MetricsSink* sink = nullptr);
 
 /// Fig. 11: absolute times for Linux+OMP vs Linux+AutoMP vs NK+AutoMP.
 void print_cck_absolute(const std::string& title, const std::string& machine,
                         const std::vector<int>& scales,
-                        const std::vector<nas::BenchmarkSpec>& suite);
+                        const std::vector<nas::BenchmarkSpec>& suite,
+                        MetricsSink* sink = nullptr);
 
 /// Figs. 12/15: the same matrix normalized to Linux+OMP.
 void print_cck_normalized(const std::string& title, const std::string& machine,
                           const std::vector<int>& scales,
-                          const std::vector<nas::BenchmarkSpec>& suite);
+                          const std::vector<nas::BenchmarkSpec>& suite,
+                          MetricsSink* sink = nullptr);
 
 /// Figs. 7/8/13: EPCC overhead tables for several paths side by side.
 void print_epcc_figure(const std::string& title, const std::string& machine,
                        int threads, const std::vector<core::PathKind>& paths,
-                       const epcc::EpccConfig& config);
+                       const epcc::EpccConfig& config,
+                       MetricsSink* sink = nullptr);
 
 /// Scale a suite's work so full sweeps stay fast; virtual-time ratios
 /// are unchanged (the simulation is linear in per-iteration cost).

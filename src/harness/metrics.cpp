@@ -1,0 +1,128 @@
+#include "harness/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace kop::harness {
+
+namespace {
+
+void write_run(telemetry::JsonWriter& w, const RunMetrics& run) {
+  using telemetry::Counter;
+  w.begin_object();
+  w.key("label").value(run.label);
+  w.key("machine").value(run.machine);
+  w.key("path").value(run.path);
+  w.key("threads").value(run.threads);
+  w.key("timing").begin_object();
+  w.key("timed_seconds").value(run.timed_seconds);
+  w.key("init_seconds").value(run.init_seconds);
+  w.end_object();
+  w.key("counters").begin_object();
+  for (int c = 0; c < telemetry::kNumCounters; ++c) {
+    w.key(telemetry::counter_name(static_cast<Counter>(c)))
+        .value(run.counters.totals[c]);
+  }
+  w.end_object();
+  if (run.include_per_cpu && !run.counters.per_cpu.empty()) {
+    w.key("per_cpu").begin_object();
+    for (int c = 0; c < telemetry::kNumCounters; ++c) {
+      w.key(telemetry::counter_name(static_cast<Counter>(c))).begin_array();
+      for (const auto& cpu : run.counters.per_cpu) w.value(cpu[c]);
+      w.end_array();
+    }
+    w.end_object();
+  }
+  if (!run.constructs.empty()) {
+    w.key("constructs").begin_object();
+    for (const auto& [name, stat] : run.constructs) {
+      w.key(name).begin_object();
+      w.key("count").value(stat.count);
+      w.key("total_us").value(stat.total_us);
+      w.key("mean_us").value(stat.mean_us);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string MetricsSink::to_json() const {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(telemetry::kMetricsSchemaName);
+  w.key("version").value(telemetry::kMetricsSchemaVersion);
+  w.key("generator").value(generator_);
+  w.key("runs").begin_array();
+  for (const auto& run : runs_) write_run(w, run);
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+void MetricsSink::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << to_json();
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::string format_counters_table(const telemetry::Snapshot& snap) {
+  std::string out;
+  char line[96];
+  std::snprintf(line, sizeof(line), "%-22s %14s\n", "event", "count");
+  out += line;
+  out += std::string(37, '-') + "\n";
+  for (int c = 0; c < telemetry::kNumCounters; ++c) {
+    if (snap.totals[c] == 0) continue;
+    std::snprintf(line, sizeof(line), "%-22s %14" PRIu64 "\n",
+                  telemetry::counter_name(static_cast<telemetry::Counter>(c)),
+                  snap.totals[c]);
+    out += line;
+  }
+  return out;
+}
+
+FigOptions parse_fig_options(int argc, char** argv) {
+  FigOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      opts.json_path = argv[++i];
+    } else if (arg == "--quick") {
+      opts.quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json <path>] [--quick]\n"
+                   "  --json <path>  write a kop-metrics v1 JSON artifact\n"
+                   "  --quick        reduced problem sizes (CI smoke)\n",
+                   argv[0]);
+      opts.ok = false;
+      return opts;
+    }
+  }
+  return opts;
+}
+
+int finish_figure(const FigOptions& opts, const MetricsSink& sink) {
+  if (!opts.ok) return 2;
+  if (opts.json_path.empty()) return 0;
+  try {
+    sink.write_file(opts.json_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("wrote %s (%zu runs)\n", opts.json_path.c_str(),
+              sink.runs().size());
+  return 0;
+}
+
+}  // namespace kop::harness

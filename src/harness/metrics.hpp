@@ -1,0 +1,83 @@
+// Metrics collection for experiment drivers: every run_nas/run_epcc
+// call can snapshot the booted stack's counter fabric into a RunMetrics
+// record, and a MetricsSink turns a batch of records into a kop-metrics
+// v1 JSON document (the one schema shared by run_experiment --json, the
+// bench/fig* binaries, and examples/omp_profiler -- see
+// telemetry/metrics.hpp for the schema).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/counters.hpp"
+
+namespace kop::harness {
+
+/// Per-construct aggregate (from the OMPT ConstructProfiler or from
+/// EPCC measurements).
+struct ConstructStat {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double mean_us = 0.0;
+};
+
+/// One experiment run: identity, timing, event counters, optional
+/// per-construct breakdown.
+struct RunMetrics {
+  std::string label;    // e.g. "cg.S" or "syncbench"
+  std::string machine;  // e.g. "phi" | "8xeon"
+  std::string path;     // core::path_name() of the stack
+  int threads = 1;
+  double timed_seconds = 0.0;
+  double init_seconds = 0.0;
+  telemetry::Snapshot counters;
+  /// std::map so the JSON field order is stable (sorted by name).
+  std::map<std::string, ConstructStat> constructs;
+  /// Emit the per_cpu breakdown (off by default: figure sweeps would
+  /// bloat the artifact; omp_profiler turns it on).
+  bool include_per_cpu = false;
+};
+
+/// Accumulates runs and renders the kop-metrics v1 document.
+class MetricsSink {
+ public:
+  explicit MetricsSink(std::string generator) : generator_(std::move(generator)) {}
+
+  void add(RunMetrics run) { runs_.push_back(std::move(run)); }
+  bool empty() const { return runs_.empty(); }
+  const std::vector<RunMetrics>& runs() const { return runs_; }
+
+  /// Render the kop-metrics v1 JSON document (validates against
+  /// telemetry::validate_metrics_json by construction).
+  std::string to_json() const;
+
+  /// Write to_json() to `path`; throws std::runtime_error on I/O error.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::string generator_;
+  std::vector<RunMetrics> runs_;
+};
+
+/// Human-readable table of an event-counter snapshot (totals only,
+/// zero rows skipped).
+std::string format_counters_table(const telemetry::Snapshot& snap);
+
+/// Common CLI handling for the figure/bench binaries:
+///   --json <path>   write a kop-metrics v1 artifact
+///   --quick         reduced problem sizes (CI bench-smoke)
+struct FigOptions {
+  std::string json_path;
+  bool quick = false;
+  bool ok = true;  // false: bad usage, caller should exit non-zero
+};
+
+FigOptions parse_fig_options(int argc, char** argv);
+
+/// Write the sink to opts.json_path (if set) and return the process
+/// exit code (non-zero on bad usage or I/O failure).
+int finish_figure(const FigOptions& opts, const MetricsSink& sink);
+
+}  // namespace kop::harness

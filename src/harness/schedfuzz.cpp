@@ -12,6 +12,7 @@
 #include "nas/functional.hpp"
 #include "osal/sync.hpp"
 #include "sim/racecheck.hpp"
+#include "virgil/virgil.hpp"
 
 namespace kop::harness::schedfuzz {
 
@@ -392,6 +393,85 @@ Scenario epcc_task_small() {
   }};
 }
 
+// --- VIRGIL scenarios -----------------------------------------------
+
+/// Run `body` as a CCK app on an AutoMP stack (user- or kernel-level
+/// VIRGIL); same failure harvesting as the other stack runners.
+Outcome run_virgil_scenario(
+    const FuzzConfig& cfg, core::PathKind path, int lanes,
+    const std::function<std::string(osal::Os&, virgil::Virgil&)>& body) {
+  Outcome out;
+  core::StackConfig sc;
+  sc.machine = "phi";
+  sc.path = path;
+  sc.num_threads = lanes;
+  cfg.apply(sc);
+  auto stack = core::Stack::create(sc);
+  std::string wrong;
+  try {
+    stack->run_cck_app([&body, &wrong](osal::Os& os, virgil::Virgil& vg) {
+      wrong = body(os, vg);
+      return wrong.empty() ? 0 : 1;
+    });
+  } catch (...) {
+    out.races = collect_races(stack->engine());
+    if (out.races.empty()) throw;
+    return out;
+  }
+  out.races = collect_races(stack->engine());
+  if (out.races.empty()) out.wrong = wrong;
+  return out;
+}
+
+/// Shared body for both VIRGIL flavors: a burst of independent tasks
+/// incrementing a spinlock-guarded counter, joined by the
+/// CountdownLatch compiler-generated code uses, then a second wave
+/// submitted *from inside a task* (submit is documented to be legal
+/// from any sim thread, including a running task).
+std::string virgil_task_burst(osal::Os& os, virgil::Virgil& vg) {
+  sim::Engine& eng = os.engine();
+  constexpr int kTasks = 16, kNested = 4;
+  long long counter = 0;
+  osal::Spinlock lock(os);
+  virgil::CountdownLatch latch(os, kTasks + kNested);
+  for (int i = 0; i < kTasks; ++i) {
+    vg.submit([&os, &eng, &vg, &lock, &latch, &counter, i]() {
+      os.compute_ns(30 + 5 * i);
+      lock.lock();
+      sim::race::plain_write(eng, &counter, "virgil fuzz counter");
+      ++counter;
+      lock.unlock();
+      if (i < kNested) {
+        vg.submit([&os, &eng, &lock, &latch, &counter]() {
+          os.compute_ns(25);
+          lock.lock();
+          sim::race::plain_write(eng, &counter, "virgil fuzz counter");
+          ++counter;
+          lock.unlock();
+          latch.count_down();
+        });
+      }
+      latch.count_down();
+    });
+  }
+  latch.wait();
+  return expect_eq("virgil task counter", counter, kTasks + kNested);
+}
+
+Scenario virgil_user_tasks() {
+  return {"virgil-user-tasks", [](const FuzzConfig& cfg) {
+    return run_virgil_scenario(cfg, core::PathKind::kAutoMpLinux, 3,
+                               virgil_task_burst);
+  }};
+}
+
+Scenario virgil_kernel_tasks() {
+  return {"virgil-kernel-tasks", [](const FuzzConfig& cfg) {
+    return run_virgil_scenario(cfg, core::PathKind::kAutoMpNautilus, 3,
+                               virgil_task_burst);
+  }};
+}
+
 Scenario nas_functional(const std::string& bench) {
   std::string lower = bench;
   for (char& c : lower) c = static_cast<char>(std::tolower(c));
@@ -414,6 +494,8 @@ std::vector<Scenario> default_scenarios() {
   std::vector<Scenario> all = {osal_mutex_counter(), osal_sem_pingpong(),
                                osal_condvar_queue(), osal_barrier_rounds()};
   for (auto& s : core_scenarios()) all.push_back(std::move(s));
+  all.push_back(virgil_user_tasks());
+  all.push_back(virgil_kernel_tasks());
   all.push_back(epcc_sync_small());
   all.push_back(epcc_task_small());
   return all;

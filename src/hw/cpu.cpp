@@ -39,6 +39,10 @@ void Cpu::occupy(sim::Time duration) {
     remaining -= slice;
     if (remaining > 0 && !wait_queue_.empty()) {
       // Preempted: pay a context switch, go to the back of the queue.
+      if (counters_) {
+        counters_->add_on(id_, telemetry::Counter::kCpuPreemptions);
+        counters_->add_on(id_, telemetry::Counter::kContextSwitches, 2);
+      }
       engine_->sleep_for(context_switch_ns_);
       busy_time_ += context_switch_ns_;
       release();

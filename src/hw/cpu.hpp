@@ -13,17 +13,20 @@
 
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
+#include "telemetry/counters.hpp"
 
 namespace kop::hw {
 
 class Cpu {
  public:
   Cpu(sim::Engine& engine, int id, sim::Time timeslice_ns,
-      sim::Time context_switch_ns)
+      sim::Time context_switch_ns,
+      telemetry::CounterFabric* counters = nullptr)
       : engine_(&engine),
         id_(id),
         timeslice_ns_(timeslice_ns),
-        context_switch_ns_(context_switch_ns) {}
+        context_switch_ns_(context_switch_ns),
+        counters_(counters) {}
 
   int id() const { return id_; }
 
@@ -47,6 +50,7 @@ class Cpu {
   int id_;
   sim::Time timeslice_ns_;
   sim::Time context_switch_ns_;
+  telemetry::CounterFabric* counters_;
   bool held_ = false;
   std::deque<sim::WakeToken> wait_queue_;
   sim::Time busy_time_ = 0;

@@ -45,13 +45,16 @@ BlockCharge ExecModel::charge(const WorkBlock& block, int cpu, int data_zone,
     const TranslationCost tc = translation_cost(
         machine_.tlb, *block.region, block.working_set_bytes, block.pattern);
     const double accesses = static_cast<double>(block.bytes_touched) / 64.0;
+    const double misses = accesses * tc.tlb_miss_rate;
     out.tlb_ns = static_cast<sim::Time>(
-        accesses * tc.tlb_miss_rate * static_cast<double>(machine_.tlb.miss_walk_ns));
+        misses * static_cast<double>(machine_.tlb.miss_walk_ns));
+    out.tlb_misses = static_cast<std::uint64_t>(misses);
 
     // Demand-paging faults on first touch.
     if (costs_.demand_paging) {
       const std::uint64_t faults = block.region->touch_new(block.bytes_touched);
       out.fault_ns = static_cast<sim::Time>(faults) * costs_.minor_fault_ns;
+      out.fault_count = faults;
     }
   } else {
     out.memory_ns = mem_base;
@@ -65,6 +68,7 @@ BlockCharge ExecModel::charge(const WorkBlock& block, int cpu, int data_zone,
     const double ticks = static_cast<double>(busy) /
                          static_cast<double>(costs_.tick_period_ns);
     out.tick_ns = static_cast<sim::Time>(ticks * static_cast<double>(costs_.tick_cost_ns));
+    out.tick_count = static_cast<std::uint64_t>(ticks);
   }
 
   // Asynchronous noise: expected stolen time over the interval with
@@ -78,6 +82,7 @@ BlockCharge ExecModel::charge(const WorkBlock& block, int cpu, int data_zone,
       // Long block: law of large numbers, jitter the aggregate.
       stolen = rng.lognormal_mean_cv(
           expected_events * static_cast<double>(costs_.noise_mean_ns), 0.05);
+      out.noise_events = static_cast<std::uint64_t>(expected_events);
     } else {
       // Short block: draw discrete events.
       const double lam = expected_events;
@@ -87,6 +92,7 @@ BlockCharge ExecModel::charge(const WorkBlock& block, int cpu, int data_zone,
         stolen += rng.lognormal_mean_cv(
             static_cast<double>(costs_.noise_mean_ns), costs_.noise_cv);
         t += rng.exponential(1.0);
+        ++out.noise_events;
       }
     }
     out.noise_ns = static_cast<sim::Time>(stolen);

@@ -4,6 +4,8 @@
 // ticks and OS noise all inflate the nominal compute time.
 #pragma once
 
+#include <cstdint>
+
 #include "hw/cost_params.hpp"
 #include "hw/memory.hpp"
 #include "hw/topology.hpp"
@@ -13,6 +15,8 @@
 namespace kop::hw {
 
 /// Breakdown of one block's effective duration (for tests and traces).
+/// The *_count fields are the discrete events behind each charge so the
+/// telemetry fabric can report §6.2-style counters, not just times.
 struct BlockCharge {
   sim::Time compute_ns = 0;      // nominal compute (non-mem part)
   sim::Time memory_ns = 0;       // memory-bound part after NUMA scaling
@@ -20,6 +24,10 @@ struct BlockCharge {
   sim::Time fault_ns = 0;        // demand-paging faults
   sim::Time tick_ns = 0;         // periodic tick interference
   sim::Time noise_ns = 0;        // asynchronous OS noise
+  std::uint64_t fault_count = 0;  // demand-paging faults taken
+  std::uint64_t tlb_misses = 0;   // modelled TLB misses (walks)
+  std::uint64_t tick_count = 0;   // timer interrupts during the block
+  std::uint64_t noise_events = 0; // discrete noise preemptions
   sim::Time total() const {
     return compute_ns + memory_ns + tlb_ns + fault_ns + tick_ns + noise_ns;
   }

@@ -39,6 +39,9 @@ void TeamBarrier::wait(int tid) {
     ++completed_;
     return;
   }
+  os_->tools().emit([&](ompt::Tool& t) {
+    t.on_sync_wait(ompt::Endpoint::kBegin, os_->engine().now(), tid);
+  });
   // Happens-before: entering the barrier publishes everything this
   // thread did before it; leaving joins every other party's arrival
   // (the generation counters below additionally model the hardware
@@ -50,6 +53,9 @@ void TeamBarrier::wait(int tid) {
     wait_tree(tid);
   }
   sim::race::acquire(os_->engine(), this);
+  os_->tools().emit([&](ompt::Tool& t) {
+    t.on_sync_wait(ompt::Endpoint::kEnd, os_->engine().now(), tid);
+  });
 }
 
 void TeamBarrier::wait_centralized(int tid) {

@@ -1,19 +1,41 @@
 // omp_lock_t analog (EPCC LOCK/UNLOCK measures this construct).
 #pragma once
 
+#include "ompt/ompt.hpp"
 #include "osal/sync.hpp"
 
 namespace kop::komp {
 
 class OmpLock {
  public:
-  OmpLock(osal::Os& os, sim::Time spin_ns) : impl_(os, spin_ns) {}
+  OmpLock(osal::Os& os, sim::Time spin_ns,
+          ompt::MutexKind kind = ompt::MutexKind::kLock)
+      : os_(&os), kind_(kind), impl_(os, spin_ns) {}
 
-  void set() { impl_.lock(); }      // omp_set_lock
-  void unset() { impl_.unlock(); }  // omp_unset_lock
-  bool test() { return impl_.try_lock(); }
+  void set() {  // omp_set_lock
+    emit(ompt::MutexEvent::kAcquire);
+    impl_.lock();
+    emit(ompt::MutexEvent::kAcquired);
+  }
+  void unset() {  // omp_unset_lock
+    impl_.unlock();
+    emit(ompt::MutexEvent::kReleased);
+  }
+  bool test() {  // omp_test_lock
+    const bool got = impl_.try_lock();
+    if (got) emit(ompt::MutexEvent::kAcquired);
+    return got;
+  }
 
  private:
+  void emit(ompt::MutexEvent ev) {
+    os_->tools().emit([&](ompt::Tool& t) {
+      t.on_mutex(kind_, ev, os_->engine().now(), this);
+    });
+  }
+
+  osal::Os* os_;
+  ompt::MutexKind kind_;
   osal::Mutex impl_;
 };
 

@@ -40,13 +40,15 @@ double Runtime::wtime() const {
 }
 
 std::unique_ptr<OmpLock> Runtime::make_lock() {
-  return std::make_unique<OmpLock>(*os_, icv_.blocktime_ns);
+  return std::make_unique<OmpLock>(*os_, icv_.blocktime_ns,
+                                   ompt::MutexKind::kLock);
 }
 
 OmpLock& Runtime::critical_lock(const std::string& name) {
   auto& slot = critical_locks_[name];
   if (slot == nullptr)
-    slot = std::make_unique<OmpLock>(*os_, icv_.blocktime_ns);
+    slot = std::make_unique<OmpLock>(*os_, icv_.blocktime_ns,
+                                     ompt::MutexKind::kCritical);
   return *slot;
 }
 
@@ -82,10 +84,19 @@ void Runtime::ensure_pool(int nthreads) {
 }
 
 void Runtime::run_region_body(Team& team, int tid, const RegionBody& body) {
+  ompt::Registry& tools = os_->tools();
+  tools.emit([&](ompt::Tool& t) {
+    t.on_implicit_task(ompt::Endpoint::kBegin, os_->engine().now(), tid,
+                       team.size());
+  });
   TeamThread tt(team, tid);
   body(tt);
   // Implicit end-of-region barrier (with task draining).
-  tt.barrier();
+  tt.region_end_barrier();
+  tools.emit([&](ompt::Tool& t) {
+    t.on_implicit_task(ompt::Endpoint::kEnd, os_->engine().now(), tid,
+                       team.size());
+  });
 }
 
 void Runtime::worker_main(int worker_index) {
@@ -129,12 +140,21 @@ void Runtime::parallel(int nthreads, const RegionBody& body) {
 
   if (in_parallel_ || n == 1) {
     // Nested or single-thread region: serialize onto the caller.
+    os_->tools().emit([&](ompt::Tool& t) {
+      t.on_parallel(ompt::Endpoint::kBegin, os_->engine().now(), 1);
+    });
     Team team(*this, 1);
     run_region_body(team, 0, body);
+    os_->tools().emit([&](ompt::Tool& t) {
+      t.on_parallel(ompt::Endpoint::kEnd, os_->engine().now(), 1);
+    });
     return;
   }
 
   // __kmpc_fork_call bookkeeping.
+  os_->tools().emit([&](ompt::Tool& t) {
+    t.on_parallel(ompt::Endpoint::kBegin, os_->engine().now(), n);
+  });
   os_->compute_ns(tuning_.fork_base_ns +
                   static_cast<sim::Time>(n) * tuning_.fork_per_thread_ns);
   ensure_pool(n);
@@ -172,6 +192,9 @@ void Runtime::parallel(int nthreads, const RegionBody& body) {
   current_body_ = nullptr;
   in_parallel_ = false;
   os_->compute_ns(tuning_.join_base_ns);
+  os_->tools().emit([&](ompt::Tool& t) {
+    t.on_parallel(ompt::Endpoint::kEnd, os_->engine().now(), n);
+  });
 }
 
 }  // namespace kop::komp

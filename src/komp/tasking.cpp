@@ -27,6 +27,9 @@ TaskPool::TaskPool(osal::Os& os, int nthreads, const RuntimeTuning& tuning,
 
 void TaskPool::spawn(int tid, TaskBody body) {
   os_->compute_ns(tuning_->task_spawn_ns);
+  os_->tools().emit([&](ompt::Tool& t) {
+    t.on_task_create(os_->engine().now(), tid);
+  });
   auto task = std::make_shared<Task>();
   task->body = std::move(body);
   task->parent = current_[static_cast<std::size_t>(tid)];
@@ -47,7 +50,8 @@ void TaskPool::spawn(int tid, TaskBody body) {
   idle_gate_->notify_one();
 }
 
-std::shared_ptr<TaskPool::Task> TaskPool::pop_or_steal(int tid) {
+std::shared_ptr<TaskPool::Task> TaskPool::pop_or_steal(int tid, bool* stolen) {
+  *stolen = false;
   sim::race::atomic_load(os_->engine(), &queued_);
   if (queued_ == 0) return nullptr;  // O(1) bail-out for idle polls
   const auto n = static_cast<int>(deques_.size());
@@ -83,6 +87,7 @@ std::shared_ptr<TaskPool::Task> TaskPool::pop_or_steal(int tid) {
       --queued_;
       lock.unlock();
       ++steals_;
+      *stolen = true;
       return t;
     }
     lock.unlock();
@@ -90,13 +95,24 @@ std::shared_ptr<TaskPool::Task> TaskPool::pop_or_steal(int tid) {
   return nullptr;
 }
 
-void TaskPool::run(int tid, std::shared_ptr<Task> task) {
+void TaskPool::run(int tid, std::shared_ptr<Task> task, bool stolen) {
+  if (stolen) {
+    os_->counters().add_on(os_->current_cpu(), telemetry::Counter::kTaskSteals);
+  }
+  os_->tools().emit([&](ompt::Tool& t) {
+    t.on_task_schedule(ompt::Endpoint::kBegin, os_->engine().now(), tid,
+                       stolen);
+  });
   os_->compute_ns(tuning_->task_exec_ns);
   auto& cur = current_[static_cast<std::size_t>(tid)];
   auto saved = cur;
   cur = task;
   if (task->body) task->body(tid);
   cur = saved;
+  os_->tools().emit([&](ompt::Tool& t) {
+    t.on_task_schedule(ompt::Endpoint::kEnd, os_->engine().now(), tid,
+                       stolen);
+  });
   sim::race::atomic_rmw(os_->engine(), &task->parent->pending_children,
                         "Task::pending_children");
   task->parent->pending_children--;
@@ -112,9 +128,10 @@ void TaskPool::run(int tid, std::shared_ptr<Task> task) {
 }
 
 bool TaskPool::try_run_one(int tid) {
-  auto t = pop_or_steal(tid);
+  bool stolen = false;
+  auto t = pop_or_steal(tid, &stolen);
   if (t == nullptr) return false;
-  run(tid, std::move(t));
+  run(tid, std::move(t), stolen);
   return true;
 }
 

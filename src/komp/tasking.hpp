@@ -47,8 +47,8 @@ class TaskPool {
     int pending_children = 0;
   };
 
-  void run(int tid, std::shared_ptr<Task> task);
-  std::shared_ptr<Task> pop_or_steal(int tid);
+  void run(int tid, std::shared_ptr<Task> task, bool stolen);
+  std::shared_ptr<Task> pop_or_steal(int tid, bool* stolen);
 
   osal::Os* os_;
   const RuntimeTuning* tuning_;

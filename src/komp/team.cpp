@@ -80,15 +80,45 @@ void TeamThread::charge_memcpy(std::uint64_t bytes) {
   os().compute(b);
 }
 
+namespace {
+
+ompt::WorkKind work_kind_for(Schedule sched) {
+  switch (sched) {
+    case Schedule::kStaticChunked: return ompt::WorkKind::kLoopStaticChunked;
+    case Schedule::kDynamic:       return ompt::WorkKind::kLoopDynamic;
+    case Schedule::kGuided:        return ompt::WorkKind::kLoopGuided;
+    case Schedule::kRuntime:
+    case Schedule::kStatic:        break;
+  }
+  return ompt::WorkKind::kLoopStatic;
+}
+
+}  // namespace
+
 void TeamThread::for_loop(Schedule sched, int chunk, std::int64_t lo,
                           std::int64_t hi, const RangeBody& body, bool nowait) {
-  const RuntimeTuning& tune = runtime().tuning();
-  os().compute_ns(tune.dispatch_init_ns);
   if (sched == Schedule::kRuntime) {
     // schedule(runtime): resolve against the run-sched ICV.
     sched = runtime().icv().run_sched_var;
     if (chunk <= 0) chunk = runtime().icv().run_sched_chunk;
   }
+  for_loop_impl(sched, chunk, lo, hi, body, nowait, work_kind_for(sched));
+}
+
+void TeamThread::for_loop_impl(Schedule sched, int chunk, std::int64_t lo,
+                               std::int64_t hi, const RangeBody& body,
+                               bool nowait, ompt::WorkKind kind) {
+  const RuntimeTuning& tune = runtime().tuning();
+  os().compute_ns(tune.dispatch_init_ns);
+  if (sched == Schedule::kRuntime) {
+    sched = runtime().icv().run_sched_var;
+    if (chunk <= 0) chunk = runtime().icv().run_sched_chunk;
+  }
+  ompt::Registry& tools = os().tools();
+  tools.emit([&](ompt::Tool& t) {
+    t.on_work(kind, ompt::Endpoint::kBegin, os().engine().now(), tid_,
+              std::max<std::int64_t>(0, hi - lo));
+  });
   const std::uint64_t gen = ++loop_gen_;
   const int n = nthreads();
   const std::int64_t total = std::max<std::int64_t>(0, hi - lo);
@@ -111,7 +141,11 @@ void TeamThread::for_loop(Schedule sched, int chunk, std::int64_t lo,
       const std::int64_t c = std::max<std::int64_t>(1, chunk);
       for (std::int64_t b = lo + tid_ * c; b < hi; b += c * n) {
         os().compute_ns(tune.dispatch_next_ns);
-        body(b, std::min(hi, b + c));
+        const std::int64_t e = std::min(hi, b + c);
+        tools.emit([&](ompt::Tool& t) {
+          t.on_dispatch(os().engine().now(), tid_, b, e);
+        });
+        body(b, e);
       }
       break;
     }
@@ -136,6 +170,9 @@ void TeamThread::for_loop(Schedule sched, int chunk, std::int64_t lo,
         const std::int64_t b = st->next;
         const std::int64_t e = std::min(st->hi, b + st->chunk);
         st->next = e;
+        tools.emit([&](ompt::Tool& t) {
+          t.on_dispatch(os().engine().now(), tid_, b, e);
+        });
         body(b, e);
       }
       team_->finish_loop(gen, *st);
@@ -165,19 +202,31 @@ void TeamThread::for_loop(Schedule sched, int chunk, std::int64_t lo,
         const std::int64_t b = st->next;
         const std::int64_t e = std::min(st->hi, b + c);
         st->next = e;
+        tools.emit([&](ompt::Tool& t) {
+          t.on_dispatch(os().engine().now(), tid_, b, e);
+        });
         body(b, e);
       }
       team_->finish_loop(gen, *st);
       break;
     }
   }
-  if (!nowait) barrier();
+  tools.emit([&](ompt::Tool& t) {
+    t.on_work(kind, ompt::Endpoint::kEnd, os().engine().now(), tid_,
+              std::max<std::int64_t>(0, hi - lo));
+  });
+  if (!nowait) barrier_internal(ompt::SyncRegion::kBarrierImplicit);
 }
 
 void TeamThread::for_ordered(std::int64_t lo, std::int64_t hi,
                              const std::function<void(std::int64_t)>& body) {
   const RuntimeTuning& tune = runtime().tuning();
   os().compute_ns(tune.dispatch_init_ns);
+  ompt::Registry& tools = os().tools();
+  tools.emit([&](ompt::Tool& t) {
+    t.on_work(ompt::WorkKind::kOrdered, ompt::Endpoint::kBegin,
+              os().engine().now(), tid_, std::max<std::int64_t>(0, hi - lo));
+  });
   const std::uint64_t gen = ++loop_gen_;
   const int n = nthreads();
   auto st = team_->loop_state(gen);
@@ -203,29 +252,54 @@ void TeamThread::for_ordered(std::int64_t lo, std::int64_t hi,
     st->ordered_gate->notify_all();
   }
   team_->finish_loop(gen, *st);
-  barrier();
+  tools.emit([&](ompt::Tool& t) {
+    t.on_work(ompt::WorkKind::kOrdered, ompt::Endpoint::kEnd,
+              os().engine().now(), tid_, std::max<std::int64_t>(0, hi - lo));
+  });
+  barrier_internal(ompt::SyncRegion::kBarrierImplicit);
 }
 
 void TeamThread::sections(const std::vector<std::function<void()>>& bodies,
                           bool nowait) {
   // Lowered exactly like libomp: a dynamic worksharing loop over the
-  // section indices.
-  for_loop(Schedule::kDynamic, 1, 0, static_cast<std::int64_t>(bodies.size()),
-           [&](std::int64_t b, std::int64_t e) {
-             for (std::int64_t i = b; i < e; ++i)
-               bodies[static_cast<std::size_t>(i)]();
-           },
-           nowait);
+  // section indices (tools see it as a sections construct).
+  for_loop_impl(Schedule::kDynamic, 1, 0,
+                static_cast<std::int64_t>(bodies.size()),
+                [&](std::int64_t b, std::int64_t e) {
+                  for (std::int64_t i = b; i < e; ++i)
+                    bodies[static_cast<std::size_t>(i)]();
+                },
+                nowait, ompt::WorkKind::kSections);
 }
 
-void TeamThread::barrier() {
+void TeamThread::barrier_internal(ompt::SyncRegion kind) {
+  ompt::Registry& tools = os().tools();
+  tools.emit([&](ompt::Tool& t) {
+    t.on_sync_region(kind, ompt::Endpoint::kBegin, os().engine().now(), tid_);
+  });
   // Scheduling point: explicit tasks must complete before release.
   if (team_->pool_.incomplete() > 0) team_->pool_.drain_all(tid_);
   team_->barrier_.wait(tid_);
+  tools.emit([&](ompt::Tool& t) {
+    t.on_sync_region(kind, ompt::Endpoint::kEnd, os().engine().now(), tid_);
+  });
+}
+
+void TeamThread::barrier() {
+  barrier_internal(ompt::SyncRegion::kBarrierExplicit);
+}
+
+void TeamThread::region_end_barrier() {
+  barrier_internal(ompt::SyncRegion::kBarrierImplicit);
 }
 
 bool TeamThread::single(const std::function<void()>& body, bool nowait) {
   const RuntimeTuning& tune = runtime().tuning();
+  ompt::Registry& tools = os().tools();
+  tools.emit([&](ompt::Tool& t) {
+    t.on_work(ompt::WorkKind::kSingle, ompt::Endpoint::kBegin,
+              os().engine().now(), tid_, 1);
+  });
   os().compute_ns(tune.single_ns);
   os().atomic_op(0);
   const std::uint64_t my_gen = single_seen_++;
@@ -237,7 +311,11 @@ bool TeamThread::single(const std::function<void()>& body, bool nowait) {
     executed = true;
     body();
   }
-  if (!nowait) barrier();
+  tools.emit([&](ompt::Tool& t) {
+    t.on_work(ompt::WorkKind::kSingle, ompt::Endpoint::kEnd,
+              os().engine().now(), tid_, 1);
+  });
+  if (!nowait) barrier_internal(ompt::SyncRegion::kBarrierImplicit);
   return executed;
 }
 
@@ -262,7 +340,7 @@ void TeamThread::copyprivate(std::uint64_t bytes,
                              const std::function<void()>& body) {
   const bool executed = single(body, /*nowait=*/false);
   if (!executed) charge_memcpy(bytes);
-  barrier();
+  barrier_internal(ompt::SyncRegion::kBarrierImplicit);
 }
 
 double TeamThread::reduce(double value, ReduceOp op) {
@@ -294,14 +372,14 @@ double TeamThread::reduce(double value, ReduceOp op) {
     case ReduceOp::kMin: st->acc = std::min(st->acc, value); break;
     case ReduceOp::kMax: st->acc = std::max(st->acc, value); break;
   }
-  barrier();
+  barrier_internal(ompt::SyncRegion::kBarrierImplicit);
   // The combined value is read plainly: the barrier's release/acquire
   // edges are the only thing making this safe, which is exactly what
   // the detector verifies here.
   sim::race::plain_read(os().engine(), &st->acc, "ReduceState::acc");
   const double result = st->acc;
   // Second rendezvous so the slot can be retired exactly once.
-  barrier();
+  barrier_internal(ompt::SyncRegion::kBarrierImplicit);
   if (tid_ == 0) team_->reduces_.erase(gen);
   return result;
 }
@@ -325,7 +403,18 @@ void TeamThread::task_if(bool cond,
   body(*this);
 }
 
-void TeamThread::taskwait() { team_->pool_.taskwait(tid_); }
+void TeamThread::taskwait() {
+  ompt::Registry& tools = os().tools();
+  tools.emit([&](ompt::Tool& t) {
+    t.on_sync_region(ompt::SyncRegion::kTaskwait, ompt::Endpoint::kBegin,
+                     os().engine().now(), tid_);
+  });
+  team_->pool_.taskwait(tid_);
+  tools.emit([&](ompt::Tool& t) {
+    t.on_sync_region(ompt::SyncRegion::kTaskwait, ompt::Endpoint::kEnd,
+                     os().engine().now(), tid_);
+  });
+}
 
 void TeamThread::taskloop(std::int64_t lo, std::int64_t hi,
                           std::int64_t grainsize,

@@ -17,6 +17,7 @@
 #include "komp/icv.hpp"
 #include "komp/tasking.hpp"
 #include "komp/tuning.hpp"
+#include "ompt/ompt.hpp"
 
 namespace kop::komp {
 
@@ -65,6 +66,9 @@ class TeamThread {
 
   // --- synchronization ---
   void barrier();
+  /// The implicit barrier closing a parallel region (fired by the
+  /// runtime, not user code; reported to tools as barrier-implicit).
+  void region_end_barrier();
   /// Returns true on the thread that executed the body.
   bool single(const std::function<void()>& body, bool nowait = false);
   void master(const std::function<void()>& body);
@@ -93,6 +97,14 @@ class TeamThread {
 
  private:
   friend class Team;
+
+  void barrier_internal(ompt::SyncRegion kind);
+  /// Worksharing core; `kind` is what tools see (sections are lowered
+  /// onto a dynamic loop but must report as sections).
+  void for_loop_impl(Schedule sched, int chunk, std::int64_t lo,
+                     std::int64_t hi, const RangeBody& body, bool nowait,
+                     ompt::WorkKind kind);
+
   Team* team_;
   int tid_;
   std::uint64_t loop_gen_ = 0;

@@ -13,11 +13,13 @@ osal::WaitQueue& FutexTable::queue_for(std::uint64_t addr) {
 }
 
 void FutexTable::wait(std::uint64_t addr, sim::Time spin_ns) {
+  os_->counters().add_on(os_->current_cpu(), telemetry::Counter::kFutexWaits);
   queue_for(addr).wait(spin_ns);
 }
 
 bool FutexTable::wait_until(std::uint64_t addr, sim::Time deadline,
                             sim::Time spin_ns) {
+  os_->counters().add_on(os_->current_cpu(), telemetry::Counter::kFutexWaits);
   return queue_for(addr).wait_until(deadline, spin_ns);
 }
 
@@ -28,6 +30,11 @@ int FutexTable::wake(std::uint64_t addr, int count) {
   while (count-- > 0 && it->second->waiters() > 0) {
     it->second->notify_one();
     ++woken;
+  }
+  if (woken > 0) {
+    os_->counters().add_on(os_->current_cpu(),
+                           telemetry::Counter::kFutexWakes,
+                           static_cast<std::uint64_t>(woken));
   }
   return woken;
 }

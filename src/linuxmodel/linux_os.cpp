@@ -16,8 +16,10 @@ LinuxOs::LinuxOs(sim::Engine& engine, hw::MachineConfig machine,
 LinuxOs::~LinuxOs() = default;
 
 void LinuxOs::charge_syscall() {
-  if (engine_->current() != nullptr && costs_.syscall_ns > 0)
+  if (engine_->current() != nullptr && costs_.syscall_ns > 0) {
+    counters().add_on(current_cpu(), telemetry::Counter::kSyscalls);
     engine_->sleep_for(costs_.syscall_ns);
+  }
 }
 
 Process* LinuxOs::create_process(std::string name) {

@@ -44,6 +44,7 @@ void IrqController::schedule_next(std::size_t source_index) {
     const Source& src = sources_[source_index];
     const int cpu = pick_cpu();
     ++delivered_per_cpu_[static_cast<std::size_t>(cpu)];
+    os_->counters().add_on(cpu, telemetry::Counter::kDeviceInterrupts);
     // Interrupts run on the current thread's stack (§3.1).  The time
     // they steal from computation is part of the OsCosts noise model;
     // here we account delivery and the lazy-FP cost bookkeeping that

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/racecheck.hpp"
+
 namespace kop::nautilus {
 
 TaskSystem::TaskSystem(osal::Os& os, sim::Time dispatch_cost_ns)
@@ -23,6 +25,7 @@ TaskSystem::~TaskSystem() {
 void TaskSystem::start(int active_cpus) {
   if (started_) throw std::logic_error("TaskSystem: started twice");
   started_ = true;
+  sim::race::atomic_store(os_->engine(), &stopping_, "TaskSystem::stopping_");
   stopping_ = false;
   const int total = os_->machine().num_cpus;
   const int n = active_cpus > 0 ? std::min(active_cpus, total) : total;
@@ -36,6 +39,7 @@ void TaskSystem::start(int active_cpus) {
 
 void TaskSystem::stop() {
   if (!started_) return;
+  sim::race::atomic_store(os_->engine(), &stopping_, "TaskSystem::stopping_");
   stopping_ = true;
   for (auto& q : queues_) q.idle->notify_all();
   for (auto* w : workers_) os_->join_thread(w);
@@ -51,18 +55,25 @@ void TaskSystem::enqueue(TaskFn fn, int cpu_hint) {
   }
   auto& q = queues_[static_cast<std::size_t>(cpu)];
   q.lock->lock();
+  sim::race::plain_write(os_->engine(), &q.tasks, "TaskSystem task deque");
   q.tasks.push_back(std::move(fn));
   q.lock->unlock();
+  os_->tools().emit([&](ompt::Tool& t) {
+    t.on_rt_task_submit(ompt::TaskRuntimeKind::kKernel, os_->engine().now(),
+                        cpu);
+  });
   q.idle->notify_one();
 }
 
 bool TaskSystem::try_pop(int cpu, TaskFn& out) {
   auto& q = queues_[static_cast<std::size_t>(cpu)];
   q.lock->lock();
+  sim::race::plain_read(os_->engine(), &q.tasks, "TaskSystem task deque");
   if (q.tasks.empty()) {
     q.lock->unlock();
     return false;
   }
+  sim::race::plain_write(os_->engine(), &q.tasks, "TaskSystem task deque");
   out = std::move(q.tasks.front());
   q.tasks.pop_front();
   q.lock->unlock();
@@ -75,11 +86,14 @@ bool TaskSystem::try_steal(int thief_cpu, TaskFn& out) {
     const int victim = (thief_cpu + i) % n;
     auto& q = queues_[static_cast<std::size_t>(victim)];
     if (!q.lock->try_lock()) continue;
+    sim::race::plain_read(os_->engine(), &q.tasks, "TaskSystem task deque");
     if (!q.tasks.empty()) {
       // Steal from the back (classic work-stealing order).
+      sim::race::plain_write(os_->engine(), &q.tasks, "TaskSystem task deque");
       out = std::move(q.tasks.back());
       q.tasks.pop_back();
       q.lock->unlock();
+      sim::race::atomic_rmw(os_->engine(), &steals_, "TaskSystem::steals_");
       ++steals_;
       return true;
     }
@@ -91,16 +105,38 @@ bool TaskSystem::try_steal(int thief_cpu, TaskFn& out) {
 void TaskSystem::worker_loop(int cpu) {
   for (;;) {
     TaskFn task;
-    if (try_pop(cpu, task) || try_steal(cpu, task)) {
+    const bool popped = try_pop(cpu, task);
+    const bool stolen = !popped && try_steal(cpu, task);
+    if (popped || stolen) {
+      if (stolen) {
+        os_->counters().add_on(os_->current_cpu(),
+                               telemetry::Counter::kTaskSteals);
+      }
+      os_->tools().emit([&](ompt::Tool& t) {
+        t.on_rt_task_execute(ompt::TaskRuntimeKind::kKernel,
+                             ompt::Endpoint::kBegin, os_->engine().now(), cpu,
+                             stolen);
+      });
       os_->compute_ns(dispatch_cost_ns_);
       task();
+      sim::race::atomic_rmw(os_->engine(), &executed_,
+                            "TaskSystem::executed_");
       ++executed_;
+      os_->tools().emit([&](ompt::Tool& t) {
+        t.on_rt_task_execute(ompt::TaskRuntimeKind::kKernel,
+                             ompt::Endpoint::kEnd, os_->engine().now(), cpu,
+                             stolen);
+      });
       continue;
     }
+    sim::race::atomic_load(os_->engine(), &stopping_);
     if (stopping_) return;
     // try_pop/try_steal yield inside their lock operations; a task may
     // have been enqueued (and its notify lost) meanwhile.  Recheck the
     // own queue right before parking -- no yield can intervene here.
+    // (The unlocked emptiness peek models an atomic size probe.)
+    sim::race::atomic_load(os_->engine(),
+                           &queues_[static_cast<std::size_t>(cpu)].tasks);
     if (!queues_[static_cast<std::size_t>(cpu)].tasks.empty()) continue;
     // Kernel workers spin briefly (they own the CPU anyway), then
     // sleep until new work shows up on their own queue.

@@ -1,0 +1,47 @@
+#include "ompt/ompt.hpp"
+
+#include <algorithm>
+
+namespace kop::ompt {
+
+const char* sync_region_name(SyncRegion s) {
+  switch (s) {
+    case SyncRegion::kBarrierImplicit: return "barrier-implicit";
+    case SyncRegion::kBarrierExplicit: return "barrier-explicit";
+    case SyncRegion::kTaskwait:        return "taskwait";
+  }
+  return "unknown";
+}
+
+const char* work_kind_name(WorkKind w) {
+  switch (w) {
+    case WorkKind::kLoopStatic:        return "for-static";
+    case WorkKind::kLoopStaticChunked: return "for-static-chunked";
+    case WorkKind::kLoopDynamic:       return "for-dynamic";
+    case WorkKind::kLoopGuided:        return "for-guided";
+    case WorkKind::kSections:          return "sections";
+    case WorkKind::kSingle:            return "single";
+    case WorkKind::kOrdered:           return "ordered";
+  }
+  return "unknown";
+}
+
+const char* mutex_kind_name(MutexKind m) {
+  switch (m) {
+    case MutexKind::kLock:     return "lock";
+    case MutexKind::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+void Registry::attach(Tool* t) {
+  if (t && std::find(tools_.begin(), tools_.end(), t) == tools_.end()) {
+    tools_.push_back(t);
+  }
+}
+
+void Registry::detach(Tool* t) {
+  tools_.erase(std::remove(tools_.begin(), tools_.end(), t), tools_.end());
+}
+
+}  // namespace kop::ompt

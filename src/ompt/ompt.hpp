@@ -1,0 +1,104 @@
+#pragma once
+
+// OMPT-like tool interface for the simulated OpenMP stack.
+//
+// Modelled on LLVM libomp's OMPT callbacks but simulator-native: events
+// carry virtual timestamps (sim::Time) and the thread's team id instead
+// of opaque wait_id/codeptr pairs.  Tools subclass ompt::Tool, override
+// the callbacks they care about, and attach through the per-OS
+// ompt::Registry (reachable as os.tools()), so profilers never need to
+// edit runtime code.
+//
+// The komp runtime fires parallel/implicit-task/work/dispatch/sync/
+// mutex/task events; the virgil + nautilus task runtimes fire the
+// rt_task_* events.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace kop::ompt {
+
+enum class Endpoint { kBegin, kEnd };
+
+enum class SyncRegion {
+  kBarrierImplicit,  // region-closing / loop-closing barrier
+  kBarrierExplicit,  // user #pragma omp barrier
+  kTaskwait,
+};
+
+enum class WorkKind {
+  kLoopStatic,
+  kLoopStaticChunked,
+  kLoopDynamic,
+  kLoopGuided,
+  kSections,
+  kSingle,
+  kOrdered,
+};
+
+enum class MutexKind {
+  kLock,      // omp_lock_t-style explicit lock
+  kCritical,  // named critical section
+};
+
+enum class MutexEvent { kAcquire, kAcquired, kReleased };
+
+enum class TaskRuntimeKind {
+  kUser,    // virgil user-level work stealing pool
+  kKernel,  // nautilus kernel task system
+};
+
+const char* sync_region_name(SyncRegion s);
+const char* work_kind_name(WorkKind w);
+const char* mutex_kind_name(MutexKind m);
+
+// All callbacks default to no-ops so tools override only what they use.
+// `tid` is the OpenMP thread number within the team (0 = master);
+// rt_task events use `lane` (worker/CPU index) instead.
+class Tool {
+ public:
+  virtual ~Tool() = default;
+
+  virtual void on_parallel(Endpoint, sim::Time, int /*team_size*/) {}
+  virtual void on_implicit_task(Endpoint, sim::Time, int /*tid*/,
+                                int /*team_size*/) {}
+  virtual void on_work(WorkKind, Endpoint, sim::Time, int /*tid*/,
+                       std::int64_t /*iterations*/) {}
+  virtual void on_dispatch(sim::Time, int /*tid*/, std::int64_t /*lo*/,
+                           std::int64_t /*hi*/) {}
+  virtual void on_sync_region(SyncRegion, Endpoint, sim::Time, int /*tid*/) {}
+  // Inner wait interval of a sync region (time actually blocked/spinning).
+  virtual void on_sync_wait(Endpoint, sim::Time, int /*tid*/) {}
+  virtual void on_mutex(MutexKind, MutexEvent, sim::Time,
+                        const void* /*lock*/) {}
+  virtual void on_task_create(sim::Time, int /*tid*/) {}
+  virtual void on_task_schedule(Endpoint, sim::Time, int /*tid*/,
+                                bool /*stolen*/) {}
+  virtual void on_rt_task_submit(TaskRuntimeKind, sim::Time, int /*lane*/) {}
+  virtual void on_rt_task_execute(TaskRuntimeKind, Endpoint, sim::Time,
+                                  int /*lane*/, bool /*stolen*/) {}
+};
+
+// One registry per simulated OS instance; not thread-safe in host terms,
+// which is fine because the simulator is single-threaded at host level.
+class Registry {
+ public:
+  void attach(Tool* t);
+  void detach(Tool* t);
+  bool empty() const { return tools_.empty(); }
+  std::size_t size() const { return tools_.size(); }
+
+  // emit([&](Tool& t) { t.on_...(...); }) — loop is inlined and the
+  // empty() fast path keeps un-instrumented runs free of overhead.
+  template <typename Fn>
+  void emit(Fn&& fn) {
+    for (Tool* t : tools_) fn(*t);
+  }
+
+ private:
+  std::vector<Tool*> tools_;
+};
+
+}  // namespace kop::ompt

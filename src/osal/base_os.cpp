@@ -26,12 +26,14 @@ BaseOs::BaseOs(sim::Engine& engine, hw::MachineConfig machine, hw::OsCosts costs
     : engine_(&engine),
       machine_(std::move(machine)),
       costs_(std::move(costs)),
-      exec_(machine_, costs_) {
+      exec_(machine_, costs_),
+      counters_(machine_.num_cpus) {
   machine_.validate();
   cpus_.reserve(static_cast<std::size_t>(machine_.num_cpus));
   for (int i = 0; i < machine_.num_cpus; ++i) {
     cpus_.push_back(std::make_unique<hw::Cpu>(
-        *engine_, i, costs_.timeslice_ns, costs_.context_switch_ns));
+        *engine_, i, costs_.timeslice_ns, costs_.context_switch_ns,
+        &counters_));
   }
 }
 
@@ -51,6 +53,7 @@ Thread* BaseOs::spawn_thread(std::string name, std::function<void()> fn,
       create_cost_ns >= 0 ? create_cost_ns : costs_.thread_create_ns;
   if (engine_->current() != nullptr && create_cost > 0)
     engine_->sleep_for(create_cost);
+  counters_.add_on(cpu, telemetry::Counter::kThreadsCreated);
 
   auto impl = std::make_unique<ThreadImpl>(std::move(name), cpu);
   ThreadImpl* raw = impl.get();
@@ -91,7 +94,10 @@ int BaseOs::current_cpu() {
 
 void BaseOs::yield() {
   // sched_yield-ish: a syscall plus requeue.
-  if (costs_.syscall_ns > 0) engine_->sleep_for(costs_.syscall_ns);
+  if (costs_.syscall_ns > 0) {
+    counters_.add_on(current_cpu(), telemetry::Counter::kSyscalls);
+    engine_->sleep_for(costs_.syscall_ns);
+  }
   engine_->yield_now();
 }
 
@@ -100,6 +106,11 @@ void BaseOs::sleep_ns(sim::Time ns) { engine_->sleep_for(ns); }
 void BaseOs::compute(const hw::WorkBlock& block, int data_zone) {
   const int cpu = current_cpu();
   const hw::BlockCharge charge = exec_.charge(block, cpu, data_zone, engine_->rng());
+  using telemetry::Counter;
+  if (charge.fault_count) counters_.add_on(cpu, Counter::kPageFaults, charge.fault_count);
+  if (charge.tlb_misses) counters_.add_on(cpu, Counter::kTlbMisses, charge.tlb_misses);
+  if (charge.tick_count) counters_.add_on(cpu, Counter::kTimerTicks, charge.tick_count);
+  if (charge.noise_events) counters_.add_on(cpu, Counter::kNoisePreemptions, charge.noise_events);
   const sim::Time start = engine_->now();
   cpus_[static_cast<std::size_t>(cpu)]->occupy(charge.total());
   if (tracer_.enabled()) {
@@ -117,7 +128,8 @@ void BaseOs::atomic_op(int contenders) {
 }
 
 std::unique_ptr<WaitQueue> BaseOs::make_wait_queue() {
-  return std::make_unique<GenericWaitQueue>(*engine_, machine_, costs_);
+  return std::make_unique<GenericWaitQueue>(*engine_, machine_, costs_,
+                                            &counters_);
 }
 
 hw::MemRegion* BaseOs::alloc_region(std::string name, std::uint64_t bytes,

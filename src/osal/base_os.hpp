@@ -27,6 +27,9 @@ class BaseOs : public Os {
   const hw::MachineConfig& machine() const override { return machine_; }
   const hw::OsCosts& costs() const override { return costs_; }
 
+  telemetry::CounterFabric& counters() override { return counters_; }
+  ompt::Registry& tools() override { return tools_; }
+
   Thread* spawn_thread(std::string name, std::function<void()> fn,
                        int cpu = -1, sim::Time create_cost_ns = -1) override;
   void join_thread(Thread* t) override;
@@ -84,6 +87,8 @@ class BaseOs : public Os {
   ThreadImpl* current_impl();
 
   Tracer tracer_;
+  telemetry::CounterFabric counters_;
+  ompt::Registry tools_;
   std::vector<std::unique_ptr<hw::Cpu>> cpus_;
   std::vector<std::unique_ptr<ThreadImpl>> threads_;
   std::vector<std::unique_ptr<hw::MemRegion>> regions_;

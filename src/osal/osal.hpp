@@ -16,8 +16,10 @@
 #include "hw/cost_params.hpp"
 #include "hw/memory.hpp"
 #include "hw/topology.hpp"
+#include "ompt/ompt.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
+#include "telemetry/counters.hpp"
 
 namespace kop::osal {
 
@@ -84,6 +86,16 @@ class Os {
   virtual sim::Engine& engine() = 0;
   virtual const hw::MachineConfig& machine() const = 0;
   virtual const hw::OsCosts& costs() const = 0;
+
+  // --- observability ---
+  /// Per-CPU hardware/OS event counters (page faults, TLB misses,
+  /// interrupts, ...).  Fed by the hw + osal layers and the substrates;
+  /// snapshot after a run to explain the paper's §6.2 contrasts.
+  virtual telemetry::CounterFabric& counters() = 0;
+  /// OMPT-like tool registry: runtimes above (komp, virgil, nautilus
+  /// task system) emit construct events; tools attach here without
+  /// touching runtime code.
+  virtual ompt::Registry& tools() = 0;
 
   // --- threads ---
   /// Spawn a thread bound to `cpu` (-1: round-robin placement).

@@ -44,6 +44,18 @@ bool GenericWaitQueue::wake_waiter(Waiter& w, int rank) {
         static_cast<double>(costs_->wake_latency_ns), costs_->wake_cv));
     delay += costs_->context_switch_ns;
   }
+  if (counters_) {
+    using telemetry::Counter;
+    if (was_spinning) {
+      counters_->add(Counter::kSpinWakes);
+    } else {
+      counters_->add(Counter::kBlockingWakes);
+      counters_->add(Counter::kContextSwitches);
+      // In-kernel runtimes wake a remote sleeper with an IPI poke
+      // instead of a futex syscall.
+      if (costs_->syscall_ns <= 0) counters_->add(Counter::kIpis);
+    }
+  }
   w.notified = true;
   engine_->wake_token_at(w.token, now + delay);
   return !was_spinning;
@@ -53,6 +65,7 @@ void GenericWaitQueue::charge_waker_syscall() {
   // The waker enters the kernel to perform the wake (futex syscall on
   // Linux; free for in-kernel code where the wake is a function call).
   if (costs_->syscall_ns > 0 && engine_->current() != nullptr) {
+    if (counters_) counters_->add(telemetry::Counter::kSyscalls);
     engine_->sleep_for(costs_->syscall_ns);
   }
 }

@@ -12,8 +12,12 @@ namespace kop::osal {
 class GenericWaitQueue final : public WaitQueue {
  public:
   GenericWaitQueue(sim::Engine& engine, const hw::MachineConfig& machine,
-                   const hw::OsCosts& costs)
-      : engine_(&engine), machine_(&machine), costs_(&costs) {}
+                   const hw::OsCosts& costs,
+                   telemetry::CounterFabric* counters = nullptr)
+      : engine_(&engine),
+        machine_(&machine),
+        costs_(&costs),
+        counters_(counters) {}
 
   void wait(sim::Time spin_ns) override;
   bool wait_until(sim::Time deadline, sim::Time spin_ns) override;
@@ -39,6 +43,7 @@ class GenericWaitQueue final : public WaitQueue {
   sim::Engine* engine_;
   const hw::MachineConfig* machine_;
   const hw::OsCosts* costs_;
+  telemetry::CounterFabric* counters_;
   std::deque<std::shared_ptr<Waiter>> queue_;
 };
 

@@ -13,6 +13,9 @@ SyscallResult SyscallTable::invoke(int nr, const SyscallArgs& args) {
   // crossing is the cost-sheet "syscall", far below a Linux one.
   if (os_->engine().current() != nullptr && os_->costs().syscall_ns > 0)
     os_->engine().sleep_for(os_->costs().syscall_ns);
+  os_->counters().add_on(
+      os_->engine().current() != nullptr ? os_->current_cpu() : -1,
+      telemetry::Counter::kSyscalls);
   ++total_calls_;
   ++counts_[nr];
   auto it = handlers_.find(nr);

@@ -1,0 +1,65 @@
+#include "telemetry/counters.hpp"
+
+namespace kop::telemetry {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kPageFaults:       return "page_faults";
+    case Counter::kTlbMisses:        return "tlb_misses";
+    case Counter::kTimerTicks:       return "timer_ticks";
+    case Counter::kNoisePreemptions: return "noise_preemptions";
+    case Counter::kCpuPreemptions:   return "cpu_preemptions";
+    case Counter::kContextSwitches:  return "context_switches";
+    case Counter::kSyscalls:         return "syscalls";
+    case Counter::kIpis:             return "ipis";
+    case Counter::kDeviceInterrupts: return "device_interrupts";
+    case Counter::kFutexWaits:       return "futex_waits";
+    case Counter::kFutexWakes:       return "futex_wakes";
+    case Counter::kBlockingWakes:    return "blocking_wakes";
+    case Counter::kSpinWakes:        return "spin_wakes";
+    case Counter::kThreadsCreated:   return "threads_created";
+    case Counter::kTaskSteals:       return "task_steals";
+    case Counter::kCount:            break;
+  }
+  return "unknown";
+}
+
+CounterFabric::CounterFabric(int num_cpus)
+    : per_cpu_(static_cast<std::size_t>(num_cpus < 0 ? 0 : num_cpus)) {}
+
+void CounterFabric::add_on(int cpu, Counter c, std::uint64_t delta) {
+  const int idx = static_cast<int>(c);
+  if (cpu >= 0 && cpu < num_cpus()) {
+    per_cpu_[static_cast<std::size_t>(cpu)][idx] += delta;
+  } else {
+    unattributed_[idx] += delta;
+  }
+}
+
+std::uint64_t CounterFabric::total(Counter c) const {
+  const int idx = static_cast<int>(c);
+  std::uint64_t sum = unattributed_[idx];
+  for (const auto& row : per_cpu_) sum += row[idx];
+  return sum;
+}
+
+std::uint64_t CounterFabric::on_cpu(int cpu, Counter c) const {
+  if (cpu < 0 || cpu >= num_cpus()) return 0;
+  return per_cpu_[static_cast<std::size_t>(cpu)][static_cast<int>(c)];
+}
+
+Snapshot CounterFabric::snapshot() const {
+  Snapshot s;
+  s.per_cpu = per_cpu_;
+  for (int i = 0; i < kNumCounters; ++i) {
+    s.totals[i] = total(static_cast<Counter>(i));
+  }
+  return s;
+}
+
+void CounterFabric::reset() {
+  unattributed_.fill(0);
+  for (auto& row : per_cpu_) row.fill(0);
+}
+
+}  // namespace kop::telemetry

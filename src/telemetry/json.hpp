@@ -1,0 +1,81 @@
+#pragma once
+
+// Minimal JSON support for the metrics/trace exports.
+//
+// JsonWriter is a streaming writer that preserves insertion order, so
+// exports have a *stable* field order suitable for golden tests.  The
+// parser produces a JsonValue tree whose objects also preserve key order
+// (they are vectors of pairs), letting tests assert field ordering.
+//
+// Deliberately small: no unicode escapes beyond pass-through, numbers
+// are doubles (exact for the integer magnitudes we emit).
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kop::telemetry {
+
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Key for the next value inside an object.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  const std::string& str() const { return out_; }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void comma();
+  std::string out_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Preserves source order.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // nullptr when the key is absent or this is not an object.
+  const JsonValue* find(const std::string& k) const;
+};
+
+struct JsonParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Throws JsonParseError on malformed input (including trailing garbage).
+JsonValue parse_json(const std::string& text);
+
+}  // namespace kop::telemetry

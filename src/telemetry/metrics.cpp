@@ -1,0 +1,183 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace kop::telemetry {
+
+namespace {
+
+void check_counters_object(const JsonValue& counters, const std::string& where,
+                           std::vector<std::string>* out) {
+  if (!counters.is_object()) {
+    out->push_back(where + ": \"counters\" must be an object");
+    return;
+  }
+  // All counters present, in enum order, non-negative integers.
+  if (counters.object.size() != static_cast<std::size_t>(kNumCounters)) {
+    out->push_back(where + ": \"counters\" must have exactly " +
+                   std::to_string(kNumCounters) + " entries, got " +
+                   std::to_string(counters.object.size()));
+  }
+  const std::size_t n =
+      std::min(counters.object.size(), static_cast<std::size_t>(kNumCounters));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& [key, val] = counters.object[i];
+    const char* expect = counter_name(static_cast<Counter>(i));
+    if (key != expect) {
+      out->push_back(where + ": counter #" + std::to_string(i) +
+                     " must be \"" + expect + "\", got \"" + key + "\"");
+    }
+    if (!val.is_number() || val.number < 0 ||
+        val.number != std::floor(val.number)) {
+      out->push_back(where + ": counter \"" + key +
+                     "\" must be a non-negative integer");
+    }
+  }
+}
+
+void check_run(const JsonValue& run, std::size_t idx,
+               std::vector<std::string>* out) {
+  const std::string where = "runs[" + std::to_string(idx) + "]";
+  if (!run.is_object()) {
+    out->push_back(where + ": must be an object");
+    return;
+  }
+
+  static const std::set<std::string> allowed = {
+      "label", "machine", "path", "threads",
+      "timing", "counters", "per_cpu", "constructs"};
+  for (const auto& [key, val] : run.object) {
+    (void)val;
+    if (!allowed.count(key)) {
+      out->push_back(where + ": unknown key \"" + key + "\"");
+    }
+  }
+
+  for (const char* k : {"label", "machine", "path"}) {
+    const JsonValue* v = run.find(k);
+    if (!v || !v->is_string() || v->string.empty()) {
+      out->push_back(where + ": \"" + k + "\" must be a non-empty string");
+    }
+  }
+
+  const JsonValue* threads = run.find("threads");
+  if (!threads || !threads->is_number() || threads->number < 1 ||
+      threads->number != std::floor(threads->number)) {
+    out->push_back(where + ": \"threads\" must be an integer >= 1");
+  }
+
+  const JsonValue* timing = run.find("timing");
+  if (!timing || !timing->is_object()) {
+    out->push_back(where + ": \"timing\" must be an object");
+  } else {
+    for (const char* k : {"timed_seconds", "init_seconds"}) {
+      const JsonValue* v = timing->find(k);
+      if (!v || !v->is_number() || v->number < 0) {
+        out->push_back(where + ": timing." + k +
+                       " must be a non-negative number");
+      }
+    }
+  }
+
+  const JsonValue* counters = run.find("counters");
+  if (!counters) {
+    out->push_back(where + ": missing \"counters\"");
+  } else {
+    check_counters_object(*counters, where, out);
+  }
+
+  if (const JsonValue* per_cpu = run.find("per_cpu")) {
+    if (!per_cpu->is_object()) {
+      out->push_back(where + ": \"per_cpu\" must be an object");
+    } else {
+      for (const auto& [key, arr] : per_cpu->object) {
+        if (!arr.is_array()) {
+          out->push_back(where + ": per_cpu." + key + " must be an array");
+          continue;
+        }
+        for (const JsonValue& v : arr.array) {
+          if (!v.is_number() || v.number < 0) {
+            out->push_back(where + ": per_cpu." + key +
+                           " entries must be non-negative numbers");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  if (const JsonValue* constructs = run.find("constructs")) {
+    if (!constructs->is_object()) {
+      out->push_back(where + ": \"constructs\" must be an object");
+    } else {
+      for (const auto& [name, c] : constructs->object) {
+        if (!c.is_object()) {
+          out->push_back(where + ": constructs." + name +
+                         " must be an object");
+          continue;
+        }
+        for (const char* k : {"count", "total_us", "mean_us"}) {
+          const JsonValue* v = c.find(k);
+          if (!v || !v->is_number() || v->number < 0) {
+            out->push_back(where + ": constructs." + name + "." + k +
+                           " must be a non-negative number");
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_metrics_json(const std::string& text) {
+  std::vector<std::string> out;
+  JsonValue root;
+  try {
+    root = parse_json(text);
+  } catch (const JsonParseError& e) {
+    out.push_back(e.what());
+    return out;
+  }
+
+  if (!root.is_object()) {
+    out.push_back("root must be an object");
+    return out;
+  }
+
+  const JsonValue* schema = root.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->string != kMetricsSchemaName) {
+    out.push_back("\"schema\" must be \"" +
+                  std::string(kMetricsSchemaName) + "\"");
+  }
+
+  const JsonValue* version = root.find("version");
+  if (!version || !version->is_number() ||
+      version->number != kMetricsSchemaVersion) {
+    out.push_back("\"version\" must be " +
+                  std::to_string(kMetricsSchemaVersion));
+  }
+
+  const JsonValue* generator = root.find("generator");
+  if (!generator || !generator->is_string() || generator->string.empty()) {
+    out.push_back("\"generator\" must be a non-empty string");
+  }
+
+  const JsonValue* runs = root.find("runs");
+  if (!runs || !runs->is_array()) {
+    out.push_back("\"runs\" must be an array");
+    return out;
+  }
+  if (runs->array.empty()) {
+    out.push_back("\"runs\" must not be empty");
+  }
+  for (std::size_t i = 0; i < runs->array.size(); ++i) {
+    check_run(runs->array[i], i, &out);
+  }
+  return out;
+}
+
+}  // namespace kop::telemetry

@@ -1,0 +1,51 @@
+#pragma once
+
+// Versioned "kop-metrics" JSON schema shared by run_experiment --json,
+// the bench/fig* binaries, and examples/omp_profiler.  One schema for
+// all exports so CI can lint every artifact with the same validator.
+//
+// Schema v1 (all field order is stable, extra keys are violations):
+//
+//   {
+//     "schema": "kop-metrics",
+//     "version": 1,
+//     "generator": "<binary name>",          // free-form, required
+//     "runs": [
+//       {
+//         "label": "<string>",               // e.g. "cg.S t4"
+//         "machine": "<string>",             // e.g. "phi" | "xeon" | ...
+//         "path": "<string>",                // e.g. "linux-omp" | "rtk"
+//         "threads": <int >= 1>,
+//         "timing": {
+//           "timed_seconds": <number >= 0>,
+//           "init_seconds": <number >= 0>
+//         },
+//         "counters": { "<counter>": <int >= 0>, ... },  // all 15, in
+//                                                        // enum order
+//         "per_cpu": { "<counter>": [<int>, ...], ... }, // optional
+//         "constructs": {                                 // optional
+//           "<construct>": { "count": <int>, "total_us": <number>,
+//                             "mean_us": <number> }, ...
+//         }
+//       }, ...
+//     ]
+//   }
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/counters.hpp"
+#include "telemetry/json.hpp"
+
+namespace kop::telemetry {
+
+inline constexpr const char* kMetricsSchemaName = "kop-metrics";
+inline constexpr int kMetricsSchemaVersion = 1;
+
+// Returns a list of human-readable schema violations; empty means the
+// document is a valid kop-metrics v1 export.  Malformed JSON is reported
+// as a single violation rather than thrown.
+std::vector<std::string> validate_metrics_json(const std::string& text);
+
+}  // namespace kop::telemetry

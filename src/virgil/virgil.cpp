@@ -2,7 +2,15 @@
 
 #include <stdexcept>
 
+#include "sim/racecheck.hpp"
+
 namespace kop::virgil {
+
+// Shared-access annotations follow the same discipline as komp's task
+// pool: deque contents are guarded by the per-queue spinlocks (plain
+// accesses -- the detector verifies the lock discipline), while
+// stopping_, executed_ and the latch counter model the runtime's
+// atomics (happens-before edges).
 
 CountdownLatch::CountdownLatch(osal::Os& os, int count)
     : os_(&os), count_(count), gate_(os.make_wait_queue()) {
@@ -11,6 +19,7 @@ CountdownLatch::CountdownLatch(osal::Os& os, int count)
 
 void CountdownLatch::count_down() {
   os_->atomic_op(static_cast<int>(gate_->waiters()));
+  sim::race::atomic_rmw(os_->engine(), &count_, "CountdownLatch::count_");
   if (count_ <= 0) throw std::logic_error("CountdownLatch: underflow");
   --count_;
   if (count_ == 0) gate_->notify_all();
@@ -18,7 +27,11 @@ void CountdownLatch::count_down() {
 
 void CountdownLatch::wait() {
   // Joins in CCK-generated code spin briefly, then sleep.
-  while (count_ > 0) gate_->wait(/*spin_ns=*/20 * sim::kMicrosecond);
+  sim::race::atomic_load(os_->engine(), &count_);
+  while (count_ > 0) {
+    gate_->wait(/*spin_ns=*/20 * sim::kMicrosecond);
+    sim::race::atomic_load(os_->engine(), &count_);
+  }
 }
 
 KernelVirgil::KernelVirgil(nautilus::NautilusKernel& kernel, int width)
@@ -28,7 +41,8 @@ KernelVirgil::KernelVirgil(nautilus::NautilusKernel& kernel, int width)
 
 void KernelVirgil::submit(TaskFn task) {
   // Round-robin across the kernel's per-CPU task queues; the task
-  // system's stealing handles imbalance.
+  // system's stealing handles imbalance.  The task system itself emits
+  // the rt_task events (so raw enqueue() users are covered too).
   const int cpu = next_cpu_;
   next_cpu_ = (next_cpu_ + 1) % width_;
   kernel_->task_system().enqueue(std::move(task), cpu);
@@ -53,6 +67,7 @@ UserVirgil::~UserVirgil() = default;
 void UserVirgil::start() {
   if (started_) throw std::logic_error("UserVirgil: started twice");
   started_ = true;
+  sim::race::atomic_store(os_->engine(), &stopping_, "UserVirgil::stopping_");
   stopping_ = false;
   const int n = static_cast<int>(queues_.size());
   threads_.reserve(static_cast<std::size_t>(n));
@@ -65,6 +80,7 @@ void UserVirgil::start() {
 
 void UserVirgil::stop() {
   if (!started_) return;
+  sim::race::atomic_store(os_->engine(), &stopping_, "UserVirgil::stopping_");
   stopping_ = true;
   for (auto& q : queues_) q.idle->notify_all();
   for (auto* t : threads_) os_->join_thread(t);
@@ -77,12 +93,16 @@ void UserVirgil::submit(TaskFn task) {
   next_rr_ = (next_rr_ + 1) % static_cast<int>(queues_.size());
   auto& q = queues_[static_cast<std::size_t>(w)];
   q.lock->lock();
+  sim::race::plain_write(os_->engine(), &q.tasks, "UserVirgil task deque");
   q.tasks.push_back(std::move(task));
   q.lock->unlock();
+  os_->tools().emit([&](ompt::Tool& t) {
+    t.on_rt_task_submit(ompt::TaskRuntimeKind::kUser, os_->engine().now(), w);
+  });
   q.idle->notify_one();
 }
 
-bool UserVirgil::try_get(int index, TaskFn& out) {
+bool UserVirgil::try_get(int index, TaskFn& out, bool* stolen) {
   const int n = static_cast<int>(queues_.size());
   for (int i = 0; i < n; ++i) {
     const int victim = (index + i) % n;
@@ -92,10 +112,13 @@ bool UserVirgil::try_get(int index, TaskFn& out) {
     } else if (!q.lock->try_lock()) {
       continue;
     }
+    sim::race::plain_read(os_->engine(), &q.tasks, "UserVirgil task deque");
     if (!q.tasks.empty()) {
+      sim::race::plain_write(os_->engine(), &q.tasks, "UserVirgil task deque");
       out = std::move(q.tasks.front());
       q.tasks.pop_front();
       q.lock->unlock();
+      *stolen = i != 0;
       return true;
     }
     q.lock->unlock();
@@ -106,15 +129,36 @@ bool UserVirgil::try_get(int index, TaskFn& out) {
 void UserVirgil::worker_loop(int index) {
   for (;;) {
     TaskFn task;
-    if (try_get(index, task)) {
+    bool stolen = false;
+    if (try_get(index, task, &stolen)) {
+      if (stolen) {
+        os_->counters().add_on(os_->current_cpu(),
+                               telemetry::Counter::kTaskSteals);
+      }
+      os_->tools().emit([&](ompt::Tool& t) {
+        t.on_rt_task_execute(ompt::TaskRuntimeKind::kUser,
+                             ompt::Endpoint::kBegin, os_->engine().now(),
+                             index, stolen);
+      });
       os_->compute_ns(dispatch_cost_ns_);
       task();
+      sim::race::atomic_rmw(os_->engine(), &executed_,
+                            "UserVirgil::executed_");
       ++executed_;
+      os_->tools().emit([&](ompt::Tool& t) {
+        t.on_rt_task_execute(ompt::TaskRuntimeKind::kUser,
+                             ompt::Endpoint::kEnd, os_->engine().now(),
+                             index, stolen);
+      });
       continue;
     }
+    sim::race::atomic_load(os_->engine(), &stopping_);
     if (stopping_) return;
     // Same lost-wakeup hazard as the kernel workers: try_get yields
-    // inside its locks, so recheck before parking.
+    // inside its locks, so recheck before parking.  The unlocked
+    // emptiness peek models an atomic size probe, not a deque access.
+    sim::race::atomic_load(os_->engine(),
+                           &queues_[static_cast<std::size_t>(index)].tasks);
     if (!queues_[static_cast<std::size_t>(index)].tasks.empty()) continue;
     // User-level workers spin a little, then futex-sleep: waking them
     // costs the full Linux wake path -- one of the structural costs

@@ -100,7 +100,7 @@ class UserVirgil final : public Virgil {
   };
 
   void worker_loop(int index);
-  bool try_get(int index, TaskFn& out);
+  bool try_get(int index, TaskFn& out, bool* stolen);
 
   osal::Os* os_;
   sim::Time dispatch_cost_ns_;
