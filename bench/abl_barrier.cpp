@@ -2,7 +2,11 @@
 // The centralized barrier serializes all arrivals on one cacheline
 // (O(n)); the radix-2 tree bounds the critical path at O(log n).
 #include <cstdio>
+#include <functional>
+#include <vector>
 
+#include "harness/jobs/runner.hpp"
+#include "harness/metrics.hpp"
 #include "harness/table.hpp"
 #include "komp/runtime.hpp"
 #include "nautilus/kernel.hpp"
@@ -39,18 +43,36 @@ double barrier_cost_us(komp::RuntimeTuning::BarrierAlgo algo, int threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = harness::parse_fig_options(argc, argv);
+  if (!opts.ok) return 2;
   std::printf("== Ablation: barrier algorithm (centralized vs tree) ==\n");
   std::printf("   mean barrier cost (us) on PHI, kernel threads\n\n");
+
+  const auto counts = opts.quick ? std::vector<int>{2, 8}
+                                 : std::vector<int>{2, 4, 8, 16, 32, 64};
+  // Each cell builds its own engine, so the cells are independent
+  // simulation tasks; run them through the host-thread pool.
+  std::vector<double> central(counts.size()), tree(counts.size());
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    tasks.push_back([&central, &counts, i] {
+      central[i] = barrier_cost_us(
+          komp::RuntimeTuning::BarrierAlgo::kCentralized, counts[i]);
+    });
+    tasks.push_back([&tree, &counts, i] {
+      tree[i] =
+          barrier_cost_us(komp::RuntimeTuning::BarrierAlgo::kTree, counts[i]);
+    });
+  }
+  harness::jobs::JobRunner runner(opts.jobs);
+  runner.run_tasks(tasks);
+
   harness::Table t({"threads", "centralized us", "tree us", "speedup"});
-  for (int n : {2, 4, 8, 16, 32, 64}) {
-    const double central =
-        barrier_cost_us(komp::RuntimeTuning::BarrierAlgo::kCentralized, n);
-    const double tree =
-        barrier_cost_us(komp::RuntimeTuning::BarrierAlgo::kTree, n);
-    t.add_row({std::to_string(n), harness::Table::num(central, 3),
-               harness::Table::num(tree, 3),
-               harness::Table::num(central / tree)});
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    t.add_row({std::to_string(counts[i]), harness::Table::num(central[i], 3),
+               harness::Table::num(tree[i], 3),
+               harness::Table::num(central[i] / tree[i])});
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("Expected: the tree wins increasingly with thread count\n"

@@ -5,29 +5,62 @@
 // different zones."
 #include <cstdio>
 
-#include "harness/experiment.hpp"
 #include "harness/figures.hpp"
 #include "harness/table.hpp"
 
 using namespace kop;
 
-int main() {
+namespace {
+
+harness::jobs::PointSpec point(const nas::BenchmarkSpec& spec, int threads,
+                               int first_touch) {
+  harness::jobs::PointSpec p;
+  p.kind = harness::jobs::PointSpec::Kind::kNas;
+  p.machine = "8xeon";
+  p.path = core::PathKind::kRtk;
+  p.threads = threads;
+  p.first_touch = first_touch;  // the ablation forces both settings
+  p.nas = spec;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = harness::parse_fig_options(argc, argv);
+  if (!opts.ok) return 2;
   std::printf("== Ablation: Nautilus immediate allocation vs "
               "first-touch-at-2MB on 8XEON (§6.3) ==\n");
   std::printf("   RTK timed seconds for MG-C and CG-C\n\n");
 
-  auto suite = harness::scale_suite({nas::mg(), nas::cg()}, 8.0 / 3.0, 3);
+  const auto suite = harness::scale_suite({nas::mg(), nas::cg()},
+                                          opts.quick ? 0.5 : 8.0 / 3.0,
+                                          opts.quick ? 2 : 3);
+  const auto scales = opts.quick ? std::vector<int>{24, 48}
+                                 : std::vector<int>{24, 48, 96, 192};
+
+  harness::jobs::PointMatrix mx;
+  for (const auto& spec : suite) {
+    for (int n : scales) {
+      mx.add(point(spec, n, 0));
+      mx.add(point(spec, n, 1));
+    }
+  }
+  harness::jobs::JobRunner runner(opts.jobs);
+  const auto results = runner.run(mx.points());
+  harness::jobs::require_ok(mx.points(), results);
+  std::fprintf(stderr, "[jobs] %s\n", runner.summary(mx.size()).c_str());
+
+  harness::MetricsSink sink("abl_numa_firsttouch");
+  for (const auto& r : results) sink.add(r.metrics);
+
   for (const auto& spec : suite) {
     harness::Table t({"cpus", "immediate", "first-touch", "speedup"});
-    for (int n : {24, 48, 96, 192}) {
-      core::StackConfig cfg;
-      cfg.machine = "8xeon";
-      cfg.path = core::PathKind::kRtk;
-      cfg.num_threads = n;
-      cfg.nk_first_touch = false;
-      const double imm = harness::run_nas(cfg, spec).timed_seconds;
-      cfg.nk_first_touch = true;
-      const double ft = harness::run_nas(cfg, spec).timed_seconds;
+    for (int n : scales) {
+      const double imm =
+          results[mx.add(point(spec, n, 0))].metrics.timed_seconds;
+      const double ft =
+          results[mx.add(point(spec, n, 1))].metrics.timed_seconds;
       t.add_row({std::to_string(n), harness::Table::seconds(imm),
                  harness::Table::seconds(ft), harness::Table::num(imm / ft)});
     }
@@ -35,5 +68,5 @@ int main() {
   }
   std::printf("Expected: parity within one socket (24 CPUs), growing\n"
               "first-touch advantage at 2-8 sockets.\n");
-  return 0;
+  return harness::finish_figure(opts, sink);
 }

@@ -5,40 +5,49 @@
 // libomp actually uses the layer (EPCC SYNCH constructs under RTK).
 #include <cstdio>
 
-#include "epcc/epcc.hpp"
+#include "harness/figures.hpp"
 #include "harness/table.hpp"
-#include "rtk/rtk.hpp"
 
 using namespace kop;
 
 namespace {
 
-std::vector<epcc::Measurement> run_with(bool use_pte, int threads) {
-  rtk::RtkOptions o;
-  o.machine = hw::phi();
-  o.use_pte_pthreads = use_pte;
-  rtk::RtkStack stack(std::move(o));
-  stack.kernel().set_env("OMP_NUM_THREADS", std::to_string(threads));
-  std::vector<epcc::Measurement> out;
-  stack.run_app([&](komp::Runtime& rt) {
-    epcc::EpccConfig cfg;
-    cfg.outer_reps = 5;
-    cfg.inner_iters = 16;
-    epcc::Suite suite(rt, cfg);
-    out = suite.run_syncbench();
-    return 0;
-  });
-  return out;
+harness::jobs::PointSpec point(bool use_pte, int threads, bool quick) {
+  harness::jobs::PointSpec p;
+  p.kind = harness::jobs::PointSpec::Kind::kEpcc;
+  p.machine = "phi";
+  p.path = core::PathKind::kRtk;
+  p.threads = threads;
+  p.rtk_use_pte = use_pte;
+  p.epcc_part = harness::EpccPart::kSync;
+  p.epcc.outer_reps = quick ? 3 : 5;
+  p.epcc.inner_iters = quick ? 8 : 16;
+  return p;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = harness::parse_fig_options(argc, argv);
+  if (!opts.ok) return 2;
   std::printf("== Ablation: PTE pthread port (Fig. 2a) vs customized "
               "pthreads (Fig. 2b) ==\n");
   std::printf("   EPCC SYNCH overheads (us) under RTK on 64 cores of PHI\n\n");
-  const auto pte = run_with(true, 64);
-  const auto native = run_with(false, 64);
+
+  const int threads = opts.quick ? 8 : 64;
+  harness::jobs::PointMatrix mx;
+  const std::size_t i_pte = mx.add(point(true, threads, opts.quick));
+  const std::size_t i_native = mx.add(point(false, threads, opts.quick));
+
+  harness::jobs::JobRunner runner(opts.jobs);
+  const auto results = runner.run(mx.points());
+  harness::jobs::require_ok(mx.points(), results);
+  std::fprintf(stderr, "[jobs] %s\n", runner.summary(mx.size()).c_str());
+  harness::MetricsSink sink("abl_pthread_layers");
+  for (const auto& r : results) sink.add(r.metrics);
+
+  const auto& pte = results[i_pte].epcc;
+  const auto& native = results[i_native].epcc;
 
   harness::Table t({"construct", "pte us", "native us", "pte/native"});
   for (std::size_t i = 0; i < pte.size(); ++i) {
@@ -52,5 +61,5 @@ int main() {
   std::printf("%s\n", t.to_string().c_str());
   std::printf("Expected: the layered port is measurably slower on every\n"
               "construct; this is why §3.3 revisited the implementation.\n");
-  return 0;
+  return harness::finish_figure(opts, sink);
 }

@@ -4,27 +4,38 @@
 // copy on every interrupt.  This bench quantifies both sides.
 #include <cstdio>
 
-#include "harness/experiment.hpp"
 #include "harness/figures.hpp"
 #include "harness/table.hpp"
 #include "hw/cost_params.hpp"
 
 using namespace kop;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = harness::parse_fig_options(argc, argv);
+  if (!opts.ok) return 2;
   std::printf("== Ablation: red-zone strategies ==\n\n");
 
   // Side 1: the -mno-red-zone compile penalty on an RTK NAS run.
   // (compute_inflation is the knob; compare against a hypothetical
   // red-zone-preserving compile.)
-  const auto spec = harness::scale_suite({nas::ep()}, 2.0, 4)[0];
+  const auto spec = harness::scale_suite({nas::ep()}, opts.quick ? 0.5 : 2.0,
+                                         opts.quick ? 2 : 4)[0];
   harness::Table t({"config", "EP-C timed s", "vs baseline"});
 
-  core::StackConfig cfg;
-  cfg.machine = "phi";
-  cfg.path = core::PathKind::kRtk;
-  cfg.num_threads = 64;
-  const double no_redzone = harness::run_nas(cfg, spec).timed_seconds;
+  harness::jobs::PointSpec p;
+  p.kind = harness::jobs::PointSpec::Kind::kNas;
+  p.machine = "phi";
+  p.path = core::PathKind::kRtk;
+  p.threads = opts.quick ? 8 : 64;
+  p.nas = spec;
+
+  harness::jobs::JobRunner runner(opts.jobs);
+  const auto results = runner.run({p});
+  harness::jobs::require_ok({p}, results);
+  std::fprintf(stderr, "[jobs] %s\n", runner.summary(1).c_str());
+  harness::MetricsSink sink("abl_redzone");
+  sink.add(results[0].metrics);
+  const double no_redzone = results[0].metrics.timed_seconds;
 
   const double inflation = hw::nautilus_costs(hw::phi()).compute_inflation;
   const double with_redzone = no_redzone / inflation;
@@ -49,5 +60,5 @@ int main() {
   std::printf("Conclusion: both strategies cost well under 2%%; the choice\n"
               "is about *who* pays (every function vs the interrupt path),\n"
               "matching the paper's design discussion.\n");
-  return 0;
+  return harness::finish_figure(opts, sink);
 }

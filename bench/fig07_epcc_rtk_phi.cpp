@@ -2,6 +2,8 @@
 // on 64 cores of PHI.  Expected shape (paper §6.1): RTK slightly
 // higher overhead than Linux across most constructs (ported runtime,
 // pthread compatibility layer, kernel memory allocation).
+#include <cstdio>
+
 #include "harness/figures.hpp"
 
 int main(int argc, char** argv) {
@@ -12,9 +14,12 @@ int main(int argc, char** argv) {
   cfg.inner_iters = opts.quick ? 4 : 16;
   const int threads = opts.quick ? 8 : 64;
   kop::harness::MetricsSink sink("fig07_epcc_rtk_phi");
-  kop::harness::print_epcc_figure(
-      "Figure 7: EPCC, RTK vs Linux, 64 cores of PHI", "phi", threads,
-      {kop::core::PathKind::kLinuxOmp, kop::core::PathKind::kRtk}, cfg,
-      &sink);
+  std::fputs(kop::harness::print_epcc_figure(
+                 "Figure 7: EPCC, RTK vs Linux, 64 cores of PHI", "phi",
+                 threads,
+                 {kop::core::PathKind::kLinuxOmp, kop::core::PathKind::kRtk},
+                 cfg, &sink, opts.jobs)
+                 .c_str(),
+             stdout);
   return kop::harness::finish_figure(opts, sink);
 }

@@ -3,6 +3,8 @@
 // +90% (BT at 1 CPU) down to roughly parity, ~22% geomean, driven by
 // the kernel environment (no faults, rare TLB misses, NUMA-cognizant
 // allocation, no noise, no competing threads).
+#include <cstdio>
+
 #include "harness/figures.hpp"
 
 int main(int argc, char** argv) {
@@ -15,8 +17,10 @@ int main(int argc, char** argv) {
   const auto scales =
       opts.quick ? std::vector<int>{1, 8} : kop::harness::phi_scales();
   kop::harness::MetricsSink sink("fig09_nas_rtk_phi");
-  kop::harness::print_nas_normalized(
-      "Figure 9: NAS, RTK vs Linux on PHI", "phi",
-      {kop::core::PathKind::kRtk}, scales, suite, &sink);
+  std::fputs(kop::harness::print_nas_normalized(
+                 "Figure 9: NAS, RTK vs Linux on PHI", "phi",
+                 {kop::core::PathKind::kRtk}, scales, suite, &sink, opts.jobs)
+                 .c_str(),
+             stdout);
   return kop::harness::finish_figure(opts, sink);
 }

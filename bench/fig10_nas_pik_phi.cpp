@@ -2,6 +2,8 @@
 // -- NAS benchmarks on PHI.  Expected shape (paper §6.2): generally
 // similar to RTK but smaller gains, ~10% geomean (the pristine binary
 // keeps the user-level 2MB-grained memory layout).
+#include <cstdio>
+
 #include "harness/figures.hpp"
 
 int main(int argc, char** argv) {
@@ -14,8 +16,10 @@ int main(int argc, char** argv) {
   const auto scales =
       opts.quick ? std::vector<int>{1, 8} : kop::harness::phi_scales();
   kop::harness::MetricsSink sink("fig10_nas_pik_phi");
-  kop::harness::print_nas_normalized(
-      "Figure 10: NAS, PIK vs Linux on PHI", "phi",
-      {kop::core::PathKind::kPik}, scales, suite, &sink);
+  std::fputs(kop::harness::print_nas_normalized(
+                 "Figure 10: NAS, PIK vs Linux on PHI", "phi",
+                 {kop::core::PathKind::kPik}, scales, suite, &sink, opts.jobs)
+                 .c_str(),
+             stdout);
   return kop::harness::finish_figure(opts, sink);
 }

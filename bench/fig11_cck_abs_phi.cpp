@@ -17,10 +17,12 @@ int main(int argc, char** argv) {
   const auto scales =
       opts.quick ? std::vector<int>{1, 8} : kop::harness::phi_scales();
   kop::harness::MetricsSink sink("fig11_cck_abs_phi");
-  kop::harness::print_cck_absolute(
-      "Figure 11: CCK absolute times on PHI (Linux OMP vs Linux AutoMP vs "
-      "NK AutoMP)",
-      "phi", scales, suite, &sink);
+  std::fputs(kop::harness::print_cck_absolute(
+                 "Figure 11: CCK absolute times on PHI (Linux OMP vs Linux "
+                 "AutoMP vs NK AutoMP)",
+                 "phi", scales, suite, &sink, opts.jobs)
+                 .c_str(),
+             stdout);
   std::printf("IS-C is elided: AutoMP extracts no parallelism from it "
               "(every loop needs object privatization).\n");
   return kop::harness::finish_figure(opts, sink);

@@ -1,6 +1,8 @@
 // Figure 12: CCK performance relative to Linux-OpenMP on PHI
 // (normalized; higher is better).  Same data as Fig. 11, paper-style
 // normalization.
+#include <cstdio>
+
 #include "harness/figures.hpp"
 
 int main(int argc, char** argv) {
@@ -13,8 +15,10 @@ int main(int argc, char** argv) {
   const auto scales =
       opts.quick ? std::vector<int>{1, 8} : kop::harness::phi_scales();
   kop::harness::MetricsSink sink("fig12_cck_rel_phi");
-  kop::harness::print_cck_normalized(
-      "Figure 12: CCK normalized performance on PHI", "phi", scales, suite,
-      &sink);
+  std::fputs(kop::harness::print_cck_normalized(
+                 "Figure 12: CCK normalized performance on PHI", "phi",
+                 scales, suite, &sink, opts.jobs)
+                 .c_str(),
+             stdout);
   return kop::harness::finish_figure(opts, sink);
 }

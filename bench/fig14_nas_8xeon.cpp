@@ -2,6 +2,8 @@
 // of CPUs -- NAS benchmarks on 8XEON.  Expected shape (paper §6.3):
 // ~20% geomean gains for RTK and PIK; Nautilus runs beyond one socket
 // use the first-touch-at-2MB extension.
+#include <cstdio>
+
 #include "harness/figures.hpp"
 
 int main(int argc, char** argv) {
@@ -14,9 +16,11 @@ int main(int argc, char** argv) {
   const auto scales =
       opts.quick ? std::vector<int>{1, 16} : kop::harness::xeon_scales();
   kop::harness::MetricsSink sink("fig14_nas_8xeon");
-  kop::harness::print_nas_normalized(
-      "Figure 14: NAS, RTK and PIK vs Linux on 8XEON", "8xeon",
-      {kop::core::PathKind::kRtk, kop::core::PathKind::kPik}, scales, suite,
-      &sink);
+  std::fputs(kop::harness::print_nas_normalized(
+                 "Figure 14: NAS, RTK and PIK vs Linux on 8XEON", "8xeon",
+                 {kop::core::PathKind::kRtk, kop::core::PathKind::kPik},
+                 scales, suite, &sink, opts.jobs)
+                 .c_str(),
+             stdout);
   return kop::harness::finish_figure(opts, sink);
 }

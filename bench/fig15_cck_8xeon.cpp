@@ -1,5 +1,7 @@
 // Figure 15: CCK performance relative to Linux-OpenMP on 8XEON
 // (normalized; higher is better).
+#include <cstdio>
+
 #include "harness/figures.hpp"
 
 int main(int argc, char** argv) {
@@ -12,8 +14,10 @@ int main(int argc, char** argv) {
   const auto scales =
       opts.quick ? std::vector<int>{1, 16} : kop::harness::xeon_scales();
   kop::harness::MetricsSink sink("fig15_cck_8xeon");
-  kop::harness::print_cck_normalized(
-      "Figure 15: CCK normalized performance on 8XEON", "8xeon", scales,
-      suite, &sink);
+  std::fputs(kop::harness::print_cck_normalized(
+                 "Figure 15: CCK normalized performance on 8XEON", "8xeon",
+                 scales, suite, &sink, opts.jobs)
+                 .c_str(),
+             stdout);
   return kop::harness::finish_figure(opts, sink);
 }

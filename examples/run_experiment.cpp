@@ -3,15 +3,23 @@
 //   run_experiment [--bench BT,FT,...|all] [--machine phi|8xeon]
 //                  [--paths linux,rtk,pik,automp-linux,automp-nk]
 //                  [--threads 1,2,4,...] [--scale <factor>] [--csv]
-//                  [--json <path>]
+//                  [--json <path>] [--jobs N] [--cache-dir <dir>]
+//                  [--no-cache]
 //
 // --json writes a kop-metrics v1 artifact (telemetry/metrics.hpp): one
 // run entry per (bench, path, threads) cell with the stack's event
 // counters -- the same schema the bench/fig* binaries emit.
 //
+// The sweep is enumerated as jobs::PointSpec values and executed by
+// the jobs::JobRunner host-thread pool: --jobs N simulates N points
+// concurrently (each on its own engine), --cache-dir reuses previous
+// results via the content-addressed cache.  Output is byte-identical
+// across --jobs levels and cache states.
+//
 // Examples:
 //   run_experiment --bench BT --threads 1,16,64
 //   run_experiment --bench all --machine 8xeon --paths rtk,pik --csv
+//   run_experiment --bench all --jobs 8 --cache-dir .kop-cache
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -56,6 +64,7 @@ int main(int argc, char** argv) {
   double scale = 1.0;
   bool csv = false;
   std::string json_path;
+  harness::jobs::JobOptions jopts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,10 +82,17 @@ int main(int argc, char** argv) {
       } else if (arg == "--scale") scale = std::stod(next());
       else if (arg == "--csv") csv = true;
       else if (arg == "--json") json_path = next();
+      else if (arg == "--jobs") {
+        jopts.jobs = std::stoi(next());
+        if (jopts.jobs < 1)
+          throw std::invalid_argument("--jobs needs a positive integer");
+      } else if (arg == "--cache-dir") jopts.cache_dir = next();
+      else if (arg == "--no-cache") jopts.no_cache = true;
       else if (arg == "--help" || arg == "-h") {
         std::puts("usage: run_experiment [--bench B1,B2|all] [--machine m]\n"
                   "         [--paths p1,p2] [--threads n1,n2] [--scale f]\n"
-                  "         [--csv] [--json <path>]");
+                  "         [--csv] [--json <path>] [--jobs N]\n"
+                  "         [--cache-dir <dir>] [--no-cache]");
         return 0;
       } else {
         throw std::invalid_argument("unknown flag " + arg);
@@ -94,25 +110,45 @@ int main(int argc, char** argv) {
 
   harness::MetricsSink sink("run_experiment");
   try {
+    // Enumerate the whole sweep up front ...
+    std::vector<nas::BenchmarkSpec> specs;
     for (const auto& bench : benches) {
-      auto spec = harness::scale_suite({nas::by_name(bench)}, scale,
-                                       std::max(1, static_cast<int>(4 * scale)))[0];
+      specs.push_back(harness::scale_suite(
+          {nas::by_name(bench)}, scale,
+          std::max(1, static_cast<int>(4 * scale)))[0]);
+    }
+    harness::jobs::PointMatrix mx;
+    auto point = [&](const nas::BenchmarkSpec& spec, const std::string& p,
+                     int n) {
+      harness::jobs::PointSpec ps;
+      ps.kind = harness::jobs::PointSpec::Kind::kNas;
+      ps.machine = machine;
+      ps.path = path_by_name(p);
+      ps.threads = n;
+      ps.nas = spec;
+      return ps;
+    };
+    for (const auto& spec : specs)
+      for (int n : threads)
+        for (const auto& p : paths) mx.add(point(spec, p, n));
+
+    // ... execute it through the pool/cache ...
+    harness::jobs::JobRunner runner(jopts);
+    const auto results = runner.run(mx.points());
+    harness::jobs::require_ok(mx.points(), results);
+    std::fprintf(stderr, "[jobs] %s\n", runner.summary(mx.size()).c_str());
+
+    // ... and print tables in enumeration order.
+    for (const auto& spec : specs) {
       std::vector<std::string> headers = {"threads"};
       for (const auto& p : paths) headers.push_back(p + " (s)");
       harness::Table table(std::move(headers));
       for (int n : threads) {
         std::vector<std::string> row = {std::to_string(n)};
         for (const auto& p : paths) {
-          core::StackConfig cfg;
-          cfg.machine = machine;
-          cfg.path = path_by_name(p);
-          cfg.num_threads = n;
-          cfg.nk_first_touch = harness::want_first_touch(machine, n);
-          if (!core::Stack::create(cfg)->is_omp_path()) cfg.app_static_bytes = 0;
-          harness::RunMetrics m;
-          row.push_back(harness::Table::num(
-              harness::run_nas(cfg, spec, &m).timed_seconds, 3));
-          sink.add(std::move(m));
+          const auto& r = results[mx.add(point(spec, p, n))];
+          row.push_back(harness::Table::num(r.metrics.timed_seconds, 3));
+          sink.add(r.metrics);
         }
         table.add_row(std::move(row));
       }

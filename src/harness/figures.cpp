@@ -1,5 +1,6 @@
 #include "harness/figures.hpp"
 
+#include <cstdarg>
 #include <cstdio>
 #include <map>
 
@@ -10,24 +11,93 @@ namespace kop::harness {
 
 namespace {
 
-// Run + optionally record into the sink.
-double timed_nas(const core::StackConfig& cfg, const nas::BenchmarkSpec& spec,
-                 MetricsSink* sink) {
-  if (sink == nullptr) return run_nas(cfg, spec).timed_seconds;
-  RunMetrics m;
-  const double t = run_nas(cfg, spec, &m).timed_seconds;
-  sink->add(std::move(m));
-  return t;
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
 }
 
-core::StackConfig make_config(const std::string& machine, core::PathKind path,
-                              int threads) {
-  core::StackConfig cfg;
-  cfg.machine = machine;
-  cfg.path = path;
-  cfg.num_threads = threads;
-  cfg.nk_first_touch = want_first_touch(machine, threads);
-  return cfg;
+jobs::PointSpec nas_point(const std::string& machine, core::PathKind path,
+                          int threads, const nas::BenchmarkSpec& spec) {
+  jobs::PointSpec p;
+  p.kind = jobs::PointSpec::Kind::kNas;
+  p.machine = machine;
+  p.path = path;
+  p.threads = threads;
+  p.nas = spec;
+  return p;
+}
+
+jobs::PointSpec epcc_point(const std::string& machine, core::PathKind path,
+                           int threads, const epcc::EpccConfig& config) {
+  jobs::PointSpec p;
+  p.kind = jobs::PointSpec::Kind::kEpcc;
+  p.machine = machine;
+  p.path = path;
+  p.threads = threads;
+  p.epcc_part = EpccPart::kAll;
+  p.epcc = config;
+  return p;
+}
+
+// The enumerate stage shared by enumerate_*() and print_*(): both walk
+// the same deterministic loop nest, so PointMatrix::add() doubles as
+// the result-index lookup during printing.
+void build_nas_normalized(jobs::PointMatrix& mx, const std::string& machine,
+                          const std::vector<core::PathKind>& paths,
+                          const std::vector<int>& scales,
+                          const std::vector<nas::BenchmarkSpec>& suite) {
+  for (const auto& spec : suite) {
+    mx.add(nas_point(machine, core::PathKind::kLinuxOmp, 1, spec));
+    for (int n : scales) {
+      mx.add(nas_point(machine, core::PathKind::kLinuxOmp, n, spec));
+      for (auto p : paths) mx.add(nas_point(machine, p, n, spec));
+    }
+  }
+}
+
+void build_cck_matrix(jobs::PointMatrix& mx, const std::string& machine,
+                      const std::vector<int>& scales,
+                      const std::vector<nas::BenchmarkSpec>& suite) {
+  for (const auto& spec : suite) {
+    mx.add(nas_point(machine, core::PathKind::kLinuxOmp, 1, spec));
+    for (int n : scales) {
+      mx.add(nas_point(machine, core::PathKind::kLinuxOmp, n, spec));
+      mx.add(nas_point(machine, core::PathKind::kAutoMpLinux, n, spec));
+      mx.add(nas_point(machine, core::PathKind::kAutoMpNautilus, n, spec));
+    }
+  }
+}
+
+void build_epcc_figure(jobs::PointMatrix& mx, const std::string& machine,
+                       int threads, const std::vector<core::PathKind>& paths,
+                       const epcc::EpccConfig& config) {
+  for (auto p : paths) mx.add(epcc_point(machine, p, threads, config));
+}
+
+// The execute stage shared by every print_*(): run the matrix through
+// the pool, fail loudly on any failed point, record metrics in
+// enumeration order, and report runner/cache statistics on stderr (so
+// stdout stays byte-identical across --jobs levels and cache states).
+std::vector<jobs::PointResult> run_matrix(const jobs::PointMatrix& mx,
+                                          MetricsSink* sink,
+                                          const jobs::JobOptions& jopts) {
+  jobs::JobRunner runner(jopts);
+  auto results = runner.run(mx.points());
+  jobs::require_ok(mx.points(), results);
+  std::fprintf(stderr, "[jobs] %s\n", runner.summary(mx.size()).c_str());
+  if (sink != nullptr) {
+    for (const auto& r : results) sink->add(r.metrics);
+  }
+  return results;
+}
+
+double timed_of(const std::vector<jobs::PointResult>& results,
+                std::size_t idx) {
+  return results[idx].metrics.timed_seconds;
 }
 
 }  // namespace
@@ -48,121 +118,174 @@ std::vector<nas::BenchmarkSpec> scale_suite(std::vector<nas::BenchmarkSpec> suit
   return suite;
 }
 
-void print_nas_normalized(const std::string& title, const std::string& machine,
-                          const std::vector<core::PathKind>& paths,
-                          const std::vector<int>& scales,
-                          const std::vector<nas::BenchmarkSpec>& suite,
-                          MetricsSink* sink) {
-  std::printf("== %s ==\n", title.c_str());
-  std::printf("   (normalized performance: Linux-OpenMP time / path time;"
-              " higher is better; baseline = 1.0)\n\n");
+std::vector<jobs::PointSpec> enumerate_nas_normalized(
+    const std::string& machine, const std::vector<core::PathKind>& paths,
+    const std::vector<int>& scales,
+    const std::vector<nas::BenchmarkSpec>& suite) {
+  jobs::PointMatrix mx;
+  build_nas_normalized(mx, machine, paths, scales, suite);
+  return mx.points();
+}
+
+std::vector<jobs::PointSpec> enumerate_cck_matrix(
+    const std::string& machine, const std::vector<int>& scales,
+    const std::vector<nas::BenchmarkSpec>& suite) {
+  jobs::PointMatrix mx;
+  build_cck_matrix(mx, machine, scales, suite);
+  return mx.points();
+}
+
+std::vector<jobs::PointSpec> enumerate_epcc_figure(
+    const std::string& machine, int threads,
+    const std::vector<core::PathKind>& paths, const epcc::EpccConfig& config) {
+  jobs::PointMatrix mx;
+  build_epcc_figure(mx, machine, threads, paths, config);
+  return mx.points();
+}
+
+std::string print_nas_normalized(const std::string& title,
+                                 const std::string& machine,
+                                 const std::vector<core::PathKind>& paths,
+                                 const std::vector<int>& scales,
+                                 const std::vector<nas::BenchmarkSpec>& suite,
+                                 MetricsSink* sink,
+                                 const jobs::JobOptions& jopts) {
+  jobs::PointMatrix mx;
+  build_nas_normalized(mx, machine, paths, scales, suite);
+  const auto results = run_matrix(mx, sink, jopts);
+
+  std::string out;
+  appendf(out, "== %s ==\n", title.c_str());
+  appendf(out, "   (normalized performance: Linux-OpenMP time / path time;"
+               " higher is better; baseline = 1.0)\n\n");
   std::map<core::PathKind, std::vector<double>> ratios_all;
 
   for (const auto& spec : suite) {
     // Single-thread Linux absolute time: the figure's `t` label.
-    const double t1 = timed_nas(
-        make_config(machine, core::PathKind::kLinuxOmp, 1), spec, sink);
-    std::printf("%s  (t = %.2f sec single-threaded Linux)\n",
-                spec.full_name().c_str(), t1);
+    const double t1 = timed_of(
+        results, mx.add(nas_point(machine, core::PathKind::kLinuxOmp, 1, spec)));
+    appendf(out, "%s  (t = %.2f sec single-threaded Linux)\n",
+            spec.full_name().c_str(), t1);
 
     std::vector<std::string> headers{"cpus", "linux time"};
     for (auto p : paths) headers.push_back(core::path_name(p));
     Table table(headers);
 
     for (int n : scales) {
-      const double linux_t =
-          n == 1 ? t1
-                 : timed_nas(make_config(machine, core::PathKind::kLinuxOmp, n),
-                             spec, sink);
+      const double linux_t = timed_of(
+          results,
+          mx.add(nas_point(machine, core::PathKind::kLinuxOmp, n, spec)));
       std::vector<std::string> row{std::to_string(n), Table::seconds(linux_t)};
       for (auto p : paths) {
-        const double pt = timed_nas(make_config(machine, p, n), spec, sink);
+        const double pt =
+            timed_of(results, mx.add(nas_point(machine, p, n, spec)));
         const double ratio = linux_t / pt;
         ratios_all[p].push_back(ratio);
         row.push_back(Table::num(ratio));
       }
       table.add_row(std::move(row));
     }
-    std::printf("%s\n", table.to_string().c_str());
+    appendf(out, "%s\n", table.to_string().c_str());
   }
 
   for (auto p : paths) {
-    std::printf("geomean normalized performance [%s]: %.3f\n",
-                core::path_name(p), sim::geomean(ratios_all[p]));
+    appendf(out, "geomean normalized performance [%s]: %.3f\n",
+            core::path_name(p), sim::geomean(ratios_all[p]));
   }
-  std::printf("\n");
+  out += "\n";
+  return out;
 }
 
-void print_cck_absolute(const std::string& title, const std::string& machine,
-                        const std::vector<int>& scales,
-                        const std::vector<nas::BenchmarkSpec>& suite,
-                        MetricsSink* sink) {
-  std::printf("== %s ==\n", title.c_str());
-  std::printf("   (average time in seconds; lower is better)\n\n");
+std::string print_cck_absolute(const std::string& title,
+                               const std::string& machine,
+                               const std::vector<int>& scales,
+                               const std::vector<nas::BenchmarkSpec>& suite,
+                               MetricsSink* sink,
+                               const jobs::JobOptions& jopts) {
+  jobs::PointMatrix mx;
+  build_cck_matrix(mx, machine, scales, suite);
+  const auto results = run_matrix(mx, sink, jopts);
+
+  std::string out;
+  appendf(out, "== %s ==\n", title.c_str());
+  appendf(out, "   (average time in seconds; lower is better)\n\n");
   for (const auto& spec : suite) {
-    std::printf("%s\n", spec.full_name().c_str());
+    appendf(out, "%s\n", spec.full_name().c_str());
     Table table({"cpus", "LINUX OMP", "LINUX AutoMP", "NK AutoMP"});
     for (int n : scales) {
-      const double omp = timed_nas(
-          make_config(machine, core::PathKind::kLinuxOmp, n), spec, sink);
-      const double user = timed_nas(
-          make_config(machine, core::PathKind::kAutoMpLinux, n), spec, sink);
-      const double nk = timed_nas(
-          make_config(machine, core::PathKind::kAutoMpNautilus, n), spec, sink);
+      const double omp = timed_of(
+          results,
+          mx.add(nas_point(machine, core::PathKind::kLinuxOmp, n, spec)));
+      const double user = timed_of(
+          results,
+          mx.add(nas_point(machine, core::PathKind::kAutoMpLinux, n, spec)));
+      const double nk = timed_of(
+          results,
+          mx.add(nas_point(machine, core::PathKind::kAutoMpNautilus, n, spec)));
       table.add_row({std::to_string(n), Table::num(omp), Table::num(user),
                      Table::num(nk)});
     }
-    std::printf("%s\n", table.to_string().c_str());
+    appendf(out, "%s\n", table.to_string().c_str());
   }
+  return out;
 }
 
-void print_cck_normalized(const std::string& title, const std::string& machine,
-                          const std::vector<int>& scales,
-                          const std::vector<nas::BenchmarkSpec>& suite,
-                          MetricsSink* sink) {
-  std::printf("== %s ==\n", title.c_str());
-  std::printf("   (normalized to Linux-OpenMP = 1.0; higher is better)\n\n");
+std::string print_cck_normalized(const std::string& title,
+                                 const std::string& machine,
+                                 const std::vector<int>& scales,
+                                 const std::vector<nas::BenchmarkSpec>& suite,
+                                 MetricsSink* sink,
+                                 const jobs::JobOptions& jopts) {
+  jobs::PointMatrix mx;
+  build_cck_matrix(mx, machine, scales, suite);
+  const auto results = run_matrix(mx, sink, jopts);
+
+  std::string out;
+  appendf(out, "== %s ==\n", title.c_str());
+  appendf(out, "   (normalized to Linux-OpenMP = 1.0; higher is better)\n\n");
   for (const auto& spec : suite) {
-    const double t1 = timed_nas(
-        make_config(machine, core::PathKind::kLinuxOmp, 1), spec, sink);
-    std::printf("%s  (t = %.2f sec single-threaded Linux)\n",
-                spec.full_name().c_str(), t1);
+    const double t1 = timed_of(
+        results, mx.add(nas_point(machine, core::PathKind::kLinuxOmp, 1, spec)));
+    appendf(out, "%s  (t = %.2f sec single-threaded Linux)\n",
+            spec.full_name().c_str(), t1);
     Table table({"cpus", "Linux AutoMP", "NK AutoMP"});
     for (int n : scales) {
-      const double omp =
-          n == 1 ? t1
-                 : timed_nas(make_config(machine, core::PathKind::kLinuxOmp, n),
-                             spec, sink);
-      const double user = timed_nas(
-          make_config(machine, core::PathKind::kAutoMpLinux, n), spec, sink);
-      const double nk = timed_nas(
-          make_config(machine, core::PathKind::kAutoMpNautilus, n), spec, sink);
+      const double omp = timed_of(
+          results,
+          mx.add(nas_point(machine, core::PathKind::kLinuxOmp, n, spec)));
+      const double user = timed_of(
+          results,
+          mx.add(nas_point(machine, core::PathKind::kAutoMpLinux, n, spec)));
+      const double nk = timed_of(
+          results,
+          mx.add(nas_point(machine, core::PathKind::kAutoMpNautilus, n, spec)));
       table.add_row({std::to_string(n), Table::num(omp / user),
                      Table::num(omp / nk)});
     }
-    std::printf("%s\n", table.to_string().c_str());
+    appendf(out, "%s\n", table.to_string().c_str());
   }
+  return out;
 }
 
-void print_epcc_figure(const std::string& title, const std::string& machine,
-                       int threads, const std::vector<core::PathKind>& paths,
-                       const epcc::EpccConfig& config, MetricsSink* sink) {
-  std::printf("== %s ==\n", title.c_str());
-  std::printf("   (per-construct overhead in microseconds, mean +- sd over"
-              " %d samples)\n\n", config.outer_reps);
+std::string print_epcc_figure(const std::string& title,
+                              const std::string& machine, int threads,
+                              const std::vector<core::PathKind>& paths,
+                              const epcc::EpccConfig& config, MetricsSink* sink,
+                              const jobs::JobOptions& jopts) {
+  jobs::PointMatrix mx;
+  build_epcc_figure(mx, machine, threads, paths, config);
+  const auto results = run_matrix(mx, sink, jopts);
 
-  std::vector<std::vector<epcc::Measurement>> results;
-  results.reserve(paths.size());
+  std::string out;
+  appendf(out, "== %s ==\n", title.c_str());
+  appendf(out, "   (per-construct overhead in microseconds, mean +- sd over"
+               " %d samples)\n\n", config.outer_reps);
+
+  std::vector<const std::vector<epcc::Measurement>*> measurements;
+  measurements.reserve(paths.size());
   for (auto p : paths) {
-    if (sink == nullptr) {
-      results.push_back(
-          run_epcc(make_config(machine, p, threads), EpccPart::kAll, config));
-    } else {
-      RunMetrics m;
-      results.push_back(run_epcc(make_config(machine, p, threads),
-                                 EpccPart::kAll, config, &m));
-      sink->add(std::move(m));
-    }
+    measurements.push_back(
+        &results[mx.add(epcc_point(machine, p, threads, config))].epcc);
   }
 
   const char* groups[] = {"ARRAY", "SCHEDULE", "SYNCH", "TASK"};
@@ -176,17 +299,20 @@ void print_epcc_figure(const std::string& title, const std::string& machine,
     }
     Table table(headers);
     // All paths produce the same construct list; walk the first.
-    for (std::size_t i = 0; i < results[0].size(); ++i) {
-      if (results[0][i].group != groups[g]) continue;
-      std::vector<std::string> row{results[0][i].name};
+    const auto& first = *measurements[0];
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      if (first[i].group != groups[g]) continue;
+      std::vector<std::string> row{first[i].name};
       for (std::size_t p = 0; p < paths.size(); ++p) {
-        row.push_back(Table::num(results[p][i].overhead_us.mean(), 3));
-        row.push_back(Table::num(results[p][i].overhead_us.stddev(), 3));
+        row.push_back(Table::num((*measurements[p])[i].overhead_us.mean(), 3));
+        row.push_back(
+            Table::num((*measurements[p])[i].overhead_us.stddev(), 3));
       }
       table.add_row(std::move(row));
     }
-    std::printf("%s\n%s\n", labels[g], table.to_string().c_str());
+    appendf(out, "%s\n%s\n", labels[g], table.to_string().c_str());
   }
+  return out;
 }
 
 }  // namespace kop::harness

@@ -1,46 +1,85 @@
-// Shared figure builders: run the experiment matrices behind the
-// paper's figures and print rows in the shapes the paper reports
-// (normalized-performance series with the single-thread baseline `t`,
-// absolute-time triples, EPCC side-by-side overhead tables).
+// Shared figure builders: each builder is split into the three layers
+// of the experiment job subsystem --
+//
+//   enumerate  an enumerate_*() function flattens the figure's matrix
+//              into a deduplicated std::vector<jobs::PointSpec>
+//   execute    a jobs::JobRunner runs the points concurrently (--jobs),
+//              consulting the content-addressed result cache when one
+//              is configured
+//   print      the print_*() function re-derives the same enumeration,
+//              indexes the in-order results, and renders rows in the
+//              shapes the paper reports (normalized-performance series
+//              with the single-thread baseline `t`, absolute-time
+//              triples, EPCC side-by-side overhead tables)
+//
+// print_*() returns the rendered text instead of writing stdout so the
+// determinism tests can assert byte-identical output across --jobs
+// levels; the bench binaries fputs() the result.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/jobs/runner.hpp"
 #include "harness/metrics.hpp"
 
 namespace kop::harness {
 
 // Every builder takes an optional MetricsSink; when non-null each
-// underlying experiment run is recorded (kop-metrics v1, satellite of
-// the telemetry subsystem) in addition to the printed tables.
+// underlying experiment point is recorded (kop-metrics v1, in
+// enumeration order) in addition to the rendered tables.
+
+/// Figs. 9/10/14 matrix: per spec, the Linux baseline at every scale
+/// plus every requested path at every scale.
+std::vector<jobs::PointSpec> enumerate_nas_normalized(
+    const std::string& machine, const std::vector<core::PathKind>& paths,
+    const std::vector<int>& scales, const std::vector<nas::BenchmarkSpec>& suite);
+
+/// Figs. 11/12/15 matrix (absolute and normalized print the same
+/// points): Linux+OMP vs Linux+AutoMP vs NK+AutoMP per scale.
+std::vector<jobs::PointSpec> enumerate_cck_matrix(
+    const std::string& machine, const std::vector<int>& scales,
+    const std::vector<nas::BenchmarkSpec>& suite);
+
+/// Figs. 7/8/13 matrix: one EPCC kAll run per path.
+std::vector<jobs::PointSpec> enumerate_epcc_figure(
+    const std::string& machine, int threads,
+    const std::vector<core::PathKind>& paths, const epcc::EpccConfig& config);
 
 /// Figs. 9/10/14: normalized performance (baseline / path time) of one
 /// or more paths against the Linux baseline across a CPU sweep.
-void print_nas_normalized(const std::string& title, const std::string& machine,
-                          const std::vector<core::PathKind>& paths,
-                          const std::vector<int>& scales,
-                          const std::vector<nas::BenchmarkSpec>& suite,
-                          MetricsSink* sink = nullptr);
+std::string print_nas_normalized(const std::string& title,
+                                 const std::string& machine,
+                                 const std::vector<core::PathKind>& paths,
+                                 const std::vector<int>& scales,
+                                 const std::vector<nas::BenchmarkSpec>& suite,
+                                 MetricsSink* sink = nullptr,
+                                 const jobs::JobOptions& jopts = {});
 
 /// Fig. 11: absolute times for Linux+OMP vs Linux+AutoMP vs NK+AutoMP.
-void print_cck_absolute(const std::string& title, const std::string& machine,
-                        const std::vector<int>& scales,
-                        const std::vector<nas::BenchmarkSpec>& suite,
-                        MetricsSink* sink = nullptr);
+std::string print_cck_absolute(const std::string& title,
+                               const std::string& machine,
+                               const std::vector<int>& scales,
+                               const std::vector<nas::BenchmarkSpec>& suite,
+                               MetricsSink* sink = nullptr,
+                               const jobs::JobOptions& jopts = {});
 
 /// Figs. 12/15: the same matrix normalized to Linux+OMP.
-void print_cck_normalized(const std::string& title, const std::string& machine,
-                          const std::vector<int>& scales,
-                          const std::vector<nas::BenchmarkSpec>& suite,
-                          MetricsSink* sink = nullptr);
+std::string print_cck_normalized(const std::string& title,
+                                 const std::string& machine,
+                                 const std::vector<int>& scales,
+                                 const std::vector<nas::BenchmarkSpec>& suite,
+                                 MetricsSink* sink = nullptr,
+                                 const jobs::JobOptions& jopts = {});
 
 /// Figs. 7/8/13: EPCC overhead tables for several paths side by side.
-void print_epcc_figure(const std::string& title, const std::string& machine,
-                       int threads, const std::vector<core::PathKind>& paths,
-                       const epcc::EpccConfig& config,
-                       MetricsSink* sink = nullptr);
+std::string print_epcc_figure(const std::string& title,
+                              const std::string& machine, int threads,
+                              const std::vector<core::PathKind>& paths,
+                              const epcc::EpccConfig& config,
+                              MetricsSink* sink = nullptr,
+                              const jobs::JobOptions& jopts = {});
 
 /// Scale a suite's work so full sweeps stay fast; virtual-time ratios
 /// are unchanged (the simulation is linear in per-iteration cost).

@@ -1,0 +1,184 @@
+#include "harness/jobs/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace kop::harness::jobs {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec && !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error("cannot create cache directory " + dir_ + ": " +
+                             ec.message());
+  }
+}
+
+std::uint64_t ResultCache::key(const PointSpec& spec, std::uint64_t fingerprint,
+                               int schema_version) {
+  if (schema_version < 0) schema_version = telemetry::kMetricsSchemaVersion;
+  std::string s = spec.canonical();
+  s += "|fp=" + hex16(fingerprint);
+  s += "|schema=" + std::to_string(schema_version);
+  return fnv1a64(s);
+}
+
+std::string ResultCache::entry_path(const PointSpec& spec) const {
+  return dir_ + "/kop-" + hex16(key(spec)) + ".json";
+}
+
+std::string ResultCache::encode(const PointSpec& spec,
+                                const PointResult& result) {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(telemetry::kMetricsSchemaName);
+  w.key("version").value(telemetry::kMetricsSchemaVersion);
+  w.key("generator").value("kop-result-cache");
+  w.key("runs").begin_array();
+  write_run_json(w, result.metrics);
+  w.end_array();
+  // Sidecar (top-level keys beyond the schema's are tolerated by the
+  // validator): identity for collision/staleness detection plus the
+  // raw EPCC samples the metrics run does not carry.
+  w.key("x_kop_cache").begin_object();
+  w.key("point").value(spec.canonical());
+  w.key("fingerprint").value(hex16(cost_model_fingerprint()));
+  if (!result.epcc.empty()) {
+    w.key("epcc").begin_array();
+    for (const auto& m : result.epcc) {
+      w.begin_object();
+      w.key("group").value(m.group);
+      w.key("name").value(m.name);
+      w.key("reference").value(m.reference);
+      w.key("samples").begin_array();
+      for (double s : m.overhead_us.samples()) w.value(s);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+bool ResultCache::decode(const std::string& text, const PointSpec& spec,
+                         PointResult* out) {
+  // A cached entry must itself be a valid kop-metrics v1 artifact.
+  if (!telemetry::validate_metrics_json(text).empty()) return false;
+  telemetry::JsonValue root;
+  try {
+    root = telemetry::parse_json(text);
+  } catch (const telemetry::JsonParseError&) {
+    return false;
+  }
+  const telemetry::JsonValue* side = root.find("x_kop_cache");
+  if (side == nullptr || !side->is_object()) return false;
+  const telemetry::JsonValue* point = side->find("point");
+  if (point == nullptr || !point->is_string() ||
+      point->string != spec.canonical()) {
+    return false;  // hash collision or stale file: treat as a miss
+  }
+  const telemetry::JsonValue* runs = root.find("runs");
+  if (runs == nullptr || runs->array.size() != 1) return false;
+
+  PointResult result;
+  if (!parse_run_json(runs->array[0], &result.metrics)) return false;
+  if (const telemetry::JsonValue* epcc = side->find("epcc")) {
+    if (!epcc->is_array()) return false;
+    for (const auto& e : epcc->array) {
+      const auto* group = e.find("group");
+      const auto* name = e.find("name");
+      const auto* reference = e.find("reference");
+      const auto* samples = e.find("samples");
+      if (group == nullptr || !group->is_string() || name == nullptr ||
+          !name->is_string() || samples == nullptr || !samples->is_array()) {
+        return false;
+      }
+      epcc::Measurement m;
+      m.group = group->string;
+      m.name = name->string;
+      m.reference = reference != nullptr && reference->boolean;
+      for (const auto& s : samples->array) {
+        if (!s.is_number()) return false;
+        m.overhead_us.add(s.number);
+      }
+      result.epcc.push_back(std::move(m));
+    }
+  }
+  result.from_cache = true;
+  *out = std::move(result);
+  return true;
+}
+
+bool ResultCache::load(const PointSpec& spec, PointResult* out) {
+  const std::string path = entry_path(spec);
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return false;
+  }
+  if (!decode(text, spec, out)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    ++stats_.corrupt;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.hits;
+  return true;
+}
+
+void ResultCache::store(const PointSpec& spec, const PointResult& result) {
+  const std::string path = entry_path(spec);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
+    if (!outf) return;  // unwritable cache degrades to a miss next run
+    outf << encode(spec, result);
+    if (!outf) {
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stores;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace kop::harness::jobs

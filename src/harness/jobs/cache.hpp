@@ -1,0 +1,73 @@
+// On-disk content-addressed result cache for experiment points.
+//
+// Each entry is a self-contained kop-metrics v1 JSON document (one run,
+// validated by telemetry::validate_metrics_json, so `metrics_lint
+// cache-dir/*.json` passes) plus an `x_kop_cache` sidecar object
+// carrying the point's canonical form and, for EPCC points, the raw
+// per-construct sample vectors (needed to reprint mean +- sd tables
+// byte-identically).  The entry filename is derived from
+//
+//     key = fnv1a64(canonical point (+) cost-model fingerprint
+//                   (+) kop-metrics schema version)
+//
+// so a rerun hits only while the workload, every cost-model constant,
+// and the artifact schema are all unchanged.  Corrupted or stale
+// entries count as misses (the point is simply re-simulated).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "harness/jobs/point.hpp"
+
+namespace kop::harness::jobs {
+
+class ResultCache {
+ public:
+  /// Opens (and creates, if needed) the cache directory.  Throws
+  /// std::runtime_error if the directory cannot be created.
+  explicit ResultCache(std::string dir);
+
+  /// Cache key: content hash x cost-model fingerprint x schema version.
+  /// The fingerprint/version parameters exist for tests; production
+  /// callers use the defaults.
+  static std::uint64_t key(const PointSpec& spec,
+                           std::uint64_t fingerprint = cost_model_fingerprint(),
+                           int schema_version = -1 /* kMetricsSchemaVersion */);
+
+  /// Path of the entry file a spec maps to.
+  std::string entry_path(const PointSpec& spec) const;
+
+  /// Load a cached result.  Returns false on miss, on a corrupted or
+  /// schema-invalid entry, and on a canonical-form mismatch (hash
+  /// collision or stale file) -- never throws for bad entries.
+  bool load(const PointSpec& spec, PointResult* out);
+
+  /// Store a successful result.  Writes to a temp file and renames, so
+  /// a crashed writer can only leave a *.tmp behind, never a torn entry.
+  void store(const PointSpec& spec, const PointResult& result);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t corrupt = 0;  // subset of misses: entry existed, unusable
+    std::uint64_t stores = 0;
+  };
+  Stats stats() const;
+  const std::string& dir() const { return dir_; }
+
+  /// Serialize one result as the entry document (exposed for tests).
+  static std::string encode(const PointSpec& spec, const PointResult& result);
+  /// Parse an entry document; returns false if invalid or not for
+  /// `spec`.  Never throws on malformed input.
+  static bool decode(const std::string& text, const PointSpec& spec,
+                     PointResult* out);
+
+ private:
+  std::string dir_;
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace kop::harness::jobs

@@ -1,0 +1,192 @@
+#include "harness/jobs/point.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "hw/cost_params.hpp"
+#include "hw/topology.hpp"
+
+namespace kop::harness::jobs {
+
+namespace {
+
+// All doubles in canonical forms print with %.17g so the serialization
+// is exact (round-trips bit-for-bit) and stable across hosts.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt(std::uint64_t v) { return std::to_string(v); }
+std::string fmt(std::int64_t v) { return std::to_string(v); }
+std::string fmt(int v) { return std::to_string(v); }
+std::string fmt(bool v) { return v ? "1" : "0"; }
+
+const char* epcc_part_name(EpccPart p) {
+  switch (p) {
+    case EpccPart::kSync:  return "sync";
+    case EpccPart::kSched: return "sched";
+    case EpccPart::kArray: return "array";
+    case EpccPart::kTask:  return "task";
+    case EpccPart::kAll:   return "all";
+  }
+  return "?";
+}
+
+void append_nas(std::string& out, const nas::BenchmarkSpec& b) {
+  out += "|bench=" + b.name + "-" + b.clazz;
+  out += "|timesteps=" + fmt(b.timesteps);
+  out += "|serial_ns=" + fmt(b.serial_ns_per_step);
+  out += "|static=" + fmt(b.static_bytes);
+  for (const auto& r : b.regions) {
+    out += "|region=" + r.name + ":" + fmt(r.bytes);
+  }
+  for (const auto& l : b.loops) {
+    out += "|loop=" + l.name + "," + l.region + "," + fmt(l.trip) + "," +
+           fmt(l.per_iter_ns) + "," + fmt(l.mem_fraction) + "," +
+           fmt(l.bytes_per_iter) + "," + fmt(static_cast<int>(l.pattern)) +
+           "," + fmt(l.skew) + "," + fmt(l.needs_object_privatization) + "," +
+           komp::schedule_name(l.schedule) + "," + fmt(l.chunk);
+  }
+}
+
+void append_epcc(std::string& out, EpccPart part, const epcc::EpccConfig& c) {
+  out += "|part=" + std::string(epcc_part_name(part));
+  out += "|reps=" + fmt(c.outer_reps);
+  out += "|inner=" + fmt(c.inner_iters);
+  out += "|delay=" + fmt(static_cast<std::int64_t>(c.delay_ns));
+  out += "|mutex_delay=" + fmt(static_cast<std::int64_t>(c.mutex_delay_ns));
+  out += "|sched_iters=" + fmt(c.sched_iters_per_thread);
+  out += "|arrays=";
+  for (std::size_t i = 0; i < c.array_sizes.size(); ++i) {
+    if (i) out += ";";
+    out += fmt(c.array_sizes[i]);
+  }
+  out += "|tasks=" + fmt(c.tasks_per_thread);
+  out += "|depth=" + fmt(c.tree_depth);
+}
+
+void append_costs(std::string& out, const hw::OsCosts& c) {
+  out += "|" + c.personality + "=";
+  out += fmt(c.demand_paging) + "," +
+         fmt(static_cast<std::int64_t>(c.minor_fault_ns)) + "," +
+         fmt(c.thp_2m_fraction) + "," +
+         fmt(static_cast<std::uint64_t>(c.mapped_page_size)) + "," +
+         fmt(static_cast<std::int64_t>(c.syscall_ns)) + "," +
+         fmt(static_cast<std::int64_t>(c.context_switch_ns)) + "," +
+         fmt(static_cast<std::int64_t>(c.thread_create_ns)) + "," +
+         fmt(static_cast<std::int64_t>(c.wake_latency_ns)) + "," +
+         fmt(c.wake_cv) + "," +
+         fmt(static_cast<std::int64_t>(c.tick_period_ns)) + "," +
+         fmt(static_cast<std::int64_t>(c.tick_cost_ns)) + "," +
+         fmt(c.noise_rate_hz) + "," +
+         fmt(static_cast<std::int64_t>(c.noise_mean_ns)) + "," +
+         fmt(c.noise_cv) + "," +
+         fmt(static_cast<std::int64_t>(c.timeslice_ns)) + "," +
+         fmt(c.competing_load) + "," +
+         fmt(static_cast<std::int64_t>(c.alloc_base_ns)) + "," +
+         fmt(c.numa_aware_alloc) + "," + fmt(c.compute_inflation);
+}
+
+void append_machine(std::string& out, const hw::MachineConfig& m) {
+  out += "|machine=" + m.name + ":" + fmt(m.num_cpus) + "," +
+         fmt(m.num_sockets) + "," + fmt(m.cores_per_socket) + "," +
+         fmt(m.base_ghz) + "," + fmt(m.tlb.entries_4k) + "," +
+         fmt(m.tlb.entries_2m) + "," + fmt(m.tlb.entries_1g) + "," +
+         fmt(static_cast<std::int64_t>(m.tlb.miss_walk_ns)) + "," +
+         fmt(static_cast<std::int64_t>(m.cacheline_transfer_ns)) + "," +
+         fmt(static_cast<std::int64_t>(m.mem_latency_ns)) + "," +
+         fmt(m.copy_bytes_per_ns) + "," + fmt(m.perf_factor);
+  for (const auto& z : m.zones) {
+    out += ";zone" + fmt(z.id) + "=" + fmt(static_cast<int>(z.kind)) + "," +
+           fmt(z.bytes) + "," + fmt(static_cast<int>(z.cpus.size()));
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t cost_model_fingerprint() {
+  std::string s = "kop-cost-model";
+  for (const auto& m : {hw::phi(), hw::xeon8()}) {
+    append_machine(s, m);
+    append_costs(s, hw::linux_costs(m));
+    append_costs(s, hw::nautilus_costs(m));
+  }
+  return fnv1a64(s);
+}
+
+std::string PointSpec::canonical() const {
+  std::string out = "point-v1";
+  out += "|kind=";
+  out += kind == Kind::kNas ? "nas" : "epcc";
+  out += "|machine=" + machine;
+  out += "|path=" + std::string(core::path_name(path));
+  out += "|threads=" + fmt(threads);
+  out += "|ft=";
+  out += first_touch < 0 ? "auto" : fmt(first_touch);
+  out += "|pte=" + fmt(rtk_use_pte);
+  out += "|seed=" + fmt(seed);
+  if (kind == Kind::kNas) {
+    append_nas(out, nas);
+  } else {
+    append_epcc(out, epcc_part, epcc);
+  }
+  return out;
+}
+
+std::uint64_t PointSpec::content_hash() const { return fnv1a64(canonical()); }
+
+std::string PointSpec::label() const {
+  std::string out = kind == Kind::kNas
+                        ? nas.full_name()
+                        : "epcc-" + std::string(epcc_part_name(epcc_part));
+  out += " " + machine + "/" + core::path_name(path) + " t" + fmt(threads);
+  return out;
+}
+
+core::StackConfig PointSpec::stack_config() const {
+  core::StackConfig cfg;
+  cfg.machine = machine;
+  cfg.path = path;
+  cfg.num_threads = threads;
+  cfg.seed = seed;
+  cfg.rtk_use_pte = rtk_use_pte;
+  cfg.nk_first_touch =
+      first_touch < 0 ? want_first_touch(machine, threads) : first_touch != 0;
+  return cfg;
+}
+
+PointResult run_point(const PointSpec& spec) {
+  PointResult result;
+  const core::StackConfig cfg = spec.stack_config();
+  if (spec.kind == PointSpec::Kind::kNas) {
+    run_nas(cfg, spec.nas, &result.metrics);
+  } else {
+    result.epcc = run_epcc(cfg, spec.epcc_part, spec.epcc, &result.metrics);
+  }
+  return result;
+}
+
+std::size_t PointMatrix::add(PointSpec spec) {
+  std::string key = spec.canonical();
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const auto& e, const std::string& k) { return e.first < k; });
+  if (it != index_.end() && it->first == key) return it->second;
+  const std::size_t idx = points_.size();
+  points_.push_back(std::move(spec));
+  index_.insert(it, {std::move(key), idx});
+  return idx;
+}
+
+}  // namespace kop::harness::jobs

@@ -1,0 +1,105 @@
+// Declarative experiment points.
+//
+// Every figure/ablation in the evaluation is a matrix of fully
+// independent simulation points -- one booted stack per (machine, path,
+// benchmark-or-EPCC-part, thread count) tuple.  A PointSpec describes
+// one such point declaratively: enough to (a) execute it on a fresh
+// sim::Engine, (b) serialize it canonically, and (c) hash it for the
+// content-addressed result cache.
+//
+// The layering of the job subsystem:
+//
+//   point.hpp   enumerate -- PointSpec + canonical form + content hash,
+//               PointResult, run_point() (one spec -> one engine run)
+//   runner.hpp  execute   -- JobRunner host-thread pool, bounded queue,
+//               retry, deterministic result ordering
+//   cache.hpp   cache     -- on-disk ResultCache keyed by
+//               content hash (+) cost-model fingerprint (+) schema version
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/metrics.hpp"
+
+namespace kop::harness::jobs {
+
+/// FNV-1a 64-bit over a byte string (the content-hash primitive).
+std::uint64_t fnv1a64(const std::string& bytes);
+
+/// 64-bit fingerprint of the whole calibration surface: every field of
+/// hw::linux_costs()/hw::nautilus_costs() and the cost-relevant machine
+/// parameters, for both evaluation platforms.  Changing any constant in
+/// hw/cost_params.hpp (or the topology cost sheet) changes this value,
+/// which invalidates every cached result.
+std::uint64_t cost_model_fingerprint();
+
+/// One simulation point of an experiment matrix.
+struct PointSpec {
+  enum class Kind { kNas, kEpcc };
+
+  Kind kind = Kind::kNas;
+  std::string machine = "phi";
+  core::PathKind path = core::PathKind::kLinuxOmp;
+  int threads = 1;
+  /// First-touch-at-2MB: -1 = paper convention (want_first_touch),
+  /// 0 = force off, 1 = force on (the §6.3 ablation forces both).
+  int first_touch = -1;
+  /// RTK: use the PTE pthread port (Fig. 2a ablation).
+  bool rtk_use_pte = false;
+  std::uint64_t seed = 42;
+
+  /// kNas: the full (possibly scale_suite-adjusted) workload.  The
+  /// canonical form covers every loop parameter, so two points at
+  /// different --scale factors never alias in the cache.
+  nas::BenchmarkSpec nas;
+
+  /// kEpcc: which part and every suite knob.
+  EpccPart epcc_part = EpccPart::kAll;
+  epcc::EpccConfig epcc;
+
+  /// Canonical single-line serialization.  Stable across runs and
+  /// hosts; the identity the cache and the deduplication map key on.
+  std::string canonical() const;
+  /// FNV-1a 64 of canonical().
+  std::uint64_t content_hash() const;
+  /// Short human label for logs and error reports.
+  std::string label() const;
+  /// The stack configuration this point boots.
+  core::StackConfig stack_config() const;
+};
+
+/// What running a point produces.  `epcc` is filled for kEpcc points
+/// (the full per-construct measurement list, in suite order -- the
+/// figure tables align measurement indices across paths).
+struct PointResult {
+  RunMetrics metrics;
+  std::vector<epcc::Measurement> epcc;
+  bool failed = false;
+  std::string error;
+  bool from_cache = false;
+};
+
+/// Execute one point on a freshly booted stack (blocking, this host
+/// thread).  Exceptions from the simulation propagate to the caller;
+/// the JobRunner turns them into failure capture + one retry.
+PointResult run_point(const PointSpec& spec);
+
+/// A deduplicating, order-preserving set of points: the enumerate stage
+/// of every figure builder.  add() returns the index of the point in
+/// points() (existing index if an identical point was already added),
+/// which is also the index of its result in JobRunner::run().
+class PointMatrix {
+ public:
+  std::size_t add(PointSpec spec);
+  const std::vector<PointSpec>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+
+ private:
+  std::vector<PointSpec> points_;
+  std::vector<std::pair<std::string, std::size_t>> index_;  // sorted
+};
+
+}  // namespace kop::harness::jobs

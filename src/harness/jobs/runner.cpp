@@ -1,0 +1,202 @@
+#include "harness/jobs/runner.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <thread>
+
+namespace kop::harness::jobs {
+
+int effective_jobs(const JobOptions& opts, std::size_t n_points) {
+  int jobs = opts.jobs;
+  if (jobs <= 0) {
+    // Respect the affinity mask (containers and batch schedulers often
+    // grant fewer CPUs than hardware_concurrency() reports).
+#if defined(__linux__)
+    cpu_set_t mask;
+    if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+      jobs = CPU_COUNT(&mask);
+    }
+#endif
+    if (jobs <= 0) jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  if (n_points > 0) {
+    jobs = std::min<std::size_t>(static_cast<std::size_t>(jobs), n_points);
+  }
+  return std::max(jobs, 1);
+}
+
+BoundedQueue::BoundedQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void BoundedQueue::push(std::size_t v) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+  if (closed_) return;
+  items_.push_back(v);
+  not_empty_.notify_one();
+}
+
+bool BoundedQueue::pop(std::size_t* v) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+  if (items_.empty()) return false;
+  *v = items_.front();
+  items_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+void BoundedQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+JobRunner::JobRunner(JobOptions opts) : opts_(std::move(opts)) {
+  if (opts_.cache_enabled()) {
+    cache_ = std::make_unique<ResultCache>(opts_.cache_dir);
+  }
+}
+
+PointResult JobRunner::execute_one(const PointSpec& spec) {
+  if (cache_ != nullptr) {
+    PointResult cached;
+    if (cache_->load(spec, &cached)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.cache_hits;
+      return cached;
+    }
+  }
+  // One retry: the simulation is deterministic, but host-side
+  // transients (allocation pressure, a torn cache entry mid-write)
+  // deserve a second attempt before the point is declared failed.
+  std::string first_error;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    try {
+      PointResult result = run_point(spec);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.executed;
+        if (attempt > 0) ++stats_.retries;
+      }
+      if (cache_ != nullptr) cache_->store(spec, result);
+      return result;
+    } catch (const std::exception& e) {
+      if (attempt == 0) {
+        first_error = e.what();
+      } else {
+        PointResult failed;
+        failed.failed = true;
+        failed.error = spec.label() + ": " + e.what() +
+                       (first_error == e.what()
+                            ? " (twice)"
+                            : " (first attempt: " + first_error + ")");
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.retries;
+        ++stats_.failures;
+        return failed;
+      }
+    }
+  }
+  return {};  // unreachable
+}
+
+std::vector<PointResult> JobRunner::run(const std::vector<PointSpec>& points) {
+  std::vector<PointResult> results(points.size());
+  if (points.empty()) return results;
+
+  // Dedup: simulate each distinct point once, fan results back out.
+  std::map<std::string, std::size_t> first_of;
+  std::vector<std::size_t> unique_idx;        // indices into `points`
+  std::vector<std::size_t> alias(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto [it, inserted] = first_of.try_emplace(points[i].canonical(), i);
+    if (inserted) unique_idx.push_back(i);
+    alias[i] = it->second;
+  }
+
+  const int jobs = effective_jobs(opts_, unique_idx.size());
+  if (jobs == 1) {
+    for (std::size_t i : unique_idx) results[i] = execute_one(points[i]);
+  } else {
+    const std::size_t cap =
+        opts_.queue_capacity > 0 ? static_cast<std::size_t>(opts_.queue_capacity)
+                                 : static_cast<std::size_t>(jobs) * 2;
+    BoundedQueue queue(cap);
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+      workers.emplace_back([&] {
+        std::size_t i;
+        while (queue.pop(&i)) results[i] = execute_one(points[i]);
+      });
+    }
+    for (std::size_t i : unique_idx) queue.push(i);
+    queue.close();
+    for (auto& t : workers) t.join();
+  }
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (alias[i] != i) results[i] = results[alias[i]];
+  }
+  return results;
+}
+
+void JobRunner::run_tasks(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  const int jobs = effective_jobs(opts_, tasks.size());
+  if (jobs == 1) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+  BoundedQueue queue(static_cast<std::size_t>(jobs) * 2);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    workers.emplace_back([&] {
+      std::size_t i;
+      while (queue.pop(&i)) tasks[i]();
+    });
+  }
+  for (std::size_t i = 0; i < tasks.size(); ++i) queue.push(i);
+  queue.close();
+  for (auto& t : workers) t.join();
+}
+
+std::string JobRunner::summary(std::size_t n_points) const {
+  std::string out = std::to_string(n_points) + " points: " +
+                    std::to_string(stats_.executed) + " simulated";
+  if (cache_ != nullptr) {
+    out += ", " + std::to_string(stats_.cache_hits) + " cached";
+    const auto cs = cache_->stats();
+    if (cs.corrupt > 0) {
+      out += " (" + std::to_string(cs.corrupt) + " corrupt entries re-run)";
+    }
+  }
+  if (stats_.retries > 0) out += ", " + std::to_string(stats_.retries) + " retried";
+  if (stats_.failures > 0) out += ", " + std::to_string(stats_.failures) + " FAILED";
+  out += ", jobs=" + std::to_string(effective_jobs(opts_, n_points));
+  return out;
+}
+
+void require_ok(const std::vector<PointSpec>& points,
+                const std::vector<PointResult>& results) {
+  std::string errors;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].failed) continue;
+    if (!errors.empty()) errors += "; ";
+    errors += results[i].error.empty() ? points[i].label() : results[i].error;
+  }
+  if (!errors.empty()) {
+    throw std::runtime_error("experiment points failed: " + errors);
+  }
+}
+
+}  // namespace kop::harness::jobs

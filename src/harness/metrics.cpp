@@ -1,7 +1,9 @@
 #include "harness/metrics.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 
@@ -10,9 +12,7 @@
 
 namespace kop::harness {
 
-namespace {
-
-void write_run(telemetry::JsonWriter& w, const RunMetrics& run) {
+void write_run_json(telemetry::JsonWriter& w, const RunMetrics& run) {
   using telemetry::Counter;
   w.begin_object();
   w.key("label").value(run.label);
@@ -52,16 +52,97 @@ void write_run(telemetry::JsonWriter& w, const RunMetrics& run) {
   w.end_object();
 }
 
-}  // namespace
+bool parse_run_json(const telemetry::JsonValue& run, RunMetrics* out) {
+  using telemetry::Counter;
+  using telemetry::JsonValue;
+  if (!run.is_object()) return false;
+  const JsonValue* label = run.find("label");
+  const JsonValue* machine = run.find("machine");
+  const JsonValue* path = run.find("path");
+  const JsonValue* threads = run.find("threads");
+  const JsonValue* timing = run.find("timing");
+  const JsonValue* counters = run.find("counters");
+  if (label == nullptr || !label->is_string() || machine == nullptr ||
+      !machine->is_string() || path == nullptr || !path->is_string() ||
+      threads == nullptr || !threads->is_number() || timing == nullptr ||
+      !timing->is_object() || counters == nullptr || !counters->is_object()) {
+    return false;
+  }
+  RunMetrics m;
+  m.label = label->string;
+  m.machine = machine->string;
+  m.path = path->string;
+  m.threads = static_cast<int>(threads->number);
+  const JsonValue* timed = timing->find("timed_seconds");
+  const JsonValue* init = timing->find("init_seconds");
+  if (timed == nullptr || !timed->is_number() || init == nullptr ||
+      !init->is_number()) {
+    return false;
+  }
+  m.timed_seconds = timed->number;
+  m.init_seconds = init->number;
+  if (counters->object.size() !=
+      static_cast<std::size_t>(telemetry::kNumCounters)) {
+    return false;
+  }
+  for (int c = 0; c < telemetry::kNumCounters; ++c) {
+    const auto& [key, val] = counters->object[static_cast<std::size_t>(c)];
+    if (key != telemetry::counter_name(static_cast<Counter>(c)) ||
+        !val.is_number()) {
+      return false;
+    }
+    m.counters.totals[c] = static_cast<std::uint64_t>(val.number);
+  }
+  if (const JsonValue* per_cpu = run.find("per_cpu")) {
+    if (!per_cpu->is_object() || per_cpu->object.empty() ||
+        !per_cpu->object[0].second.is_array()) {
+      return false;
+    }
+    const std::size_t cpus = per_cpu->object[0].second.array.size();
+    m.counters.per_cpu.resize(cpus);
+    for (int c = 0; c < telemetry::kNumCounters; ++c) {
+      const JsonValue* arr =
+          per_cpu->find(telemetry::counter_name(static_cast<Counter>(c)));
+      if (arr == nullptr || !arr->is_array() || arr->array.size() != cpus) {
+        return false;
+      }
+      for (std::size_t cpu = 0; cpu < cpus; ++cpu) {
+        m.counters.per_cpu[cpu][c] =
+            static_cast<std::uint64_t>(arr->array[cpu].number);
+      }
+    }
+    m.include_per_cpu = true;
+  }
+  if (const JsonValue* constructs = run.find("constructs")) {
+    if (!constructs->is_object()) return false;
+    for (const auto& [name, c] : constructs->object) {
+      const JsonValue* count = c.find("count");
+      const JsonValue* total = c.find("total_us");
+      const JsonValue* mean = c.find("mean_us");
+      if (count == nullptr || !count->is_number() || total == nullptr ||
+          !total->is_number() || mean == nullptr || !mean->is_number()) {
+        return false;
+      }
+      ConstructStat stat;
+      stat.count = static_cast<std::uint64_t>(count->number);
+      stat.total_us = total->number;
+      stat.mean_us = mean->number;
+      m.constructs[name] = stat;
+    }
+  }
+  *out = std::move(m);
+  return true;
+}
 
 std::string MetricsSink::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
   telemetry::JsonWriter w;
   w.begin_object();
   w.key("schema").value(telemetry::kMetricsSchemaName);
   w.key("version").value(telemetry::kMetricsSchemaVersion);
   w.key("generator").value(generator_);
   w.key("runs").begin_array();
-  for (const auto& run : runs_) write_run(w, run);
+  for (const auto& run : runs_) write_run_json(w, run);
   w.end_array();
   w.end_object();
   return w.str() + "\n";
@@ -98,12 +179,28 @@ FigOptions parse_fig_options(int argc, char** argv) {
       opts.json_path = argv[++i];
     } else if (arg == "--quick") {
       opts.quick = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opts.jobs.jobs = std::atoi(argv[++i]);
+      if (opts.jobs.jobs < 1) {
+        std::fprintf(stderr, "--jobs needs a positive integer\n");
+        opts.ok = false;
+        return opts;
+      }
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      opts.jobs.cache_dir = argv[++i];
+    } else if (arg == "--no-cache") {
+      opts.jobs.no_cache = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--json <path>] [--quick]\n"
-                   "  --json <path>  write a kop-metrics v1 JSON artifact\n"
-                   "  --quick        reduced problem sizes (CI smoke)\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--json <path>] [--quick] [--jobs N]\n"
+          "          [--cache-dir <dir>] [--no-cache]\n"
+          "  --json <path>    write a kop-metrics v1 JSON artifact\n"
+          "  --quick          reduced problem sizes (CI smoke)\n"
+          "  --jobs N         host worker threads (default: all cores)\n"
+          "  --cache-dir <d>  content-addressed result cache directory\n"
+          "  --no-cache       ignore --cache-dir, force re-simulation\n",
+          argv[0]);
       opts.ok = false;
       return opts;
     }

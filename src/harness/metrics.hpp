@@ -8,10 +8,13 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "harness/jobs/options.hpp"
 #include "telemetry/counters.hpp"
+#include "telemetry/json.hpp"
 
 namespace kop::harness {
 
@@ -40,13 +43,36 @@ struct RunMetrics {
   bool include_per_cpu = false;
 };
 
+/// Serialize one run entry of the kop-metrics v1 document (shared by
+/// MetricsSink and the jobs::ResultCache entry format).
+void write_run_json(telemetry::JsonWriter& w, const RunMetrics& run);
+
+/// Parse one run entry back into a RunMetrics; returns false when the
+/// value does not have the v1 run shape.  Exact for everything the
+/// writer emits (doubles round-trip via %.17g).
+bool parse_run_json(const telemetry::JsonValue& run, RunMetrics* out);
+
 /// Accumulates runs and renders the kop-metrics v1 document.
+/// Thread-safe: concurrent experiment runs (jobs::JobRunner workers, or
+/// direct run_nas calls from several host threads) may add() into one
+/// sink; rendering snapshots under the same lock.  runs() returns a
+/// reference and is only safe once all writers have joined.
 class MetricsSink {
  public:
   explicit MetricsSink(std::string generator) : generator_(std::move(generator)) {}
 
-  void add(RunMetrics run) { runs_.push_back(std::move(run)); }
-  bool empty() const { return runs_.empty(); }
+  void add(RunMetrics run) {
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_.push_back(std::move(run));
+  }
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return runs_.empty();
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return runs_.size();
+  }
   const std::vector<RunMetrics>& runs() const { return runs_; }
 
   /// Render the kop-metrics v1 JSON document (validates against
@@ -59,6 +85,7 @@ class MetricsSink {
  private:
   std::string generator_;
   std::vector<RunMetrics> runs_;
+  mutable std::mutex mu_;
 };
 
 /// Human-readable table of an event-counter snapshot (totals only,
@@ -66,12 +93,16 @@ class MetricsSink {
 std::string format_counters_table(const telemetry::Snapshot& snap);
 
 /// Common CLI handling for the figure/bench binaries:
-///   --json <path>   write a kop-metrics v1 artifact
-///   --quick         reduced problem sizes (CI bench-smoke)
+///   --json <path>      write a kop-metrics v1 artifact
+///   --quick            reduced problem sizes (CI bench-smoke)
+///   --jobs N           host worker threads (default: all cores)
+///   --cache-dir <dir>  content-addressed result cache directory
+///   --no-cache         ignore --cache-dir (force re-simulation)
 struct FigOptions {
   std::string json_path;
   bool quick = false;
   bool ok = true;  // false: bad usage, caller should exit non-zero
+  jobs::JobOptions jobs;
 };
 
 FigOptions parse_fig_options(int argc, char** argv);

@@ -139,11 +139,12 @@ void PikStack::install_syscalls() {
   syscalls_->implement(Sys::kGettid,
                        [](const SyscallArgs&) { return SyscallResult{1, {}}; });
 
-  syscalls_->implement(Sys::kClone, [](const SyscallArgs&) {
+  syscalls_->implement(Sys::kClone, [this](const SyscallArgs&) {
     // Thread creation itself happens in the kernel's thread layer; the
-    // syscall records the crossing and returns a tid.
-    static long next_tid = 2;
-    return SyscallResult{next_tid++, {}};
+    // syscall records the crossing and returns a tid.  Per-stack state
+    // (not function-static): several PikStack engines may run
+    // concurrently on different host threads.
+    return SyscallResult{next_clone_tid_++, {}};
   });
 
   syscalls_->implement(Sys::kArchPrctl, [this](const SyscallArgs& a) {

@@ -91,6 +91,7 @@ class PikStack {
   std::unique_ptr<pthread_compat::Pthreads> pthreads_;
   std::unique_ptr<PikProcess> process_;
   std::string console_;
+  long next_clone_tid_ = 2;
   // fd table for the /proc/self subset (§4.3: "not implemented with
   // the exception of /proc/self").
   struct OpenFile {

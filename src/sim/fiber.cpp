@@ -31,6 +31,31 @@ void __sanitizer_finish_switch_fiber(void* fake_stack_save,
 }
 #endif
 
+// ThreadSanitizer models each host thread as one stack of execution;
+// without annotations every ucontext switch looks like wild cross-stack
+// access.  The fiber API (GCC >= 10 / Clang libtsan) registers each
+// fiber as its own TSan "thread"; flag 0 on switch establishes
+// happens-before across the transfer, so the cooperative fibers of one
+// engine never appear to race with each other while true cross-engine
+// races (shared mutable state touched from two JobRunner workers) are
+// still caught.
+#if defined(__SANITIZE_THREAD__)
+#define KOP_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define KOP_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef KOP_TSAN_FIBERS
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace kop::sim {
 
 namespace {
@@ -88,9 +113,15 @@ Fiber::Fiber(Entry entry, std::size_t stack_bytes) : entry_(std::move(entry)) {
   context_.uc_stack.ss_size = usable;
   context_.uc_link = nullptr;  // finish is handled in the trampoline
   makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+#ifdef KOP_TSAN_FIBERS
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
 Fiber::~Fiber() {
+#ifdef KOP_TSAN_FIBERS
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
   if (stack_base_ != nullptr) ::munmap(stack_base_, map_bytes_);
 }
 
@@ -114,6 +145,9 @@ void Fiber::trampoline() {
 #ifdef KOP_ASAN_FIBERS
   asan_start_switch(nullptr, g_host_stack_bottom, g_host_stack_size);
 #endif
+#ifdef KOP_TSAN_FIBERS
+  __tsan_switch_to_fiber(self->tsan_return_, 0);
+#endif
   swapcontext(&self->context_, &self->return_context_);
   // Unreachable.
 }
@@ -127,6 +161,10 @@ void Fiber::resume() {
   started_ = true;
   void* fake = nullptr;
   asan_start_switch(&fake, context_.uc_stack.ss_sp, context_.uc_stack.ss_size);
+#ifdef KOP_TSAN_FIBERS
+  tsan_return_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   swapcontext(&return_context_, &context_);
   asan_finish_switch(fake, nullptr, nullptr);
   g_current_fiber = prev;
@@ -145,6 +183,9 @@ void Fiber::yield() {
   void* fake = nullptr;
 #ifdef KOP_ASAN_FIBERS
   asan_start_switch(&fake, g_host_stack_bottom, g_host_stack_size);
+#endif
+#ifdef KOP_TSAN_FIBERS
+  __tsan_switch_to_fiber(self->tsan_return_, 0);
 #endif
   swapcontext(&self->context_, &self->return_context_);
   // Resumed again.

@@ -56,6 +56,10 @@ class Fiber {
   bool finished_ = false;
   bool running_ = false;
   std::exception_ptr pending_exception_;
+  // ThreadSanitizer fiber context (always present so the ABI does not
+  // depend on the sanitizer config; null when TSan is off).
+  void* tsan_fiber_ = nullptr;   // __tsan_create_fiber handle
+  void* tsan_return_ = nullptr;  // resumer's TSan fiber, for yield
 };
 
 }  // namespace kop::sim

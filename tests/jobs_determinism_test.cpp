@@ -1,0 +1,105 @@
+// Determinism regression for the experiment job layer: figure output
+// (rendered tables AND the --json artifact) must be byte-identical
+// whether points run serially, on a parallel pool, or out of a warm
+// result cache.  Reduced Fig. 9 (NAS normalized sweep) and Fig. 13
+// (EPCC three-path comparison) matrices keep the test fast.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness/figures.hpp"
+#include "harness/metrics.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using kop::core::PathKind;
+using kop::harness::MetricsSink;
+using kop::harness::jobs::JobOptions;
+
+struct FigureOutput {
+  std::string text;
+  std::string json;
+};
+
+FigureOutput reduced_fig09(const JobOptions& jopts) {
+  auto suite = kop::harness::scale_suite(kop::nas::paper_suite(), 0.25, 2);
+  suite.resize(2);
+  MetricsSink sink("jobs_determinism_fig09");
+  FigureOutput out;
+  out.text = kop::harness::print_nas_normalized(
+      "Figure 9 (reduced): NAS, RTK vs Linux on PHI", "phi",
+      {PathKind::kRtk}, {1, 4}, suite, &sink, jopts);
+  out.json = sink.to_json();
+  return out;
+}
+
+FigureOutput reduced_fig13(const JobOptions& jopts) {
+  kop::epcc::EpccConfig cfg;
+  cfg.outer_reps = 2;
+  cfg.inner_iters = 4;
+  cfg.sched_iters_per_thread = 16;
+  cfg.tasks_per_thread = 4;
+  cfg.tree_depth = 4;
+  MetricsSink sink("jobs_determinism_fig13");
+  FigureOutput out;
+  out.text = kop::harness::print_epcc_figure(
+      "Figure 13 (reduced): EPCC, RTK and PIK vs Linux on 8XEON", "8xeon", 8,
+      {PathKind::kLinuxOmp, PathKind::kRtk, PathKind::kPik}, cfg, &sink,
+      jopts);
+  out.json = sink.to_json();
+  return out;
+}
+
+JobOptions with_jobs(int jobs) {
+  JobOptions o;
+  o.jobs = jobs;
+  return o;
+}
+
+TEST(JobsDeterminism, Fig09ByteIdenticalAcrossJobsLevels) {
+  const auto serial = reduced_fig09(with_jobs(1));
+  const auto parallel = reduced_fig09(with_jobs(4));
+  EXPECT_EQ(serial.text, parallel.text);
+  EXPECT_EQ(serial.json, parallel.json);
+  // Sanity: the figure actually rendered rows.
+  EXPECT_NE(serial.text.find("geomean normalized performance [rtk]"),
+            std::string::npos);
+}
+
+TEST(JobsDeterminism, Fig13ByteIdenticalAcrossJobsLevels) {
+  const auto serial = reduced_fig13(with_jobs(1));
+  const auto parallel = reduced_fig13(with_jobs(4));
+  EXPECT_EQ(serial.text, parallel.text);
+  EXPECT_EQ(serial.json, parallel.json);
+  EXPECT_NE(serial.text.find("(c) SYNCH"), std::string::npos);
+}
+
+TEST(JobsDeterminism, WarmCacheReprintsByteIdentically) {
+  const fs::path dir =
+      fs::temp_directory_path() / "kop_jobs_determinism_cache";
+  fs::remove_all(dir);
+  JobOptions cached = with_jobs(4);
+  cached.cache_dir = dir.string();
+
+  // Cold: simulates and stores; warm: every point replays from disk
+  // (through the %.17g round-trip) -- both NAS timings and EPCC sample
+  // vectors must reprint exactly.
+  const auto cold09 = reduced_fig09(cached);
+  const auto warm09 = reduced_fig09(cached);
+  EXPECT_EQ(cold09.text, warm09.text);
+  EXPECT_EQ(cold09.json, warm09.json);
+
+  const auto cold13 = reduced_fig13(cached);
+  const auto warm13 = reduced_fig13(cached);
+  EXPECT_EQ(cold13.text, warm13.text);
+  EXPECT_EQ(cold13.json, warm13.json);
+
+  // And the cache state never leaks into stdout-visible output.
+  EXPECT_EQ(cold09.text, reduced_fig09(with_jobs(1)).text);
+  fs::remove_all(dir);
+}
+
+}  // namespace
