@@ -46,12 +46,17 @@ int main(int argc, char** argv) {
       mx.add(point(spec, n, 1));
     }
   }
+  harness::MetricsSink sink("abl_numa_firsttouch");
+  std::string sharded;
+  if (harness::run_shard_mode(mx, &sink, opts.jobs, &sharded)) {
+    std::fputs(sharded.c_str(), stdout);
+    return harness::finish_figure(opts, sink);
+  }
   harness::jobs::JobRunner runner(opts.jobs);
   const auto results = runner.run(mx.points());
   harness::jobs::require_ok(mx.points(), results);
   std::fprintf(stderr, "[jobs] %s\n", runner.summary(mx.size()).c_str());
 
-  harness::MetricsSink sink("abl_numa_firsttouch");
   for (const auto& r : results) sink.add(r.metrics);
 
   for (const auto& spec : suite) {

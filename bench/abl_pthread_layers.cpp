@@ -39,6 +39,14 @@ int main(int argc, char** argv) {
   const std::size_t i_pte = mx.add(point(true, threads, opts.quick));
   const std::size_t i_native = mx.add(point(false, threads, opts.quick));
 
+  {
+    harness::MetricsSink shard_sink("abl_pthread_layers");
+    std::string sharded;
+    if (harness::run_shard_mode(mx, &shard_sink, opts.jobs, &sharded)) {
+      std::fputs(sharded.c_str(), stdout);
+      return harness::finish_figure(opts, shard_sink);
+    }
+  }
   harness::jobs::JobRunner runner(opts.jobs);
   const auto results = runner.run(mx.points());
   harness::jobs::require_ok(mx.points(), results);

@@ -29,6 +29,16 @@ int main(int argc, char** argv) {
   p.threads = opts.quick ? 8 : 64;
   p.nas = spec;
 
+  {
+    harness::jobs::PointMatrix mx;
+    mx.add(p);
+    harness::MetricsSink shard_sink("abl_redzone");
+    std::string sharded;
+    if (harness::run_shard_mode(mx, &shard_sink, opts.jobs, &sharded)) {
+      std::fputs(sharded.c_str(), stdout);
+      return harness::finish_figure(opts, shard_sink);
+    }
+  }
   harness::jobs::JobRunner runner(opts.jobs);
   const auto results = runner.run({p});
   harness::jobs::require_ok({p}, results);

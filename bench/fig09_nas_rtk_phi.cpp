@@ -10,16 +10,13 @@
 int main(int argc, char** argv) {
   const auto opts = kop::harness::parse_fig_options(argc, argv);
   if (!opts.ok) return 2;
-  auto suite = kop::harness::scale_suite(kop::nas::paper_suite(),
-                                         opts.quick ? 0.5 : 2.0,
-                                         opts.quick ? 2 : 4);
-  if (opts.quick) suite.resize(2);
-  const auto scales =
-      opts.quick ? std::vector<int>{1, 8} : kop::harness::phi_scales();
+  // The sweep definition is shared with kop_baseline so a saved cache
+  // of this figure lines up point-for-point with the diff driver.
+  const auto sweep = kop::harness::fig09_sweep(opts.quick);
   kop::harness::MetricsSink sink("fig09_nas_rtk_phi");
   std::fputs(kop::harness::print_nas_normalized(
-                 "Figure 9: NAS, RTK vs Linux on PHI", "phi",
-                 {kop::core::PathKind::kRtk}, scales, suite, &sink, opts.jobs)
+                 "Figure 9: NAS, RTK vs Linux on PHI", sweep.machine,
+                 sweep.paths, sweep.scales, sweep.suite, &sink, opts.jobs)
                  .c_str(),
              stdout);
   return kop::harness::finish_figure(opts, sink);

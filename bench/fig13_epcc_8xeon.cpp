@@ -10,22 +10,14 @@
 int main(int argc, char** argv) {
   const auto opts = kop::harness::parse_fig_options(argc, argv);
   if (!opts.ok) return 2;
-  kop::epcc::EpccConfig cfg;
-  cfg.outer_reps = opts.quick ? 2 : 4;
-  cfg.inner_iters = opts.quick ? 4 : 8;
-  // 192 threads: keep per-construct iteration counts moderate so the
-  // full three-path sweep stays fast.
-  cfg.sched_iters_per_thread = opts.quick ? 16 : 32;
-  cfg.tasks_per_thread = opts.quick ? 4 : 8;
-  cfg.tree_depth = opts.quick ? 4 : 5;
-  const int threads = opts.quick ? 16 : 192;
+  // The sweep definition is shared with kop_baseline so a saved cache
+  // of this figure lines up point-for-point with the diff driver.
+  const auto sweep = kop::harness::fig13_sweep(opts.quick);
   kop::harness::MetricsSink sink("fig13_epcc_8xeon");
   std::fputs(kop::harness::print_epcc_figure(
                  "Figure 13: EPCC, RTK and PIK vs Linux, 192 cores of 8XEON",
-                 "8xeon", threads,
-                 {kop::core::PathKind::kLinuxOmp, kop::core::PathKind::kRtk,
-                  kop::core::PathKind::kPik},
-                 cfg, &sink, opts.jobs)
+                 sweep.machine, sweep.threads, sweep.paths, sweep.config,
+                 &sink, opts.jobs)
                  .c_str(),
              stdout);
   return kop::harness::finish_figure(opts, sink);

@@ -5,12 +5,21 @@
 //
 //   metrics_lint <file.json> [<file.json> ...]
 //
+// Cache entries (files carrying the x_kop_cache sidecar) are
+// additionally checked for duplicate points: two entries in the same
+// directory recording the same canonical point means the cache holds
+// two answers for one question -- readers would pick whichever key
+// they compute first, so the lint fails.
+//
 // Exit code: 0 if every file validates, 1 otherwise.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
+#include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
 
 int main(int argc, char** argv) {
@@ -19,6 +28,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   int bad = 0;
+  // (directory, canonical point) -> first file that recorded it.
+  std::map<std::pair<std::string, std::string>, std::string> points_seen;
   for (int i = 1; i < argc; ++i) {
     std::ifstream in(argv[i]);
     if (!in) {
@@ -29,13 +40,32 @@ int main(int argc, char** argv) {
     std::ostringstream ss;
     ss << in.rdbuf();
     const auto violations = kop::telemetry::validate_metrics_json(ss.str());
-    if (violations.empty()) {
-      std::printf("%s: OK\n", argv[i]);
+    if (!violations.empty()) {
+      ++bad;
+      std::printf("%s: %zu violation(s)\n", argv[i], violations.size());
+      for (const auto& v : violations) std::printf("  %s\n", v.c_str());
       continue;
     }
-    ++bad;
-    std::printf("%s: %zu violation(s)\n", argv[i], violations.size());
-    for (const auto& v : violations) std::printf("  %s\n", v.c_str());
+    // Duplicate-point check for cache entries (validate passed, so the
+    // text parses).
+    const auto root = kop::telemetry::parse_json(ss.str());
+    const auto* side = root.find("x_kop_cache");
+    const auto* point =
+        side != nullptr && side->is_object() ? side->find("point") : nullptr;
+    if (point != nullptr && point->is_string()) {
+      const std::string dir =
+          std::filesystem::path(argv[i]).parent_path().string();
+      const auto key = std::make_pair(dir, point->string);
+      const auto it = points_seen.find(key);
+      if (it != points_seen.end()) {
+        ++bad;
+        std::printf("%s: duplicate point (same canonical form as %s)\n",
+                    argv[i], it->second.c_str());
+        continue;
+      }
+      points_seen.emplace(key, argv[i]);
+    }
+    std::printf("%s: OK\n", argv[i]);
   }
   return bad == 0 ? 0 : 1;
 }

@@ -102,6 +102,47 @@ double timed_of(const std::vector<jobs::PointResult>& results,
 
 }  // namespace
 
+bool run_shard_mode(const jobs::PointMatrix& mx, MetricsSink* sink,
+                    const jobs::JobOptions& jopts, std::string* out) {
+  const jobs::ShardSpec& shard = jopts.shard;
+  if (shard.list_only) {
+    *out = jobs::shard_list_text(mx.points(), shard);
+    return true;
+  }
+  if (!shard.enabled()) return false;
+
+  const auto mine = jobs::shard_indices(mx.points(), shard);
+  std::vector<jobs::PointSpec> subset;
+  subset.reserve(mine.size());
+  for (std::size_t i : mine) subset.push_back(mx.points()[i]);
+
+  if (!jopts.cache_enabled()) {
+    std::fprintf(stderr,
+                 "[shard %s] warning: no --cache-dir; this shard's results "
+                 "are computed and discarded\n",
+                 shard.label().c_str());
+  }
+  jobs::JobRunner runner(jopts);
+  const auto results = runner.run(subset);
+  jobs::require_ok(subset, results);
+  std::fprintf(stderr, "[jobs] %s\n", runner.summary(subset.size()).c_str());
+  if (sink != nullptr) {
+    for (const auto& r : results) sink->add(r.metrics);
+  }
+
+  std::string text;
+  appendf(text, "[shard %s] executed %zu of %zu points", shard.label().c_str(),
+          subset.size(), mx.size());
+  if (jopts.cache_enabled()) {
+    appendf(text, " into %s", jopts.cache_dir.c_str());
+  }
+  text += "\n(figure tables need every shard's results: merge the shard"
+          " caches with kop_merge\n and rerun unsharded with --cache-dir"
+          " pointed at the merged directory)\n";
+  *out = text;
+  return true;
+}
+
 std::vector<nas::BenchmarkSpec> scale_suite(std::vector<nas::BenchmarkSpec> suite,
                                             double factor, int timesteps) {
   for (auto& b : suite) {
@@ -116,6 +157,32 @@ std::vector<nas::BenchmarkSpec> scale_suite(std::vector<nas::BenchmarkSpec> suit
     b.serial_ns_per_step *= factor;
   }
   return suite;
+}
+
+Fig09Sweep fig09_sweep(bool quick) {
+  Fig09Sweep s;
+  s.suite = scale_suite(nas::paper_suite(), quick ? 0.5 : 2.0, quick ? 2 : 4);
+  if (quick) s.suite.resize(2);
+  s.scales = quick ? std::vector<int>{1, 8} : phi_scales();
+  s.paths = {core::PathKind::kRtk};
+  s.machine = "phi";
+  return s;
+}
+
+Fig13Sweep fig13_sweep(bool quick) {
+  Fig13Sweep s;
+  s.config.outer_reps = quick ? 2 : 4;
+  s.config.inner_iters = quick ? 4 : 8;
+  // 192 threads: keep per-construct iteration counts moderate so the
+  // full three-path sweep stays fast.
+  s.config.sched_iters_per_thread = quick ? 16 : 32;
+  s.config.tasks_per_thread = quick ? 4 : 8;
+  s.config.tree_depth = quick ? 4 : 5;
+  s.threads = quick ? 16 : 192;
+  s.paths = {core::PathKind::kLinuxOmp, core::PathKind::kRtk,
+             core::PathKind::kPik};
+  s.machine = "8xeon";
+  return s;
 }
 
 std::vector<jobs::PointSpec> enumerate_nas_normalized(
@@ -152,9 +219,10 @@ std::string print_nas_normalized(const std::string& title,
                                  const jobs::JobOptions& jopts) {
   jobs::PointMatrix mx;
   build_nas_normalized(mx, machine, paths, scales, suite);
+  std::string out;
+  if (run_shard_mode(mx, sink, jopts, &out)) return out;
   const auto results = run_matrix(mx, sink, jopts);
 
-  std::string out;
   appendf(out, "== %s ==\n", title.c_str());
   appendf(out, "   (normalized performance: Linux-OpenMP time / path time;"
                " higher is better; baseline = 1.0)\n\n");
@@ -204,9 +272,10 @@ std::string print_cck_absolute(const std::string& title,
                                const jobs::JobOptions& jopts) {
   jobs::PointMatrix mx;
   build_cck_matrix(mx, machine, scales, suite);
+  std::string out;
+  if (run_shard_mode(mx, sink, jopts, &out)) return out;
   const auto results = run_matrix(mx, sink, jopts);
 
-  std::string out;
   appendf(out, "== %s ==\n", title.c_str());
   appendf(out, "   (average time in seconds; lower is better)\n\n");
   for (const auto& spec : suite) {
@@ -238,9 +307,10 @@ std::string print_cck_normalized(const std::string& title,
                                  const jobs::JobOptions& jopts) {
   jobs::PointMatrix mx;
   build_cck_matrix(mx, machine, scales, suite);
+  std::string out;
+  if (run_shard_mode(mx, sink, jopts, &out)) return out;
   const auto results = run_matrix(mx, sink, jopts);
 
-  std::string out;
   appendf(out, "== %s ==\n", title.c_str());
   appendf(out, "   (normalized to Linux-OpenMP = 1.0; higher is better)\n\n");
   for (const auto& spec : suite) {
@@ -274,9 +344,10 @@ std::string print_epcc_figure(const std::string& title,
                               const jobs::JobOptions& jopts) {
   jobs::PointMatrix mx;
   build_epcc_figure(mx, machine, threads, paths, config);
+  std::string out;
+  if (run_shard_mode(mx, sink, jopts, &out)) return out;
   const auto results = run_matrix(mx, sink, jopts);
 
-  std::string out;
   appendf(out, "== %s ==\n", title.c_str());
   appendf(out, "   (per-construct overhead in microseconds, mean +- sd over"
                " %d samples)\n\n", config.outer_reps);

@@ -22,9 +22,24 @@
 
 #include "harness/experiment.hpp"
 #include "harness/jobs/runner.hpp"
+#include "harness/jobs/shard.hpp"
 #include "harness/metrics.hpp"
 
 namespace kop::harness {
+
+/// Shard-mode intercept shared by every print_*() builder, the
+/// point-based ablations, and run_experiment.  Returns false when no
+/// shard flag is active (the caller proceeds normally).  Otherwise
+/// *out receives the complete stdout text for this invocation:
+///   --shard-list   the partition manifest (no execution)
+///   --shard K/N    this shard's points are executed (populating the
+///                  cache and, when a sink is given, the --json
+///                  artifact with the shard's runs) and *out is a
+///                  coverage note -- figure tables need every shard's
+///                  results, so they are only printed by an unsharded
+///                  rerun against the merged cache.
+bool run_shard_mode(const jobs::PointMatrix& mx, MetricsSink* sink,
+                    const jobs::JobOptions& jopts, std::string* out);
 
 // Every builder takes an optional MetricsSink; when non-null each
 // underlying experiment point is recorded (kop-metrics v1, in
@@ -85,5 +100,26 @@ std::string print_epcc_figure(const std::string& title,
 /// are unchanged (the simulation is linear in per-iteration cost).
 std::vector<nas::BenchmarkSpec> scale_suite(std::vector<nas::BenchmarkSpec> suite,
                                             double factor, int timesteps);
+
+// The exact sweeps the fig09/fig13 binaries run (full or --quick),
+// factored out so kop_baseline enumerates the same points -- a
+// baseline cache recorded by `fig09_nas_rtk_phi --quick --cache-dir d`
+// must line up entry-for-entry with what the diff driver regenerates.
+
+struct Fig09Sweep {
+  std::vector<nas::BenchmarkSpec> suite;
+  std::vector<int> scales;
+  std::vector<core::PathKind> paths;  // {rtk}
+  std::string machine;                // "phi"
+};
+Fig09Sweep fig09_sweep(bool quick);
+
+struct Fig13Sweep {
+  int threads = 0;
+  std::vector<core::PathKind> paths;  // {linux, rtk, pik}
+  epcc::EpccConfig config;
+  std::string machine;                // "8xeon"
+};
+Fig13Sweep fig13_sweep(bool quick);
 
 }  // namespace kop::harness

@@ -13,13 +13,6 @@ namespace kop::harness::jobs {
 
 namespace {
 
-std::string hex16(std::uint64_t v) {
-  char buf[20];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
-
 bool read_file(const std::string& path, std::string* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
@@ -42,8 +35,14 @@ ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
 
 std::uint64_t ResultCache::key(const PointSpec& spec, std::uint64_t fingerprint,
                                int schema_version) {
+  return key_for(spec.canonical(), fingerprint, schema_version);
+}
+
+std::uint64_t ResultCache::key_for(const std::string& canonical,
+                                   std::uint64_t fingerprint,
+                                   int schema_version) {
   if (schema_version < 0) schema_version = telemetry::kMetricsSchemaVersion;
-  std::string s = spec.canonical();
+  std::string s = canonical;
   s += "|fp=" + hex16(fingerprint);
   s += "|schema=" + std::to_string(schema_version);
   return fnv1a64(s);

@@ -36,6 +36,12 @@ class ResultCache {
                            std::uint64_t fingerprint = cost_model_fingerprint(),
                            int schema_version = -1 /* kMetricsSchemaVersion */);
 
+  /// The same key from an already-serialized canonical form -- what
+  /// kop_merge uses to re-derive an entry's expected filename from the
+  /// identity recorded in its x_kop_cache sidecar.
+  static std::uint64_t key_for(const std::string& canonical,
+                               std::uint64_t fingerprint, int schema_version);
+
   /// Path of the entry file a spec maps to.
   std::string entry_path(const PointSpec& spec) const;
 

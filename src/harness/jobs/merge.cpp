@@ -1,0 +1,246 @@
+#include "harness/jobs/merge.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/jobs/cache.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace kop::harness::jobs {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool is_entry_name(const std::string& name) {
+  return name.size() == 4 + 16 + 5 && name.rfind("kop-", 0) == 0 &&
+         name.compare(name.size() - 5, 5, ".json") == 0;
+}
+
+/// Validate one candidate entry and derive the filename its recorded
+/// identity hashes to.  Returns false with *reason set on any problem.
+bool check_entry(const std::string& name, const std::string& text,
+                 std::uint64_t build_fp, std::string* reason) {
+  const auto violations = telemetry::validate_metrics_json(text);
+  if (!violations.empty()) {
+    *reason = "schema: " + violations.front();
+    return false;
+  }
+  telemetry::JsonValue root;
+  try {
+    root = telemetry::parse_json(text);
+  } catch (const telemetry::JsonParseError& e) {
+    *reason = std::string("parse: ") + e.what();
+    return false;
+  }
+  const telemetry::JsonValue* side = root.find("x_kop_cache");
+  if (side == nullptr || !side->is_object()) {
+    *reason = "not a cache entry (no x_kop_cache sidecar)";
+    return false;
+  }
+  const telemetry::JsonValue* point = side->find("point");
+  const telemetry::JsonValue* fp = side->find("fingerprint");
+  if (point == nullptr || !point->is_string() || fp == nullptr ||
+      !fp->is_string()) {
+    *reason = "x_kop_cache sidecar missing point/fingerprint";
+    return false;
+  }
+  const std::uint64_t entry_fp =
+      std::strtoull(fp->string.c_str(), nullptr, 16);
+  if (entry_fp != build_fp) {
+    *reason = "cost-model fingerprint mismatch (entry " + fp->string +
+              ", build " + hex16(build_fp) + ")";
+    return false;
+  }
+  const telemetry::JsonValue* version = root.find("version");
+  const int entry_schema =
+      version != nullptr && version->is_number()
+          ? static_cast<int>(version->number)
+          : -1;
+  if (entry_schema != telemetry::kMetricsSchemaVersion) {
+    *reason = "schema version mismatch (entry " +
+              std::to_string(entry_schema) + ", build " +
+              std::to_string(telemetry::kMetricsSchemaVersion) + ")";
+    return false;
+  }
+  const std::string want =
+      "kop-" + hex16(ResultCache::key_for(point->string, entry_fp,
+                                          entry_schema)) +
+      ".json";
+  if (want != name) {
+    *reason = "entry name does not match its recorded identity (expected " +
+              want + "; stale or renamed file)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string MergeReport::text() const {
+  std::string out;
+  out += "scanned " + std::to_string(scanned) + " entries, merged " +
+         std::to_string(merged);
+  if (identical_duplicates > 0) {
+    out += ", " + std::to_string(identical_duplicates) +
+           " identical duplicates skipped";
+  }
+  out += "\n";
+  if (!rejected.empty()) {
+    out += "rejected " + std::to_string(rejected.size()) + " entries:\n";
+    for (const auto& r : rejected) out += "  " + r.file + ": " + r.reason + "\n";
+  }
+  if (!divergent.empty()) {
+    out += "DIVERGENT duplicates (same entry, different results):\n";
+    for (const auto& d : divergent) out += "  " + d.file + ": " + d.reason + "\n";
+  }
+  if (expected > 0) {
+    out += "coverage: " + std::to_string(expected - missing.size()) + "/" +
+           std::to_string(expected) + " expected entries present\n";
+    for (const auto& m : missing) out += "  missing: " + m + "\n";
+  }
+  out += ok() ? "merge OK\n" : "merge FAILED\n";
+  return out;
+}
+
+std::string MergeReport::json() const {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("tool").value("kop_merge");
+  w.key("ok").value(ok());
+  w.key("scanned").value(scanned);
+  w.key("merged").value(merged);
+  w.key("identical_duplicates").value(identical_duplicates);
+  w.key("rejected").begin_array();
+  for (const auto& r : rejected) {
+    w.begin_object();
+    w.key("file").value(r.file);
+    w.key("reason").value(r.reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("divergent").begin_array();
+  for (const auto& d : divergent) {
+    w.begin_object();
+    w.key("file").value(d.file);
+    w.key("reason").value(d.reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("expected").value(static_cast<std::uint64_t>(expected));
+  w.key("missing").begin_array();
+  for (const auto& m : missing) w.value(m);
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+MergeReport merge_caches(const MergeOptions& opts) {
+  MergeReport report;
+  const std::uint64_t build_fp = cost_model_fingerprint();
+
+  std::error_code ec;
+  fs::create_directories(opts.dest, ec);
+  if (ec && !fs::is_directory(opts.dest)) {
+    throw std::runtime_error("cannot create merge destination " + opts.dest +
+                             ": " + ec.message());
+  }
+
+  for (const auto& src : opts.sources) {
+    if (!fs::is_directory(src)) {
+      throw std::runtime_error("source is not a directory: " + src);
+    }
+    std::vector<std::string> names;
+    for (const auto& e : fs::directory_iterator(src)) {
+      if (e.is_regular_file() && is_entry_name(e.path().filename().string()))
+        names.push_back(e.path().filename().string());
+    }
+    // Deterministic scan order so reports are stable across hosts.
+    std::sort(names.begin(), names.end());
+
+    for (const auto& name : names) {
+      const std::string path = src + "/" + name;
+      ++report.scanned;
+      std::string text;
+      if (!read_file(path, &text)) {
+        report.rejected.push_back({path, "cannot read"});
+        continue;
+      }
+      std::string reason;
+      if (!check_entry(name, text, build_fp, &reason)) {
+        report.rejected.push_back({path, reason});
+        continue;
+      }
+      const std::string dest_path = opts.dest + "/" + name;
+      std::string existing;
+      if (read_file(dest_path, &existing)) {
+        if (existing == text) {
+          ++report.identical_duplicates;
+        } else {
+          report.divergent.push_back(
+              {path, "conflicts with already-merged " + dest_path});
+        }
+        continue;
+      }
+      const std::string tmp = dest_path + ".tmp";
+      {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out << text;
+        if (!out) {
+          std::remove(tmp.c_str());
+          throw std::runtime_error("cannot write " + tmp);
+        }
+      }
+      if (std::rename(tmp.c_str(), dest_path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot rename " + tmp);
+      }
+      ++report.merged;
+    }
+  }
+
+  if (!opts.expect_path.empty()) {
+    std::string manifest;
+    if (!read_file(opts.expect_path, &manifest)) {
+      throw std::runtime_error("cannot read manifest " + opts.expect_path);
+    }
+    // The manifest is a --shard-list capture: take every `entry=` token
+    // (other lines -- headers, ablation banners -- are ignored).
+    std::vector<std::string> expected;
+    std::istringstream lines(manifest);
+    std::string line;
+    while (std::getline(lines, line)) {
+      std::istringstream tokens(line);
+      std::string tok;
+      while (tokens >> tok) {
+        if (tok.rfind("entry=", 0) == 0 && is_entry_name(tok.substr(6)))
+          expected.push_back(tok.substr(6));
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    expected.erase(std::unique(expected.begin(), expected.end()),
+                   expected.end());
+    report.expected = expected.size();
+    for (const auto& name : expected) {
+      if (!fs::exists(opts.dest + "/" + name)) report.missing.push_back(name);
+    }
+  }
+  return report;
+}
+
+}  // namespace kop::harness::jobs

@@ -1,0 +1,65 @@
+// Merging shard caches back into one result cache.
+//
+// Entries are self-contained kop-metrics v1 documents, so merging is
+// file copy plus verification.  Every candidate entry must
+//
+//   1. validate against the kop-metrics v1 schema,
+//   2. carry the x_kop_cache sidecar (point canonical form +
+//      cost-model fingerprint),
+//   3. match this build's cost-model fingerprint and schema version
+//      (entries from a different calibration would silently never be
+//      hit -- or worse, be trusted by fingerprint-agnostic readers),
+//   4. sit under the filename its recorded identity hashes to (a
+//      renamed or stale file is indistinguishable from corruption).
+//
+// Two sources providing the same entry name is fine when the bytes
+// agree (shards may overlap); divergent bytes mean two simulations of
+// "the same" point disagreed and the merge refuses to pick a winner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kop::harness::jobs {
+
+struct MergeOptions {
+  /// Shard cache directories, scanned in order.
+  std::vector<std::string> sources;
+  /// Destination cache directory (created if needed).  May already
+  /// contain entries; they participate in duplicate detection.
+  std::string dest;
+  /// Optional coverage manifest: a `--shard-list` capture whose
+  /// `entry=` column names every cache file the full sweep needs.
+  std::string expect_path;
+};
+
+struct MergeIssue {
+  std::string file;    // source path of the offending entry
+  std::string reason;  // human-readable
+};
+
+struct MergeReport {
+  std::uint64_t scanned = 0;               // candidate entries seen
+  std::uint64_t merged = 0;                // entries copied into dest
+  std::uint64_t identical_duplicates = 0;  // same name, same bytes
+  std::vector<MergeIssue> rejected;        // schema/fingerprint/key
+  std::vector<MergeIssue> divergent;       // same name, different bytes
+  std::size_t expected = 0;                // manifest size (0 = none)
+  std::vector<std::string> missing;        // expected entries not merged
+
+  bool ok() const {
+    return rejected.empty() && divergent.empty() && missing.empty();
+  }
+  /// Human report (what kop_merge prints).
+  std::string text() const;
+  /// Machine-readable report for CI gating.
+  std::string json() const;
+};
+
+/// Union the source caches into dest.  Throws std::runtime_error only
+/// for setup-level failures (unreadable source directory, uncreatable
+/// dest, unreadable manifest); per-entry problems land in the report.
+MergeReport merge_caches(const MergeOptions& opts);
+
+}  // namespace kop::harness::jobs

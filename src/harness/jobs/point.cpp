@@ -106,6 +106,13 @@ void append_machine(std::string& out, const hw::MachineConfig& m) {
 
 }  // namespace
 
+std::string hex16(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
 std::uint64_t fnv1a64(const std::string& bytes) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (unsigned char c : bytes) {
@@ -164,6 +171,33 @@ core::StackConfig PointSpec::stack_config() const {
   cfg.nk_first_touch =
       first_touch < 0 ? want_first_touch(machine, threads) : first_touch != 0;
   return cfg;
+}
+
+double cost_estimate(const PointSpec& spec) {
+  const double threads = spec.threads < 1 ? 1.0 : spec.threads;
+  if (spec.kind == PointSpec::Kind::kNas) {
+    // Host cost tracks simulated events: per-thread bookkeeping at
+    // every worksharing construct of every timestep, plus the nominal
+    // work the loops burn (scaled down so neither term drowns the
+    // other on the paper's workloads).
+    const double constructs =
+        static_cast<double>(spec.nas.loops.size() + 1) * spec.nas.timesteps;
+    return threads * constructs + spec.nas.base_work_ns() * 1e-6;
+  }
+  // Approximate measured-construct counts of each EPCC part.
+  const double sync = 10.0, sched = 4.0, task = 5.0;
+  const double array = 3.0 * static_cast<double>(spec.epcc.array_sizes.size());
+  double constructs = 0.0;
+  switch (spec.epcc_part) {
+    case EpccPart::kSync:  constructs = sync; break;
+    case EpccPart::kSched: constructs = sched; break;
+    case EpccPart::kArray: constructs = array; break;
+    case EpccPart::kTask:  constructs = task; break;
+    case EpccPart::kAll:   constructs = sync + sched + array + task; break;
+  }
+  return threads * spec.epcc.outer_reps *
+         (constructs * spec.epcc.inner_iters +
+          spec.epcc.sched_iters_per_thread + spec.epcc.tasks_per_thread);
 }
 
 PointResult run_point(const PointSpec& spec) {

@@ -29,6 +29,10 @@ namespace kop::harness::jobs {
 /// FNV-1a 64-bit over a byte string (the content-hash primitive).
 std::uint64_t fnv1a64(const std::string& bytes);
 
+/// Zero-padded 16-digit lowercase hex -- the rendering used for cache
+/// entry names, fingerprints, and shard listings.
+std::string hex16(std::uint64_t v);
+
 /// 64-bit fingerprint of the whole calibration surface: every field of
 /// hw::linux_costs()/hw::nautilus_costs() and the cost-relevant machine
 /// parameters, for both evaluation platforms.  Changing any constant in
@@ -86,6 +90,12 @@ struct PointResult {
 /// thread).  Exceptions from the simulation propagate to the caller;
 /// the JobRunner turns them into failure capture + one retry.
 PointResult run_point(const PointSpec& spec);
+
+/// Rough relative host-side cost of simulating a point, in arbitrary
+/// monotone units (threads x reps x constructs-style).  The JobRunner
+/// dispatches longest-expected-first so big EPCC points at high thread
+/// counts don't land last and stretch the parallel tail.
+double cost_estimate(const PointSpec& spec);
 
 /// A deduplicating, order-preserving set of points: the enumerate stage
 /// of every figure builder.  add() returns the index of the point in

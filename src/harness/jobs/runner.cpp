@@ -122,6 +122,18 @@ std::vector<PointResult> JobRunner::run(const std::vector<PointSpec>& points) {
     alias[i] = it->second;
   }
 
+  // Longest-expected-first dispatch: big points (EPCC kAll at high
+  // thread counts) go out first so they don't land on the tail of the
+  // parallel schedule.  Results are collated by input index either
+  // way, so tables and --json artifacts stay byte-identical to
+  // enumeration-order dispatch.  stable_sort keeps enumeration order
+  // among equal-cost points.
+  std::vector<double> cost(points.size(), 0.0);
+  for (std::size_t i : unique_idx) cost[i] = cost_estimate(points[i]);
+  std::stable_sort(
+      unique_idx.begin(), unique_idx.end(),
+      [&cost](std::size_t a, std::size_t b) { return cost[a] > cost[b]; });
+
   const int jobs = effective_jobs(opts_, unique_idx.size());
   if (jobs == 1) {
     for (std::size_t i : unique_idx) results[i] = execute_one(points[i]);

@@ -10,6 +10,8 @@
 //     once, and reported in PointResult::{failed,error}
 //   * dispatch flows through a bounded queue, so enumerating a huge
 //     matrix never builds unbounded in-flight state
+//   * distinct points dispatch longest-expected-first (cost_estimate)
+//     so the biggest simulations never anchor the parallel tail
 #pragma once
 
 #include <condition_variable>

@@ -1,0 +1,66 @@
+#include "harness/jobs/shard.hpp"
+
+#include <cstdlib>
+
+#include "harness/jobs/cache.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace kop::harness::jobs {
+
+bool parse_shard(const std::string& text, ShardSpec* out, std::string* error) {
+  const auto slash = text.find('/');
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "bad shard '" + text + "': " + why + " (expected K/N, 1<=K<=N)";
+    }
+    return false;
+  };
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
+    return fail("missing K or N");
+  }
+  char* end = nullptr;
+  const long k = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + slash) return fail("K is not a number");
+  const long n = std::strtol(text.c_str() + slash + 1, &end, 10);
+  if (*end != '\0') return fail("N is not a number");
+  if (n < 1) return fail("N must be >= 1");
+  if (k < 1 || k > n) return fail("K out of range");
+  out->index = static_cast<int>(k - 1);
+  out->count = static_cast<int>(n);
+  return true;
+}
+
+int shard_of(const PointSpec& spec, int count) {
+  if (count <= 1) return 0;
+  return static_cast<int>(spec.content_hash() %
+                          static_cast<std::uint64_t>(count));
+}
+
+std::vector<std::size_t> shard_indices(const std::vector<PointSpec>& points,
+                                       const ShardSpec& shard) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (shard_of(points[i], shard.count) == shard.index) out.push_back(i);
+  }
+  return out;
+}
+
+std::string shard_list_text(const std::vector<PointSpec>& points,
+                            const ShardSpec& shard) {
+  std::string out = "# kop-shard-list v1 points=" +
+                    std::to_string(points.size()) +
+                    " shards=" + std::to_string(shard.count) +
+                    " fingerprint=" + hex16(cost_model_fingerprint()) +
+                    " schema=" + std::to_string(telemetry::kMetricsSchemaVersion) +
+                    "\n";
+  for (const auto& p : points) {
+    out += std::to_string(shard_of(p, shard.count) + 1) + "/" +
+           std::to_string(shard.count);
+    out += " point=" + hex16(p.content_hash());
+    out += " entry=kop-" + hex16(ResultCache::key(p)) + ".json";
+    out += " " + p.label() + "\n";
+  }
+  return out;
+}
+
+}  // namespace kop::harness::jobs

@@ -1,0 +1,47 @@
+// Deterministic sweep partitioning for distributed execution.
+//
+// A figure's point matrix is split across N independent machines by
+// hashing each point's canonical form: point p belongs to shard k iff
+// content_hash(p) % N == k.  The partition is an exact cover -- every
+// point lands in exactly one shard -- and depends only on point
+// *content*, so workers need no coordination and re-enumerating the
+// same figure anywhere reproduces the same assignment.  Each worker
+// runs `fig... --shard K/N --cache-dir shardK/`, ships its cache
+// directory back, and `kop_merge` unions the shards into one cache the
+// unsharded binary replays from (see docs/PIPELINE.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/jobs/options.hpp"
+#include "harness/jobs/point.hpp"
+
+namespace kop::harness::jobs {
+
+/// Parse the CLI form "K/N" (1-based K, 1 <= K <= N) into a 0-based
+/// ShardSpec.  Returns false and fills *error on malformed input.
+bool parse_shard(const std::string& text, ShardSpec* out, std::string* error);
+
+/// 0-based shard a point belongs to under an N-way partition.
+int shard_of(const PointSpec& spec, int count);
+
+/// Indices into `points` owned by `shard`, in enumeration order.
+/// A disabled shard (count == 1) owns everything.
+std::vector<std::size_t> shard_indices(const std::vector<PointSpec>& points,
+                                       const ShardSpec& shard);
+
+/// The --shard-list rendering: a `#`-comment header carrying the
+/// partition width, cost-model fingerprint, and schema version, then
+/// one line per point:
+///
+///   <k>/<N> point=<content-hash> entry=kop-<cache-key>.json <label>
+///
+/// The `entry=` column names the cache file the point will occupy, so
+/// the listing doubles as the coverage manifest `kop_merge --expect`
+/// checks a merged cache against.
+std::string shard_list_text(const std::vector<PointSpec>& points,
+                            const ShardSpec& shard);
+
+}  // namespace kop::harness::jobs

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "harness/jobs/shard.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -190,16 +191,30 @@ FigOptions parse_fig_options(int argc, char** argv) {
       opts.jobs.cache_dir = argv[++i];
     } else if (arg == "--no-cache") {
       opts.jobs.no_cache = true;
+    } else if (arg == "--shard" && i + 1 < argc) {
+      std::string error;
+      if (!jobs::parse_shard(argv[++i], &opts.jobs.shard, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        opts.ok = false;
+        return opts;
+      }
+    } else if (arg == "--shard-list") {
+      opts.jobs.shard.list_only = true;
     } else {
       std::fprintf(
           stderr,
           "usage: %s [--json <path>] [--quick] [--jobs N]\n"
           "          [--cache-dir <dir>] [--no-cache]\n"
+          "          [--shard K/N] [--shard-list]\n"
           "  --json <path>    write a kop-metrics v1 JSON artifact\n"
           "  --quick          reduced problem sizes (CI smoke)\n"
           "  --jobs N         host worker threads (default: all cores)\n"
           "  --cache-dir <d>  content-addressed result cache directory\n"
-          "  --no-cache       ignore --cache-dir, force re-simulation\n",
+          "  --no-cache       ignore --cache-dir, force re-simulation\n"
+          "  --shard K/N      run only shard K of an N-way hash partition\n"
+          "                   of the sweep (use with --cache-dir; merge\n"
+          "                   shard caches with kop_merge)\n"
+          "  --shard-list     print the point partition and exit\n",
           argv[0]);
       opts.ok = false;
       return opts;

@@ -1,0 +1,292 @@
+// Sharded sweep execution: the hash-mod-N partition must be an exact
+// cover, the --shard-list manifest must name every point's cache entry,
+// and the full distributed workflow -- N sharded runs into separate
+// cache directories, kop_merge union, unsharded replay -- must
+// reproduce the unsharded figure byte-identically without simulating a
+// single point again.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/figures.hpp"
+#include "harness/jobs/cache.hpp"
+#include "harness/jobs/merge.hpp"
+#include "harness/jobs/runner.hpp"
+#include "harness/jobs/shard.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using kop::core::PathKind;
+using kop::harness::MetricsSink;
+namespace jobs = kop::harness::jobs;
+
+std::vector<jobs::PointSpec> reduced_points() {
+  auto suite = kop::harness::scale_suite(kop::nas::paper_suite(), 0.25, 2);
+  suite.resize(3);
+  auto points = kop::harness::enumerate_nas_normalized(
+      "phi", {PathKind::kRtk}, {1, 4}, suite);
+  kop::epcc::EpccConfig cfg;
+  cfg.outer_reps = 2;
+  cfg.inner_iters = 4;
+  cfg.sched_iters_per_thread = 16;
+  cfg.tasks_per_thread = 4;
+  cfg.tree_depth = 4;
+  const auto epcc = kop::harness::enumerate_epcc_figure(
+      "8xeon", 8, {PathKind::kLinuxOmp, PathKind::kRtk, PathKind::kPik}, cfg);
+  points.insert(points.end(), epcc.begin(), epcc.end());
+  return points;
+}
+
+TEST(ShardParse, AcceptsValidForms) {
+  jobs::ShardSpec s;
+  std::string err;
+  ASSERT_TRUE(jobs::parse_shard("1/3", &s, &err)) << err;
+  EXPECT_EQ(s.index, 0);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_TRUE(s.enabled());
+  EXPECT_EQ(s.label(), "1/3");
+
+  ASSERT_TRUE(jobs::parse_shard("3/3", &s, &err)) << err;
+  EXPECT_EQ(s.index, 2);
+
+  ASSERT_TRUE(jobs::parse_shard("1/1", &s, &err)) << err;
+  EXPECT_FALSE(s.enabled());
+}
+
+TEST(ShardParse, RejectsMalformedForms) {
+  jobs::ShardSpec s;
+  std::string err;
+  for (const char* bad :
+       {"0/3", "4/3", "-1/3", "1/0", "1/-2", "a/b", "2", "2/", "/3", "",
+        "1/3x", "1 / 3"}) {
+    EXPECT_FALSE(jobs::parse_shard(bad, &s, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(ShardPartition, ExactCoverForSeveralWidths) {
+  const auto points = reduced_points();
+  ASSERT_GT(points.size(), 8u);
+  for (int n : {1, 2, 3, 5, 7}) {
+    std::set<std::size_t> covered;
+    std::size_t total = 0;
+    for (int k = 0; k < n; ++k) {
+      jobs::ShardSpec shard;
+      shard.index = k;
+      shard.count = n;
+      const auto idx = jobs::shard_indices(points, shard);
+      total += idx.size();
+      for (std::size_t i : idx) {
+        // Disjoint: no index appears in two shards.
+        EXPECT_TRUE(covered.insert(i).second)
+            << "point " << i << " in two shards at N=" << n;
+        EXPECT_EQ(jobs::shard_of(points[i], n), k);
+      }
+    }
+    // Complete: every index appears in some shard.
+    EXPECT_EQ(total, points.size()) << "N=" << n;
+    EXPECT_EQ(covered.size(), points.size()) << "N=" << n;
+  }
+}
+
+TEST(ShardPartition, AssignmentDependsOnlyOnContent) {
+  const auto points = reduced_points();
+  // Re-enumerating (fresh vector, same content) reproduces the
+  // assignment -- the property that lets N machines agree without
+  // coordination.
+  const auto again = reduced_points();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(jobs::shard_of(points[i], 5), jobs::shard_of(again[i], 5));
+  }
+}
+
+TEST(ShardList, ManifestNamesEveryPointAndEntry) {
+  const auto points = reduced_points();
+  jobs::ShardSpec shard;
+  shard.count = 3;
+  const std::string text = jobs::shard_list_text(points, shard);
+
+  EXPECT_NE(text.find("# kop-shard-list v1"), std::string::npos);
+  EXPECT_NE(text.find("points=" + std::to_string(points.size())),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("fingerprint=" +
+                jobs::hex16(jobs::cost_model_fingerprint())),
+      std::string::npos);
+  for (const auto& p : points) {
+    EXPECT_NE(text.find("point=" + jobs::hex16(p.content_hash())),
+              std::string::npos)
+        << p.label();
+    EXPECT_NE(text.find("entry=kop-" + jobs::hex16(jobs::ResultCache::key(p)) +
+                        ".json"),
+              std::string::npos)
+        << p.label();
+  }
+}
+
+class ShardWorkflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest -j runs each case as its own process; a fixed directory
+    // name would collide across concurrently-running cases.
+    root_ = fs::temp_directory_path() /
+            ("kop_shard_workflow_" + std::to_string(getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string dir(const std::string& name) {
+    const fs::path p = root_ / name;
+    return p.string();
+  }
+
+  fs::path root_;
+};
+
+TEST_F(ShardWorkflowTest, ThreeShardsMergeAndReplayByteIdentically) {
+  auto suite = kop::harness::scale_suite(kop::nas::paper_suite(), 0.25, 2);
+  suite.resize(2);
+  const std::vector<PathKind> paths = {PathKind::kRtk};
+  const std::vector<int> scales = {1, 4};
+  const auto points =
+      kop::harness::enumerate_nas_normalized("phi", paths, scales, suite);
+
+  // The reference rendering: unsharded, no cache.
+  MetricsSink ref_sink("shard_workflow");
+  const std::string reference = kop::harness::print_nas_normalized(
+      "Figure 9 (reduced)", "phi", paths, scales, suite, &ref_sink, {});
+
+  // Worker K of 3 runs with --shard K/3 --cache-dir shardK.
+  const int kShards = 3;
+  for (int k = 0; k < kShards; ++k) {
+    jobs::JobOptions jopts;
+    jopts.shard.index = k;
+    jopts.shard.count = kShards;
+    jopts.cache_dir = dir("shard" + std::to_string(k));
+    MetricsSink sink("shard_workflow_shard");
+    const std::string out = kop::harness::print_nas_normalized(
+        "Figure 9 (reduced)", "phi", paths, scales, suite, &sink, jopts);
+    // Shard mode never prints the figure table (it can't -- the table
+    // needs every shard's results).
+    EXPECT_EQ(out.find("geomean"), std::string::npos);
+    EXPECT_NE(out.find("[shard " + std::to_string(k + 1) + "/3]"),
+              std::string::npos);
+  }
+
+  // Merge the shard caches, checking coverage against the manifest.
+  const std::string manifest_path = dir("manifest.txt");
+  {
+    jobs::ShardSpec shard;
+    shard.count = kShards;
+    std::ofstream out(manifest_path);
+    out << jobs::shard_list_text(points, shard);
+  }
+  jobs::MergeOptions mopts;
+  mopts.dest = dir("merged");
+  mopts.expect_path = manifest_path;
+  for (int k = 0; k < kShards; ++k)
+    mopts.sources.push_back(dir("shard" + std::to_string(k)));
+  const auto report = jobs::merge_caches(mopts);
+  EXPECT_TRUE(report.ok()) << report.text();
+  EXPECT_EQ(report.merged, points.size());
+  EXPECT_EQ(report.expected, points.size());
+  EXPECT_TRUE(report.missing.empty());
+
+  // The unsharded replay hits the merged cache for 100% of points and
+  // renders byte-identically.
+  jobs::JobOptions warm;
+  warm.cache_dir = dir("merged");
+  MetricsSink warm_sink("shard_workflow");
+  const std::string replay = kop::harness::print_nas_normalized(
+      "Figure 9 (reduced)", "phi", paths, scales, suite, &warm_sink, warm);
+  EXPECT_EQ(replay, reference);
+  EXPECT_EQ(warm_sink.to_json(), ref_sink.to_json());
+
+  jobs::JobRunner runner(warm);
+  const auto results = runner.run(points);
+  jobs::require_ok(points, results);
+  EXPECT_EQ(runner.stats().executed, 0u) << "replay re-simulated points";
+  EXPECT_EQ(runner.stats().cache_hits, points.size());
+}
+
+TEST_F(ShardWorkflowTest, MergeRejectsCorruptAndForeignEntries) {
+  // One good shard...
+  auto suite = kop::harness::scale_suite(kop::nas::paper_suite(), 0.25, 2);
+  suite.resize(1);
+  const auto points = kop::harness::enumerate_nas_normalized(
+      "phi", {PathKind::kRtk}, {1}, suite);
+  jobs::JobOptions jopts;
+  jopts.cache_dir = dir("good");
+  jobs::JobRunner runner(jopts);
+  jobs::require_ok(points, runner.run(points));
+
+  // ...and one shard of junk: a file that is not JSON, and a real entry
+  // renamed to a name its identity does not hash to.
+  fs::create_directories(dir("bad"));
+  std::ofstream(dir("bad") + "/kop-0123456789abcdef.json") << "not json";
+  std::string first_entry;
+  for (const auto& e : fs::directory_iterator(dir("good"))) {
+    first_entry = e.path().string();
+    break;
+  }
+  ASSERT_FALSE(first_entry.empty());
+  fs::copy_file(first_entry, dir("bad") + "/kop-00000000deadbeef.json");
+
+  jobs::MergeOptions mopts;
+  mopts.dest = dir("merged");
+  mopts.sources = {dir("good"), dir("bad")};
+  const auto report = jobs::merge_caches(mopts);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.rejected.size(), 2u) << report.text();
+  EXPECT_EQ(report.merged, points.size());
+}
+
+TEST_F(ShardWorkflowTest, MergeDetectsDivergentDuplicates) {
+  auto suite = kop::harness::scale_suite(kop::nas::paper_suite(), 0.25, 2);
+  suite.resize(1);
+  const auto points = kop::harness::enumerate_nas_normalized(
+      "phi", {PathKind::kRtk}, {1}, suite);
+  jobs::JobOptions jopts;
+  jopts.cache_dir = dir("a");
+  jobs::JobRunner runner(jopts);
+  jobs::require_ok(points, runner.run(points));
+
+  // Same entries in a second source, one of them with flipped bytes --
+  // two simulations of "the same" point that disagreed.
+  fs::create_directories(dir("b"));
+  bool tampered = false;
+  for (const auto& e : fs::directory_iterator(dir("a"))) {
+    const auto destp = fs::path(dir("b")) / e.path().filename();
+    fs::copy_file(e.path(), destp);
+    if (!tampered) {
+      std::ifstream in(destp);
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      in.close();
+      const auto pos = text.find("\"timed_seconds\":");
+      ASSERT_NE(pos, std::string::npos);
+      text.insert(pos + 16, "9");
+      std::ofstream(destp, std::ios::trunc) << text;
+      tampered = true;
+    }
+  }
+  ASSERT_TRUE(tampered);
+
+  jobs::MergeOptions mopts;
+  mopts.dest = dir("merged");
+  mopts.sources = {dir("a"), dir("b")};
+  const auto report = jobs::merge_caches(mopts);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.divergent.size(), 1u) << report.text();
+  EXPECT_EQ(report.identical_duplicates, points.size() - 1);
+}
+
+}  // namespace
