@@ -1,52 +1,202 @@
-// google-benchmark microbenchmarks of the simulator core itself:
-// wall-clock cost of events, fiber switches, and a full small OpenMP
-// region.  These guard the *host* performance of the reproduction
-// (every figure is built from millions of these operations).
-#include <benchmark/benchmark.h>
+// Self-contained wall-clock microbenchmarks of the simulator core:
+// raw event dispatch through the engine queue, the same-instant yield
+// fast path, fiber switches, timed sleep/wake chains, kernel task
+// dispatch + steals, and a full small OpenMP region.  These guard the
+// *host* performance of the reproduction (every figure is built from
+// millions of these operations).
+//
+//   simcore_gbench [--quick] [--filter SUBSTR] [--json FILE]
+//
+// Each bench reports items/sec (events, switches, tasks, ...) plus the
+// engine queue's steady-state allocation count: allocations observed
+// *after* the first warm-up repetition, which a warm arena-backed queue
+// must keep at zero.  --json writes a "kop-bench" v1 document
+// (validated by metrics_lint; examples/kop_perfgate gates CI against
+// bench/simcore_floor.json).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "komp/runtime.hpp"
 #include "nautilus/kernel.hpp"
 #include "pthread_compat/pthreads.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
-void BM_EngineEventDispatch(benchmark::State& state) {
-  for (auto _ : state) {
-    kop::sim::Engine eng;
-    for (int i = 0; i < 1000; ++i) eng.post_at(i, [] {});
-    eng.run();
-  }
-  state.SetItemsProcessed(state.iterations() * 1000);
-}
-BENCHMARK(BM_EngineEventDispatch);
+using kop::sim::Engine;
 
-void BM_FiberSwitch(benchmark::State& state) {
+struct BenchResult {
+  std::string name;
+  std::string unit;           // what "items" counts: events, switches, ...
+  std::uint64_t items = 0;    // total across timed reps
+  double seconds = 0.0;       // wall-clock over timed reps
+  std::uint64_t allocs_steady = 0;  // queue allocs after warm-up
+
+  double items_per_sec() const {
+    return seconds > 0 ? static_cast<double>(items) / seconds : 0.0;
+  }
+};
+
+// Runs `rep` (which returns items processed) eight times for warm-up
+// and then `reps` timed times.  `allocs` samples the cumulative
+// allocation count of whatever the bench exercises; the steady-state
+// figure is the delta across the timed reps only.  Eight warm-ups
+// cover calendar-ring convergence: the virtual clock crosses a bucket
+// epoch roughly every rep or two, and slot capacities stop growing
+// once every slot the workload cycles through has seen its peak load.
+BenchResult run_bench(const std::string& name, const std::string& unit,
+                      int reps, const std::function<std::uint64_t()>& rep,
+                      const std::function<std::uint64_t()>& allocs) {
+  BenchResult r;
+  r.name = name;
+  r.unit = unit;
+  for (int i = 0; i < 8; ++i) rep();  // warm-up: populate arenas and stacks
+  const std::uint64_t allocs_before = allocs();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) r.items += rep();
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.allocs_steady = allocs() - allocs_before;
+  return r;
+}
+
+// Deterministic spread generator (benches must not depend on host RNG).
+struct Lcg {
+  std::uint64_t s;
+  std::uint64_t next() { return s = s * 6364136223846793005ull + 1442695040888963407ull; }
+};
+
+// --- Bench bodies ------------------------------------------------------
+
+// Mixed near-future posts: many distinct instants plus heavy same-time
+// collisions, the shape a barrier-heavy OpenMP run produces.  Reuses
+// one engine across reps so the queue is measured warm.
+BenchResult bench_event_loop(int reps, int n) {
+  Engine eng;
+  auto rep = [&]() -> std::uint64_t {
+    Lcg lcg{12345};
+    const kop::sim::Time base = eng.now();
+    for (int i = 0; i < n; ++i)
+      eng.post_at(base + static_cast<kop::sim::Time>((lcg.next() >> 32) % 64) * 97,
+                  [] {});
+    eng.run();
+    return static_cast<std::uint64_t>(n);
+  };
+  return run_bench("event_loop", "events", reps, rep,
+                   [&] { return eng.stats().queue_allocs; });
+}
+
+// Same-instant fast path: threads ping-ponging via yield_now() at one
+// virtual instant must not round-trip the time-ordered structure.
+BenchResult bench_same_instant_yield(int reps, int yields) {
+  Engine eng;
+  auto rep = [&]() -> std::uint64_t {
+    std::vector<kop::sim::SimThread*> ts;
+    for (int t = 0; t < 4; ++t)
+      ts.push_back(eng.spawn("y" + std::to_string(t), [&eng, yields] {
+        for (int i = 0; i < yields; ++i) eng.yield_now();
+      }));
+    for (auto* t : ts) eng.wake(t);
+    eng.run();
+    return static_cast<std::uint64_t>(4) * yields;
+  };
+  return run_bench("same_instant_yield", "yields", reps, rep,
+                   [&] { return eng.stats().queue_allocs; });
+}
+
+BenchResult bench_fiber_switch(int reps, int n) {
   kop::sim::Fiber f([] {
     for (;;) kop::sim::Fiber::yield();
   });
-  for (auto _ : state) f.resume();
-  state.SetItemsProcessed(state.iterations() * 2);  // in + out
+  auto rep = [&]() -> std::uint64_t {
+    for (int i = 0; i < n; ++i) f.resume();
+    return static_cast<std::uint64_t>(n) * 2;  // in + out
+  };
+  return run_bench("fiber_switch", "switches", reps, rep, [] { return 0ull; });
 }
-BENCHMARK(BM_FiberSwitch);
 
-void BM_ThreadSleepWake(benchmark::State& state) {
-  for (auto _ : state) {
-    kop::sim::Engine eng;
-    auto* t = eng.spawn("t", [&] {
-      for (int i = 0; i < 100; ++i) eng.sleep_for(10);
+// Timer-style sleep/wake chain: every sleep posts a timed wake.
+BenchResult bench_sleep_wake(int reps, int n) {
+  Engine eng;
+  auto rep = [&]() -> std::uint64_t {
+    auto* t = eng.spawn("sleeper", [&eng, n] {
+      for (int i = 0; i < n; ++i) eng.sleep_for(10);
     });
     eng.wake(t);
     eng.run();
-  }
-  state.SetItemsProcessed(state.iterations() * 100);
+    return static_cast<std::uint64_t>(n);
+  };
+  return run_bench("sleep_wake", "wakes", reps, rep,
+                   [&] { return eng.stats().queue_allocs; });
 }
-BENCHMARK(BM_ThreadSleepWake);
 
-void BM_OmpParallelRegion(benchmark::State& state) {
-  const int threads = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    kop::sim::Engine eng;
+// Posts spread over a wide horizon (tens of ms): exercises whatever
+// long-range structure backs the queue, not just the near ring.
+BenchResult bench_far_horizon(int reps, int n) {
+  Engine eng;
+  auto rep = [&]() -> std::uint64_t {
+    Lcg lcg{99};
+    const kop::sim::Time base = eng.now();
+    for (int i = 0; i < n; ++i)
+      eng.post_at(base + static_cast<kop::sim::Time>((lcg.next() >> 32) % 5000) *
+                             20'000,
+                  [] {});
+    eng.run();
+    return static_cast<std::uint64_t>(n);
+  };
+  return run_bench("far_horizon", "events", reps, rep,
+                   [&] { return eng.stats().queue_allocs; });
+}
+
+// Nautilus kernel task system: enqueue everything on CPU 0 with 8
+// workers so 7 of them must steal.  Emits two records sharing one
+// timed run: tasks dispatched and steals performed.
+void bench_nk_tasks(int reps, int n, std::vector<BenchResult>* out) {
+  std::uint64_t steals = 0;
+  auto rep = [&]() -> std::uint64_t {
+    Engine eng;
+    kop::nautilus::NautilusKernel nk(eng, kop::hw::phi());
+    nk.spawn_thread(
+        "main",
+        [&] {
+          nk.task_system().start(8);
+          int executed = 0;
+          for (int i = 0; i < n; ++i)
+            nk.task_system().enqueue([&executed] { ++executed; }, 0);
+          while (nk.task_system().pending() > 0 || executed < n)
+            eng.sleep_for(50'000);
+          nk.task_system().stop();
+          steals += nk.task_system().steals();
+        },
+        0);
+    eng.run();
+    return static_cast<std::uint64_t>(n);
+  };
+  BenchResult tasks =
+      run_bench("nk_task_dispatch", "tasks", reps, rep, [] { return 0ull; });
+  BenchResult st;
+  st.name = "nk_task_steals";
+  st.unit = "steals";
+  // Steals accumulated across warm-up + timed reps; scale to timed share.
+  st.items = steals * reps / (reps + 8);
+  st.seconds = tasks.seconds;
+  st.allocs_steady = 0;
+  out->push_back(tasks);
+  out->push_back(st);
+}
+
+// A full small OpenMP region through komp + pthread_compat + nautilus.
+BenchResult bench_omp_parallel(int reps, int regions, int threads) {
+  auto rep = [&]() -> std::uint64_t {
+    Engine eng;
     kop::nautilus::NautilusKernel nk(eng, kop::hw::phi());
     nk.set_env("OMP_NUM_THREADS", std::to_string(threads));
     kop::pthread_compat::Pthreads pt(
@@ -55,16 +205,117 @@ void BM_OmpParallelRegion(benchmark::State& state) {
         "main",
         [&] {
           kop::komp::Runtime rt(pt);
-          for (int r = 0; r < 10; ++r)
+          for (int r = 0; r < regions; ++r)
             rt.parallel([](kop::komp::TeamThread& tt) { tt.compute_ns(1000); });
         },
         0);
     eng.run();
-  }
-  state.SetItemsProcessed(state.iterations() * 10);
+    return static_cast<std::uint64_t>(regions);
+  };
+  return run_bench("omp_parallel_t" + std::to_string(threads), "regions", reps,
+                   rep, [] { return 0ull; });
 }
-BENCHMARK(BM_OmpParallelRegion)->Arg(4)->Arg(16)->Arg(64);
+
+// --- Output ------------------------------------------------------------
+
+void print_table(const std::vector<BenchResult>& results) {
+  std::printf("%-22s %12s %10s %14s %8s  %s\n", "bench", "items", "sec",
+              "items/sec", "allocs", "unit");
+  for (const auto& r : results) {
+    std::printf("%-22s %12llu %10.4f %14.0f %8llu  %s\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.items), r.seconds,
+                r.items_per_sec(),
+                static_cast<unsigned long long>(r.allocs_steady),
+                r.unit.c_str());
+  }
+}
+
+std::string to_json(const std::vector<BenchResult>& results) {
+  kop::telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kop::telemetry::kBenchSchemaName);
+  w.key("version").value(kop::telemetry::kBenchSchemaVersion);
+  w.key("generator").value("simcore_gbench");
+  w.key("benches").begin_array();
+  for (const auto& r : results) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("unit").value(r.unit);
+    w.key("items").value(static_cast<std::uint64_t>(r.items));
+    w.key("seconds").value(r.seconds);
+    w.key("items_per_sec").value(r.items_per_sec());
+    w.key("allocs_steady").value(static_cast<std::uint64_t>(r.allocs_steady));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      quick = true;
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--filter" && i + 1 < argc) {
+      filter = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--filter SUBSTR] [--json FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const int reps = quick ? 3 : 10;
+  const auto want = [&](const char* name) {
+    return filter.empty() || std::string(name).find(filter) != std::string::npos;
+  };
+
+  std::vector<BenchResult> results;
+  if (want("event_loop"))
+    results.push_back(bench_event_loop(reps, quick ? 20'000 : 100'000));
+  if (want("same_instant_yield"))
+    results.push_back(bench_same_instant_yield(reps, quick ? 5'000 : 25'000));
+  if (want("fiber_switch"))
+    results.push_back(bench_fiber_switch(reps, quick ? 20'000 : 100'000));
+  if (want("sleep_wake"))
+    results.push_back(bench_sleep_wake(reps, quick ? 5'000 : 25'000));
+  if (want("far_horizon"))
+    results.push_back(bench_far_horizon(reps, quick ? 10'000 : 50'000));
+  if (want("nk_task")) bench_nk_tasks(quick ? 2 : 5, quick ? 500 : 2'000, &results);
+  if (want("omp_parallel"))
+    results.push_back(bench_omp_parallel(quick ? 2 : 5, quick ? 5 : 20, 16));
+
+  if (results.empty()) {
+    std::fprintf(stderr, "no benches match filter \"%s\"\n", filter.c_str());
+    return 2;
+  }
+
+  print_table(results);
+
+  if (!json_path.empty()) {
+    const std::string doc = to_json(results);
+    const auto violations = kop::telemetry::validate_bench_json(doc);
+    if (!violations.empty()) {
+      for (const auto& v : violations)
+        std::fprintf(stderr, "internal schema violation: %s\n", v.c_str());
+      return 1;
+    }
+    std::ofstream out(json_path);
+    out << doc << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,7 +1,10 @@
-// kop-metrics artifact linter: validates JSON files emitted by
-// run_experiment --json, the bench/fig* binaries, and omp_profiler
-// against the versioned schema (telemetry/metrics.hpp).  CI runs this
-// over every artifact the bench-smoke job produces.
+// kop artifact linter: validates JSON files emitted by run_experiment
+// --json, the bench/fig* binaries, omp_profiler, and simcore_gbench
+// against their versioned schemas (telemetry/metrics.hpp).  The root
+// "schema" field selects the validator: "kop-metrics" documents get
+// the full run-record check, "kop-bench" documents the microbenchmark
+// throughput-record check.  CI runs this over every artifact the
+// bench-smoke and perf-smoke jobs produce.
 //
 //   metrics_lint <file.json> [<file.json> ...]
 //
@@ -39,11 +42,29 @@ int main(int argc, char** argv) {
     }
     std::ostringstream ss;
     ss << in.rdbuf();
-    const auto violations = kop::telemetry::validate_metrics_json(ss.str());
+    // Dispatch on the root "schema" field; unknown/missing schemas fall
+    // through to the kop-metrics validator, whose error message names
+    // the expected schema.
+    bool is_bench = false;
+    try {
+      const auto peek = kop::telemetry::parse_json(ss.str());
+      const auto* schema = peek.find("schema");
+      is_bench = schema != nullptr && schema->is_string() &&
+                 schema->string == kop::telemetry::kBenchSchemaName;
+    } catch (const kop::telemetry::JsonParseError&) {
+      // Malformed JSON: let the validator report it.
+    }
+    const auto violations =
+        is_bench ? kop::telemetry::validate_bench_json(ss.str())
+                 : kop::telemetry::validate_metrics_json(ss.str());
     if (!violations.empty()) {
       ++bad;
       std::printf("%s: %zu violation(s)\n", argv[i], violations.size());
       for (const auto& v : violations) std::printf("  %s\n", v.c_str());
+      continue;
+    }
+    if (is_bench) {
+      std::printf("%s: OK (kop-bench)\n", argv[i]);
       continue;
     }
     // Duplicate-point check for cache entries (validate passed, so the

@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <map>
+#include <stdexcept>
 
 #include "harness/table.hpp"
 #include "sim/stats.hpp"
@@ -105,8 +106,42 @@ double timed_of(const std::vector<jobs::PointResult>& results,
 bool run_shard_mode(const jobs::PointMatrix& mx, MetricsSink* sink,
                     const jobs::JobOptions& jopts, std::string* out) {
   const jobs::ShardSpec& shard = jopts.shard;
+  if (shard.enabled() && jopts.claim_enabled()) {
+    throw std::invalid_argument(
+        "--shard and --shard-claim are mutually exclusive (static vs "
+        "work-stealing partition of the same sweep)");
+  }
   if (shard.list_only) {
     *out = jobs::shard_list_text(mx.points(), shard);
+    return true;
+  }
+  if (jopts.claim_enabled()) {
+    // Work-stealing dispatch: the runner claims each point from the
+    // shared directory right before executing it, so fast workers take
+    // more of the sweep instead of idling on a static K/N split.
+    if (!jopts.cache_enabled()) {
+      std::fprintf(stderr,
+                   "[claim] warning: no --cache-dir; this worker's results "
+                   "are computed and discarded\n");
+    }
+    jobs::JobRunner runner(jopts);
+    const auto results = runner.run(mx.points());
+    jobs::require_ok(mx.points(), results);
+    std::fprintf(stderr, "[jobs] %s\n", runner.summary(mx.size()).c_str());
+    std::size_t won = 0;
+    for (const auto& r : results) {
+      if (r.skipped) continue;
+      ++won;
+      if (sink != nullptr) sink->add(r.metrics);
+    }
+    std::string text;
+    appendf(text, "[claim] executed %zu of %zu points (%zu claimed by other "
+                  "workers)", won, mx.size(), mx.size() - won);
+    if (jopts.cache_enabled()) appendf(text, " into %s", jopts.cache_dir.c_str());
+    text += "\n(figure tables need every worker's results: merge the worker"
+            " caches with kop_merge\n and rerun unsharded with --cache-dir"
+            " pointed at the merged directory)\n";
+    *out = text;
     return true;
   }
   if (!shard.enabled()) return false;

@@ -31,13 +31,22 @@ namespace kop::harness {
 /// point-based ablations, and run_experiment.  Returns false when no
 /// shard flag is active (the caller proceeds normally).  Otherwise
 /// *out receives the complete stdout text for this invocation:
-///   --shard-list   the partition manifest (no execution)
-///   --shard K/N    this shard's points are executed (populating the
-///                  cache and, when a sink is given, the --json
-///                  artifact with the shard's runs) and *out is a
-///                  coverage note -- figure tables need every shard's
-///                  results, so they are only printed by an unsharded
-///                  rerun against the merged cache.
+///   --shard-list        the partition manifest (no execution)
+///   --shard K/N         this shard's points are executed (populating
+///                       the cache and, when a sink is given, the
+///                       --json artifact with the shard's runs) and
+///                       *out is a coverage note -- figure tables need
+///                       every shard's results, so they are only
+///                       printed by an unsharded rerun against the
+///                       merged cache.
+///   --shard-claim DIR   work-stealing variant: every worker runs the
+///                       full matrix and atomically claims points from
+///                       the shared DIR before simulating them
+///                       (jobs/claim.hpp); skipped points belong to
+///                       other workers.  Merge worker caches exactly
+///                       like static shards.
+/// Throws std::invalid_argument if --shard and --shard-claim are
+/// combined.
 bool run_shard_mode(const jobs::PointMatrix& mx, MetricsSink* sink,
                     const jobs::JobOptions& jopts, std::string* out);
 

@@ -1,0 +1,48 @@
+#include "harness/jobs/claim.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "harness/jobs/cache.hpp"
+
+namespace kop::harness::jobs {
+
+ClaimDir::ClaimDir(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec && !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error("claim: cannot create directory " + dir_ + ": " +
+                             ec.message());
+  }
+}
+
+std::string ClaimDir::claim_name(const PointSpec& spec) {
+  return "kop-" + hex16(ResultCache::key(spec)) + ".claim";
+}
+
+bool ClaimDir::try_claim(const PointSpec& spec) {
+  const std::string path = dir_ + "/" + claim_name(spec);
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) return false;  // another worker owns this point
+    throw std::runtime_error("claim: cannot create " + path + ": " +
+                             std::strerror(errno));
+  }
+  // Record the owner so a stuck sweep can be diagnosed (`cat *.claim`).
+  char host[256] = "?";
+  ::gethostname(host, sizeof(host) - 1);
+  const std::string owner =
+      std::string(host) + ":" + std::to_string(::getpid()) + "\n";
+  // Best-effort: the claim is the file's existence, not its contents.
+  (void)!::write(fd, owner.c_str(), owner.size());
+  ::close(fd);
+  return true;
+}
+
+}  // namespace kop::harness::jobs

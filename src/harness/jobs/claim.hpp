@@ -1,0 +1,53 @@
+// Work-stealing point dispatch for distributed sweeps (--shard-claim).
+//
+// The static --shard K/N partition balances by *count*, not by cost: a
+// shard that happens to collect the big EPCC points finishes last and
+// anchors the whole sweep.  Claim mode replaces the static partition
+// with a shared claim directory: every worker runs the SAME figure
+// command with `--shard-claim DIR --cache-dir <own-dir>`, and before
+// simulating a point it atomically claims it by creating
+//
+//     DIR/kop-<cache-key>.claim     (open O_CREAT|O_EXCL)
+//
+// Exactly one worker wins each creat(2) race -- POSIX guarantees
+// O_CREAT|O_EXCL is atomic, including over NFS v3+ -- so every point is
+// simulated exactly once across the fleet, and fast workers naturally
+// take more points instead of idling.  The claim file records the
+// owner (hostname:pid) for post-mortems.  Claim names reuse the result
+// cache's entry key, so `ls DIR` doubles as a coverage ledger aligned
+// with the `entry=` column of --shard-list manifests, and kop_merge
+// --expect verifies the merged caches the same way it does for static
+// shards.
+//
+// A claim directory describes ONE sweep execution: reusing it for a
+// second run would see everything already claimed.  Use a fresh DIR
+// (or rm it) per distributed run.
+#pragma once
+
+#include <string>
+
+#include "harness/jobs/point.hpp"
+
+namespace kop::harness::jobs {
+
+class ClaimDir {
+ public:
+  /// Opens (and creates, if needed) the claim directory.  Throws
+  /// std::runtime_error if the directory cannot be created.
+  explicit ClaimDir(std::string dir);
+
+  /// Atomically claim `spec` for this process.  True exactly once per
+  /// point across every worker sharing the directory.  Throws on I/O
+  /// errors other than "already claimed".
+  bool try_claim(const PointSpec& spec);
+
+  /// "kop-<cache-key-hex>.claim" -- aligned with the cache entry name.
+  static std::string claim_name(const PointSpec& spec);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace kop::harness::jobs

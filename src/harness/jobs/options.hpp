@@ -38,8 +38,14 @@ struct JobOptions {
   /// Sweep partition for distributed execution (--shard K/N); the
   /// figure/driver layer filters points, the runner never sees it.
   ShardSpec shard;
+  /// Work-stealing alternative to --shard (--shard-claim DIR): every
+  /// worker enumerates the full sweep and atomically claims points
+  /// from this shared directory before simulating them (claim.hpp).
+  /// Unclaimed points come back with PointResult::skipped set.
+  std::string claim_dir;
 
   bool cache_enabled() const { return !cache_dir.empty() && !no_cache; }
+  bool claim_enabled() const { return !claim_dir.empty(); }
 };
 
 /// Resolved worker count for `n_points` jobs (clamped to [1, n_points]

@@ -84,6 +84,9 @@ struct PointResult {
   bool failed = false;
   std::string error;
   bool from_cache = false;
+  /// Claim mode (--shard-claim): another worker owns this point; it was
+  /// neither simulated nor loaded, and `metrics` is empty.
+  bool skipped = false;
 };
 
 /// Execute one point on a freshly booted stack (blocking, this host

@@ -63,9 +63,22 @@ JobRunner::JobRunner(JobOptions opts) : opts_(std::move(opts)) {
   if (opts_.cache_enabled()) {
     cache_ = std::make_unique<ResultCache>(opts_.cache_dir);
   }
+  if (opts_.claim_enabled()) {
+    claim_ = std::make_unique<ClaimDir>(opts_.claim_dir);
+  }
 }
 
 PointResult JobRunner::execute_one(const PointSpec& spec) {
+  // Claim before the cache lookup: the claim files are the sweep's
+  // exactly-once coverage ledger, so a point counts as this worker's
+  // even when its result then comes from a warm cache.
+  if (claim_ != nullptr && !claim_->try_claim(spec)) {
+    PointResult skipped;
+    skipped.skipped = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.skipped;
+    return skipped;
+  }
   if (cache_ != nullptr) {
     PointResult cached;
     if (cache_->load(spec, &cached)) {
@@ -191,6 +204,9 @@ std::string JobRunner::summary(std::size_t n_points) const {
     if (cs.corrupt > 0) {
       out += " (" + std::to_string(cs.corrupt) + " corrupt entries re-run)";
     }
+  }
+  if (stats_.skipped > 0) {
+    out += ", " + std::to_string(stats_.skipped) + " claimed elsewhere";
   }
   if (stats_.retries > 0) out += ", " + std::to_string(stats_.retries) + " retried";
   if (stats_.failures > 0) out += ", " + std::to_string(stats_.failures) + " FAILED";

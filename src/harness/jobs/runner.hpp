@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "harness/jobs/cache.hpp"
+#include "harness/jobs/claim.hpp"
 #include "harness/jobs/options.hpp"
 #include "harness/jobs/point.hpp"
 
@@ -65,6 +66,7 @@ class JobRunner {
     std::uint64_t cache_hits = 0;
     std::uint64_t retries = 0;
     std::uint64_t failures = 0;    // points failed after the retry
+    std::uint64_t skipped = 0;     // claim mode: owned by another worker
   };
   const Stats& stats() const { return stats_; }
   const JobOptions& options() const { return opts_; }
@@ -81,6 +83,7 @@ class JobRunner {
 
   JobOptions opts_;
   std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<ClaimDir> claim_;
   Stats stats_;
   std::mutex stats_mu_;
 };

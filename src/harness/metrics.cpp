@@ -200,12 +200,14 @@ FigOptions parse_fig_options(int argc, char** argv) {
       }
     } else if (arg == "--shard-list") {
       opts.jobs.shard.list_only = true;
+    } else if (arg == "--shard-claim" && i + 1 < argc) {
+      opts.jobs.claim_dir = argv[++i];
     } else {
       std::fprintf(
           stderr,
           "usage: %s [--json <path>] [--quick] [--jobs N]\n"
           "          [--cache-dir <dir>] [--no-cache]\n"
-          "          [--shard K/N] [--shard-list]\n"
+          "          [--shard K/N] [--shard-list] [--shard-claim <dir>]\n"
           "  --json <path>    write a kop-metrics v1 JSON artifact\n"
           "  --quick          reduced problem sizes (CI smoke)\n"
           "  --jobs N         host worker threads (default: all cores)\n"
@@ -214,7 +216,11 @@ FigOptions parse_fig_options(int argc, char** argv) {
           "  --shard K/N      run only shard K of an N-way hash partition\n"
           "                   of the sweep (use with --cache-dir; merge\n"
           "                   shard caches with kop_merge)\n"
-          "  --shard-list     print the point partition and exit\n",
+          "  --shard-list     print the point partition and exit\n"
+          "  --shard-claim <d>  work-stealing partition: claim points\n"
+          "                   from shared dir <d> before simulating them\n"
+          "                   (every worker runs the same command; merge\n"
+          "                   worker caches with kop_merge)\n",
           argv[0]);
       opts.ok = false;
       return opts;

@@ -8,6 +8,10 @@ namespace kop::komp {
 // per-deque spinlocks (plain accesses -- the detector verifies the lock
 // discipline); the counters model the runtime's atomics (hb edges, so
 // task completion is visible to scheduling-point polls).
+//
+// Annotation addresses use the slab slots, which are stable for the
+// pool's lifetime and recycled through the freelist -- the same address
+// reuse discipline the old per-task heap allocations had.
 
 TaskPool::TaskPool(osal::Os& os, int nthreads, const RuntimeTuning& tuning,
                    sim::Time spin_ns)
@@ -18,11 +22,39 @@ TaskPool::TaskPool(osal::Os& os, int nthreads, const RuntimeTuning& tuning,
   current_.reserve(static_cast<std::size_t>(nthreads));
   for (int i = 0; i < nthreads; ++i) {
     locks_.push_back(std::make_unique<osal::Spinlock>(os));
-    auto imp = std::make_shared<Task>();
+    const TaskHandle imp = alloc_task();
     implicit_.push_back(imp);
     current_.push_back(imp);
   }
   idle_gate_ = os.make_wait_queue();
+}
+
+TaskPool::TaskHandle TaskPool::alloc_task() {
+  TaskHandle h;
+  if (!free_.empty()) {
+    h = free_.back();
+    free_.pop_back();
+  } else {
+    h = static_cast<TaskHandle>(slab_.size());
+    slab_.emplace_back();
+  }
+  Task& t = slab_[h];
+  t.parent = kNoTask;
+  t.pending_children = 0;
+  t.pins = 1;
+  return h;
+}
+
+void TaskPool::unpin(TaskHandle h) {
+  while (h != kNoTask) {
+    Task& t = slab_[h];
+    if (--t.pins != 0) return;
+    const TaskHandle parent = t.parent;
+    t.body = nullptr;
+    t.parent = kNoTask;
+    free_.push_back(h);
+    h = parent;  // the recycled child releases its pin on the parent
+  }
 }
 
 void TaskPool::spawn(int tid, TaskBody body) {
@@ -30,12 +62,14 @@ void TaskPool::spawn(int tid, TaskBody body) {
   os_->tools().emit([&](ompt::Tool& t) {
     t.on_task_create(os_->engine().now(), tid);
   });
-  auto task = std::make_shared<Task>();
-  task->body = std::move(body);
-  task->parent = current_[static_cast<std::size_t>(tid)];
-  sim::race::atomic_rmw(os_->engine(), &task->parent->pending_children,
+  const TaskHandle h = alloc_task();
+  const TaskHandle parent = current_[static_cast<std::size_t>(tid)];
+  slab_[h].body = std::move(body);
+  slab_[h].parent = parent;
+  slab_[parent].pins++;  // the child slot pins its parent's slot
+  sim::race::atomic_rmw(os_->engine(), &slab_[parent].pending_children,
                         "Task::pending_children");
-  task->parent->pending_children++;
+  slab_[parent].pending_children++;
   sim::race::atomic_rmw(os_->engine(), &incomplete_, "TaskPool::incomplete_");
   ++incomplete_;
   sim::race::atomic_rmw(os_->engine(), &queued_, "TaskPool::queued_");
@@ -44,16 +78,16 @@ void TaskPool::spawn(int tid, TaskBody body) {
   lock.lock();
   sim::race::plain_write(os_->engine(), &deques_[static_cast<std::size_t>(tid)],
                          "TaskPool task deque");
-  deques_[static_cast<std::size_t>(tid)].push_back(std::move(task));
+  deques_[static_cast<std::size_t>(tid)].push_back(h);
   lock.unlock();
   // Poke one idle helper (threads waiting at a scheduling point).
   idle_gate_->notify_one();
 }
 
-std::shared_ptr<TaskPool::Task> TaskPool::pop_or_steal(int tid, bool* stolen) {
+TaskPool::TaskHandle TaskPool::pop_or_steal(int tid, bool* stolen) {
   *stolen = false;
   sim::race::atomic_load(os_->engine(), &queued_);
-  if (queued_ == 0) return nullptr;  // O(1) bail-out for idle polls
+  if (queued_ == 0) return kNoTask;  // O(1) bail-out for idle polls
   const auto n = static_cast<int>(deques_.size());
   // Own deque: LIFO (depth-first, cache-friendly).
   {
@@ -63,7 +97,7 @@ std::shared_ptr<TaskPool::Task> TaskPool::pop_or_steal(int tid, bool* stolen) {
     sim::race::plain_read(os_->engine(), &dq, "TaskPool task deque");
     if (!dq.empty()) {
       sim::race::plain_write(os_->engine(), &dq, "TaskPool task deque");
-      auto t = std::move(dq.back());
+      const TaskHandle t = dq.back();
       dq.pop_back();
       sim::race::atomic_rmw(os_->engine(), &queued_, "TaskPool::queued_");
       --queued_;
@@ -81,7 +115,7 @@ std::shared_ptr<TaskPool::Task> TaskPool::pop_or_steal(int tid, bool* stolen) {
     sim::race::plain_read(os_->engine(), &dq, "TaskPool task deque");
     if (!dq.empty()) {
       sim::race::plain_write(os_->engine(), &dq, "TaskPool task deque");
-      auto t = std::move(dq.front());
+      const TaskHandle t = dq.front();
       dq.pop_front();
       sim::race::atomic_rmw(os_->engine(), &queued_, "TaskPool::queued_");
       --queued_;
@@ -92,10 +126,10 @@ std::shared_ptr<TaskPool::Task> TaskPool::pop_or_steal(int tid, bool* stolen) {
     }
     lock.unlock();
   }
-  return nullptr;
+  return kNoTask;
 }
 
-void TaskPool::run(int tid, std::shared_ptr<Task> task, bool stolen) {
+void TaskPool::run(int tid, TaskHandle task, bool stolen) {
   if (stolen) {
     os_->counters().add_on(os_->current_cpu(), telemetry::Counter::kTaskSteals);
   }
@@ -105,47 +139,53 @@ void TaskPool::run(int tid, std::shared_ptr<Task> task, bool stolen) {
   });
   os_->compute_ns(tuning_->task_exec_ns);
   auto& cur = current_[static_cast<std::size_t>(tid)];
-  auto saved = cur;
+  const TaskHandle saved = cur;
   cur = task;
-  if (task->body) task->body(tid);
+  // The body may spawn (growing the slab's chunk map), so move it out
+  // rather than holding a reference across the call.
+  TaskBody body = std::move(slab_[task].body);
+  if (body) body(tid);
   cur = saved;
   os_->tools().emit([&](ompt::Tool& t) {
     t.on_task_schedule(ompt::Endpoint::kEnd, os_->engine().now(), tid,
                        stolen);
   });
-  sim::race::atomic_rmw(os_->engine(), &task->parent->pending_children,
+  const TaskHandle parent = slab_[task].parent;
+  sim::race::atomic_rmw(os_->engine(), &slab_[parent].pending_children,
                         "Task::pending_children");
-  task->parent->pending_children--;
+  slab_[parent].pending_children--;
   sim::race::atomic_rmw(os_->engine(), &incomplete_, "TaskPool::incomplete_");
   --incomplete_;
   ++executed_;
+  const bool parent_drained = slab_[parent].pending_children == 0;
+  unpin(task);  // finished: drop the task's own pin (children may remain)
   // Wake waiters only when a predicate could have flipped: a taskwait
   // waits for its task's last child, drain_all for pool exhaustion.
   // (Broadcasting on every completion makes task-heavy regions
   // quadratic in wakeups.)
-  if (task->parent->pending_children == 0 || incomplete_ == 0)
+  if (parent_drained || incomplete_ == 0)
     idle_gate_->notify_all();
 }
 
 bool TaskPool::try_run_one(int tid) {
   bool stolen = false;
-  auto t = pop_or_steal(tid, &stolen);
-  if (t == nullptr) return false;
-  run(tid, std::move(t), stolen);
+  const TaskHandle t = pop_or_steal(tid, &stolen);
+  if (t == kNoTask) return false;
+  run(tid, t, stolen);
   return true;
 }
 
 void TaskPool::taskwait(int tid) {
-  auto cur = current_[static_cast<std::size_t>(tid)];
+  const TaskHandle cur = current_[static_cast<std::size_t>(tid)];
   for (;;) {
-    sim::race::atomic_load(os_->engine(), &cur->pending_children);
-    if (cur->pending_children == 0) return;
+    sim::race::atomic_load(os_->engine(), &slab_[cur].pending_children);
+    if (slab_[cur].pending_children == 0) return;
     if (try_run_one(tid)) continue;
     // try_run_one yields inside its lock ops, so the last child may
     // have completed meanwhile; recheck right before parking (no yield
     // can occur between this check and the wait registration).
-    sim::race::atomic_load(os_->engine(), &cur->pending_children);
-    if (cur->pending_children == 0) return;
+    sim::race::atomic_load(os_->engine(), &slab_[cur].pending_children);
+    if (slab_[cur].pending_children == 0) return;
     idle_gate_->wait(spin_ns_);
   }
 }

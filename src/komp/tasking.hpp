@@ -1,6 +1,15 @@
 // Explicit-task support: per-thread deques with LIFO pop / FIFO steal,
 // tied-task semantics, nesting, and taskwait/barrier scheduling points.
 // This is the part of libomp the EPCC taskbench exercises.
+//
+// Tasks live in a slab (std::deque<Task>: stable addresses, chunked
+// growth) and are passed around as 32-bit slot handles through
+// RingDeque work queues -- no shared_ptr control blocks or per-spawn
+// heap traffic.  A slot is recycled through the freelist once its task
+// has finished *and* every child slot has been recycled (children pin
+// their parent, mirroring the old parent shared_ptr chain, so
+// `pending_children` stays valid for taskwait however long the
+// subtree runs).
 #pragma once
 
 #include <cstdint>
@@ -11,6 +20,7 @@
 
 #include "komp/tuning.hpp"
 #include "osal/sync.hpp"
+#include "sim/ring_deque.hpp"
 
 namespace kop::komp {
 
@@ -41,26 +51,38 @@ class TaskPool {
   std::uint64_t steals() const { return steals_; }
 
  private:
+  using TaskHandle = std::uint32_t;
+  static constexpr TaskHandle kNoTask = ~0u;
+
   struct Task {
     TaskBody body;
-    std::shared_ptr<Task> parent;  // keeps ancestors alive for counts
-    int pending_children = 0;
+    TaskHandle parent = kNoTask;
+    int pending_children = 0;  // incomplete children (taskwait predicate)
+    /// Slot pins: 1 for the task itself until it finishes, plus one per
+    /// child slot not yet recycled.  Slot returns to the freelist at 0.
+    std::uint32_t pins = 0;
   };
 
-  void run(int tid, std::shared_ptr<Task> task, bool stolen);
-  std::shared_ptr<Task> pop_or_steal(int tid, bool* stolen);
+  void run(int tid, TaskHandle task, bool stolen);
+  TaskHandle pop_or_steal(int tid, bool* stolen);
+  TaskHandle alloc_task();
+  /// Drop one pin; recycles the slot (and unpins ancestors) at zero.
+  void unpin(TaskHandle h);
 
   osal::Os* os_;
   const RuntimeTuning* tuning_;
   sim::Time spin_ns_;
-  std::vector<std::deque<std::shared_ptr<Task>>> deques_;
+  std::deque<Task> slab_;
+  std::vector<TaskHandle> free_;
+  std::vector<sim::RingDeque<TaskHandle>> deques_;
   std::vector<std::unique_ptr<osal::Spinlock>> locks_;
   /// The implicit task of each team thread (children bookkeeping for
-  /// top-level taskwait).
-  std::vector<std::shared_ptr<Task>> implicit_;
+  /// top-level taskwait); slots 0..nthreads-1, pinned for the pool's
+  /// lifetime.
+  std::vector<TaskHandle> implicit_;
   /// Task currently executing on each thread (the implicit task when
   /// no explicit task is running).
-  std::vector<std::shared_ptr<Task>> current_;
+  std::vector<TaskHandle> current_;
   std::unique_ptr<osal::WaitQueue> idle_gate_;
   std::size_t incomplete_ = 0;
   /// Tasks sitting in deques (not yet started).  Lets scheduling-point

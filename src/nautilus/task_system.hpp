@@ -10,12 +10,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "osal/sync.hpp"
+#include "sim/ring_deque.hpp"
 
 namespace kop::nautilus {
 
@@ -50,7 +50,9 @@ class TaskSystem {
 
  private:
   struct CpuQueue {
-    std::deque<TaskFn> tasks;
+    /// Flat ring instead of std::deque: retained capacity, so a warm
+    /// queue enqueues/steals without touching the allocator.
+    sim::RingDeque<TaskFn> tasks;
     std::unique_ptr<osal::Spinlock> lock;
     /// Per-CPU idle gate: the worker sleeps here; enqueue pokes only
     /// the target CPU (like raising a SoftIRQ on that core).

@@ -28,7 +28,8 @@ Engine::Engine(std::uint64_t rng_seed, SchedConfig sched)
     : rng_(rng_seed),
       sched_(sched),
       // Offset the seed so sched seed 0 and rng seed 0 decorrelate.
-      sched_rng_(sched.seed ^ 0xc2b2ae3d27d4eb4fULL) {}
+      sched_rng_(sched.seed ^ 0xc2b2ae3d27d4eb4fULL),
+      queue_(sched.policy != SchedPolicy::kFifo) {}
 
 Engine::~Engine() = default;
 
@@ -67,9 +68,13 @@ std::uint64_t Engine::sched_key(const SimThread* target) {
   return 0;
 }
 
-std::shared_ptr<const std::vector<std::uint64_t>> Engine::hb_snapshot() {
-  if (!racecheck_) return nullptr;
-  return racecheck_->release_snapshot(current_tid());
+void Engine::enqueue(Event&& ev) {
+  // Race checking costs exactly this one (cold) branch when disabled:
+  // ev.hb stays a default-constructed null shared_ptr, untouched.
+  if (racecheck_) [[unlikely]]
+    ev.hb = racecheck_->release_snapshot(current_tid());
+  queue_.push(std::move(ev));
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
 }
 
 bool Engine::wake_at(SimThread* t, Time when) {
@@ -82,8 +87,7 @@ bool Engine::wake_at(SimThread* t, Time when) {
   ev.key = sched_key(t);
   ev.thread = t;
   ev.generation = t->wake_generation_;
-  ev.hb = hb_snapshot();
-  queue_.push(std::move(ev));
+  enqueue(std::move(ev));
   return true;
 }
 
@@ -96,8 +100,7 @@ void Engine::wake_token_at(WakeToken tok, Time when) {
   ev.key = sched_key(tok.thread);
   ev.thread = tok.thread;
   ev.generation = tok.generation;
-  ev.hb = hb_snapshot();
-  queue_.push(std::move(ev));
+  enqueue(std::move(ev));
 }
 
 void Engine::post_at(Time when, std::function<void()> fn) {
@@ -107,8 +110,7 @@ void Engine::post_at(Time when, std::function<void()> fn) {
   ev.seq = next_seq_++;
   ev.key = sched_key(nullptr);
   ev.fn = std::move(fn);
-  ev.hb = hb_snapshot();
-  queue_.push(std::move(ev));
+  enqueue(std::move(ev));
 }
 
 WakeToken Engine::arm_wake_token() {
@@ -142,7 +144,8 @@ void Engine::yield_now() {
 void Engine::dispatch(Event& ev) {
   now_ = ev.at;
   if (ev.fn) {
-    if (racecheck_) racecheck_->on_callback(ev.hb);
+    if (racecheck_) [[unlikely]]
+      racecheck_->on_callback(ev.hb);
     ev.fn();
     return;
   }
@@ -156,7 +159,8 @@ void Engine::dispatch(Event& ev) {
   if (!t->blocked_) return;  // duplicate wake for the same generation
   t->blocked_ = false;
   t->wake_generation_++;  // invalidate other pending wakes for that block
-  if (racecheck_) racecheck_->on_resume(t->id(), ev.hb);
+  if (racecheck_) [[unlikely]]
+    racecheck_->on_resume(t->id(), ev.hb);
   if (sched_.policy == SchedPolicy::kPct) {
     // PCT-style priority change point: occasionally re-draw the
     // resumed thread's priority so a single high-priority thread
@@ -172,23 +176,21 @@ void Engine::dispatch(Event& ev) {
 
 void Engine::run() {
   while (!queue_.empty()) {
-    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
-    Event ev = queue_.top();
-    queue_.pop();
+    Event ev = queue_.pop();
     ++stats_.events_dispatched;
     dispatch(ev);
   }
+  stats_.queue_allocs = queue_.allocs();
   if (live_thread_count() > 0) report_deadlock();
 }
 
 void Engine::run_until(Time t) {
-  while (!queue_.empty() && queue_.top().at <= t) {
-    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
-    Event ev = queue_.top();
-    queue_.pop();
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    Event ev = queue_.pop();
     ++stats_.events_dispatched;
     dispatch(ev);
   }
+  stats_.queue_allocs = queue_.allocs();
   if (now_ < t) now_ = t;
 }
 

@@ -1,7 +1,9 @@
 // The discrete-event simulation engine.
 //
 // The engine owns a virtual clock, an event queue ordered by
-// (time, sequence), and a set of SimThreads, each backed by a Fiber.
+// (time, key, sequence) -- a two-level calendar queue with a
+// same-instant fast path (see sim/event_queue.hpp) -- and a set of
+// SimThreads, each backed by a Fiber.
 // Higher layers (the OS models) decide *when* a thread runs; the engine
 // only provides the mechanics:
 //
@@ -30,10 +32,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/fiber.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
@@ -177,37 +179,21 @@ class Engine {
     std::uint64_t stale_wakes = 0;      // generation-filtered wakeups
     std::uint64_t threads_spawned = 0;
     std::size_t peak_queue_depth = 0;
+    /// Heap allocations made by the event queue after warm-up; a warm
+    /// engine should dispatch with this not moving (arena reuse).
+    std::uint64_t queue_allocs = 0;
   };
   const Stats& stats() const { return stats_; }
 
  private:
   friend class RaceChecker;
 
-  struct Event {
-    Time at;
-    std::uint64_t seq;
-    /// Policy tie-break key among events at the same time (0 = FIFO).
-    std::uint64_t key = 0;
-    // Exactly one of {thread wake, callback}.
-    SimThread* thread = nullptr;
-    std::uint64_t generation = 0;
-    std::function<void()> fn;
-    /// Vector-clock snapshot of the posting context (racecheck only).
-    std::shared_ptr<const std::vector<std::uint64_t>> hb;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      if (a.key != b.key) return a.key > b.key;
-      return a.seq > b.seq;
-    }
-  };
-
   /// Tie-break key for an event being posted now (depends on policy).
   std::uint64_t sched_key(const SimThread* target);
-  /// Release-snapshot of the posting context's vector clock (null when
-  /// race checking is off).
-  std::shared_ptr<const std::vector<std::uint64_t>> hb_snapshot();
+
+  /// Push with stats upkeep (peak depth is tracked here, on push only:
+  /// the depth cannot grow anywhere else).
+  void enqueue(Event&& ev);
 
   void dispatch(Event& ev);
   [[noreturn]] void report_deadlock() const;
@@ -218,7 +204,7 @@ class Engine {
   Rng sched_rng_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_thread_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  EventQueue queue_;
   std::vector<std::unique_ptr<SimThread>> threads_;
   SimThread* current_ = nullptr;
   Stats stats_;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <new>
 #include <stdexcept>
+#include <vector>
 
 // AddressSanitizer tracks one shadow stack per host thread, so fiber
 // switches need shadow bookkeeping.  GCC's ASan runtime intercepts
@@ -90,18 +91,60 @@ std::size_t round_up(std::size_t n, std::size_t align) {
   return (n + align - 1) / align * align;
 }
 
+// Freelist of retired stack mappings, keyed by total mapped size.  A
+// sweep constructs thousands of short-lived engines whose threads each
+// mmap/mprotect/munmap a stack; recycling the mapping (guard page and
+// all) makes steady-state fiber creation syscall-free.  Thread-local:
+// JobRunner workers each keep their own pool, so no locking, and the
+// pool dies with its host thread.
+struct StackPool {
+  struct Entry {
+    void* base;
+    std::size_t map_bytes;
+  };
+  static constexpr std::size_t kMaxEntries = 128;
+  std::vector<Entry> entries;
+
+  void* take(std::size_t map_bytes) {
+    for (std::size_t i = entries.size(); i-- > 0;) {
+      if (entries[i].map_bytes == map_bytes) {
+        void* base = entries[i].base;
+        entries[i] = entries.back();
+        entries.pop_back();
+        return base;
+      }
+    }
+    return nullptr;
+  }
+
+  bool put(void* base, std::size_t map_bytes) {
+    if (entries.size() >= kMaxEntries) return false;
+    entries.push_back(Entry{base, map_bytes});
+    return true;
+  }
+
+  ~StackPool() {
+    for (const Entry& e : entries) ::munmap(e.base, e.map_bytes);
+  }
+};
+
+thread_local StackPool g_stack_pool;
+
 }  // namespace
 
 Fiber::Fiber(Entry entry, std::size_t stack_bytes) : entry_(std::move(entry)) {
   const std::size_t ps = page_size();
   const std::size_t usable = round_up(stack_bytes, ps);
   map_bytes_ = usable + ps;  // one guard page below the stack
-  void* base = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
-                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
-  if (base == MAP_FAILED) throw std::bad_alloc();
-  if (::mprotect(base, ps, PROT_NONE) != 0) {
-    ::munmap(base, map_bytes_);
-    throw std::runtime_error("fiber: mprotect guard page failed");
+  void* base = g_stack_pool.take(map_bytes_);
+  if (base == nullptr) {
+    base = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    if (base == MAP_FAILED) throw std::bad_alloc();
+    if (::mprotect(base, ps, PROT_NONE) != 0) {
+      ::munmap(base, map_bytes_);
+      throw std::runtime_error("fiber: mprotect guard page failed");
+    }
   }
   stack_base_ = base;
 
@@ -122,7 +165,14 @@ Fiber::~Fiber() {
 #ifdef KOP_TSAN_FIBERS
   if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
 #endif
-  if (stack_base_ != nullptr) ::munmap(stack_base_, map_bytes_);
+  // Recycle only stacks with no live frames: a fiber destroyed while
+  // suspended mid-run still has frames (and, under ASan, poisoned
+  // shadow) on its stack, so that mapping goes back to the kernel.
+  const bool clean = finished_ || !started_;
+  if (stack_base_ != nullptr &&
+      !(clean && g_stack_pool.put(stack_base_, map_bytes_))) {
+    ::munmap(stack_base_, map_bytes_);
+  }
 }
 
 void Fiber::trampoline() {

@@ -37,14 +37,19 @@ double Stats::max() const {
 
 double Stats::percentile(double p) const {
   if (samples_.empty()) return 0.0;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
+  // Selection instead of a full sort: O(n) for the lo rank, then the
+  // hi value is the minimum of the suffix nth_element leaves behind.
+  std::vector<double> work = samples_;
   p = std::clamp(p, 0.0, 100.0);
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const double rank = p / 100.0 * static_cast<double>(work.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const auto hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  const auto lo_it = work.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(work.begin(), lo_it, work.end());
+  const double lo_val = *lo_it;
+  if (frac == 0.0 || lo + 1 >= work.size()) return lo_val;
+  const double hi_val = *std::min_element(lo_it + 1, work.end());
+  return lo_val * (1.0 - frac) + hi_val * frac;
 }
 
 double Stats::trimmed_mean(double k) const {

@@ -180,4 +180,91 @@ std::vector<std::string> validate_metrics_json(const std::string& text) {
   return out;
 }
 
+std::vector<std::string> validate_bench_json(const std::string& text) {
+  std::vector<std::string> out;
+  JsonValue root;
+  try {
+    root = parse_json(text);
+  } catch (const JsonParseError& e) {
+    out.push_back(e.what());
+    return out;
+  }
+
+  if (!root.is_object()) {
+    out.push_back("root must be an object");
+    return out;
+  }
+
+  const JsonValue* schema = root.find("schema");
+  if (!schema || !schema->is_string() || schema->string != kBenchSchemaName) {
+    out.push_back("\"schema\" must be \"" + std::string(kBenchSchemaName) +
+                  "\"");
+  }
+
+  const JsonValue* version = root.find("version");
+  if (!version || !version->is_number() ||
+      version->number != kBenchSchemaVersion) {
+    out.push_back("\"version\" must be " + std::to_string(kBenchSchemaVersion));
+  }
+
+  const JsonValue* generator = root.find("generator");
+  if (!generator || !generator->is_string() || generator->string.empty()) {
+    out.push_back("\"generator\" must be a non-empty string");
+  }
+
+  const JsonValue* benches = root.find("benches");
+  if (!benches || !benches->is_array()) {
+    out.push_back("\"benches\" must be an array");
+    return out;
+  }
+  if (benches->array.empty()) {
+    out.push_back("\"benches\" must not be empty");
+  }
+
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < benches->array.size(); ++i) {
+    const JsonValue& b = benches->array[i];
+    const std::string where = "benches[" + std::to_string(i) + "]";
+    if (!b.is_object()) {
+      out.push_back(where + ": must be an object");
+      continue;
+    }
+    static const std::set<std::string> allowed = {
+        "name", "unit", "items", "seconds", "items_per_sec", "allocs_steady"};
+    for (const auto& [key, val] : b.object) {
+      (void)val;
+      if (!allowed.count(key)) {
+        out.push_back(where + ": unknown key \"" + key + "\"");
+      }
+    }
+    for (const char* k : {"name", "unit"}) {
+      const JsonValue* v = b.find(k);
+      if (!v || !v->is_string() || v->string.empty()) {
+        out.push_back(where + ": \"" + k + "\" must be a non-empty string");
+      }
+    }
+    const JsonValue* name = b.find("name");
+    if (name && name->is_string() && !name->string.empty() &&
+        !names.insert(name->string).second) {
+      out.push_back(where + ": duplicate bench name \"" + name->string + "\"");
+    }
+    for (const char* k : {"items", "allocs_steady"}) {
+      const JsonValue* v = b.find(k);
+      if (!v || !v->is_number() || v->number < 0 ||
+          v->number != std::floor(v->number)) {
+        out.push_back(where + ": \"" + std::string(k) +
+                      "\" must be a non-negative integer");
+      }
+    }
+    for (const char* k : {"seconds", "items_per_sec"}) {
+      const JsonValue* v = b.find(k);
+      if (!v || !v->is_number() || v->number < 0) {
+        out.push_back(where + ": \"" + std::string(k) +
+                      "\" must be a non-negative number");
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace kop::telemetry

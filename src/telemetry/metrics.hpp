@@ -43,9 +43,34 @@ namespace kop::telemetry {
 inline constexpr const char* kMetricsSchemaName = "kop-metrics";
 inline constexpr int kMetricsSchemaVersion = 1;
 
+// Companion schema for host-side microbenchmark exports ("kop-bench"
+// v1), emitted by bench/simcore_gbench --json and consumed by the CI
+// perf gate (examples/kop_perfgate):
+//
+//   {
+//     "schema": "kop-bench",
+//     "version": 1,
+//     "generator": "<binary name>",
+//     "benches": [
+//       {
+//         "name": "<string>",            // e.g. "event_loop"
+//         "unit": "<string>",            // what items counts, e.g. "events"
+//         "items": <int >= 0>,
+//         "seconds": <number >= 0>,
+//         "items_per_sec": <number >= 0>,
+//         "allocs_steady": <int >= 0>    // queue allocs after warm-up
+//       }, ...
+//     ]
+//   }
+inline constexpr const char* kBenchSchemaName = "kop-bench";
+inline constexpr int kBenchSchemaVersion = 1;
+
 // Returns a list of human-readable schema violations; empty means the
 // document is a valid kop-metrics v1 export.  Malformed JSON is reported
 // as a single violation rather than thrown.
 std::vector<std::string> validate_metrics_json(const std::string& text);
+
+// Same contract for kop-bench v1 documents.
+std::vector<std::string> validate_bench_json(const std::string& text);
 
 }  // namespace kop::telemetry

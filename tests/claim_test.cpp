@@ -1,0 +1,192 @@
+// Work-stealing point dispatch (--shard-claim): the claim directory
+// must grant each point to exactly one worker (even under concurrent
+// claiming), the full three-worker workflow must cover the sweep
+// exactly once, and the merged worker caches must replay the figure
+// byte-identically -- the same contract the static --shard partition
+// gives, without its load imbalance.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/figures.hpp"
+#include "harness/jobs/cache.hpp"
+#include "harness/jobs/claim.hpp"
+#include "harness/jobs/merge.hpp"
+#include "harness/jobs/runner.hpp"
+#include "harness/jobs/shard.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using kop::core::PathKind;
+using kop::harness::MetricsSink;
+namespace jobs = kop::harness::jobs;
+
+class ClaimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("kop_claim_" + std::to_string(getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string dir(const std::string& name) {
+    const fs::path p = root_ / name;
+    return p.string();
+  }
+
+  fs::path root_;
+};
+
+jobs::PointSpec tiny_point(int threads) {
+  jobs::PointSpec p;
+  p.kind = jobs::PointSpec::Kind::kNas;
+  p.machine = "phi";
+  p.path = PathKind::kRtk;
+  p.threads = threads;
+  p.nas = kop::harness::scale_suite(kop::nas::paper_suite(), 0.25, 2)[0];
+  return p;
+}
+
+TEST_F(ClaimTest, FirstClaimWinsSecondLoses) {
+  jobs::ClaimDir claims(dir("claims"));
+  const auto p = tiny_point(1);
+  EXPECT_TRUE(claims.try_claim(p));
+  EXPECT_FALSE(claims.try_claim(p));
+  // A different point is an independent claim.
+  EXPECT_TRUE(claims.try_claim(tiny_point(2)));
+  // The claim file is named after the cache entry key.
+  EXPECT_TRUE(fs::exists(fs::path(claims.dir()) /
+                         ("kop-" + jobs::hex16(jobs::ResultCache::key(p)) +
+                          ".claim")));
+}
+
+TEST_F(ClaimTest, ConcurrentClaimersGetExactlyOneWinnerPerPoint) {
+  const std::string cdir = dir("claims");
+  constexpr int kWorkers = 8;
+  constexpr int kPoints = 16;
+  std::atomic<int> wins[kPoints] = {};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      jobs::ClaimDir claims(cdir);
+      // Stagger iteration so workers race on different points first.
+      for (int i = 0; i < kPoints; ++i) {
+        const int pt = (i + w) % kPoints;
+        if (claims.try_claim(tiny_point(pt + 1))) wins[pt]++;
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (int pt = 0; pt < kPoints; ++pt) {
+    EXPECT_EQ(wins[pt].load(), 1) << "point " << pt;
+  }
+}
+
+TEST_F(ClaimTest, ShardAndClaimAreMutuallyExclusive) {
+  auto suite = kop::harness::scale_suite(kop::nas::paper_suite(), 0.25, 2);
+  suite.resize(1);
+  jobs::JobOptions jopts;
+  jopts.shard.index = 0;
+  jopts.shard.count = 2;
+  jopts.claim_dir = dir("claims");
+  MetricsSink sink("claim_test");
+  EXPECT_THROW(kop::harness::print_nas_normalized("x", "phi", {PathKind::kRtk},
+                                                  {1}, suite, &sink, jopts),
+               std::invalid_argument);
+}
+
+TEST_F(ClaimTest, ThreeWorkersCoverExactlyOnceAndReplayByteIdentically) {
+  auto suite = kop::harness::scale_suite(kop::nas::paper_suite(), 0.25, 2);
+  suite.resize(2);
+  const std::vector<PathKind> paths = {PathKind::kRtk};
+  const std::vector<int> scales = {1, 4};
+  const auto points =
+      kop::harness::enumerate_nas_normalized("phi", paths, scales, suite);
+
+  // The reference rendering: unsharded, no cache.
+  MetricsSink ref_sink("claim_workflow");
+  const std::string reference = kop::harness::print_nas_normalized(
+      "Figure 9 (reduced)", "phi", paths, scales, suite, &ref_sink, {});
+
+  // Three workers run the SAME command concurrently: full matrix,
+  // shared claim dir, private caches.
+  constexpr int kWorkers = 3;
+  std::vector<std::string> outs(kWorkers);
+  {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWorkers; ++w) {
+      threads.emplace_back([&, w] {
+        jobs::JobOptions jopts;
+        jopts.jobs = 1;
+        jopts.claim_dir = dir("claims");
+        jopts.cache_dir = dir("worker" + std::to_string(w));
+        MetricsSink sink("claim_workflow_worker");
+        outs[w] = kop::harness::print_nas_normalized(
+            "Figure 9 (reduced)", "phi", paths, scales, suite, &sink, jopts);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  // Claim mode never prints the figure table, and the claim ledger
+  // holds exactly one claim file per point.
+  std::size_t claim_files = 0;
+  for (const auto& e : fs::directory_iterator(dir("claims"))) {
+    EXPECT_EQ(e.path().extension(), ".claim");
+    ++claim_files;
+  }
+  EXPECT_EQ(claim_files, points.size());
+  for (int w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(outs[w].find("geomean"), std::string::npos);
+    EXPECT_NE(outs[w].find("[claim] executed"), std::string::npos);
+  }
+
+  // Every point's cache entry exists in exactly one worker cache.
+  for (const auto& p : points) {
+    const std::string entry =
+        "kop-" + jobs::hex16(jobs::ResultCache::key(p)) + ".json";
+    int copies = 0;
+    for (int w = 0; w < kWorkers; ++w) {
+      if (fs::exists(fs::path(dir("worker" + std::to_string(w))) / entry))
+        ++copies;
+    }
+    EXPECT_EQ(copies, 1) << p.label();
+  }
+
+  // Merge (checking coverage against the static-shard manifest, which
+  // names the same entries) and replay without simulating anything.
+  const std::string manifest_path = dir("manifest.txt");
+  {
+    jobs::ShardSpec shard;  // count=1: manifest of the whole sweep
+    std::ofstream out(manifest_path);
+    out << jobs::shard_list_text(points, shard);
+  }
+  jobs::MergeOptions mopts;
+  mopts.dest = dir("merged");
+  mopts.expect_path = manifest_path;
+  for (int w = 0; w < kWorkers; ++w)
+    mopts.sources.push_back(dir("worker" + std::to_string(w)));
+  const auto report = jobs::merge_caches(mopts);
+  EXPECT_TRUE(report.ok()) << report.text();
+  EXPECT_EQ(report.merged, points.size());
+
+  jobs::JobOptions replay;
+  replay.cache_dir = dir("merged");
+  MetricsSink replay_sink("claim_workflow_replay");
+  const std::string replayed = kop::harness::print_nas_normalized(
+      "Figure 9 (reduced)", "phi", paths, scales, suite, &replay_sink, replay);
+  EXPECT_EQ(replayed, reference);
+}
+
+}  // namespace
