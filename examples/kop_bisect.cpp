@@ -1,0 +1,230 @@
+// Cache-backed bisection of one cost-model constant.
+//
+//   kop_bisect --param <personality.field> --baseline <cache-dir>
+//              [--min 0.25] [--max 4.0] [--steps 5] [--bisect-iters 4]
+//              [--quick] [--tolerance <rel>] [--jobs N]
+//              [--cache-dir <dir>] [--json <path>]
+//              [--expect-hit-rate <frac>] [--list-params]
+//
+// Recalibration question the paper pipeline keeps hitting: how far can
+// one hw/cost_params.hpp constant move before the reported *shape*
+// (RTK-vs-Linux gains, fig09) breaks against a recorded baseline?
+// kop_bisect sweeps a multiplicative scale over --param on a log grid,
+// judges each scale with the kop_baseline shape predicate, then
+// bisects every pass/fail boundary in log space.
+//
+// The sweep is minutes-scale instead of hours-scale because results
+// are content-addressed: overrides are applied inside
+// hw::linux_costs()/nautilus_costs(), so each scale lands on its own
+// cost-model fingerprint and every ResultCache entry stays valid
+// forever.  Re-running the same bisection hits the cache for every
+// point (the pocl trick -- reuse keyed by exact content, Jääskeläinen
+// et al.); --expect-hit-rate turns that into a CI assertion.
+//
+// Exit code: 0 ok, 1 evaluation failure or hit-rate shortfall, 2 usage.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/figures.hpp"
+#include "harness/jobs/baseline.hpp"
+#include "harness/jobs/runner.hpp"
+#include "hw/cost_params.hpp"
+
+using namespace kop;
+namespace jobs = kop::harness::jobs;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --param <personality.field> --baseline <cache-dir>\n"
+               "          [--min F] [--max F] [--steps N] [--bisect-iters N]\n"
+               "          [--quick] [--tolerance <rel>] [--jobs N]\n"
+               "          [--cache-dir <dir>] [--json <path>]\n"
+               "          [--expect-hit-rate <frac>] [--list-params]\n",
+               argv0);
+  return 2;
+}
+
+struct Eval {
+  double scale = 1.0;
+  bool pass = false;
+};
+
+struct Driver {
+  std::string param;
+  bool quick = false;
+  jobs::BaselineOptions bopts;
+  jobs::JobOptions jopts;
+  const jobs::CacheIndex* baseline = nullptr;
+  // Aggregate cache traffic across every evaluation.
+  std::uint64_t hits = 0;
+  std::uint64_t executed = 0;
+
+  /// Judge one scale of the parameter against the baseline shape.
+  /// Throws on simulation failure (a scale so extreme the stack cannot
+  /// boot is an error, not a shape verdict).
+  bool evaluate(double scale) {
+    hw::set_cost_scale(param, scale);
+    const auto sweep = harness::fig09_sweep(quick);
+    const auto points = harness::enumerate_nas_normalized(
+        sweep.machine, sweep.paths, sweep.scales, sweep.suite);
+    jobs::JobRunner runner(jopts);
+    const auto fresh = runner.run(points);
+    hits += runner.stats().cache_hits;
+    executed += runner.stats().executed;
+    jobs::require_ok(points, fresh);
+    std::vector<jobs::PointResult> base(points.size());
+    std::vector<bool> have(points.size(), false);
+    for (std::size_t i = 0; i < points.size(); ++i)
+      have[i] = baseline->load(points[i], &base[i]);
+    std::vector<std::string> missing;
+    auto cells =
+        jobs::nas_shape_cells("fig09", sweep.machine, sweep.paths,
+                              sweep.scales, sweep.suite, base, have, fresh,
+                              &missing);
+    const auto verdict = jobs::compare_shapes(std::move(cells), bopts);
+    return verdict.shapes_ok() && missing.empty();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Driver drv;
+  std::string baseline_dir, json_path;
+  double lo = 0.25, hi = 4.0, expect_hit_rate = -1.0;
+  int steps = 5, bisect_iters = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--param" && i + 1 < argc) {
+      drv.param = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_dir = argv[++i];
+    } else if (arg == "--min" && i + 1 < argc) {
+      lo = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--max" && i + 1 < argc) {
+      hi = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--steps" && i + 1 < argc) {
+      steps = std::atoi(argv[++i]);
+    } else if (arg == "--bisect-iters" && i + 1 < argc) {
+      bisect_iters = std::atoi(argv[++i]);
+    } else if (arg == "--quick") {
+      drv.quick = true;
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      drv.bopts.geomean_tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      drv.jopts.jobs = std::atoi(argv[++i]);
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      drv.jopts.cache_dir = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--expect-hit-rate" && i + 1 < argc) {
+      expect_hit_rate = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--list-params") {
+      for (const auto& name : hw::cost_param_names())
+        std::printf("%s\n", name.c_str());
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (drv.param.empty() || baseline_dir.empty() || steps < 2 ||
+      !(lo > 0.0) || !(hi > lo)) {
+    return usage(argv[0]);
+  }
+  try {
+    hw::set_cost_scale(drv.param, 2.0);  // validate the key early
+    hw::clear_cost_scales();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  const jobs::CacheIndex baseline_index(baseline_dir);
+  drv.baseline = &baseline_index;
+  std::fprintf(stderr, "[kop_bisect] %s over [%g, %g], %zu baseline entries\n",
+               drv.param.c_str(), lo, hi, baseline_index.size());
+
+  std::vector<Eval> evals;
+  std::vector<double> boundaries;
+  int rc = 0;
+  try {
+    // Coarse pass: log-spaced grid, endpoints included.
+    for (int i = 0; i < steps; ++i) {
+      Eval e;
+      e.scale = std::exp(std::log(lo) + (std::log(hi) - std::log(lo)) * i /
+                                            (steps - 1));
+      e.pass = drv.evaluate(e.scale);
+      std::printf("scale %.4f -> %s\n", e.scale, e.pass ? "PASS" : "FAIL");
+      evals.push_back(e);
+    }
+    // Refine every pass/fail boundary by log-space bisection.  Only
+    // the coarse grid defines boundaries; the evals appended below are
+    // records of the refinement itself, not new intervals to scan.
+    const std::size_t coarse = evals.size();
+    for (std::size_t i = 1; i < coarse; ++i) {
+      if (evals[i - 1].pass == evals[i].pass) continue;
+      double a = evals[i - 1].scale, b = evals[i].scale;
+      bool a_pass = evals[i - 1].pass;
+      for (int it = 0; it < bisect_iters; ++it) {
+        const double mid = std::exp(0.5 * (std::log(a) + std::log(b)));
+        const bool mid_pass = drv.evaluate(mid);
+        std::printf("  bisect %.4f -> %s\n", mid, mid_pass ? "PASS" : "FAIL");
+        evals.push_back({mid, mid_pass});
+        if (mid_pass == a_pass) a = mid; else b = mid;
+      }
+      const double boundary = std::exp(0.5 * (std::log(a) + std::log(b)));
+      boundaries.push_back(boundary);
+      std::printf("boundary near scale %.4f (%s)\n", boundary,
+                  drv.param.c_str());
+    }
+    if (boundaries.empty()) {
+      std::printf("no pass/fail boundary in [%g, %g]: shape verdict is %s "
+                  "across the whole range\n",
+                  lo, hi, evals.front().pass ? "PASS" : "FAIL");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 1;
+  }
+  hw::clear_cost_scales();
+
+  const std::uint64_t lookups = drv.hits + drv.executed;
+  const double rate =
+      lookups == 0 ? 0.0 : static_cast<double>(drv.hits) / lookups;
+  std::fprintf(stderr, "[kop_bisect] cache: %llu hits / %llu lookups (%.1f%%)\n",
+               static_cast<unsigned long long>(drv.hits),
+               static_cast<unsigned long long>(lookups), 100.0 * rate);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    out << "{\n  \"param\": \"" << drv.param << "\",\n  \"evals\": [";
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+      out << (i ? ", " : "") << "{\"scale\": " << evals[i].scale
+          << ", \"pass\": " << (evals[i].pass ? "true" : "false") << "}";
+    }
+    out << "],\n  \"boundaries\": [";
+    for (std::size_t i = 0; i < boundaries.size(); ++i)
+      out << (i ? ", " : "") << boundaries[i];
+    out << "],\n  \"cache_hits\": " << drv.hits
+        << ",\n  \"cache_lookups\": " << lookups
+        << ",\n  \"cache_hit_rate\": " << rate << "\n}\n";
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      rc = 1;
+    }
+  }
+  if (expect_hit_rate >= 0.0 && rate < expect_hit_rate) {
+    std::fprintf(stderr,
+                 "error: cache hit rate %.1f%% below expected %.1f%%\n",
+                 100.0 * rate, 100.0 * expect_hit_rate);
+    rc = 1;
+  }
+  return rc;
+}

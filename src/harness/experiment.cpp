@@ -22,7 +22,7 @@ void fill_metrics(RunMetrics* m, core::Stack& stack,
 
 nas::RunResult run_nas(const core::StackConfig& config,
                        const nas::BenchmarkSpec& spec,
-                       RunMetrics* metrics) {
+                       RunMetrics* metrics, const RunHooks& hooks) {
   core::StackConfig cfg = config;
   // RTK/CCK link the app's static data into the boot image (§3.1);
   // PIK and Linux have no such constraint.
@@ -31,6 +31,7 @@ nas::RunResult run_nas(const core::StackConfig& config,
     cfg.app_static_bytes = spec.static_bytes;
   }
   auto stack = core::Stack::create(cfg);
+  if (hooks.on_boot) hooks.on_boot(*stack);
 
   nas::RunResult result;
   if (stack->is_omp_path()) {
@@ -49,17 +50,20 @@ nas::RunResult run_nas(const core::StackConfig& config,
     metrics->timed_seconds = result.timed_seconds;
     metrics->init_seconds = result.init_seconds;
   }
+  if (hooks.on_done) hooks.on_done(*stack);
   return result;
 }
 
 std::vector<epcc::Measurement> run_epcc(const core::StackConfig& config,
                                         EpccPart part,
                                         const epcc::EpccConfig& ecfg,
-                                        RunMetrics* metrics) {
+                                        RunMetrics* metrics,
+                                        const RunHooks& hooks) {
   auto stack = core::Stack::create(config);
   if (!stack->is_omp_path())
     throw std::invalid_argument(
         "EPCC measures OpenMP directives; CCK paths have none (§6.1)");
+  if (hooks.on_boot) hooks.on_boot(*stack);
   std::vector<epcc::Measurement> out;
   stack->run_omp_app([&](komp::Runtime& rt) {
     epcc::Suite suite(rt, ecfg);
@@ -88,6 +92,7 @@ std::vector<epcc::Measurement> run_epcc(const core::StackConfig& config,
       metrics->constructs[m.group + "." + m.name] = stat;
     }
   }
+  if (hooks.on_done) hooks.on_done(*stack);
   return out;
 }
 

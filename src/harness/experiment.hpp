@@ -3,6 +3,7 @@
 // The bench/ binaries compose these into the paper's figures.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -13,12 +14,25 @@
 
 namespace kop::harness {
 
+/// Optional observation hooks for one experiment run.  The drivers boot
+/// the stack internally, so anything that wants to watch the run --
+/// attach an OMPT tool, read engine stats or the dispatch digest after
+/// the workload finished -- needs a window into the stack's lifetime.
+/// `on_boot` fires right after Stack::create (before the app runs);
+/// `on_done` fires after the app returned, while the stack is still
+/// alive.  Used by harness/propcheck; normal callers pass nothing.
+struct RunHooks {
+  std::function<void(core::Stack&)> on_boot;
+  std::function<void(core::Stack&)> on_done;
+};
+
 /// Run one NAS benchmark on a freshly booted stack.  If `metrics` is
 /// non-null it is filled with the run's identity, timing, and the
 /// stack's event-counter snapshot.
 nas::RunResult run_nas(const core::StackConfig& config,
                        const nas::BenchmarkSpec& spec,
-                       RunMetrics* metrics = nullptr);
+                       RunMetrics* metrics = nullptr,
+                       const RunHooks& hooks = {});
 
 /// Which EPCC component to run.
 enum class EpccPart { kSync, kSched, kArray, kTask, kAll };
@@ -30,7 +44,8 @@ enum class EpccPart { kSync, kSched, kArray, kTask, kAll };
 std::vector<epcc::Measurement> run_epcc(const core::StackConfig& config,
                                         EpccPart part,
                                         const epcc::EpccConfig& ecfg = {},
-                                        RunMetrics* metrics = nullptr);
+                                        RunMetrics* metrics = nullptr,
+                                        const RunHooks& hooks = {});
 
 /// The paper's convention for 8XEON: Nautilus uses first-touch-at-2MB
 /// for runs on more than one socket (§6.3).

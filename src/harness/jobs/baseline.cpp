@@ -62,7 +62,10 @@ CacheIndex::CacheIndex(const std::string& dir) {
 bool CacheIndex::load(const PointSpec& spec, PointResult* out) const {
   const auto it = by_canonical_.find(spec.canonical());
   if (it == by_canonical_.end()) return false;
-  return ResultCache::decode(it->second, spec, out);
+  // Fingerprint-agnostic on purpose: a baseline captured under an older
+  // calibration must still be readable for shape comparison.
+  return ResultCache::decode(it->second, spec, out,
+                             /*require_fingerprint=*/false);
 }
 
 BaselineVerdict compare_shapes(std::vector<ShapeCell> cells,

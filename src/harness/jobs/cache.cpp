@@ -88,7 +88,7 @@ std::string ResultCache::encode(const PointSpec& spec,
 }
 
 bool ResultCache::decode(const std::string& text, const PointSpec& spec,
-                         PointResult* out) {
+                         PointResult* out, bool require_fingerprint) {
   // A cached entry must itself be a valid kop-metrics v1 artifact.
   if (!telemetry::validate_metrics_json(text).empty()) return false;
   telemetry::JsonValue root;
@@ -103,6 +103,13 @@ bool ResultCache::decode(const std::string& text, const PointSpec& spec,
   if (point == nullptr || !point->is_string() ||
       point->string != spec.canonical()) {
     return false;  // hash collision or stale file: treat as a miss
+  }
+  if (require_fingerprint) {
+    const telemetry::JsonValue* fp = side->find("fingerprint");
+    if (fp == nullptr || !fp->is_string() ||
+        fp->string != hex16(cost_model_fingerprint())) {
+      return false;  // recorded under different calibration: stale
+    }
   }
   const telemetry::JsonValue* runs = root.find("runs");
   if (runs == nullptr || runs->array.size() != 1) return false;

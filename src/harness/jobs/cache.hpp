@@ -67,8 +67,13 @@ class ResultCache {
   static std::string encode(const PointSpec& spec, const PointResult& result);
   /// Parse an entry document; returns false if invalid or not for
   /// `spec`.  Never throws on malformed input.
+  /// With `require_fingerprint` (the cache's own loads), the sidecar
+  /// fingerprint must equal the live cost_model_fingerprint() -- a file
+  /// renamed to the right key but recorded under different calibration
+  /// is stale, not a hit.  Fingerprint-agnostic readers (baseline's
+  /// CacheIndex, which indexes entries across calibrations) pass false.
   static bool decode(const std::string& text, const PointSpec& spec,
-                     PointResult* out);
+                     PointResult* out, bool require_fingerprint = true);
 
  private:
   std::string dir_;

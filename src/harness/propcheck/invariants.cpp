@@ -1,0 +1,422 @@
+// The invariant registry: everything propcheck asserts about one run.
+//
+// One TraceRecorder (an ompt::Tool) observes the whole run through the
+// experiment RunHooks; check_case() runs the point twice and evaluates
+// each named invariant against the recordings.
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "harness/jobs/cache.hpp"
+#include "harness/jobs/merge.hpp"
+#include "harness/propcheck/propcheck.hpp"
+#include "ompt/ompt.hpp"
+#include "telemetry/counters.hpp"
+
+namespace kop::harness::propcheck {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * kFnvPrime;
+}
+
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
+// One thread's open worksharing bracket (between its on_work begin and
+// end); dispatched chunks attach to the innermost open bracket.
+struct Bracket {
+  ompt::WorkKind kind = ompt::WorkKind::kLoopStatic;
+  std::int64_t iterations = 0;
+  std::vector<Interval> intervals;
+};
+
+// All threads' closed brackets for the k-th construct of a given kind.
+// Worksharing is SPMD: every team member reaches the same constructs in
+// the same order, so (kind, per-thread close index) identifies one
+// construct instance across threads.
+struct Instance {
+  std::int64_t iterations = -1;
+  bool iterations_agree = true;
+  int begins = 0;
+  std::vector<Interval> intervals;
+};
+
+bool is_dispatching(ompt::WorkKind k) {
+  // kStatic splits proportionally with no per-chunk dispatch events,
+  // and kSingle/kOrdered never chunk; everything that goes through a
+  // shared grab-loop dispatches and must conserve.
+  return k == ompt::WorkKind::kLoopStaticChunked ||
+         k == ompt::WorkKind::kLoopDynamic ||
+         k == ompt::WorkKind::kLoopGuided || k == ompt::WorkKind::kSections;
+}
+
+class TraceRecorder : public ompt::Tool {
+ public:
+  // --- the recordings check_case consumes -----------------------------
+  std::uint64_t digest = kFnvOffset;
+  bool mono_ok = true;
+  std::string mono_detail;
+  std::uint64_t task_creates = 0;
+  std::uint64_t task_begins = 0;
+  std::uint64_t task_ends = 0;
+  std::uint64_t task_stolen = 0;
+  std::uint64_t rt_submits[2] = {0, 0};
+  std::uint64_t rt_begins[2] = {0, 0};
+  std::uint64_t rt_ends[2] = {0, 0};
+  std::uint64_t rt_stolen = 0;
+  std::vector<std::string> work_errors;  // malformed bracket structure
+  std::map<std::pair<int, int>, Instance> instances;  // (kind, index)
+
+  // --- ompt::Tool ------------------------------------------------------
+  void on_parallel(ompt::Endpoint e, sim::Time t, int team_size) override {
+    note(1, e, t, 0, static_cast<std::uint64_t>(team_size));
+  }
+  void on_implicit_task(ompt::Endpoint e, sim::Time t, int tid,
+                        int team_size) override {
+    note(2, e, t, tid, static_cast<std::uint64_t>(team_size));
+  }
+  void on_work(ompt::WorkKind k, ompt::Endpoint e, sim::Time t, int tid,
+               std::int64_t iterations) override {
+    note(3, e, t, tid,
+         fold(static_cast<std::uint64_t>(k),
+              static_cast<std::uint64_t>(iterations)));
+    auto& stack = open_[tid];
+    if (e == ompt::Endpoint::kBegin) {
+      stack.push_back(Bracket{k, iterations, {}});
+      return;
+    }
+    if (stack.empty() || stack.back().kind != k) {
+      record_work_error("work end without matching begin (tid " +
+                        std::to_string(tid) + ", kind " +
+                        ompt::work_kind_name(k) + ")");
+      return;
+    }
+    Bracket done = std::move(stack.back());
+    stack.pop_back();
+    const int idx = closed_[tid][static_cast<int>(k)]++;
+    Instance& inst = instances[{static_cast<int>(k), idx}];
+    ++inst.begins;
+    if (inst.iterations < 0) {
+      inst.iterations = done.iterations;
+    } else if (inst.iterations != done.iterations) {
+      inst.iterations_agree = false;
+    }
+    inst.intervals.insert(inst.intervals.end(), done.intervals.begin(),
+                          done.intervals.end());
+  }
+  void on_dispatch(sim::Time t, int tid, std::int64_t lo,
+                   std::int64_t hi) override {
+    note(4, ompt::Endpoint::kBegin, t, tid,
+         fold(static_cast<std::uint64_t>(lo), static_cast<std::uint64_t>(hi)));
+    auto& stack = open_[tid];
+    if (stack.empty()) {
+      record_work_error("dispatch outside any worksharing bracket (tid " +
+                        std::to_string(tid) + ")");
+      return;
+    }
+    stack.back().intervals.push_back(Interval{lo, hi});
+  }
+  void on_sync_region(ompt::SyncRegion s, ompt::Endpoint e, sim::Time t,
+                      int tid) override {
+    note(5, e, t, tid, static_cast<std::uint64_t>(s));
+  }
+  void on_sync_wait(ompt::Endpoint e, sim::Time t, int tid) override {
+    note(6, e, t, tid, 0);
+  }
+  void on_mutex(ompt::MutexKind k, ompt::MutexEvent ev, sim::Time t,
+                const void*) override {
+    // The lock address is host-specific; fold only the stable identity.
+    note(7, ompt::Endpoint::kBegin, t, 0,
+         fold(static_cast<std::uint64_t>(k), static_cast<std::uint64_t>(ev)));
+  }
+  void on_task_create(sim::Time t, int tid) override {
+    note(8, ompt::Endpoint::kBegin, t, tid, 0);
+    ++task_creates;
+  }
+  void on_task_schedule(ompt::Endpoint e, sim::Time t, int tid,
+                        bool stolen) override {
+    note(9, e, t, tid, stolen ? 1 : 0);
+    if (e == ompt::Endpoint::kBegin) {
+      ++task_begins;
+      if (stolen) ++task_stolen;
+    } else {
+      ++task_ends;
+    }
+  }
+  void on_rt_task_submit(ompt::TaskRuntimeKind k, sim::Time t,
+                         int lane) override {
+    note(10, ompt::Endpoint::kBegin, t, lane, static_cast<std::uint64_t>(k));
+    ++rt_submits[static_cast<int>(k)];
+  }
+  void on_rt_task_execute(ompt::TaskRuntimeKind k, ompt::Endpoint e,
+                          sim::Time t, int lane, bool stolen) override {
+    note(11, e, t, lane,
+         fold(static_cast<std::uint64_t>(k), stolen ? 1 : 0));
+    if (e == ompt::Endpoint::kBegin) {
+      ++rt_begins[static_cast<int>(k)];
+      if (stolen) ++rt_stolen;
+    } else {
+      ++rt_ends[static_cast<int>(k)];
+    }
+  }
+
+ private:
+  void note(int tag, ompt::Endpoint e, sim::Time t, int tid,
+            std::uint64_t payload) {
+    if (t < last_time_ && mono_ok) {
+      mono_ok = false;
+      std::ostringstream d;
+      d << "event (tag " << tag << ", tid " << tid << ") at t=" << t
+        << "ns after an event at t=" << last_time_ << "ns";
+      mono_detail = d.str();
+    }
+    last_time_ = std::max(last_time_, t);
+    std::uint64_t h = digest;
+    h = fold(h, static_cast<std::uint64_t>(tag) * 2 +
+                    (e == ompt::Endpoint::kEnd ? 1 : 0));
+    h = fold(h, static_cast<std::uint64_t>(t));
+    h = fold(h, static_cast<std::uint64_t>(tid));
+    h = fold(h, payload);
+    digest = h;
+  }
+
+  void record_work_error(std::string msg) {
+    if (work_errors.size() < 8) work_errors.push_back(std::move(msg));
+  }
+
+  sim::Time last_time_ = 0;
+  std::map<int, std::vector<Bracket>> open_;
+  std::map<int, std::map<int, int>> closed_;
+};
+
+// Everything observable about one run of one case.
+struct Observation {
+  TraceRecorder trace;
+  std::uint64_t engine_digest = 0;
+  std::uint64_t events_dispatched = 0;
+  sim::Time end_time = 0;
+  jobs::PointResult result;
+  bool threw = false;
+  std::string error;
+};
+
+void observe(const CaseParams& params, Observation* obs) {
+  RunHooks hooks;
+  hooks.on_boot = [obs](core::Stack& s) { s.os().tools().attach(&obs->trace); };
+  hooks.on_done = [obs](core::Stack& s) {
+    obs->engine_digest = s.engine().stats().dispatch_digest;
+    obs->events_dispatched = s.engine().stats().events_dispatched;
+    obs->end_time = s.engine().now();
+  };
+  const jobs::PointSpec spec = params.point();
+  core::StackConfig cfg = spec.stack_config();
+  cfg.sched.policy = params.policy;
+  cfg.sched.seed = params.sched_seed;
+  try {
+    if (params.kind == jobs::PointSpec::Kind::kNas) {
+      run_nas(cfg, spec.nas, &obs->result.metrics, hooks);
+    } else {
+      obs->result.epcc =
+          run_epcc(cfg, spec.epcc_part, spec.epcc, &obs->result.metrics, hooks);
+    }
+  } catch (const std::exception& e) {
+    obs->threw = true;
+    obs->error = e.what();
+  }
+}
+
+void check_work_conservation(const TraceRecorder& trace,
+                             std::vector<Violation>* out) {
+  for (const auto& err : trace.work_errors) {
+    out->push_back({"work-conservation", err});
+  }
+  for (const auto& [key, inst] : trace.instances) {
+    const ompt::WorkKind kind = static_cast<ompt::WorkKind>(key.first);
+    const std::string where = std::string(ompt::work_kind_name(kind)) +
+                              " instance " + std::to_string(key.second);
+    if (!inst.iterations_agree) {
+      out->push_back({"work-conservation",
+                      where + ": threads disagree on the iteration count"});
+      continue;
+    }
+    if (!is_dispatching(kind)) continue;
+    std::vector<Interval> ivs = inst.intervals;
+    std::sort(ivs.begin(), ivs.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    std::int64_t covered = 0;
+    bool overlap = false;
+    for (std::size_t i = 0; i < ivs.size(); ++i) {
+      covered += ivs[i].hi - ivs[i].lo;
+      if (i > 0 && ivs[i].lo < ivs[i - 1].hi) overlap = true;
+    }
+    const std::int64_t span =
+        ivs.empty() ? 0 : ivs.back().hi - ivs.front().lo;
+    if (overlap) {
+      out->push_back({"work-conservation",
+                      where + ": dispatched chunks overlap (an iteration "
+                              "would execute twice)"});
+    } else if (covered != inst.iterations || span != inst.iterations) {
+      std::ostringstream d;
+      d << where << ": " << covered << " of " << inst.iterations
+        << " iterations dispatched (span " << span << ")";
+      out->push_back({"work-conservation", d.str()});
+    }
+  }
+}
+
+void check_task_balance(const TraceRecorder& t, std::vector<Violation>* out) {
+  if (t.task_creates != t.task_begins || t.task_begins != t.task_ends) {
+    std::ostringstream d;
+    d << "komp tasks: created " << t.task_creates << ", schedule-begin "
+      << t.task_begins << ", schedule-end " << t.task_ends;
+    out->push_back({"task-balance", d.str()});
+  }
+  const char* rt_names[] = {"virgil", "nautilus"};
+  for (int k = 0; k < 2; ++k) {
+    if (t.rt_submits[k] != t.rt_begins[k] || t.rt_begins[k] != t.rt_ends[k]) {
+      std::ostringstream d;
+      d << rt_names[k] << " runtime tasks: submitted " << t.rt_submits[k]
+        << ", execute-begin " << t.rt_begins[k] << ", execute-end "
+        << t.rt_ends[k];
+      out->push_back({"task-balance", d.str()});
+    }
+  }
+}
+
+void check_cache_roundtrip(const CaseParams& params, const jobs::PointSpec& spec,
+                           const jobs::PointResult& result,
+                           const std::string& scratch_dir,
+                           std::vector<Violation>* out) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      scratch_dir + "/case-" + jobs::hex16(jobs::fnv1a64(params.token()));
+  const std::string expect = jobs::ResultCache::encode(spec, result);
+  auto fail = [&](const std::string& d) {
+    out->push_back({"cache-roundtrip", d});
+  };
+  {
+    jobs::ResultCache first(dir + "/a");
+    first.store(spec, result);
+    jobs::PointResult loaded;
+    if (!first.load(spec, &loaded)) {
+      fail("load immediately after store missed");
+    } else if (jobs::ResultCache::encode(spec, loaded) != expect) {
+      fail("entry decoded from the cache re-encodes differently");
+    }
+    jobs::MergeOptions mopts;
+    mopts.sources = {dir + "/a"};
+    mopts.dest = dir + "/b";
+    try {
+      const jobs::MergeReport rep = jobs::merge_caches(mopts);
+      if (!rep.ok() || rep.merged != 1) {
+        fail("merge of a freshly stored entry failed: " + rep.text());
+      } else {
+        jobs::ResultCache merged(dir + "/b");
+        jobs::PointResult reloaded;
+        if (!merged.load(spec, &reloaded)) {
+          fail("load from the merged cache missed");
+        } else if (jobs::ResultCache::encode(spec, reloaded) != expect) {
+          fail("entry surviving a merge re-encodes differently");
+        }
+      }
+    } catch (const std::exception& e) {
+      fail(std::string("merge threw: ") + e.what());
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);  // best-effort scratch hygiene
+}
+
+}  // namespace
+
+std::vector<std::string> invariant_names() {
+  return {"run-completes",    "time-monotonic",       "work-conservation",
+          "task-balance",     "steal-accounting",     "counter-conservation",
+          "determinism",      "cache-roundtrip"};
+}
+
+CaseOutcome check_case(const CaseParams& params, const CheckOptions& opt) {
+  CaseOutcome out;
+  out.params = params;
+  auto violate = [&](const char* inv, std::string detail) {
+    out.violations.push_back({inv, std::move(detail)});
+  };
+
+  Observation a;
+  observe(params, &a);
+  if (a.threw) {
+    violate("run-completes", a.error);
+    out.digest = fold(kFnvOffset, jobs::fnv1a64(a.error));
+    return out;
+  }
+  const jobs::PointSpec spec = params.point();
+  const std::string encoded = jobs::ResultCache::encode(spec, a.result);
+  out.digest = fold(fold(fold(kFnvOffset, a.engine_digest), a.trace.digest),
+                    jobs::fnv1a64(encoded));
+
+  if (!a.trace.mono_ok) violate("time-monotonic", a.trace.mono_detail);
+  check_work_conservation(a.trace, &out.violations);
+  check_task_balance(a.trace, &out.violations);
+
+  const std::uint64_t observed_steals = a.trace.task_stolen + a.trace.rt_stolen;
+  const std::uint64_t counted_steals =
+      a.result.metrics.counters.total(telemetry::Counter::kTaskSteals);
+  if (observed_steals != counted_steals) {
+    std::ostringstream d;
+    d << "OMPT observed " << observed_steals
+      << " stolen executions but telemetry counted " << counted_steals;
+    violate("steal-accounting", d.str());
+  }
+  for (const auto& msg :
+       telemetry::check_conservation(a.result.metrics.counters)) {
+    violate("counter-conservation", msg);
+  }
+
+  // Determinism: the second run must replay the first bit-for-bit.
+  Observation b;
+  observe(params, &b);
+  if (b.threw) {
+    violate("determinism", "second run threw: " + b.error);
+  } else {
+    if (a.engine_digest != b.engine_digest ||
+        a.events_dispatched != b.events_dispatched) {
+      std::ostringstream d;
+      d << "engine dispatch digest " << jobs::hex16(a.engine_digest) << " ("
+        << a.events_dispatched << " events) vs "
+        << jobs::hex16(b.engine_digest) << " (" << b.events_dispatched
+        << " events)";
+      violate("determinism", d.str());
+    }
+    if (a.trace.digest != b.trace.digest) {
+      violate("determinism",
+              "OMPT trace digest " + jobs::hex16(a.trace.digest) + " vs " +
+                  jobs::hex16(b.trace.digest));
+    }
+    if (a.end_time != b.end_time) {
+      violate("determinism", "final virtual time " +
+                                 std::to_string(a.end_time) + "ns vs " +
+                                 std::to_string(b.end_time) + "ns");
+    }
+    if (jobs::ResultCache::encode(spec, b.result) != encoded) {
+      violate("determinism", "metrics documents differ between runs");
+    }
+  }
+
+  if (!opt.scratch_dir.empty()) {
+    check_cache_roundtrip(params, spec, a.result, opt.scratch_dir,
+                          &out.violations);
+  }
+  return out;
+}
+
+}  // namespace kop::harness::propcheck

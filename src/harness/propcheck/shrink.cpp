@@ -1,0 +1,90 @@
+// Greedy shrinking of a failing case to a minimal failing case.
+//
+// Classic property-testing shrink loop: propose simplifying
+// transformations in a fixed order, keep any candidate that still
+// fails, restart from the simplified case, stop when no transformation
+// applies (a local minimum) or the check budget runs out.  Every
+// candidate check re-simulates the point twice (the determinism
+// invariant), so the budget is in check_case() calls, not transforms.
+
+#include <utility>
+#include <vector>
+
+#include "harness/propcheck/propcheck.hpp"
+
+namespace kop::harness::propcheck {
+
+namespace {
+
+// Candidate simplifications of `p`, most aggressive first: dropping
+// threads and workload size shrinks the trace the debugger has to read
+// far more than normalizing a seed does.
+std::vector<CaseParams> candidates(const CaseParams& p) {
+  std::vector<CaseParams> out;
+  auto with = [&](auto&& mutate) {
+    CaseParams c = p;
+    mutate(c);
+    out.push_back(std::move(c));
+  };
+  if (p.threads > 1) with([](CaseParams& c) { c.threads = 1; });
+  if (p.threads > 2) with([](CaseParams& c) { c.threads /= 2; });
+  if (p.machine != "phi") with([](CaseParams& c) { c.machine = "phi"; });
+  if (p.kind == jobs::PointSpec::Kind::kNas) {
+    if (p.bench != "EP") with([](CaseParams& c) { c.bench = "EP"; });
+    if (p.timesteps > 1) with([](CaseParams& c) { c.timesteps = 1; });
+    if (p.scale > 0.05) with([](CaseParams& c) { c.scale = 0.05; });
+  } else {
+    if (p.part != EpccPart::kSync)
+      with([](CaseParams& c) { c.part = EpccPart::kSync; });
+    if (p.reps > 2) with([](CaseParams& c) { c.reps = 2; });
+    if (p.inner > 2) with([](CaseParams& c) { c.inner = 2; });
+    if (p.tasks_per_thread > 2)
+      with([](CaseParams& c) { c.tasks_per_thread = 2; });
+    if (p.tree_depth > 1) with([](CaseParams& c) { c.tree_depth = 1; });
+  }
+  if (p.path != core::PathKind::kLinuxOmp)
+    with([](CaseParams& c) { c.path = core::PathKind::kLinuxOmp; });
+  if (p.policy != sim::SchedPolicy::kFifo)
+    with([](CaseParams& c) {
+      c.policy = sim::SchedPolicy::kFifo;
+      c.sched_seed = 0;
+    });
+  if (p.rtk_use_pte) with([](CaseParams& c) { c.rtk_use_pte = false; });
+  if (p.first_touch != -1) with([](CaseParams& c) { c.first_touch = -1; });
+  if (p.point_seed != 42) with([](CaseParams& c) { c.point_seed = 42; });
+  return out;
+}
+
+}  // namespace
+
+CaseParams shrink(const CaseParams& failing, const CheckOptions& opt,
+                  CaseOutcome* final, int max_checks) {
+  CaseParams current = failing;
+  CaseOutcome current_outcome = check_case(current, opt);
+  int checks = 1;
+  if (current_outcome.ok()) {
+    // The failure did not reproduce (it should: every invariant is
+    // deterministic).  Report the passing outcome rather than looping.
+    if (final != nullptr) *final = std::move(current_outcome);
+    return current;
+  }
+  bool improved = true;
+  while (improved && checks < max_checks) {
+    improved = false;
+    for (const CaseParams& cand : candidates(current)) {
+      if (checks >= max_checks) break;
+      CaseOutcome outcome = check_case(cand, opt);
+      ++checks;
+      if (!outcome.ok()) {
+        current = cand;
+        current_outcome = std::move(outcome);
+        improved = true;
+        break;  // restart from the simplified case
+      }
+    }
+  }
+  if (final != nullptr) *final = std::move(current_outcome);
+  return current;
+}
+
+}  // namespace kop::harness::propcheck

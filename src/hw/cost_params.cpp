@@ -1,0 +1,101 @@
+#include "hw/cost_params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace kop::hw {
+
+namespace {
+
+// Scalable fields of OsCosts.  Booleans, enums and the personality
+// string are structural switches, not calibration knobs, so they are
+// deliberately not override-able.
+struct Field {
+  const char* name;
+  // Multiplies the field by `scale`, rounding times to whole ns.
+  void (*apply)(OsCosts&, double);
+};
+
+void scale_time(sim::Time& t, double s) {
+  if (t == sim::kTimeNever) return;  // "never" stays never at any scale
+  const double v = static_cast<double>(t) * s;
+  t = static_cast<sim::Time>(std::llround(v));
+}
+
+constexpr Field kFields[] = {
+    {"minor_fault_ns", [](OsCosts& c, double s) { scale_time(c.minor_fault_ns, s); }},
+    {"thp_2m_fraction", [](OsCosts& c, double s) { c.thp_2m_fraction = std::min(1.0, c.thp_2m_fraction * s); }},
+    {"syscall_ns", [](OsCosts& c, double s) { scale_time(c.syscall_ns, s); }},
+    {"context_switch_ns", [](OsCosts& c, double s) { scale_time(c.context_switch_ns, s); }},
+    {"thread_create_ns", [](OsCosts& c, double s) { scale_time(c.thread_create_ns, s); }},
+    {"wake_latency_ns", [](OsCosts& c, double s) { scale_time(c.wake_latency_ns, s); }},
+    {"wake_cv", [](OsCosts& c, double s) { c.wake_cv *= s; }},
+    {"tick_period_ns", [](OsCosts& c, double s) { scale_time(c.tick_period_ns, s); }},
+    {"tick_cost_ns", [](OsCosts& c, double s) { scale_time(c.tick_cost_ns, s); }},
+    {"noise_rate_hz", [](OsCosts& c, double s) { c.noise_rate_hz *= s; }},
+    {"noise_mean_ns", [](OsCosts& c, double s) { scale_time(c.noise_mean_ns, s); }},
+    {"noise_cv", [](OsCosts& c, double s) { c.noise_cv *= s; }},
+    {"timeslice_ns", [](OsCosts& c, double s) { scale_time(c.timeslice_ns, s); }},
+    {"competing_load", [](OsCosts& c, double s) { c.competing_load *= s; }},
+    {"alloc_base_ns", [](OsCosts& c, double s) { scale_time(c.alloc_base_ns, s); }},
+    {"compute_inflation", [](OsCosts& c, double s) { c.compute_inflation *= s; }},
+};
+
+const Field* find_field(const std::string& name) {
+  for (const Field& f : kFields) {
+    if (name == f.name) return &f;
+  }
+  return nullptr;
+}
+
+// Active overrides: "personality.field" -> scale.  Ordered map so the
+// application order (and thus float rounding) is deterministic.
+std::map<std::string, double>& overrides() {
+  static std::map<std::string, double> o;
+  return o;
+}
+
+}  // namespace
+
+void set_cost_scale(const std::string& key, double scale) {
+  const auto dot = key.find('.');
+  const std::string personality = key.substr(0, dot);
+  if (dot == std::string::npos ||
+      (personality != "linux" && personality != "nautilus") ||
+      find_field(key.substr(dot + 1)) == nullptr) {
+    throw std::invalid_argument("unknown cost parameter: " + key +
+                                " (expected <linux|nautilus>.<field>)");
+  }
+  if (!(scale > 0.0) || !std::isfinite(scale))
+    throw std::invalid_argument("cost scale must be finite and > 0");
+  if (scale == 1.0) {
+    overrides().erase(key);
+  } else {
+    overrides()[key] = scale;
+  }
+}
+
+void clear_cost_scales() { overrides().clear(); }
+
+std::vector<std::string> cost_param_names() {
+  std::vector<std::string> names;
+  for (const char* p : {"linux", "nautilus"}) {
+    for (const Field& f : kFields) {
+      names.push_back(std::string(p) + "." + f.name);
+    }
+  }
+  return names;
+}
+
+void apply_cost_overrides(OsCosts& c) {
+  if (overrides().empty()) return;
+  const std::string prefix = c.personality + ".";
+  for (const auto& [key, scale] : overrides()) {
+    if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    find_field(key.substr(prefix.size()))->apply(c, scale);
+  }
+}
+
+}  // namespace kop::hw

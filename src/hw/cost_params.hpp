@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "hw/memory.hpp"
 #include "hw/topology.hpp"
@@ -88,6 +89,30 @@ struct OsCosts {
   double compute_inflation = 1.0;
 };
 
+/// --- Calibration override surface (bisection) -------------------------
+///
+/// The bisection driver (examples/kop_bisect) perturbs one calibrated
+/// constant at a time to find where the paper's shapes break.  Overrides
+/// are multiplicative scales keyed "personality.field" (e.g.
+/// "linux.minor_fault_ns"); they are applied inside linux_costs() /
+/// nautilus_costs(), *before* the values are serialized into
+/// cost_model_fingerprint() -- so every cache key automatically moves
+/// with the override and stale entries can never be served.
+///
+/// Set a scale of 1.0 (or clear) to restore defaults.  Not thread-safe:
+/// configure before launching a JobRunner sweep.
+
+/// Multiply parameter `key` by `scale` in all subsequently constructed
+/// OsCosts.  Throws std::invalid_argument for an unknown key.
+void set_cost_scale(const std::string& key, double scale);
+/// Drop all active overrides.
+void clear_cost_scales();
+/// Every valid override key, sorted ("linux.*" then "nautilus.*").
+std::vector<std::string> cost_param_names();
+/// Applies active overrides for `c.personality` in place.  Called by the
+/// factories below; not usually called directly.
+void apply_cost_overrides(OsCosts& c);
+
 /// Linux 5.x, CentOS/Ubuntu, huge pages on, THP=madvise (paper §2.2).
 inline OsCosts linux_costs(const MachineConfig& m) {
   OsCosts c;
@@ -113,6 +138,7 @@ inline OsCosts linux_costs(const MachineConfig& m) {
   c.timeslice_ns = 6 * sim::kMillisecond;
   c.alloc_base_ns = 3000;
   c.numa_aware_alloc = false;  // first-touch policy
+  apply_cost_overrides(c);
   return c;
 }
 
@@ -137,6 +163,7 @@ inline OsCosts nautilus_costs(const MachineConfig& m) {
   c.alloc_base_ns = 900;  // buddy allocator hit
   c.numa_aware_alloc = true;
   c.compute_inflation = 1.01;  // -mno-red-zone code generation
+  apply_cost_overrides(c);
   return c;
 }
 

@@ -143,6 +143,14 @@ void Engine::yield_now() {
 
 void Engine::dispatch(Event& ev) {
   now_ = ev.at;
+  // Order digest: fold the dispatch identity so any reordering --
+  // queue bug, policy drift, nondeterministic tie-break -- changes the
+  // final stats().dispatch_digest.
+  std::uint64_t d = stats_.dispatch_digest;
+  d = (d ^ static_cast<std::uint64_t>(ev.at)) * 0x100000001b3ULL;
+  d = (d ^ (ev.thread != nullptr ? ev.thread->id() : 0)) * 0x100000001b3ULL;
+  d = (d ^ ev.seq) * 0x100000001b3ULL;
+  stats_.dispatch_digest = d;
   if (ev.fn) {
     if (racecheck_) [[unlikely]]
       racecheck_->on_callback(ev.hb);

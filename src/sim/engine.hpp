@@ -182,6 +182,12 @@ class Engine {
     /// Heap allocations made by the event queue after warm-up; a warm
     /// engine should dispatch with this not moving (arena reuse).
     std::uint64_t queue_allocs = 0;
+    /// FNV-1a fold of every dispatched event's (at, thread id, seq).
+    /// Two runs of the same workload under the same (policy, seed) must
+    /// end with identical digests -- the machine-checkable form of the
+    /// dispatch-order determinism guarantee (harness/propcheck asserts
+    /// it over random experiment points).
+    std::uint64_t dispatch_digest = 0xcbf29ce484222325ULL;
   };
   const Stats& stats() const { return stats_; }
 

@@ -24,6 +24,27 @@ const char* counter_name(Counter c) {
   return "unknown";
 }
 
+std::uint64_t Snapshot::attributed(Counter c) const {
+  const int idx = static_cast<int>(c);
+  std::uint64_t sum = 0;
+  for (const auto& row : per_cpu) sum += row[idx];
+  return sum;
+}
+
+std::vector<std::string> check_conservation(const Snapshot& snap) {
+  std::vector<std::string> violations;
+  for (int i = 0; i < kNumCounters; ++i) {
+    const Counter c = static_cast<Counter>(i);
+    const std::uint64_t per_cpu_sum = snap.attributed(c);
+    if (per_cpu_sum > snap.totals[i]) {
+      violations.push_back(std::string(counter_name(c)) + ": per-CPU sum " +
+                           std::to_string(per_cpu_sum) + " exceeds total " +
+                           std::to_string(snap.totals[i]));
+    }
+  }
+  return violations;
+}
+
 CounterFabric::CounterFabric(int num_cpus)
     : per_cpu_(static_cast<std::size_t>(num_cpus < 0 ? 0 : num_cpus)) {}
 

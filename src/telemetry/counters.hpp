@@ -55,7 +55,20 @@ struct Snapshot {
   std::uint64_t on_cpu(int cpu, Counter c) const {
     return per_cpu[static_cast<std::size_t>(cpu)][static_cast<int>(c)];
   }
+  /// Sum of the per-CPU attributions for one counter (the part of
+  /// total() that names a CPU; the remainder is the unattributed
+  /// bucket, which is never negative in a conserving fabric).
+  std::uint64_t attributed(Counter c) const;
 };
+
+/// Counter conservation check: for every counter, the per-CPU
+/// attributions must sum to at most the total (totals = per-CPU sums +
+/// a non-negative unattributed bucket; a per-CPU sum exceeding its
+/// total means an attribution was double-counted or a total was lost).
+/// Returns one human-readable violation string per broken counter --
+/// empty means the snapshot conserves.  This is the telemetry-side
+/// invariant hook the propcheck harness asserts per random point.
+std::vector<std::string> check_conservation(const Snapshot& snap);
 
 class CounterFabric {
  public:

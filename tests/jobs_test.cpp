@@ -224,6 +224,98 @@ TEST(ResultCache, HitOnRerunAndCorruptEntryRecovery) {
   fs::remove_all(dir);
 }
 
+TEST(ResultCache, TruncatedEntryRecoversAsMiss) {
+  // A writer killed mid-flush leaves a prefix of valid JSON; the loader
+  // must treat it as a miss and let a re-store repair it.
+  const std::string dir = scratch_dir("truncated");
+  const PointSpec p = tiny_nas_point();
+  const PointResult r = kop::harness::jobs::run_point(p);
+  ResultCache cache(dir);
+  cache.store(p, r);
+
+  std::ifstream in(cache.entry_path(p), std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(text.size(), 64u);
+  std::ofstream(cache.entry_path(p), std::ios::binary | std::ios::trunc)
+      << text.substr(0, text.size() / 2);
+
+  PointResult out;
+  EXPECT_FALSE(cache.load(p, &out));
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  cache.store(p, r);
+  EXPECT_TRUE(cache.load(p, &out));
+  fs::remove_all(dir);
+}
+
+TEST(ResultCache, WrongSchemaVersionRecoversAsMiss) {
+  // An entry written by a future (or ancient) build sits at the right
+  // path only if someone renamed it; either way the document's own
+  // version stamp disqualifies it.
+  const std::string dir = scratch_dir("schema");
+  const PointSpec p = tiny_nas_point();
+  const PointResult r = kop::harness::jobs::run_point(p);
+  ResultCache cache(dir);
+  cache.store(p, r);
+
+  std::ifstream in(cache.entry_path(p), std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const std::string stamp =
+      "\"version\":" + std::to_string(kop::telemetry::kMetricsSchemaVersion);
+  const auto pos = text.find(stamp);
+  ASSERT_NE(pos, std::string::npos) << text.substr(0, 120);
+  text.replace(
+      pos, stamp.size(),
+      "\"version\":" +
+          std::to_string(kop::telemetry::kMetricsSchemaVersion + 1));
+  std::ofstream(cache.entry_path(p), std::ios::binary | std::ios::trunc)
+      << text;
+
+  PointResult out;
+  EXPECT_FALSE(cache.load(p, &out));
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  cache.store(p, r);
+  EXPECT_TRUE(cache.load(p, &out));
+  fs::remove_all(dir);
+}
+
+TEST(ResultCache, FingerprintMismatchRecoversAsMiss) {
+  // Right filename, right canonical form, but the sidecar records a
+  // different cost-model calibration: stale, not a hit.
+  const std::string dir = scratch_dir("fingerprint");
+  const PointSpec p = tiny_nas_point();
+  const PointResult r = kop::harness::jobs::run_point(p);
+  ResultCache cache(dir);
+  cache.store(p, r);
+
+  std::ifstream in(cache.entry_path(p), std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const std::string fp = kop::harness::jobs::hex16(
+      kop::harness::jobs::cost_model_fingerprint());
+  const auto pos = text.find(fp);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, fp.size(), "00000000deadbeef");
+  std::ofstream(cache.entry_path(p), std::ios::binary | std::ios::trunc)
+      << text;
+
+  PointResult out;
+  EXPECT_FALSE(cache.load(p, &out));
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  // The baseline reader is fingerprint-agnostic by contract and still
+  // accepts the same bytes.
+  PointResult cross;
+  EXPECT_TRUE(ResultCache::decode(text, p, &cross,
+                                  /*require_fingerprint=*/false));
+  cache.store(p, r);
+  EXPECT_TRUE(cache.load(p, &out));
+  fs::remove_all(dir);
+}
+
 // --- runner ----------------------------------------------------------
 
 TEST(JobRunner, ParallelResultsMatchSerialInInputOrder) {

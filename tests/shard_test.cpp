@@ -217,6 +217,118 @@ TEST_F(ShardWorkflowTest, ThreeShardsMergeAndReplayByteIdentically) {
   EXPECT_EQ(runner.stats().cache_hits, points.size());
 }
 
+TEST_F(ShardWorkflowTest, MergeToleratesEmptyAndZeroPointShards) {
+  // More shards than points: the hash-mod-N partition legitimately
+  // hands some workers nothing to do.  Their (empty) cache directories
+  // must merge cleanly and the manifest must still come out covered.
+  auto suite = kop::harness::scale_suite(kop::nas::paper_suite(), 0.25, 2);
+  suite.resize(1);
+  const auto points = kop::harness::enumerate_nas_normalized(
+      "phi", {PathKind::kRtk}, {1, 4}, suite);
+  const int kShards = 5;
+  ASSERT_LT(points.size(), static_cast<std::size_t>(kShards));
+
+  jobs::MergeOptions mopts;
+  mopts.dest = dir("merged");
+  int zero_point_shards = 0;
+  for (int k = 0; k < kShards; ++k) {
+    jobs::ShardSpec shard;
+    shard.index = k;
+    shard.count = kShards;
+    const auto idx = jobs::shard_indices(points, shard);
+    std::vector<jobs::PointSpec> mine;
+    for (std::size_t i : idx) mine.push_back(points[i]);
+    if (mine.empty()) ++zero_point_shards;
+
+    jobs::JobOptions jopts;
+    jopts.cache_dir = dir("shard" + std::to_string(k));
+    jobs::JobRunner runner(jopts);
+    jobs::require_ok(mine, runner.run(mine));
+    // Even a worker with nothing claimed leaves a directory behind.
+    ASSERT_TRUE(fs::is_directory(jopts.cache_dir));
+    mopts.sources.push_back(jopts.cache_dir);
+  }
+  ASSERT_GT(zero_point_shards, 0) << "partition left no shard empty";
+
+  const std::string manifest_path = dir("manifest.txt");
+  {
+    jobs::ShardSpec shard;
+    shard.count = kShards;
+    std::ofstream out(manifest_path);
+    out << jobs::shard_list_text(points, shard);
+  }
+  mopts.expect_path = manifest_path;
+  const auto report = jobs::merge_caches(mopts);
+  EXPECT_TRUE(report.ok()) << report.text();
+  EXPECT_EQ(report.merged, points.size());
+  EXPECT_EQ(report.expected, points.size());
+  EXPECT_TRUE(report.missing.empty());
+  EXPECT_EQ(report.scanned, points.size());
+
+  // A *nonexistent* source is a setup error, not an empty shard.
+  jobs::MergeOptions bad = mopts;
+  bad.sources.push_back(dir("never-created"));
+  EXPECT_THROW(jobs::merge_caches(bad), std::runtime_error);
+}
+
+TEST_F(ShardWorkflowTest, MergeFailsLoudlyWhenManifestEntriesAreMissing) {
+  // One shard never ran: the merge must name the uncovered entries and
+  // refuse to call itself OK, rather than hand back a partial sweep.
+  auto suite = kop::harness::scale_suite(kop::nas::paper_suite(), 0.25, 2);
+  suite.resize(1);
+  const auto points = kop::harness::enumerate_nas_normalized(
+      "phi", {PathKind::kRtk}, {1, 4}, suite);
+  ASSERT_GE(points.size(), 2u);
+  const std::vector<jobs::PointSpec> partial(points.begin(),
+                                             points.end() - 1);
+  jobs::JobOptions jopts;
+  jopts.cache_dir = dir("partial");
+  jobs::JobRunner runner(jopts);
+  jobs::require_ok(partial, runner.run(partial));
+
+  const std::string manifest_path = dir("manifest.txt");
+  {
+    std::ofstream out(manifest_path);
+    out << jobs::shard_list_text(points, jobs::ShardSpec{});
+  }
+  jobs::MergeOptions mopts;
+  mopts.dest = dir("merged");
+  mopts.sources = {dir("partial")};
+  mopts.expect_path = manifest_path;
+  const auto report = jobs::merge_caches(mopts);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing.front(),
+            "kop-" + jobs::hex16(jobs::ResultCache::key(points.back())) +
+                ".json");
+  EXPECT_NE(report.text().find("missing"), std::string::npos);
+}
+
+TEST_F(ShardWorkflowTest, IdenticalDuplicatesAcrossShardsAreSkipped) {
+  // Overlapping shard runs (same point simulated by two workers) are
+  // fine exactly when the bytes agree -- determinism guarantees they
+  // do, and the merge records the overlap instead of failing.
+  auto suite = kop::harness::scale_suite(kop::nas::paper_suite(), 0.25, 2);
+  suite.resize(1);
+  const auto points = kop::harness::enumerate_nas_normalized(
+      "phi", {PathKind::kRtk}, {1}, suite);
+  jobs::JobOptions jopts;
+  jopts.cache_dir = dir("a");
+  jobs::JobRunner runner(jopts);
+  jobs::require_ok(points, runner.run(points));
+  fs::create_directories(dir("b"));
+  for (const auto& e : fs::directory_iterator(dir("a")))
+    fs::copy_file(e.path(), fs::path(dir("b")) / e.path().filename());
+
+  jobs::MergeOptions mopts;
+  mopts.dest = dir("merged");
+  mopts.sources = {dir("a"), dir("b")};
+  const auto report = jobs::merge_caches(mopts);
+  EXPECT_TRUE(report.ok()) << report.text();
+  EXPECT_EQ(report.merged, points.size());
+  EXPECT_EQ(report.identical_duplicates, points.size());
+}
+
 TEST_F(ShardWorkflowTest, MergeRejectsCorruptAndForeignEntries) {
   // One good shard...
   auto suite = kop::harness::scale_suite(kop::nas::paper_suite(), 0.25, 2);
