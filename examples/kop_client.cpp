@@ -1,0 +1,137 @@
+// Point-query client for a running kop_sweepd: the "millions of users"
+// read path.  A warm result costs the daemon one cache lookup -- no
+// simulation, no lease traffic.
+//
+//   kop_client --socket <path> --get <point-hash-hex16>
+//   kop_client --socket <path> --get-token <propcheck-token>
+//   kop_client --socket <path> --stats
+//   kop_client --socket <path> --wait-drained [--timeout-ms T]
+//   kop_client --socket <path> --shutdown
+//
+// --get prints the kop-metrics v1 entry document on stdout and exits 0.
+// A known-but-unfinished point exits 2 (stderr says queued/leased); an
+// unknown hash exits 3.  --get-token hashes a replay token locally
+// first, so callers never need to know the hash scheme.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <chrono>
+
+#include "coord/client.hpp"
+#include "harness/propcheck/propcheck.hpp"
+
+using namespace kop;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket <path> (--get <hash> | --get-token <token> |\n"
+      "          --stats | --wait-drained [--timeout-ms T] | --shutdown)\n"
+      "  --get <hash>       fetch one point's cached entry by content hash\n"
+      "                     (exit 0 HIT, 2 PENDING, 3 UNKNOWN)\n"
+      "  --get-token <tok>  same, addressed by a propcheck replay token\n"
+      "  --stats            print the daemon's status JSON\n"
+      "  --wait-drained     poll until every point is complete\n"
+      "  --timeout-ms T     give up waiting after T ms (exit 2)\n"
+      "  --shutdown         ask the daemon to exit\n",
+      argv0);
+  return 2;
+}
+
+int run_get(coord::Client& client, std::uint64_t hash) {
+  const auto reply = client.get(hash);
+  if (reply.status == "HIT") {
+    std::fputs(reply.doc.c_str(), stdout);
+    return 0;
+  }
+  if (reply.status == "PENDING") {
+    std::fprintf(stderr, "PENDING %s\n", reply.detail.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "%s\n", reply.status.c_str());
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path, get_hash, get_token;
+  bool stats = false, wait_drained = false, shutdown = false;
+  long timeout_ms = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--get" && i + 1 < argc) {
+      get_hash = argv[++i];
+    } else if (arg == "--get-token" && i + 1 < argc) {
+      get_token = argv[++i];
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--wait-drained") {
+      wait_drained = true;
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = std::atol(argv[++i]);
+    } else if (arg == "--shutdown") {
+      shutdown = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  const int actions = !get_hash.empty() + !get_token.empty() + stats +
+                      wait_drained + shutdown;
+  if (socket_path.empty() || actions != 1) return usage(argv[0]);
+
+  try {
+    coord::Client client(socket_path);
+
+    if (!get_hash.empty()) {
+      std::uint64_t hash = 0;
+      if (!coord::parse_hex16(get_hash, &hash)) {
+        std::fprintf(stderr, "error: --get wants a 16-digit hex hash\n");
+        return 2;
+      }
+      return run_get(client, hash);
+    }
+    if (!get_token.empty()) {
+      harness::propcheck::CaseParams params;
+      if (!harness::propcheck::CaseParams::parse(get_token, &params)) {
+        std::fprintf(stderr, "error: bad replay token\n");
+        return 2;
+      }
+      return run_get(client, params.point().content_hash());
+    }
+    if (stats) {
+      std::printf("%s\n", client.stats().c_str());
+      return 0;
+    }
+    if (wait_drained) {
+      const auto start = std::chrono::steady_clock::now();
+      for (;;) {
+        // STATS is one line of JSON; "drained" is its last key.
+        if (client.stats().find("\"drained\":true") != std::string::npos) {
+          return 0;
+        }
+        if (timeout_ms >= 0 &&
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                    .count() >= timeout_ms) {
+          std::fprintf(stderr, "timed out waiting for drain\n");
+          return 2;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+    client.shutdown();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,210 @@
+// The sweep coordinator daemon: lease-based dispatch over a unix
+// socket, answering point queries straight from the result cache.
+//
+//   kop_sweepd --socket <path> [--cache-dir <dir>]
+//              (--points <token-file> | --gen-seed S --gen-count N)
+//              [--ttl-ms T] [--suspect-ms S] [--dead-ms D]
+//              [--exit-when-drained] [--manifest <out>]
+//
+// The sweep manifest is a list of propcheck replay tokens, either read
+// from a file (one per line, `#` comments) or drawn from the seeded
+// propcheck generator -- the same deterministic case distribution the
+// invariant suite runs, so a coordinated sweep is replayable from two
+// integers.  Workers (kop_worker, or any fig binary with --coord)
+// lease points, renew while simulating, and report completions; dead
+// workers are detected by heartbeat silence and their leases re-queued.
+//
+// With --cache-dir the daemon also answers `GET <point-hash>` from the
+// cache (kop_client): warm results are served without any simulation,
+// and at startup every already-cached point is marked complete, so a
+// restarted coordinator re-dispatches exactly the unfinished work.
+//
+// --manifest writes the sweep's coverage manifest (the --shard-list
+// format); after the sweep, `kop_merge --expect <manifest>` over the
+// worker caches proves every point was completed exactly once.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coord/coordinator.hpp"
+#include "coord/server.hpp"
+#include "harness/jobs/cache.hpp"
+#include "harness/jobs/shard.hpp"
+#include "harness/propcheck/propcheck.hpp"
+
+using namespace kop;
+
+namespace {
+
+coord::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket <path> [--cache-dir <dir>]\n"
+      "          (--points <token-file> | --gen-seed S --gen-count N)\n"
+      "          [--ttl-ms T] [--suspect-ms S] [--dead-ms D]\n"
+      "          [--exit-when-drained] [--manifest <out>]\n"
+      "  --socket <path>      unix socket to listen on\n"
+      "  --cache-dir <dir>    result cache backing GET and warm restarts\n"
+      "  --points <file>      sweep manifest: propcheck tokens, one per line\n"
+      "  --gen-seed S         draw the manifest from the seeded propcheck\n"
+      "  --gen-count N        generator instead (deterministic per S,N)\n"
+      "  --ttl-ms T           lease TTL (default 5000)\n"
+      "  --suspect-ms S       heartbeat silence before Suspect (default 3000)\n"
+      "  --dead-ms D          heartbeat silence before Dead (default 10000)\n"
+      "  --exit-when-drained  exit 0 once every point is complete\n"
+      "  --manifest <out>     write the coverage manifest (kop_merge --expect)\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path, cache_dir, points_path, manifest_path;
+  std::uint64_t gen_seed = 0;
+  int gen_count = 0;
+  coord::CoordinatorOptions copt;
+  coord::ServerOptions sopt;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      cache_dir = argv[++i];
+    } else if (arg == "--points" && i + 1 < argc) {
+      points_path = argv[++i];
+    } else if (arg == "--gen-seed" && i + 1 < argc) {
+      gen_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--gen-count" && i + 1 < argc) {
+      gen_count = std::atoi(argv[++i]);
+    } else if (arg == "--ttl-ms" && i + 1 < argc) {
+      copt.lease_ttl_ms = std::atoll(argv[++i]);
+    } else if (arg == "--suspect-ms" && i + 1 < argc) {
+      copt.liveness.suspect_after_ms = std::atoll(argv[++i]);
+    } else if (arg == "--dead-ms" && i + 1 < argc) {
+      copt.liveness.dead_after_ms = std::atoll(argv[++i]);
+    } else if (arg == "--exit-when-drained") {
+      sopt.exit_when_drained = true;
+    } else if (arg == "--manifest" && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) return usage(argv[0]);
+  if (points_path.empty() && gen_count <= 0) return usage(argv[0]);
+
+  // Assemble the sweep manifest: token -> PointSpec.
+  std::vector<std::string> tokens;
+  if (!points_path.empty()) {
+    std::ifstream in(points_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read %s\n", points_path.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      if (line.empty() || line[0] == '#') continue;
+      tokens.push_back(line);
+    }
+  } else {
+    harness::propcheck::GenOptions gen;
+    gen.seed = gen_seed;
+    gen.count = gen_count;
+    for (const auto& c : harness::propcheck::generate(gen)) {
+      tokens.push_back(c.token());
+    }
+  }
+
+  std::map<std::uint64_t, harness::jobs::PointSpec> specs;
+  std::vector<harness::jobs::PointSpec> manifest_points;
+  std::vector<coord::PointInfo> infos;
+  for (const auto& token : tokens) {
+    harness::propcheck::CaseParams params;
+    if (!harness::propcheck::CaseParams::parse(token, &params)) {
+      std::fprintf(stderr, "error: bad point token: %s\n", token.c_str());
+      return 1;
+    }
+    const auto spec = params.point();
+    coord::PointInfo info;
+    info.hash = spec.content_hash();
+    info.entry =
+        "kop-" + harness::jobs::hex16(harness::jobs::ResultCache::key(spec)) +
+        ".json";
+    info.payload = token;
+    info.label = spec.label();
+    if (specs.emplace(info.hash, spec).second) {
+      manifest_points.push_back(spec);
+    }
+    infos.push_back(std::move(info));
+  }
+
+  if (!manifest_path.empty()) {
+    std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+    out << harness::jobs::shard_list_text(manifest_points, {});
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", manifest_path.c_str());
+      return 1;
+    }
+  }
+
+  // The serving path: GET probes the cache by point hash.  The entry
+  // document is decoded and re-encoded, so a torn or stale file is a
+  // miss, never a served lie.
+  std::unique_ptr<harness::jobs::ResultCache> cache;
+  coord::CacheProbe probe;
+  if (!cache_dir.empty()) {
+    cache = std::make_unique<harness::jobs::ResultCache>(cache_dir);
+    probe = [&cache, &specs](std::uint64_t hash, std::string* doc) {
+      const auto it = specs.find(hash);
+      if (it == specs.end()) return false;
+      harness::jobs::PointResult result;
+      if (!cache->load(it->second, &result)) return false;
+      *doc = harness::jobs::ResultCache::encode(it->second, result);
+      return true;
+    };
+  }
+
+  coord::Coordinator coordinator(copt, std::move(probe));
+  for (auto& info : infos) coordinator.add_point(std::move(info));
+  const std::size_t warm = coordinator.sync_with_cache();
+
+  try {
+    sopt.socket_path = socket_path;
+    coord::Server server(&coordinator, sopt);
+    g_server = &server;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::fprintf(stderr,
+                 "[sweepd] %zu points (%zu warm from cache) on %s "
+                 "(ttl=%lld suspect=%lld dead=%lld)\n",
+                 specs.size(), warm, socket_path.c_str(),
+                 static_cast<long long>(copt.lease_ttl_ms),
+                 static_cast<long long>(copt.liveness.suspect_after_ms),
+                 static_cast<long long>(copt.liveness.dead_after_ms));
+    server.run();
+    g_server = nullptr;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  std::fprintf(stderr, "[sweepd] %s\n", coordinator.stats_json().c_str());
+  if (sopt.exit_when_drained && !coordinator.drained()) return 1;
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Client side of the kop-sweep line protocol: one blocking connection,
+// request/response framing, and typed wrappers for the worker verbs.
+//
+// Thread-safe: a JobRunner pool and its heartbeat thread share one
+// Client, so request() serializes on an internal mutex (the protocol is
+// strictly one response per request line, making this sound).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "coord/proto.hpp"
+
+namespace kop::coord {
+
+class Client {
+ public:
+  /// Connects; throws std::runtime_error when the daemon is not there.
+  explicit Client(std::string socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request line, return the response line (without the
+  /// terminator).  For HIT responses the body is appended after a
+  /// newline, exactly as the server framed it.  Throws on I/O errors.
+  std::string request(const std::string& line);
+
+  // --- typed wrappers --------------------------------------------------
+
+  struct HelloReply {
+    std::uint64_t incarnation = 0;
+    std::int64_t ttl_ms = 0;
+    std::int64_t suspect_ms = 0;
+    std::int64_t dead_ms = 0;
+  };
+  HelloReply hello(const std::string& worker);
+
+  struct Grant {
+    bool granted = false;
+    /// Response status when not granted: IDLE/DRAINED/TAKEN/COMPLETE/...
+    std::string status;
+    std::uint64_t point = 0;
+    std::uint64_t lease_id = 0;
+    std::int64_t ttl_ms = 0;
+    std::string payload;  // "-" normalized to empty
+  };
+  Grant next(const std::string& worker);
+  Grant lease(const std::string& worker, std::uint64_t hash,
+              const std::string& entry = "");
+
+  /// True while the lease is still live (renewal succeeded).
+  bool renew(const std::string& worker, std::uint64_t lease_id);
+  /// True when the completion was recorded (OK or OK-STALE).
+  bool done(const std::string& worker, std::uint64_t lease_id,
+            std::uint64_t hash);
+  void bye(const std::string& worker);
+
+  struct GetReply {
+    std::string status;  // HIT / PENDING / UNKNOWN
+    std::string detail;  // PENDING: queued|leased
+    std::string doc;     // HIT: the entry document
+  };
+  GetReply get(std::uint64_t hash);
+
+  std::string stats();
+  void shutdown();
+
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  std::string read_line_locked();
+  std::string read_bytes_locked(std::size_t n);
+
+  std::string path_;
+  int fd_ = -1;
+  std::string rxbuf_;
+  std::mutex mu_;
+};
+
+}  // namespace kop::coord

@@ -1,0 +1,257 @@
+#include "coord/coordinator.hpp"
+
+#include "telemetry/json.hpp"
+
+namespace kop::coord {
+
+Coordinator::Coordinator(CoordinatorOptions opt, CacheProbe probe)
+    : opt_(opt),
+      probe_(std::move(probe)),
+      table_(opt.lease_ttl_ms),
+      liveness_(opt.liveness) {}
+
+void Coordinator::add_point(PointInfo info) {
+  if (table_.add_point(std::move(info))) counters_.add("points_registered");
+}
+
+std::size_t Coordinator::sync_with_cache() {
+  if (!probe_) return 0;
+  std::size_t completed = 0;
+  for (std::uint64_t hash : table_.point_hashes()) {
+    if (table_.point_state(hash) == PointState::kComplete) continue;
+    std::string doc;
+    if (probe_(hash, &doc)) {
+      table_.mark_complete(hash);
+      counters_.add("points_warm_from_cache");
+      ++completed;
+    }
+  }
+  return completed;
+}
+
+void Coordinator::tick(std::int64_t now_ms) {
+  for (const std::string& worker : liveness_.advance(now_ms)) {
+    counters_.add("workers_died");
+    const auto reclaimed = table_.reclaim_worker(worker);
+    counters_.add("leases_reclaimed_dead", reclaimed.size());
+    counters_.add("points_requeued", reclaimed.size());
+  }
+  const auto expired = table_.reclaim_expired(now_ms);
+  counters_.add("leases_expired", expired.size());
+  counters_.add("points_requeued", expired.size());
+}
+
+bool Coordinator::admit(const Request& r, std::int64_t now_ms,
+                        std::string* reply) {
+  switch (liveness_.heartbeat(r.worker, now_ms)) {
+    case WorkerState::kUnknown:
+      *reply = "NOHELLO";
+      return false;
+    case WorkerState::kDead:
+      // This incarnation's leases were reclaimed when it was declared
+      // dead; everything except DONE must restart with a fresh HELLO.
+      *reply = "DEAD";
+      return false;
+    case WorkerState::kAlive:
+    case WorkerState::kSuspect:
+      return true;
+  }
+  return true;
+}
+
+std::string Coordinator::on_hello(const Request& r, std::int64_t now_ms) {
+  const std::uint64_t incarnation = liveness_.hello(r.worker, now_ms);
+  counters_.add("hellos");
+  return "OK " + std::to_string(incarnation) +
+         " ttl=" + std::to_string(table_.ttl_ms()) +
+         " suspect=" + std::to_string(liveness_.options().suspect_after_ms) +
+         " dead=" + std::to_string(liveness_.options().dead_after_ms);
+}
+
+std::string Coordinator::on_next(const Request& r, std::int64_t now_ms) {
+  std::string reply;
+  if (!admit(r, now_ms, &reply)) return reply;
+  Lease lease;
+  switch (table_.grant_next(r.worker, now_ms, &lease)) {
+    case GrantOutcome::kGranted: {
+      counters_.add("leases_granted");
+      const PointInfo* info = table_.point_info(lease.point);
+      const std::string payload =
+          info != nullptr && !info->payload.empty() ? info->payload : "-";
+      return "GRANT " + to_hex16(lease.point) + " " + to_hex16(lease.id) +
+             " " + std::to_string(table_.ttl_ms()) + " " + payload;
+    }
+    case GrantOutcome::kComplete:
+      return "DRAINED";
+    default:
+      return "IDLE " + std::to_string(table_.queued()) + " " +
+             std::to_string(table_.leased());
+  }
+}
+
+std::string Coordinator::on_lease(const Request& r, std::int64_t now_ms) {
+  std::string reply;
+  if (!admit(r, now_ms, &reply)) return reply;
+  if (table_.point_info(r.hash) == nullptr) {
+    if (!opt_.accept_unknown_points) return "UNKNOWN";
+    PointInfo info;
+    info.hash = r.hash;
+    info.entry = r.entry;
+    add_point(std::move(info));
+  }
+  Lease lease;
+  switch (table_.grant(r.hash, r.worker, now_ms, &lease)) {
+    case GrantOutcome::kGranted:
+      counters_.add("leases_granted");
+      return "GRANT " + to_hex16(r.hash) + " " + to_hex16(lease.id) + " " +
+             std::to_string(table_.ttl_ms()) + " -";
+    case GrantOutcome::kTaken:
+      counters_.add("lease_conflicts");
+      return "TAKEN";
+    case GrantOutcome::kComplete:
+      return "COMPLETE";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+std::string Coordinator::on_renew(const Request& r, std::int64_t now_ms) {
+  std::string reply;
+  if (!admit(r, now_ms, &reply)) return reply;
+  switch (table_.renew(r.lease_id, now_ms)) {
+    case RenewOutcome::kOk:
+      counters_.add("leases_renewed");
+      return "OK " + std::to_string(table_.ttl_ms());
+    case RenewOutcome::kExpired:
+      counters_.add("renewals_lost");
+      return "EXPIRED";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+std::string Coordinator::on_done(const Request& r, std::int64_t now_ms) {
+  // Deliberately no admit() gate: a Suspect or even Dead worker
+  // reporting a finished point is still reporting the truth (the entry
+  // is on disk, content-addressed).  Refresh liveness only if the
+  // incarnation is not dead.
+  liveness_.heartbeat(r.worker, now_ms);
+  switch (table_.complete(r.lease_id)) {
+    case CompleteOutcome::kOk:
+      counters_.add("completions");
+      return "OK";
+    case CompleteOutcome::kUnknown:
+      return "UNKNOWN";
+    default:
+      break;
+  }
+  // The lease is gone (expired + reclaimed, maybe re-granted).  Resolve
+  // by point: an incomplete point still gets its completion -- dropping
+  // a finished, deterministic, content-addressed result would only
+  // force a redundant re-run by whoever holds the re-granted lease.
+  if (table_.point_info(r.hash) == nullptr) return "UNKNOWN";
+  if (table_.point_state(r.hash) == PointState::kComplete) {
+    counters_.add("completions_dup");
+    return "DUP";
+  }
+  table_.mark_complete(r.hash);
+  counters_.add("completions");
+  counters_.add("completions_stale_lease");
+  return "OK-STALE";
+}
+
+std::string Coordinator::on_get(const Request& r, std::int64_t now_ms) {
+  (void)now_ms;
+  if (probe_) {
+    std::string doc;
+    if (probe_(r.hash, &doc)) {
+      counters_.add("serve_cache_hits");
+      // The probe hit is also ground truth for dispatch bookkeeping.
+      table_.mark_complete(r.hash);
+      return "HIT " + std::to_string(doc.size()) + "\n" + doc;
+    }
+  }
+  counters_.add("serve_cache_misses");
+  if (table_.point_info(r.hash) == nullptr) {
+    counters_.add("serve_unknown");
+    return "UNKNOWN";
+  }
+  return std::string("PENDING ") +
+         (table_.point_state(r.hash) == PointState::kLeased ? "leased"
+                                                            : "queued");
+}
+
+std::string Coordinator::handle_line(const std::string& line,
+                                     std::int64_t now_ms) {
+  const Request r = parse_request(line);
+  counters_.add("requests");
+  switch (r.verb) {
+    case Request::Verb::kHello:
+      return on_hello(r, now_ms);
+    case Request::Verb::kNext:
+      return on_next(r, now_ms);
+    case Request::Verb::kLease:
+      return on_lease(r, now_ms);
+    case Request::Verb::kRenew:
+      return on_renew(r, now_ms);
+    case Request::Verb::kDone:
+      return on_done(r, now_ms);
+    case Request::Verb::kPing: {
+      std::string reply;
+      if (!admit(r, now_ms, &reply)) return reply;
+      return std::string("OK ") + worker_state_name(liveness_.state(r.worker));
+    }
+    case Request::Verb::kBye: {
+      liveness_.heartbeat(r.worker, now_ms);
+      const auto reclaimed = table_.reclaim_worker(r.worker);
+      counters_.add("leases_released_bye", reclaimed.size());
+      counters_.add("points_requeued", reclaimed.size());
+      return "OK";
+    }
+    case Request::Verb::kGet:
+      return on_get(r, now_ms);
+    case Request::Verb::kStats:
+      return stats_json();
+    case Request::Verb::kShutdown:
+      shutdown_ = true;
+      return "OK";
+    case Request::Verb::kInvalid:
+      break;
+  }
+  counters_.add("requests_invalid");
+  return "ERR " + r.error;
+}
+
+std::string Coordinator::stats_json() const {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("tool").value("kop_sweepd");
+  w.key("proto").value(kProtoVersion);
+  w.key("points").begin_object();
+  w.key("total").value(static_cast<std::uint64_t>(table_.total()));
+  w.key("queued").value(static_cast<std::uint64_t>(table_.queued()));
+  w.key("leased").value(static_cast<std::uint64_t>(table_.leased()));
+  w.key("complete").value(static_cast<std::uint64_t>(table_.complete()));
+  w.end_object();
+  w.key("workers").begin_array();
+  for (const auto& info : liveness_.snapshot()) {
+    w.begin_object();
+    w.key("name").value(info.name);
+    w.key("state").value(worker_state_name(info.state));
+    w.key("incarnation").value(info.incarnation);
+    w.key("suspects").value(info.suspects);
+    w.key("recoveries").value(info.recoveries);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("counters").begin_object();
+  for (const auto& [name, count] : counters_.items()) {
+    w.key(name).value(count);
+  }
+  w.end_object();
+  w.key("drained").value(drained());
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace kop::coord

@@ -1,0 +1,81 @@
+#include "coord/liveness.hpp"
+
+#include <algorithm>
+
+namespace kop::coord {
+
+const char* worker_state_name(WorkerState s) {
+  switch (s) {
+    case WorkerState::kUnknown: return "unknown";
+    case WorkerState::kAlive:   return "alive";
+    case WorkerState::kSuspect: return "suspect";
+    case WorkerState::kDead:    return "dead";
+  }
+  return "?";
+}
+
+LivenessTracker::LivenessTracker(LivenessOptions opt) : opt_(opt) {
+  if (opt_.suspect_after_ms < 1) opt_.suspect_after_ms = 1;
+  if (opt_.dead_after_ms <= opt_.suspect_after_ms) {
+    opt_.dead_after_ms = opt_.suspect_after_ms + 1;
+  }
+}
+
+std::uint64_t LivenessTracker::hello(const std::string& worker,
+                                     std::int64_t now_ms) {
+  WorkerInfo& info = workers_[worker];
+  info.name = worker;
+  info.state = WorkerState::kAlive;
+  info.last_seen_ms = now_ms;
+  ++info.incarnation;
+  return info.incarnation;
+}
+
+WorkerState LivenessTracker::heartbeat(const std::string& worker,
+                                       std::int64_t now_ms) {
+  const auto it = workers_.find(worker);
+  if (it == workers_.end()) return WorkerState::kUnknown;
+  WorkerInfo& info = it->second;
+  if (info.state == WorkerState::kDead) return WorkerState::kDead;
+  if (info.state == WorkerState::kSuspect) {
+    info.state = WorkerState::kAlive;
+    ++info.recoveries;
+  }
+  info.last_seen_ms = std::max(info.last_seen_ms, now_ms);
+  return info.state;
+}
+
+std::vector<std::string> LivenessTracker::advance(std::int64_t now_ms) {
+  std::vector<std::string> died;
+  for (auto& [name, info] : workers_) {
+    if (info.state == WorkerState::kDead) continue;
+    const std::int64_t silence = now_ms - info.last_seen_ms;
+    if (silence >= opt_.dead_after_ms) {
+      // A worker can cross both thresholds in one advance (a long gap
+      // between ticks); record the Suspect transition it skipped so the
+      // trajectory is always Alive -> Suspect -> Dead.
+      if (info.state == WorkerState::kAlive) ++info.suspects;
+      info.state = WorkerState::kDead;
+      died.push_back(name);
+    } else if (silence >= opt_.suspect_after_ms &&
+               info.state == WorkerState::kAlive) {
+      info.state = WorkerState::kSuspect;
+      ++info.suspects;
+    }
+  }
+  return died;  // std::map iteration: already name-sorted
+}
+
+WorkerState LivenessTracker::state(const std::string& worker) const {
+  const auto it = workers_.find(worker);
+  return it == workers_.end() ? WorkerState::kUnknown : it->second.state;
+}
+
+std::vector<LivenessTracker::WorkerInfo> LivenessTracker::snapshot() const {
+  std::vector<WorkerInfo> out;
+  out.reserve(workers_.size());
+  for (const auto& [name, info] : workers_) out.push_back(info);
+  return out;
+}
+
+}  // namespace kop::coord

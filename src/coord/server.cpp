@@ -1,0 +1,141 @@
+#include "coord/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kop::coord {
+
+namespace {
+
+// Write all of `data`, retrying short writes; false on a broken pipe.
+// MSG_NOSIGNAL: a client that vanished mid-reply is a return value,
+// not a process-killing SIGPIPE.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::int64_t Server::now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Server::Server(Coordinator* coord, ServerOptions opt)
+    : coord_(coord), opt_(std::move(opt)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opt_.socket_path.empty() ||
+      opt_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("coord: bad socket path '" + opt_.socket_path +
+                             "'");
+  }
+  std::memcpy(addr.sun_path, opt_.socket_path.c_str(),
+              opt_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("coord: socket: ") +
+                             std::strerror(errno));
+  }
+  // A previous daemon's socket file would make bind fail; it is dead by
+  // definition (we are the daemon), so remove it.
+  ::unlink(opt_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("coord: cannot listen on " + opt_.socket_path +
+                             ": " + err);
+  }
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(opt_.socket_path.c_str());
+}
+
+void Server::run() {
+  // Per-connection receive buffers (lines may arrive split).
+  std::map<int, std::string> buffers;
+
+  auto close_fd = [&](int fd) {
+    ::close(fd);
+    buffers.erase(fd);
+  };
+
+  while (!stop_) {
+    coord_->tick(now_ms());
+    if (coord_->shutdown_requested()) break;
+    if (opt_.exit_when_drained && coord_->drained()) break;
+
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, buf] : buffers) fds.push_back({fd, POLLIN, 0});
+
+    const int ready = ::poll(fds.data(), fds.size(), opt_.poll_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+
+    if (fds[0].revents & POLLIN) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) buffers.try_emplace(fd);
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int fd = fds[i].fd;
+      char chunk[4096];
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+        close_fd(fd);
+        continue;
+      }
+      std::string& buf = buffers[fd];
+      buf.append(chunk, static_cast<std::size_t>(n));
+      // Handle every complete line; requests are independent, so a
+      // pipelined client works too.
+      bool broken = false;
+      std::size_t nl;
+      while (!broken && (nl = buf.find('\n')) != std::string::npos) {
+        std::string line = buf.substr(0, nl);
+        buf.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        const std::string response = coord_->handle_line(line, now_ms());
+        broken = !write_all(fd, response + "\n");
+      }
+      if (buf.size() > 1 << 20) broken = true;  // runaway un-terminated line
+      if (broken) close_fd(fd);
+      if (coord_->shutdown_requested()) break;
+    }
+  }
+  for (const auto& [fd, buf] : buffers) ::close(fd);
+}
+
+}  // namespace kop::coord

@@ -1,0 +1,62 @@
+// Socket front-end for the Coordinator: a single-threaded poll loop
+// over a Unix-domain stream socket.
+//
+// One thread, no locks: every request line is handled to completion
+// before the next is read, so the Coordinator needs no internal
+// synchronization and request interleaving is a total order (which is
+// what makes the STATS counters exact).  Between polls the loop calls
+// Coordinator::tick() with steady-clock time -- liveness and lease
+// expiry advance even when no requests arrive.
+//
+// A Unix socket (not TCP) because the serving path's unit of deployment
+// is one machine or one shared filesystem, the same scope --shard-claim
+// already assumes; it also makes the CI smoke hermetic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "coord/coordinator.hpp"
+
+namespace kop::coord {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Poll timeout between ticks.
+  int poll_ms = 100;
+  /// Exit the loop once the sweep is drained (CI smoke mode).  The
+  /// loop still answers requests until the last connection closes.
+  bool exit_when_drained = false;
+};
+
+class Server {
+ public:
+  /// Binds and listens; throws std::runtime_error on socket errors.
+  Server(Coordinator* coord, ServerOptions opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serve until SHUTDOWN is received, stop() is called from another
+  /// thread, or (with exit_when_drained) the sweep completes.
+  void run();
+
+  /// Async-signal-safe-ish stop flag (checked every poll round).
+  void stop() { stop_ = true; }
+
+  const std::string& socket_path() const { return opt_.socket_path; }
+
+  /// Milliseconds on the steady clock (the server's time base).
+  static std::int64_t now_ms();
+
+ private:
+  void serve_connection(int fd);
+
+  Coordinator* coord_;
+  ServerOptions opt_;
+  int listen_fd_ = -1;
+  volatile bool stop_ = false;
+};
+
+}  // namespace kop::coord

@@ -111,6 +111,11 @@ bool run_shard_mode(const jobs::PointMatrix& mx, MetricsSink* sink,
         "--shard and --shard-claim are mutually exclusive (static vs "
         "work-stealing partition of the same sweep)");
   }
+  if (jopts.coord_enabled() && (shard.enabled() || jopts.claim_enabled())) {
+    throw std::invalid_argument(
+        "--coord is its own dispatch mode; drop --shard/--shard-claim "
+        "(the coordinator already partitions the sweep by lease)");
+  }
   if (shard.list_only) {
     *out = jobs::shard_list_text(mx.points(), shard);
     return true;
@@ -137,6 +142,36 @@ bool run_shard_mode(const jobs::PointMatrix& mx, MetricsSink* sink,
     std::string text;
     appendf(text, "[claim] executed %zu of %zu points (%zu claimed by other "
                   "workers)", won, mx.size(), mx.size() - won);
+    if (jopts.cache_enabled()) appendf(text, " into %s", jopts.cache_dir.c_str());
+    text += "\n(figure tables need every worker's results: merge the worker"
+            " caches with kop_merge\n and rerun unsharded with --cache-dir"
+            " pointed at the merged directory)\n";
+    *out = text;
+    return true;
+  }
+  if (jopts.coord_enabled()) {
+    // Lease-based dispatch: like claim mode, but the arbiter is a
+    // kop_sweepd daemon, so a crashed worker's points are re-queued
+    // instead of stranded behind orphan claim files.
+    if (!jopts.cache_enabled()) {
+      std::fprintf(stderr,
+                   "[coord] warning: no --cache-dir; this worker's results "
+                   "are computed and discarded\n");
+    }
+    jobs::JobRunner runner(jopts);
+    const auto results = runner.run(mx.points());
+    jobs::require_ok(mx.points(), results);
+    std::fprintf(stderr, "[jobs] %s\n", runner.summary(mx.size()).c_str());
+    std::size_t won = 0;
+    for (const auto& r : results) {
+      if (r.skipped) continue;
+      ++won;
+      if (sink != nullptr) sink->add(r.metrics);
+    }
+    std::string text;
+    appendf(text, "[coord] executed %zu of %zu points (%zu leased to other "
+                  "workers or already complete)", won, mx.size(),
+            mx.size() - won);
     if (jopts.cache_enabled()) appendf(text, " into %s", jopts.cache_dir.c_str());
     text += "\n(figure tables need every worker's results: merge the worker"
             " caches with kop_merge\n and rerun unsharded with --cache-dir"

@@ -1,0 +1,68 @@
+// Lease-aware dispatch: the coordinator-backed analogue of ClaimDir.
+//
+// Where --shard-claim marks ownership with immortal O_EXCL claim files,
+// --coord asks a kop_sweepd daemon for a *lease* on each point before
+// simulating it.  The session keeps every outstanding lease alive from
+// a background heartbeat thread (renewing at TTL/3, piggybacking a PING
+// when it holds nothing so liveness never decays to Suspect mid-sweep)
+// and reports completions so the coordinator's manifest drains.  If
+// this process dies instead, the coordinator reclaims its leases at TTL
+// expiry or on the dead-worker transition and re-queues the points --
+// no operator cleanup, unlike stranded claim files.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "harness/jobs/point.hpp"
+
+namespace kop::coord {
+class Client;
+}
+
+namespace kop::harness::jobs {
+
+class LeaseSession {
+ public:
+  /// Connects to the daemon socket and performs the HELLO handshake.
+  /// Throws std::runtime_error when the daemon is unreachable.  The
+  /// worker id defaults to "<hostname>:<pid>" (the claim-file owner
+  /// convention).
+  explicit LeaseSession(const std::string& socket_path,
+                        std::string worker = "");
+  ~LeaseSession();
+
+  LeaseSession(const LeaseSession&) = delete;
+  LeaseSession& operator=(const LeaseSession&) = delete;
+
+  /// Lease `spec` from the coordinator.  False when another worker
+  /// holds it or it is already complete -- the caller skips the point,
+  /// exactly like a lost ClaimDir::try_claim.
+  bool try_acquire(const PointSpec& spec);
+
+  /// Report the point done (entry stored in the shared cache).  No-op
+  /// when this session does not hold its lease.
+  void complete(const PointSpec& spec);
+
+  const std::string& worker() const { return worker_; }
+
+ private:
+  void heartbeat_loop();
+
+  std::string worker_;
+  std::unique_ptr<coord::Client> client_;
+  std::int64_t ttl_ms_ = 5000;
+
+  std::mutex mu_;
+  std::map<std::uint64_t, std::uint64_t> held_;  // point hash -> lease id
+  bool stop_ = false;
+  std::condition_variable stop_cv_;
+  std::thread heartbeat_;
+};
+
+}  // namespace kop::harness::jobs

@@ -43,9 +43,15 @@ struct JobOptions {
   /// from this shared directory before simulating them (claim.hpp).
   /// Unclaimed points come back with PointResult::skipped set.
   std::string claim_dir;
+  /// Coordinator-backed alternative to both (--coord SOCKET): lease
+  /// each point from a kop_sweepd daemon before simulating it
+  /// (lease_session.hpp).  Crashed workers need no cleanup -- their
+  /// leases expire and the daemon re-queues the points.
+  std::string coord_socket;
 
   bool cache_enabled() const { return !cache_dir.empty() && !no_cache; }
   bool claim_enabled() const { return !claim_dir.empty(); }
+  bool coord_enabled() const { return !coord_socket.empty(); }
 };
 
 /// Resolved worker count for `n_points` jobs (clamped to [1, n_points]

@@ -66,6 +66,9 @@ JobRunner::JobRunner(JobOptions opts) : opts_(std::move(opts)) {
   if (opts_.claim_enabled()) {
     claim_ = std::make_unique<ClaimDir>(opts_.claim_dir);
   }
+  if (opts_.coord_enabled()) {
+    lease_ = std::make_unique<LeaseSession>(opts_.coord_socket);
+  }
 }
 
 PointResult JobRunner::execute_one(const PointSpec& spec) {
@@ -79,9 +82,21 @@ PointResult JobRunner::execute_one(const PointSpec& spec) {
     ++stats_.skipped;
     return skipped;
   }
+  // A lease is the coordinator's claim: same exactly-once semantics,
+  // but reclaimable if this worker dies.  Completion is reported after
+  // the result is in the cache, so a GET served as COMPLETE can always
+  // be answered from disk.
+  if (lease_ != nullptr && !lease_->try_acquire(spec)) {
+    PointResult skipped;
+    skipped.skipped = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.skipped;
+    return skipped;
+  }
   if (cache_ != nullptr) {
     PointResult cached;
     if (cache_->load(spec, &cached)) {
+      if (lease_ != nullptr) lease_->complete(spec);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.cache_hits;
       return cached;
@@ -100,6 +115,9 @@ PointResult JobRunner::execute_one(const PointSpec& spec) {
         if (attempt > 0) ++stats_.retries;
       }
       if (cache_ != nullptr) cache_->store(spec, result);
+      // Store before DONE: once the coordinator calls the point
+      // complete, the entry must already be on disk for GET to serve.
+      if (lease_ != nullptr) lease_->complete(spec);
       return result;
     } catch (const std::exception& e) {
       if (attempt == 0) {

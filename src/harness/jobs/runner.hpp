@@ -24,6 +24,7 @@
 
 #include "harness/jobs/cache.hpp"
 #include "harness/jobs/claim.hpp"
+#include "harness/jobs/lease_session.hpp"
 #include "harness/jobs/options.hpp"
 #include "harness/jobs/point.hpp"
 
@@ -84,6 +85,7 @@ class JobRunner {
   JobOptions opts_;
   std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<ClaimDir> claim_;
+  std::unique_ptr<LeaseSession> lease_;
   Stats stats_;
   std::mutex stats_mu_;
 };

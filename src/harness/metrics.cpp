@@ -202,12 +202,15 @@ FigOptions parse_fig_options(int argc, char** argv) {
       opts.jobs.shard.list_only = true;
     } else if (arg == "--shard-claim" && i + 1 < argc) {
       opts.jobs.claim_dir = argv[++i];
+    } else if (arg == "--coord" && i + 1 < argc) {
+      opts.jobs.coord_socket = argv[++i];
     } else {
       std::fprintf(
           stderr,
           "usage: %s [--json <path>] [--quick] [--jobs N]\n"
           "          [--cache-dir <dir>] [--no-cache]\n"
           "          [--shard K/N] [--shard-list] [--shard-claim <dir>]\n"
+          "          [--coord <socket>]\n"
           "  --json <path>    write a kop-metrics v1 JSON artifact\n"
           "  --quick          reduced problem sizes (CI smoke)\n"
           "  --jobs N         host worker threads (default: all cores)\n"
@@ -220,7 +223,11 @@ FigOptions parse_fig_options(int argc, char** argv) {
           "  --shard-claim <d>  work-stealing partition: claim points\n"
           "                   from shared dir <d> before simulating them\n"
           "                   (every worker runs the same command; merge\n"
-          "                   worker caches with kop_merge)\n",
+          "                   worker caches with kop_merge)\n"
+          "  --coord <sock>   lease points from a kop_sweepd daemon on\n"
+          "                   this unix socket instead of claim files\n"
+          "                   (crashed workers are reclaimed by lease\n"
+          "                   expiry; merge worker caches with kop_merge)\n",
           argv[0]);
       opts.ok = false;
       return opts;

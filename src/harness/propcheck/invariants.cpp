@@ -7,9 +7,11 @@
 #include <algorithm>
 #include <filesystem>
 #include <map>
+#include <random>
 #include <sstream>
 #include <utility>
 
+#include "coord/coordinator.hpp"
 #include "harness/jobs/cache.hpp"
 #include "harness/jobs/merge.hpp"
 #include "harness/propcheck/propcheck.hpp"
@@ -337,12 +339,155 @@ void check_cache_roundtrip(const CaseParams& params, const jobs::PointSpec& spec
   fs::remove_all(dir, ec);  // best-effort scratch hygiene
 }
 
+// Exactly-once dispatch under the sweep coordinator: drive the
+// clockless Coordinator through a full synthetic sweep with a random
+// worker-crash schedule (all derived from the case token, so replaying
+// the token replays the exact schedule) and assert that the sweep
+// drains and every point is completed exactly once -- crashes and lease
+// expiries may re-*dispatch* a point, but only one completion is ever
+// accepted, and re-dispatch only happens after a reclaim.
+void check_exactly_once_dispatch(const CaseParams& params,
+                                 std::vector<Violation>* out) {
+  const std::uint64_t seed = jobs::fnv1a64(params.token());
+  std::mt19937_64 rng(seed);
+  auto rand_in = [&rng](int lo, int hi) {
+    return lo + static_cast<int>(rng() % static_cast<std::uint64_t>(hi - lo + 1));
+  };
+  auto violate = [out](std::string detail) {
+    out->push_back({"exactly-once-dispatch", std::move(detail)});
+  };
+
+  // Short synthetic timescales: leases expire mid-point, Suspect and
+  // Dead are reachable, yet one immortal worker drains any schedule.
+  coord::CoordinatorOptions copt;
+  copt.lease_ttl_ms = 120;
+  copt.liveness.suspect_after_ms = 180;
+  copt.liveness.dead_after_ms = 420;
+  coord::Coordinator coordinator(copt, {});
+
+  const int n_points = rand_in(3, 10);
+  std::vector<std::uint64_t> hashes;
+  for (int i = 0; i < n_points; ++i) {
+    std::uint64_t h = fold(seed, static_cast<std::uint64_t>(i) + 1);
+    while (h == 0 ||
+           std::find(hashes.begin(), hashes.end(), h) != hashes.end()) {
+      ++h;
+    }
+    hashes.push_back(h);
+    coord::PointInfo info;
+    info.hash = h;
+    info.label = "synthetic-" + std::to_string(i);
+    coordinator.add_point(std::move(info));
+  }
+
+  constexpr std::int64_t kStepMs = 25;
+  constexpr int kMaxSteps = 4000;
+
+  struct SimWorker {
+    std::string name;
+    std::int64_t crash_at = -1;  // silent SIGKILL; -1 = immortal
+    bool crashed = false;
+    bool helloed = false;
+    bool holding = false;
+    std::uint64_t lease_id = 0;
+    std::uint64_t point = 0;
+    std::int64_t finish_at = 0;
+  };
+  std::vector<SimWorker> workers(static_cast<std::size_t>(rand_in(2, 4)));
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    workers[w].name = "w" + std::to_string(w);
+    // Worker 0 never crashes, so every schedule eventually drains.
+    if (w > 0) workers[w].crash_at = rand_in(0, 2000);
+  }
+
+  std::map<std::uint64_t, int> accepted;  // hash -> OK/OK-STALE completions
+  auto send = [&coordinator](const std::string& line, std::int64_t now) {
+    return coordinator.handle_line(line, now);
+  };
+
+  std::int64_t now = 0;
+  for (int step = 0; step < kMaxSteps && !coordinator.drained(); ++step) {
+    now = step * kStepMs;
+    coordinator.tick(now);
+    for (auto& w : workers) {
+      if (w.crashed) continue;
+      if (w.crash_at >= 0 && now >= w.crash_at) {
+        w.crashed = true;  // vanishes mid-lease: reclaim must cover it
+        continue;
+      }
+      if (!w.helloed) {
+        send("HELLO " + w.name, now);
+        w.helloed = true;
+        continue;
+      }
+      if (w.holding) {
+        if (now >= w.finish_at) {
+          const std::string r = send("DONE " + w.name + " " +
+                                         coord::to_hex16(w.lease_id) + " " +
+                                         coord::to_hex16(w.point),
+                                     now);
+          if (r == "OK" || r == "OK-STALE") ++accepted[w.point];
+          w.holding = false;
+        } else if (rand_in(0, 9) < 7) {
+          // A missed renewal now and then: lets leases expire mid-point
+          // so the stale-completion path is actually exercised.
+          (void)send("RENEW " + w.name + " " + coord::to_hex16(w.lease_id),
+                     now);
+        }
+        continue;
+      }
+      const std::string r = send("NEXT " + w.name, now);
+      const auto toks = coord::split_tokens(r);
+      if (!toks.empty() && toks[0] == "GRANT") {
+        coord::parse_hex16(toks[1], &w.point);
+        coord::parse_hex16(toks[2], &w.lease_id);
+        w.holding = true;
+        // Some points outlive the TTL several times over.
+        w.finish_at = now + rand_in(20, 300);
+      } else if (!toks.empty() && (toks[0] == "DEAD" || toks[0] == "NOHELLO")) {
+        w.helloed = false;  // come back as a new incarnation
+      }
+    }
+  }
+
+  if (!coordinator.drained()) {
+    violate("sweep did not drain in " + std::to_string(kMaxSteps) +
+            " steps: " + coordinator.stats_json());
+    return;
+  }
+  for (const std::uint64_t h : hashes) {
+    const int n = accepted.count(h) ? accepted.at(h) : 0;
+    // 0 accepted worker completions is legal only via mark_complete
+    // paths the coordinator itself counts; here every completion comes
+    // from a DONE, so the count must be exactly 1.
+    if (n != 1) {
+      violate("point " + coord::to_hex16(h) + " had " + std::to_string(n) +
+              " accepted completions (want exactly 1)");
+    }
+  }
+  const auto& counters = coordinator.counters();
+  if (counters.get("completions") != static_cast<std::uint64_t>(n_points)) {
+    violate("coordinator counted " +
+            std::to_string(counters.get("completions")) + " completions for " +
+            std::to_string(n_points) + " points");
+  }
+  // Every grant beyond the first per point must be justified by a
+  // reclaim (expiry, death, or BYE) -- dispatch is never duplicated
+  // while a live lease exists.
+  if (counters.get("leases_granted") >
+      static_cast<std::uint64_t>(n_points) + counters.get("points_requeued")) {
+    violate("granted " + std::to_string(counters.get("leases_granted")) +
+            " leases for " + std::to_string(n_points) + " points with only " +
+            std::to_string(counters.get("points_requeued")) + " requeues");
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> invariant_names() {
   return {"run-completes",    "time-monotonic",       "work-conservation",
           "task-balance",     "steal-accounting",     "counter-conservation",
-          "determinism",      "cache-roundtrip"};
+          "determinism",      "cache-roundtrip",      "exactly-once-dispatch"};
 }
 
 CaseOutcome check_case(const CaseParams& params, const CheckOptions& opt) {
@@ -416,6 +561,7 @@ CaseOutcome check_case(const CaseParams& params, const CheckOptions& opt) {
     check_cache_roundtrip(params, spec, a.result, opt.scratch_dir,
                           &out.violations);
   }
+  check_exactly_once_dispatch(params, &out.violations);
   return out;
 }
 

@@ -23,6 +23,10 @@
 //                        their totals (telemetry::check_conservation)
 //   cache-roundtrip      store -> load -> merge -> load returns the
 //                        byte-identical entry document
+//   exactly-once-dispatch  a full coordinator-arbitrated sweep under a
+//                        case-derived random worker-crash schedule
+//                        drains with exactly one accepted completion
+//                        per point (src/coord, driven clocklessly)
 //
 // A failing case is shrunk to a minimal failing CaseParams; its token
 // is a single space-free string that replays from the CLI

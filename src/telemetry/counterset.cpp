@@ -1,0 +1,24 @@
+#include "telemetry/counterset.hpp"
+
+#include "telemetry/json.hpp"
+
+namespace kop::telemetry {
+
+std::uint64_t CounterSet::get(const std::string& name) const {
+  const auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterSet::items() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+std::string CounterSet::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  for (const auto& [name, count] : counts_) w.key(name).value(count);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace kop::telemetry

@@ -1,0 +1,44 @@
+#pragma once
+
+// Named operational counters for long-lived services.
+//
+// The CounterFabric (counters.hpp) is the *simulation's* event fabric:
+// a fixed enum, per-CPU attribution, part of the kop-metrics schema.
+// Service daemons (the sweep coordinator) need something different --
+// an open-ended set of operational counters (leases granted, cache
+// hits on the serving path) that renders deterministically for STATS
+// endpoints and tests without touching the versioned run schema.
+//
+// CounterSet is that: a name -> count map with stable (sorted)
+// iteration order and a one-line JSON rendering.  std-only, like the
+// rest of the telemetry layer.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kop::telemetry {
+
+class CounterSet {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1) {
+    counts_[name] += delta;
+  }
+  /// 0 for a counter never add()ed (and it stays absent from items()).
+  std::uint64_t get(const std::string& name) const;
+
+  /// All counters, sorted by name (std::map order) -- deterministic
+  /// across hosts, suitable for golden assertions.
+  std::vector<std::pair<std::string, std::uint64_t>> items() const;
+
+  /// One-line JSON object, keys sorted: {"cache_hits":3,"leases":9}.
+  std::string to_json() const;
+
+  void reset() { counts_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace kop::telemetry

@@ -71,6 +71,59 @@ TEST_F(ClaimTest, FirstClaimWinsSecondLoses) {
                           ".claim")));
 }
 
+TEST_F(ClaimTest, AuditFindsStrandedClaims) {
+  jobs::ClaimDir claims(dir("claims"));
+  fs::create_directories(dir("cacheA"));
+  fs::create_directories(dir("cacheB"));
+
+  // Three claimed points; only two have a cache entry somewhere -- the
+  // third claimer "crashed" between claiming and storing.
+  const auto p1 = tiny_point(1), p2 = tiny_point(2), p3 = tiny_point(3);
+  ASSERT_TRUE(claims.try_claim(p1));
+  ASSERT_TRUE(claims.try_claim(p2));
+  ASSERT_TRUE(claims.try_claim(p3));
+  auto entry_name = [](const jobs::PointSpec& p) {
+    return "kop-" + jobs::hex16(jobs::ResultCache::key(p)) + ".json";
+  };
+  // The audit is existence-only (kop_merge validates contents), so
+  // placeholder entries are enough here.
+  std::ofstream(dir("cacheA") + "/" + entry_name(p1)) << "{}";
+  std::ofstream(dir("cacheB") + "/" + entry_name(p2)) << "{}";
+
+  auto audit = jobs::audit_claims(dir("claims"), {dir("cacheA"), dir("cacheB")});
+  EXPECT_FALSE(audit.ok());
+  EXPECT_EQ(audit.claims, 3u);
+  EXPECT_EQ(audit.covered, 2u);
+  ASSERT_EQ(audit.stranded.size(), 1u);
+  EXPECT_EQ(audit.stranded[0].entry, entry_name(p3));
+  // The claim's recorded owner ("host:pid") surfaces in the report.
+  EXPECT_NE(audit.stranded[0].owner.find(':'), std::string::npos);
+  EXPECT_NE(audit.text().find("STRANDED"), std::string::npos);
+
+  // Once the missing entry lands, the audit is clean.
+  std::ofstream(dir("cacheA") + "/" + entry_name(p3)) << "{}";
+  audit = jobs::audit_claims(dir("claims"), {dir("cacheA"), dir("cacheB")});
+  EXPECT_TRUE(audit.ok());
+  EXPECT_EQ(audit.covered, 3u);
+}
+
+TEST_F(ClaimTest, CacheDigestTracksContentNotLayout) {
+  fs::create_directories(dir("d1"));
+  fs::create_directories(dir("d2"));
+  const std::string name = "kop-0123456789abcdef.json";
+  const std::string other = "kop-fedcba9876543210.json";
+  std::ofstream(dir("d1") + "/" + name) << "{\"v\":1}";
+  std::ofstream(dir("d2") + "/" + name) << "{\"v\":1}";
+  // Same entries in different directories digest identically.
+  EXPECT_EQ(jobs::cache_digest(dir("d1")), jobs::cache_digest(dir("d2")));
+  // Non-entry files are invisible to the digest...
+  std::ofstream(dir("d2") + "/notes.txt") << "scratch";
+  EXPECT_EQ(jobs::cache_digest(dir("d1")), jobs::cache_digest(dir("d2")));
+  // ...but a differing entry set or differing bytes is a different sweep.
+  std::ofstream(dir("d2") + "/" + other) << "{\"v\":2}";
+  EXPECT_NE(jobs::cache_digest(dir("d1")), jobs::cache_digest(dir("d2")));
+}
+
 TEST_F(ClaimTest, ConcurrentClaimersGetExactlyOneWinnerPerPoint) {
   const std::string cdir = dir("claims");
   constexpr int kWorkers = 8;

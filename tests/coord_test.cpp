@@ -1,0 +1,514 @@
+// The sweep coordinator: line-protocol parsing, the worker liveness
+// state machine, lease lifecycle edge cases (renewal at the TTL
+// boundary, the double-reclaim race, Suspect -> Alive recovery,
+// coordinator restart with in-flight leases), the cache-serving GET
+// path, and the socket front-end end-to-end (kop_sweepd's Server +
+// Client, and JobRunner --coord dispatch).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coord/client.hpp"
+#include "coord/coordinator.hpp"
+#include "coord/lease.hpp"
+#include "coord/liveness.hpp"
+#include "coord/proto.hpp"
+#include "coord/server.hpp"
+#include "harness/figures.hpp"
+#include "harness/jobs/cache.hpp"
+#include "harness/jobs/runner.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace coord = kop::coord;
+namespace jobs = kop::harness::jobs;
+
+// --- proto -----------------------------------------------------------------
+
+TEST(CoordProto, Hex16RoundTripsAndIsStrict) {
+  EXPECT_EQ(coord::to_hex16(0), "0000000000000000");
+  EXPECT_EQ(coord::to_hex16(0xdeadbeef12345678ULL), "deadbeef12345678");
+  std::uint64_t v = 0;
+  EXPECT_TRUE(coord::parse_hex16("deadbeef12345678", &v));
+  EXPECT_EQ(v, 0xdeadbeef12345678ULL);
+  EXPECT_FALSE(coord::parse_hex16("DEADBEEF12345678", &v));  // upper case
+  EXPECT_FALSE(coord::parse_hex16("deadbeef1234567", &v));   // 15 digits
+  EXPECT_FALSE(coord::parse_hex16("deadbeef123456789", &v)); // 17 digits
+  EXPECT_FALSE(coord::parse_hex16("deadbeef1234567g", &v));  // not hex
+}
+
+TEST(CoordProto, ParsesEveryVerb) {
+  const std::string h = coord::to_hex16(42), l = coord::to_hex16(7);
+  using Verb = coord::Request::Verb;
+
+  auto r = coord::parse_request("HELLO w-1");
+  EXPECT_EQ(r.verb, Verb::kHello);
+  EXPECT_EQ(r.worker, "w-1");
+
+  r = coord::parse_request("NEXT host:123");
+  EXPECT_EQ(r.verb, Verb::kNext);
+  EXPECT_EQ(r.worker, "host:123");
+
+  r = coord::parse_request("LEASE w " + h + " kop-00000000000000ff.json");
+  EXPECT_EQ(r.verb, Verb::kLease);
+  EXPECT_EQ(r.hash, 42u);
+  EXPECT_EQ(r.entry, "kop-00000000000000ff.json");
+
+  r = coord::parse_request("RENEW w " + l);
+  EXPECT_EQ(r.verb, Verb::kRenew);
+  EXPECT_EQ(r.lease_id, 7u);
+
+  r = coord::parse_request("DONE w " + l + " " + h);
+  EXPECT_EQ(r.verb, Verb::kDone);
+  EXPECT_EQ(r.lease_id, 7u);
+  EXPECT_EQ(r.hash, 42u);
+
+  EXPECT_EQ(coord::parse_request("PING w").verb, Verb::kPing);
+  EXPECT_EQ(coord::parse_request("BYE w").verb, Verb::kBye);
+  r = coord::parse_request("GET " + h);
+  EXPECT_EQ(r.verb, Verb::kGet);
+  EXPECT_EQ(r.hash, 42u);
+  EXPECT_EQ(coord::parse_request("STATS").verb, Verb::kStats);
+  EXPECT_EQ(coord::parse_request("SHUTDOWN").verb, Verb::kShutdown);
+}
+
+TEST(CoordProto, RejectsMalformedLines) {
+  using Verb = coord::Request::Verb;
+  EXPECT_EQ(coord::parse_request("").verb, Verb::kInvalid);
+  EXPECT_EQ(coord::parse_request("HELLO").verb, Verb::kInvalid);
+  EXPECT_EQ(coord::parse_request("HELLO a b").verb, Verb::kInvalid);
+  EXPECT_EQ(coord::parse_request("FROB w").verb, Verb::kInvalid);
+  EXPECT_EQ(coord::parse_request("GET 123").verb, Verb::kInvalid);
+  EXPECT_EQ(coord::parse_request("LEASE w nothex0000000000x").verb,
+            Verb::kInvalid);
+  // Worker ids are charset- and length-limited.
+  EXPECT_EQ(coord::parse_request("HELLO bad`name").verb, Verb::kInvalid);
+  EXPECT_EQ(coord::parse_request("HELLO " + std::string(200, 'a')).verb,
+            Verb::kInvalid);
+  // Every invalid parse says why.
+  EXPECT_FALSE(coord::parse_request("HELLO").error.empty());
+}
+
+// --- liveness --------------------------------------------------------------
+
+TEST(CoordLiveness, FullStateMachineWithRecovery) {
+  coord::LivenessOptions opt;
+  opt.suspect_after_ms = 3000;
+  opt.dead_after_ms = 10000;
+  coord::LivenessTracker lv(opt);
+
+  EXPECT_EQ(lv.state("w"), coord::WorkerState::kUnknown);
+  EXPECT_EQ(lv.heartbeat("w", 0), coord::WorkerState::kUnknown);  // no HELLO
+
+  EXPECT_EQ(lv.hello("w", 0), 1u);
+  EXPECT_EQ(lv.state("w"), coord::WorkerState::kAlive);
+
+  // Silence just below the threshold keeps it Alive.
+  EXPECT_TRUE(lv.advance(2999).empty());
+  EXPECT_EQ(lv.state("w"), coord::WorkerState::kAlive);
+  // At the threshold it becomes Suspect...
+  EXPECT_TRUE(lv.advance(3000).empty());
+  EXPECT_EQ(lv.state("w"), coord::WorkerState::kSuspect);
+  // ...and a late heartbeat recovers it (Suspect -> Alive).
+  EXPECT_EQ(lv.heartbeat("w", 3500), coord::WorkerState::kAlive);
+  EXPECT_EQ(lv.state("w"), coord::WorkerState::kAlive);
+  const auto snap = lv.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].suspects, 1u);
+  EXPECT_EQ(snap[0].recoveries, 1u);
+
+  // Full silence runs Alive -> Suspect -> Dead; the death is reported
+  // exactly once.
+  EXPECT_TRUE(lv.advance(3500 + 3000).empty());
+  EXPECT_EQ(lv.state("w"), coord::WorkerState::kSuspect);
+  const auto died = lv.advance(3500 + 10000);
+  ASSERT_EQ(died.size(), 1u);
+  EXPECT_EQ(died[0], "w");
+  EXPECT_TRUE(lv.advance(3500 + 10001).empty());
+
+  // Dead is terminal per incarnation: heartbeats don't resurrect...
+  EXPECT_EQ(lv.heartbeat("w", 14000), coord::WorkerState::kDead);
+  EXPECT_EQ(lv.state("w"), coord::WorkerState::kDead);
+  // ...but a fresh HELLO registers incarnation 2, Alive again.
+  EXPECT_EQ(lv.hello("w", 14000), 2u);
+  EXPECT_EQ(lv.state("w"), coord::WorkerState::kAlive);
+}
+
+// --- lease lifecycle edge cases --------------------------------------------
+
+coord::PointInfo synthetic_point(std::uint64_t hash) {
+  coord::PointInfo info;
+  info.hash = hash;
+  info.label = "synthetic";
+  return info;
+}
+
+TEST(CoordLease, RenewalAtTtlBoundary) {
+  coord::LeaseTable table(100);
+  table.add_point(synthetic_point(1));
+  coord::Lease lease;
+  ASSERT_EQ(table.grant_next("w", 0, &lease), coord::GrantOutcome::kGranted);
+  EXPECT_EQ(lease.expires_ms, 100);
+
+  // One tick before expiry the renewal wins and pushes the window.
+  EXPECT_EQ(table.renew(lease.id, 99), coord::RenewOutcome::kOk);
+  // Exactly at the (new) boundary the renewal loses: expiry is
+  // exclusive, so now == expires_ms is already expired.
+  EXPECT_EQ(table.renew(lease.id, 199), coord::RenewOutcome::kExpired);
+  // A reclaim sweep at the boundary takes the point back...
+  EXPECT_EQ(table.reclaim_expired(198).size(), 0u);
+  EXPECT_EQ(table.reclaim_expired(199).size(), 1u);
+  EXPECT_EQ(table.point_state(1), coord::PointState::kQueued);
+  // ...after which the old id stays dead (kExpired, not kUnknown: the
+  // id was real once) and a never-issued id is kUnknown.
+  EXPECT_EQ(table.renew(lease.id, 200), coord::RenewOutcome::kExpired);
+  EXPECT_EQ(table.renew(9999, 200), coord::RenewOutcome::kUnknown);
+}
+
+TEST(CoordLease, DoubleReclaimRequeuesExactlyOnce) {
+  coord::LeaseTable table(100);
+  table.add_point(synthetic_point(5));
+  coord::Lease lease;
+  ASSERT_EQ(table.grant_next("w1", 0, &lease), coord::GrantOutcome::kGranted);
+
+  // Two racing reclaim sweeps at the same instant: the second finds
+  // nothing, the point is queued exactly once.
+  EXPECT_EQ(table.reclaim_expired(100).size(), 1u);
+  EXPECT_EQ(table.reclaim_expired(100).size(), 0u);
+  EXPECT_EQ(table.queued(), 1u);
+
+  // The point re-grants to another worker with a fresh lease id.
+  coord::Lease lease2;
+  ASSERT_EQ(table.grant_next("w2", 150, &lease2),
+            coord::GrantOutcome::kGranted);
+  EXPECT_EQ(lease2.point, 5u);
+  EXPECT_NE(lease2.id, lease.id);
+
+  // The original holder's completion arrives late: its id no longer
+  // resolves (the Coordinator layer resolves it by hash instead).
+  EXPECT_EQ(table.complete(lease.id), coord::CompleteOutcome::kAlreadyComplete);
+  EXPECT_EQ(table.point_state(5), coord::PointState::kLeased);
+  EXPECT_EQ(table.complete(lease2.id), coord::CompleteOutcome::kOk);
+  EXPECT_TRUE(table.drained());
+}
+
+// The same race at the protocol level: the coordinator accepts exactly
+// one completion, attributing the late one as OK-STALE / DUP.
+TEST(CoordLease, StaleCompletionResolvesByHashExactlyOnce) {
+  coord::CoordinatorOptions opt;
+  opt.lease_ttl_ms = 100;
+  opt.liveness.suspect_after_ms = 1000;
+  opt.liveness.dead_after_ms = 5000;
+  coord::Coordinator c(opt, {});
+  c.add_point(synthetic_point(5));
+  const std::string h = coord::to_hex16(5);
+
+  EXPECT_EQ(c.handle_line("HELLO w1", 0).rfind("OK 1 ", 0), 0u);
+  const auto g1 = coord::split_tokens(c.handle_line("NEXT w1", 0));
+  ASSERT_EQ(g1[0], "GRANT");
+  const std::string l1 = g1[2];
+
+  c.tick(100);  // lease expires, point requeued
+  c.tick(100);  // double reclaim: no-op
+  EXPECT_EQ(c.handle_line("RENEW w1 " + l1, 150), "EXPIRED");
+
+  EXPECT_EQ(c.handle_line("HELLO w2", 150).rfind("OK 1 ", 0), 0u);
+  const auto g2 = coord::split_tokens(c.handle_line("NEXT w2", 150));
+  ASSERT_EQ(g2[0], "GRANT");
+  EXPECT_EQ(g2[1], h);
+
+  // w1 finished anyway (deterministic result, already on disk): its
+  // stale completion is accepted, w2's then lands as a duplicate.
+  EXPECT_EQ(c.handle_line("DONE w1 " + l1 + " " + h, 180), "OK-STALE");
+  EXPECT_EQ(c.handle_line("DONE w2 " + g2[2] + " " + h, 200), "DUP");
+  EXPECT_TRUE(c.drained());
+  EXPECT_EQ(c.counters().get("completions"), 1u);
+  EXPECT_EQ(c.counters().get("completions_stale_lease"), 1u);
+  EXPECT_EQ(c.counters().get("completions_dup"), 1u);
+}
+
+TEST(CoordLease, DeadWorkerLeasesReclaimedAndReHelloIsNewIncarnation) {
+  coord::CoordinatorOptions opt;
+  opt.lease_ttl_ms = 60000;  // TTL never expires in this test; death reclaims
+  opt.liveness.suspect_after_ms = 100;
+  opt.liveness.dead_after_ms = 300;
+  coord::Coordinator c(opt, {});
+  c.add_point(synthetic_point(1));
+  c.add_point(synthetic_point(2));
+
+  c.handle_line("HELLO w1", 0);
+  const auto g = coord::split_tokens(c.handle_line("NEXT w1", 0));
+  ASSERT_EQ(g[0], "GRANT");
+
+  c.tick(150);  // Suspect: leases stay put
+  EXPECT_EQ(c.leases().leased(), 1u);
+  c.tick(300);  // Dead: leases reclaimed
+  EXPECT_EQ(c.leases().leased(), 0u);
+  EXPECT_EQ(c.leases().queued(), 2u);
+  EXPECT_EQ(c.counters().get("workers_died"), 1u);
+  EXPECT_EQ(c.counters().get("leases_reclaimed_dead"), 1u);
+
+  // The dead incarnation is locked out until it re-HELLOs.
+  EXPECT_EQ(c.handle_line("NEXT w1", 310), "DEAD");
+  EXPECT_EQ(c.handle_line("HELLO w1", 320).rfind("OK 2 ", 0), 0u);
+  EXPECT_EQ(coord::split_tokens(c.handle_line("NEXT w1", 330))[0], "GRANT");
+}
+
+// --- cache-serving GET path ------------------------------------------------
+
+TEST(CoordServe, GetAnswersHitPendingUnknown) {
+  std::map<std::uint64_t, std::string> store = {{1, "doc-one\n"}};
+  coord::Coordinator c({}, [&store](std::uint64_t h, std::string* doc) {
+    const auto it = store.find(h);
+    if (it == store.end()) return false;
+    *doc = it->second;
+    return true;
+  });
+  c.add_point(synthetic_point(1));
+  c.add_point(synthetic_point(2));
+
+  // Warm point: served with a length-prefixed body, and the serve is
+  // ground truth for dispatch (the point flips to complete).
+  EXPECT_EQ(c.handle_line("GET " + coord::to_hex16(1), 0),
+            "HIT 8\ndoc-one\n");
+  EXPECT_EQ(c.leases().point_state(1), coord::PointState::kComplete);
+
+  // Known-but-unfinished: PENDING with the dispatch state.
+  EXPECT_EQ(c.handle_line("GET " + coord::to_hex16(2), 0), "PENDING queued");
+  c.handle_line("HELLO w", 0);
+  c.handle_line("LEASE w " + coord::to_hex16(2), 0);
+  EXPECT_EQ(c.handle_line("GET " + coord::to_hex16(2), 0), "PENDING leased");
+
+  EXPECT_EQ(c.handle_line("GET " + coord::to_hex16(3), 0), "UNKNOWN");
+  EXPECT_EQ(c.counters().get("serve_cache_hits"), 1u);
+  EXPECT_EQ(c.counters().get("serve_unknown"), 1u);
+}
+
+// --- restart with in-flight leases -----------------------------------------
+
+jobs::PointSpec tiny_point(int threads) {
+  jobs::PointSpec p;
+  p.kind = jobs::PointSpec::Kind::kNas;
+  p.machine = "phi";
+  p.path = kop::core::PathKind::kRtk;
+  p.threads = threads;
+  p.nas = kop::harness::scale_suite(kop::nas::paper_suite(), 0.25, 2)[0];
+  return p;
+}
+
+TEST(CoordRestart, InFlightLeasesRequeueCompletedPointsStayComplete) {
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("kop_coord_restart_" + std::to_string(getpid()));
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  std::map<std::uint64_t, jobs::PointSpec> specs;
+  for (int t : {1, 2, 4}) {
+    const auto spec = tiny_point(t);
+    specs.emplace(spec.content_hash(), spec);
+  }
+  jobs::ResultCache cache(root.string());
+  const coord::CacheProbe probe = [&](std::uint64_t h, std::string* doc) {
+    const auto it = specs.find(h);
+    if (it == specs.end()) return false;
+    jobs::PointResult res;
+    if (!cache.load(it->second, &res)) return false;
+    *doc = jobs::ResultCache::encode(it->second, res);
+    return true;
+  };
+  auto make = [&] {
+    coord::CoordinatorOptions opt;
+    opt.lease_ttl_ms = 60000;
+    coord::Coordinator c(opt, probe);
+    for (const auto& [h, spec] : specs) {
+      coord::PointInfo info;
+      info.hash = h;
+      info.label = spec.label();
+      c.add_point(std::move(info));
+    }
+    return c;
+  };
+
+  // First life: two leases go out; one point is simulated, stored, and
+  // reported; the other lease is still in flight when the coordinator
+  // dies (leases are memory-only).
+  {
+    auto c1 = make();
+    EXPECT_EQ(c1.sync_with_cache(), 0u);
+    c1.handle_line("HELLO w", 0);
+    const auto g1 = coord::split_tokens(c1.handle_line("NEXT w", 0));
+    const auto g2 = coord::split_tokens(c1.handle_line("NEXT w", 0));
+    ASSERT_EQ(g1[0], "GRANT");
+    ASSERT_EQ(g2[0], "GRANT");
+    std::uint64_t h1 = 0;
+    ASSERT_TRUE(coord::parse_hex16(g1[1], &h1));
+    const auto& spec = specs.at(h1);
+    cache.store(spec, jobs::run_point(spec));
+    EXPECT_EQ(c1.handle_line("DONE w " + g1[2] + " " + g1[1], 10), "OK");
+    EXPECT_EQ(c1.leases().complete(), 1u);
+    EXPECT_EQ(c1.leases().leased(), 1u);
+  }
+
+  // Restart: the cache tells the new coordinator which work is already
+  // done; the in-flight lease is forgotten, so its point re-queues.
+  auto c2 = make();
+  EXPECT_EQ(c2.sync_with_cache(), 1u);
+  EXPECT_EQ(c2.leases().complete(), 1u);
+  EXPECT_EQ(c2.leases().leased(), 0u);
+  EXPECT_EQ(c2.leases().queued(), 2u);
+
+  // The re-queued points drain normally (and the warm one is never
+  // re-dispatched).
+  c2.handle_line("HELLO w", 0);
+  std::set<std::uint64_t> regranted;
+  for (int i = 0; i < 2; ++i) {
+    const auto g = coord::split_tokens(c2.handle_line("NEXT w", 0));
+    ASSERT_EQ(g[0], "GRANT");
+    std::uint64_t h = 0;
+    ASSERT_TRUE(coord::parse_hex16(g[1], &h));
+    regranted.insert(h);
+    EXPECT_EQ(c2.handle_line("DONE w " + g[2] + " " + g[1], 5), "OK");
+  }
+  EXPECT_EQ(regranted.size(), 2u);
+  EXPECT_EQ(c2.handle_line("NEXT w", 10), "DRAINED");
+  EXPECT_TRUE(c2.drained());
+
+  fs::remove_all(root);
+}
+
+// --- socket front-end ------------------------------------------------------
+
+TEST(CoordServer, EndToEndOverUnixSocket) {
+  const std::string sock =
+      "/tmp/kop_coord_e2e_" + std::to_string(getpid()) + ".sock";
+  std::map<std::uint64_t, std::string> store = {{7, "served-doc\n"}};
+  coord::Coordinator c({}, [&store](std::uint64_t h, std::string* doc) {
+    const auto it = store.find(h);
+    if (it == store.end()) return false;
+    *doc = it->second;
+    return true;
+  });
+  coord::PointInfo p1 = synthetic_point(1);
+  p1.payload = "tok-one";
+  c.add_point(std::move(p1));
+  c.add_point(synthetic_point(2));
+
+  coord::ServerOptions sopt;
+  sopt.socket_path = sock;
+  sopt.poll_ms = 10;
+  coord::Server server(&c, sopt);
+  std::thread daemon([&] { server.run(); });
+
+  {
+    coord::Client client(sock);
+    const auto hello = client.hello("tester");
+    EXPECT_EQ(hello.incarnation, 1u);
+    EXPECT_GT(hello.ttl_ms, 0);
+
+    // Drain the two-point sweep over the wire.
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2; ++i) {
+      const auto grant = client.next("tester");
+      ASSERT_TRUE(grant.granted) << grant.status;
+      seen.insert(grant.point);
+      if (grant.point == 1) EXPECT_EQ(grant.payload, "tok-one");
+      EXPECT_TRUE(client.renew("tester", grant.lease_id));
+      EXPECT_TRUE(client.done("tester", grant.lease_id, grant.point));
+    }
+    EXPECT_EQ(seen.size(), 2u);
+    EXPECT_EQ(client.next("tester").status, "DRAINED");
+
+    // GET serves a body through the same connection.
+    const auto hit = client.get(7);
+    EXPECT_EQ(hit.status, "HIT");
+    EXPECT_EQ(hit.doc, "served-doc\n");
+    EXPECT_EQ(client.get(999).status, "UNKNOWN");
+
+    // STATS stays in frame after a HIT body.
+    EXPECT_NE(client.stats().find("\"drained\":true"), std::string::npos);
+    client.shutdown();
+  }
+  daemon.join();
+  EXPECT_TRUE(c.drained());
+}
+
+TEST(CoordServer, JobRunnerCoordModeCoversSweepExactlyOnce) {
+  const std::string sock =
+      "/tmp/kop_coord_jr_" + std::to_string(getpid()) + ".sock";
+  const fs::path root =
+      fs::temp_directory_path() / ("kop_coord_jr_" + std::to_string(getpid()));
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  // Worker-enumerated sweep: the daemon starts empty and registers
+  // points as LEASE requests arrive (accept_unknown_points).
+  coord::Coordinator c({}, {});
+  coord::ServerOptions sopt;
+  sopt.socket_path = sock;
+  sopt.poll_ms = 10;
+  coord::Server server(&c, sopt);
+  std::thread daemon([&] { server.run(); });
+
+  std::vector<jobs::PointSpec> points;
+  for (int t : {1, 2, 3, 4}) points.push_back(tiny_point(t));
+
+  constexpr int kWorkers = 3;
+  std::vector<jobs::JobRunner::Stats> stats(kWorkers);
+  {
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&, w] {
+        jobs::JobOptions jopts;
+        jopts.jobs = 1;
+        jopts.coord_socket = sock;
+        jopts.cache_dir = (root / ("worker" + std::to_string(w))).string();
+        jobs::JobRunner runner(jopts);
+        const auto results = runner.run(points);
+        jobs::require_ok(points, results);
+        stats[w] = runner.stats();
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+
+  {
+    coord::Client admin(sock);
+    admin.shutdown();
+  }
+  daemon.join();
+
+  // Every point executed exactly once across the fleet; the rest were
+  // skipped as leased-elsewhere or already complete.
+  std::uint64_t executed = 0, skipped = 0;
+  for (const auto& s : stats) {
+    executed += s.executed;
+    skipped += s.skipped;
+  }
+  EXPECT_EQ(executed, points.size());
+  EXPECT_EQ(executed + skipped,
+            static_cast<std::uint64_t>(kWorkers) * points.size());
+  for (const auto& p : points) {
+    const std::string entry =
+        "kop-" + jobs::hex16(jobs::ResultCache::key(p)) + ".json";
+    int copies = 0;
+    for (int w = 0; w < kWorkers; ++w) {
+      if (fs::exists(root / ("worker" + std::to_string(w)) / entry)) ++copies;
+    }
+    EXPECT_EQ(copies, 1) << p.label();
+  }
+  EXPECT_TRUE(c.drained());
+  EXPECT_EQ(c.counters().get("completions"),
+            static_cast<std::uint64_t>(points.size()));
+
+  fs::remove_all(root);
+}
+
+}  // namespace
