@@ -3,7 +3,7 @@
 //   kop_bisect --param <personality.field> --baseline <cache-dir>
 //              [--min 0.25] [--max 4.0] [--steps 5] [--bisect-iters 4]
 //              [--quick] [--tolerance <rel>] [--jobs N]
-//              [--cache-dir <dir>] [--json <path>]
+//              [--cache-dir <dir>] [--json <path>] [--checkpoint]
 //              [--expect-hit-rate <frac>] [--list-params]
 //
 // Recalibration question the paper pipeline keeps hitting: how far can
@@ -13,13 +13,20 @@
 // judges each scale with the kop_baseline shape predicate, then
 // bisects every pass/fail boundary in log space.
 //
-// The sweep is minutes-scale instead of hours-scale because results
-// are content-addressed: overrides are applied inside
-// hw::linux_costs()/nautilus_costs(), so each scale lands on its own
-// cost-model fingerprint and every ResultCache entry stays valid
-// forever.  Re-running the same bisection hits the cache for every
-// point (the pocl trick -- reuse keyed by exact content, Jääskeläinen
-// et al.); --expect-hit-rate turns that into a CI assertion.
+// Each scale is a *late-binding suffix*: the grid enumerates one matrix
+// whose points carry the scale in PointSpec::cost_scales, applied to
+// the booted stack at the warmup/measurement boundary (warmup runs at
+// calibrated costs; a boundary-insensitive constant that only shapes
+// warmup -- e.g. a fault cost fully amortized before the timed phase --
+// will therefore read as flat here).  Because the scale rides in the
+// point's canonical form, every ResultCache entry stays valid forever
+// and re-running the same bisection hits the cache for every point (the
+// pocl trick -- reuse keyed by exact content, Jääskeläinen et al.);
+// --expect-hit-rate turns that into a CI assertion.
+//
+// With --checkpoint, all scales of one sweep point share a single warm
+// prefix: the stack boots and warms once, then forks one COW child per
+// scale at the boundary.  Results are byte-identical either way.
 //
 // Exit code: 0 ok, 1 evaluation failure or hit-rate shortfall, 2 usage.
 #include <algorithm>
@@ -46,6 +53,7 @@ int usage(const char* argv0) {
                "          [--min F] [--max F] [--steps N] [--bisect-iters N]\n"
                "          [--quick] [--tolerance <rel>] [--jobs N]\n"
                "          [--cache-dir <dir>] [--json <path>]\n"
+               "          [--checkpoint] [--no-checkpoint]\n"
                "          [--expect-hit-rate <frac>] [--list-params]\n",
                argv0);
   return 2;
@@ -66,30 +74,53 @@ struct Driver {
   std::uint64_t hits = 0;
   std::uint64_t executed = 0;
 
-  /// Judge one scale of the parameter against the baseline shape.
-  /// Throws on simulation failure (a scale so extreme the stack cannot
-  /// boot is an error, not a shape verdict).
-  bool evaluate(double scale) {
-    hw::set_cost_scale(param, scale);
+  /// Judge a batch of scales in one JobRunner pass, one verdict per
+  /// scale in input order.  Every scale contributes the same fig09
+  /// sweep, tagged per point with {param, scale} in cost_scales -- so
+  /// the whole batch is one matrix where each sweep point is a shared
+  /// prefix with one suffix per scale, exactly the shape --checkpoint
+  /// forks.  Baseline lookups use the scale-free twin of each point
+  /// (the baseline was recorded without scale suffixes).  Throws on
+  /// simulation failure (a scale so extreme the run collapses is an
+  /// error, not a shape verdict).
+  std::vector<bool> evaluate_batch(const std::vector<double>& scales) {
     const auto sweep = harness::fig09_sweep(quick);
-    const auto points = harness::enumerate_nas_normalized(
+    const auto base_points = harness::enumerate_nas_normalized(
         sweep.machine, sweep.paths, sweep.scales, sweep.suite);
+    const std::size_t B = base_points.size();
+    std::vector<jobs::PointSpec> all;
+    all.reserve(scales.size() * B);
+    for (const double s : scales) {
+      for (jobs::PointSpec p : base_points) {
+        p.cost_scales.push_back({param, s});
+        all.push_back(std::move(p));
+      }
+    }
     jobs::JobRunner runner(jopts);
-    const auto fresh = runner.run(points);
+    const auto fresh = runner.run(all);
     hits += runner.stats().cache_hits;
     executed += runner.stats().executed;
-    jobs::require_ok(points, fresh);
-    std::vector<jobs::PointResult> base(points.size());
-    std::vector<bool> have(points.size(), false);
-    for (std::size_t i = 0; i < points.size(); ++i)
-      have[i] = baseline->load(points[i], &base[i]);
-    std::vector<std::string> missing;
-    auto cells =
-        jobs::nas_shape_cells("fig09", sweep.machine, sweep.paths,
-                              sweep.scales, sweep.suite, base, have, fresh,
-                              &missing);
-    const auto verdict = jobs::compare_shapes(std::move(cells), bopts);
-    return verdict.shapes_ok() && missing.empty();
+    jobs::require_ok(all, fresh);
+
+    std::vector<jobs::PointResult> base(B);
+    std::vector<bool> have(B, false);
+    for (std::size_t i = 0; i < B; ++i)
+      have[i] = baseline->load(base_points[i], &base[i]);
+
+    std::vector<bool> verdicts;
+    verdicts.reserve(scales.size());
+    for (std::size_t k = 0; k < scales.size(); ++k) {
+      const auto lo = fresh.begin() + static_cast<std::ptrdiff_t>(k * B);
+      std::vector<jobs::PointResult> slice(lo, lo + static_cast<std::ptrdiff_t>(B));
+      std::vector<std::string> missing;
+      auto cells =
+          jobs::nas_shape_cells("fig09", sweep.machine, sweep.paths,
+                                sweep.scales, sweep.suite, base, have, slice,
+                                &missing);
+      const auto verdict = jobs::compare_shapes(std::move(cells), bopts);
+      verdicts.push_back(verdict.shapes_ok() && missing.empty());
+    }
+    return verdicts;
   }
 };
 
@@ -124,6 +155,10 @@ int main(int argc, char** argv) {
       drv.jopts.cache_dir = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--checkpoint") {
+      drv.jopts.checkpoint = true;
+    } else if (arg == "--no-checkpoint") {
+      drv.jopts.checkpoint = false;
     } else if (arg == "--expect-hit-rate" && i + 1 < argc) {
       expect_hit_rate = std::strtod(argv[++i], nullptr);
     } else if (arg == "--list-params") {
@@ -155,31 +190,49 @@ int main(int argc, char** argv) {
   std::vector<double> boundaries;
   int rc = 0;
   try {
-    // Coarse pass: log-spaced grid, endpoints included.
+    // Coarse pass: log-spaced grid, endpoints included, evaluated as
+    // ONE batched matrix (steps suffixes per sweep-point prefix).
+    std::vector<double> grid;
     for (int i = 0; i < steps; ++i) {
-      Eval e;
-      e.scale = std::exp(std::log(lo) + (std::log(hi) - std::log(lo)) * i /
-                                            (steps - 1));
-      e.pass = drv.evaluate(e.scale);
-      std::printf("scale %.4f -> %s\n", e.scale, e.pass ? "PASS" : "FAIL");
-      evals.push_back(e);
+      grid.push_back(std::exp(std::log(lo) +
+                              (std::log(hi) - std::log(lo)) * i / (steps - 1)));
     }
-    // Refine every pass/fail boundary by log-space bisection.  Only
-    // the coarse grid defines boundaries; the evals appended below are
-    // records of the refinement itself, not new intervals to scan.
-    const std::size_t coarse = evals.size();
-    for (std::size_t i = 1; i < coarse; ++i) {
-      if (evals[i - 1].pass == evals[i].pass) continue;
-      double a = evals[i - 1].scale, b = evals[i].scale;
-      bool a_pass = evals[i - 1].pass;
-      for (int it = 0; it < bisect_iters; ++it) {
-        const double mid = std::exp(0.5 * (std::log(a) + std::log(b)));
-        const bool mid_pass = drv.evaluate(mid);
-        std::printf("  bisect %.4f -> %s\n", mid, mid_pass ? "PASS" : "FAIL");
-        evals.push_back({mid, mid_pass});
-        if (mid_pass == a_pass) a = mid; else b = mid;
+    const std::vector<bool> grid_pass = drv.evaluate_batch(grid);
+    for (int i = 0; i < steps; ++i) {
+      std::printf("scale %.4f -> %s\n", grid[i],
+                  grid_pass[i] ? "PASS" : "FAIL");
+      evals.push_back({grid[i], grid_pass[i]});
+    }
+    // Refine every pass/fail boundary of the coarse grid by log-space
+    // bisection.  Rounds are batched across boundaries: each round
+    // evaluates one midpoint per still-active interval in a single
+    // matrix, so --checkpoint keeps sharing prefixes during refinement.
+    struct Interval {
+      double a, b;
+      bool a_pass;
+    };
+    std::vector<Interval> active;
+    for (std::size_t i = 1; i < evals.size(); ++i) {
+      if (evals[i - 1].pass != evals[i].pass)
+        active.push_back({evals[i - 1].scale, evals[i].scale,
+                          evals[i - 1].pass});
+    }
+    for (int it = 0; it < bisect_iters && !active.empty(); ++it) {
+      std::vector<double> mids;
+      mids.reserve(active.size());
+      for (const Interval& iv : active)
+        mids.push_back(std::exp(0.5 * (std::log(iv.a) + std::log(iv.b))));
+      const std::vector<bool> mid_pass = drv.evaluate_batch(mids);
+      for (std::size_t j = 0; j < active.size(); ++j) {
+        std::printf("  bisect %.4f -> %s\n", mids[j],
+                    mid_pass[j] ? "PASS" : "FAIL");
+        evals.push_back({mids[j], mid_pass[j]});
+        if (mid_pass[j] == active[j].a_pass) active[j].a = mids[j];
+        else active[j].b = mids[j];
       }
-      const double boundary = std::exp(0.5 * (std::log(a) + std::log(b)));
+    }
+    for (const Interval& iv : active) {
+      const double boundary = std::exp(0.5 * (std::log(iv.a) + std::log(iv.b)));
       boundaries.push_back(boundary);
       std::printf("boundary near scale %.4f (%s)\n", boundary,
                   drv.param.c_str());
@@ -193,7 +246,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;
   }
-  hw::clear_cost_scales();
 
   const std::uint64_t lookups = drv.hits + drv.executed;
   const double rate =

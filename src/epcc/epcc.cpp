@@ -38,6 +38,9 @@ void Suite::sample(Measurement& m, sim::Time per_construct_delay,
 // ---------------------------------------------------------------- sync
 
 std::vector<Measurement> Suite::run_syncbench() {
+  // Warmup (stack boot, pool spin-up) ends here; everything below is
+  // the measurement phase a checkpointed sweep forks at.
+  rt_->os().engine().snapshot_point();
   std::vector<Measurement> out;
   komp::Runtime& rt = *rt_;
   const sim::Time delay = cfg_.delay_ns;
@@ -170,6 +173,7 @@ std::vector<Measurement> Suite::run_syncbench() {
 // ------------------------------------------------------------ schedule
 
 std::vector<Measurement> Suite::run_schedbench() {
+  rt_->os().engine().snapshot_point();
   std::vector<Measurement> out;
   komp::Runtime& rt = *rt_;
   // Per-iteration delay, EPCC schedbench style.
@@ -222,6 +226,7 @@ std::vector<Measurement> Suite::run_schedbench() {
 // --------------------------------------------------------------- array
 
 std::vector<Measurement> Suite::run_arraybench() {
+  rt_->os().engine().snapshot_point();
   std::vector<Measurement> out;
   komp::Runtime& rt = *rt_;
   const sim::Time delay = cfg_.delay_ns;
@@ -292,6 +297,7 @@ std::vector<Measurement> Suite::run_arraybench() {
 // ---------------------------------------------------------------- task
 
 std::vector<Measurement> Suite::run_taskbench() {
+  rt_->os().engine().snapshot_point();
   std::vector<Measurement> out;
   komp::Runtime& rt = *rt_;
   const sim::Time delay = 2 * sim::kMicrosecond;  // per-task work

@@ -1,0 +1,141 @@
+#include "harness/jobs/forkrun.hpp"
+
+#include <cstddef>
+#include <string>
+
+#include "harness/jobs/cache.hpp"
+#include "sim/checkpoint.hpp"
+
+namespace kop::harness::jobs {
+
+bool checkpoint_supported() { return sim::Checkpoint::supported(); }
+
+namespace {
+
+// Child -> parent payload framing: one status line, then the encoded
+// cache entry (ok) or the error text (err).
+constexpr const char kOkTag[] = "ok\n";
+constexpr const char kErrTag[] = "err\n";
+
+// Bind one member's late-binding suffix at the snapshot boundary: the
+// rep count through the SnapshotCtl slot the driver exposed, the cost
+// scales through a rebound cost sheet.  Exactly what a cold
+// run_point() of the member would do at the same instant.
+void bind_suffix(const PointSpec& member, core::Stack& stack,
+                 SnapshotCtl& ctl) {
+  if (member.kind == PointSpec::Kind::kNas) {
+    if (ctl.nas_timesteps != nullptr) *ctl.nas_timesteps = member.nas.timesteps;
+  } else {
+    if (ctl.epcc_reps != nullptr) *ctl.epcc_reps = member.epcc.outer_reps;
+  }
+  apply_point_scales(stack, member.cost_scales);
+}
+
+PointResult safe_run(const PointSpec& spec, const RunHooks& hooks) {
+  try {
+    return run_point(spec, hooks);
+  } catch (const std::exception& e) {
+    PointResult failed;
+    failed.failed = true;
+    failed.error = spec.label() + ": " + e.what();
+    return failed;
+  } catch (...) {
+    PointResult failed;
+    failed.failed = true;
+    failed.error = spec.label() + ": unknown exception";
+    return failed;
+  }
+}
+
+bool has_prefix(const std::string& s, const char* tag) {
+  return s.compare(0, std::char_traits<char>::length(tag), tag) == 0;
+}
+
+}  // namespace
+
+std::vector<PointResult> run_prefix_group(const std::vector<PointSpec>& specs) {
+  std::vector<PointResult> results(specs.size());
+  if (specs.empty()) return results;
+  if (specs.size() == 1 || !checkpoint_supported()) {
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      results[i] = safe_run(specs[i], RunHooks{});
+    return results;
+  }
+
+  sim::Checkpoint ckpt;
+  std::size_t my_member = 0;  // the parent continues as member 0
+
+  RunHooks hooks;
+  hooks.at_snapshot = [&](core::Stack& stack, SnapshotCtl& ctl) {
+    // Fork every child *before* binding any suffix, so each inherits
+    // the identical pre-measurement image.  A child breaks out with its
+    // member index; the parent runs the whole loop.
+    for (std::size_t m = 1; m < specs.size(); ++m) {
+      if (ckpt.fork_child()) {
+        my_member = m;
+        break;
+      }
+    }
+    bind_suffix(specs[my_member], stack, ctl);
+  };
+
+  // The warmup trajectory is prefix-only, so running member 0's spec up
+  // to the boundary is running *every* member up to the boundary.
+  PointResult own = safe_run(specs[0], hooks);
+
+  if (my_member != 0) {
+    // Forked child: ship the result (keyed to *our* member's spec, so
+    // the parent can store it under the full point hash) and vanish
+    // without touching any parent-owned sink.
+    std::string payload;
+    int code = 0;
+    if (own.failed) {
+      payload = kErrTag + own.error;
+      code = 1;
+    } else {
+      payload = kOkTag + ResultCache::encode(specs[my_member], own);
+    }
+    ckpt.child_exit(payload, code);
+  }
+
+  results[0] = std::move(own);
+  for (std::size_t m = 1; m < specs.size(); ++m) {
+    // Children forked in member order, so pipe m-1 belongs to member m.
+    // An exception in the parent's own run can leave fewer children
+    // than members; the stragglers report as failed and the caller
+    // falls back to cold runs.
+    if (m - 1 >= ckpt.children()) {
+      results[m].failed = true;
+      results[m].error = specs[m].label() + ": checkpoint child never forked";
+      continue;
+    }
+    const sim::Checkpoint::Harvest h = ckpt.harvest(m - 1);
+    if (h.ok() && has_prefix(h.payload, kOkTag)) {
+      PointResult r;
+      const std::string body =
+          h.payload.substr(std::char_traits<char>::length(kOkTag));
+      if (ResultCache::decode(body, specs[m], &r)) {
+        results[m] = std::move(r);
+        results[m].from_cache = false;  // simulated, merely piped
+        continue;
+      }
+      results[m].failed = true;
+      results[m].error = specs[m].label() + ": checkpoint payload undecodable";
+      continue;
+    }
+    results[m].failed = true;
+    if (h.exit_code == sim::Checkpoint::kGuardLostExit) {
+      results[m].error =
+          specs[m].label() + ": fiber guard page lost across fork";
+    } else if (has_prefix(h.payload, kErrTag)) {
+      results[m].error =
+          h.payload.substr(std::char_traits<char>::length(kErrTag));
+    } else {
+      results[m].error = specs[m].label() + ": checkpoint child died (exit " +
+                         std::to_string(h.exit_code) + ")";
+    }
+  }
+  return results;
+}
+
+}  // namespace kop::harness::jobs

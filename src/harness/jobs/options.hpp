@@ -48,6 +48,13 @@ struct JobOptions {
   /// (lease_session.hpp).  Crashed workers need no cleanup -- their
   /// leases expire and the daemon re-queues the points.
   std::string coord_socket;
+  /// Checkpointed execution (--checkpoint): points sharing a canonical
+  /// prefix run one warm prefix each and fork one COW child per
+  /// late-binding suffix at the warmup/measurement boundary
+  /// (forkrun.hpp).  Results and cache entries are byte-identical to
+  /// cold runs; groups degrade to cold execution where fork is
+  /// unavailable (ThreadSanitizer builds) or a child dies.
+  bool checkpoint = false;
 
   bool cache_enabled() const { return !cache_dir.empty() && !no_cache; }
   bool claim_enabled() const { return !claim_dir.empty(); }

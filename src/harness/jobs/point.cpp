@@ -148,10 +148,45 @@ std::string PointSpec::canonical() const {
   } else {
     append_epcc(out, epcc_part, epcc);
   }
+  // Scale entries append only when present, so scale-free points keep
+  // their historical canonical bytes (and cache identities).
+  for (const auto& s : cost_scales) {
+    out += "|scale=" + s.key + ":" + fmt(s.scale);
+  }
   return out;
 }
 
 std::uint64_t PointSpec::content_hash() const { return fnv1a64(canonical()); }
+
+std::string PointSpec::prefix_canonical() const {
+  // Everything the warmup trajectory depends on: the full canonical
+  // with the late-binding knobs normalized out.  The rep count pins to
+  // 1 (not dropped) so the prefix form stays parseable by the same
+  // eyes as canonical().
+  PointSpec p = *this;
+  p.cost_scales.clear();
+  p.nas.timesteps = 1;
+  p.epcc.outer_reps = 1;
+  return "prefix-v1|" + p.canonical();
+}
+
+std::string PointSpec::suffix_canonical() const {
+  std::string out = "suffix-v1";
+  out += kind == Kind::kNas ? "|timesteps=" + fmt(nas.timesteps)
+                            : "|reps=" + fmt(epcc.outer_reps);
+  for (const auto& s : cost_scales) {
+    out += "|scale=" + s.key + ":" + fmt(s.scale);
+  }
+  return out;
+}
+
+std::uint64_t PointSpec::prefix_hash() const {
+  return fnv1a64(prefix_canonical());
+}
+
+std::uint64_t PointSpec::suffix_hash() const {
+  return fnv1a64(suffix_canonical());
+}
 
 std::string PointSpec::label() const {
   std::string out = kind == Kind::kNas
@@ -200,13 +235,41 @@ double cost_estimate(const PointSpec& spec) {
           spec.epcc.sched_iters_per_thread + spec.epcc.tasks_per_thread);
 }
 
+bool apply_point_scales(core::Stack& stack,
+                        const std::vector<PointSpec::CostScale>& scales) {
+  if (scales.empty()) return false;
+  hw::OsCosts costs = stack.os().costs();
+  const std::string prefix = costs.personality + ".";
+  bool any = false;
+  for (const auto& s : scales) {
+    if (s.key.compare(0, prefix.size(), prefix) != 0) continue;
+    hw::apply_cost_scale(costs, s.key.substr(prefix.size()), s.scale);
+    any = true;
+  }
+  if (any) stack.os().rebind_costs(costs);
+  return any;
+}
+
 PointResult run_point(const PointSpec& spec) {
+  return run_point(spec, RunHooks{});
+}
+
+PointResult run_point(const PointSpec& spec, const RunHooks& hooks) {
   PointResult result;
   const core::StackConfig cfg = spec.stack_config();
+  RunHooks h = hooks;
+  if (!h.at_snapshot) {
+    // Default suffix binding: cost scales apply at the boundary, the
+    // same instant a checkpointed child would bind them, so cold and
+    // checkpointed trajectories match byte for byte.
+    h.at_snapshot = [&spec](core::Stack& stack, SnapshotCtl&) {
+      apply_point_scales(stack, spec.cost_scales);
+    };
+  }
   if (spec.kind == PointSpec::Kind::kNas) {
-    run_nas(cfg, spec.nas, &result.metrics);
+    run_nas(cfg, spec.nas, &result.metrics, h);
   } else {
-    result.epcc = run_epcc(cfg, spec.epcc_part, spec.epcc, &result.metrics);
+    result.epcc = run_epcc(cfg, spec.epcc_part, spec.epcc, &result.metrics, h);
   }
   return result;
 }

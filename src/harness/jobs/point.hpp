@@ -64,11 +64,40 @@ struct PointSpec {
   EpccPart epcc_part = EpccPart::kAll;
   epcc::EpccConfig epcc;
 
+  /// One late-binding cost-model override: `key` is the registry form
+  /// "<personality>.<field>" (hw/cost_params.hpp), applied to this
+  /// point's booted stack at the warmup/measurement boundary via
+  /// osal::Os::rebind_costs -- never through the process-global
+  /// hw::set_cost_scale registry, which concurrent JobRunner workers
+  /// would race on.  Keys whose personality does not match the booted
+  /// sheet are skipped (a pik stack ignores "linux.*" overrides).
+  struct CostScale {
+    std::string key;
+    double scale = 1.0;
+  };
+  std::vector<CostScale> cost_scales;
+
   /// Canonical single-line serialization.  Stable across runs and
   /// hosts; the identity the cache and the deduplication map key on.
+  /// Byte-identical to earlier schema versions when cost_scales is
+  /// empty (scale entries append only when present).
   std::string canonical() const;
   /// FNV-1a 64 of canonical().
   std::uint64_t content_hash() const;
+
+  /// --- Prefix/suffix split (checkpointed sweeps) ---
+  /// The *prefix* is everything that shapes the simulation before the
+  /// warmup/measurement boundary: machine, workload shape, path,
+  /// scheduler, team size.  The *suffix* is what binds at the boundary:
+  /// rep count (nas.timesteps / epcc.outer_reps) and cost_scales.  Two
+  /// points with equal prefix_hash() can share one warm prefix run and
+  /// fork per suffix; canonical() == prefix + suffix remains the cache
+  /// identity, so checkpointed and cold results key identically.
+  std::string prefix_canonical() const;
+  std::string suffix_canonical() const;
+  std::uint64_t prefix_hash() const;
+  std::uint64_t suffix_hash() const;
+
   /// Short human label for logs and error reports.
   std::string label() const;
   /// The stack configuration this point boots.
@@ -92,7 +121,23 @@ struct PointResult {
 /// Execute one point on a freshly booted stack (blocking, this host
 /// thread).  Exceptions from the simulation propagate to the caller;
 /// the JobRunner turns them into failure capture + one retry.
+/// spec.cost_scales bind at the warmup/measurement boundary (identical
+/// trajectory to a checkpointed run of the same point).
 PointResult run_point(const PointSpec& spec);
+
+/// As above, with observation hooks.  When `hooks.at_snapshot` is set
+/// the caller owns *all* suffix binding -- run_point will not apply
+/// spec.cost_scales itself (the checkpoint group runner binds each
+/// member's suffix, including the representative's, in its own hook).
+PointResult run_point(const PointSpec& spec, const RunHooks& hooks);
+
+/// Apply a point's cost-scale suffix to a booted stack: scales whose
+/// personality prefix matches the stack's cost sheet are applied to a
+/// copy of os().costs() and rebound atomically (osal::Os::rebind_costs);
+/// the rest are skipped.  Returns true if any scale applied.  Throws
+/// std::invalid_argument for an unknown field or non-positive scale.
+bool apply_point_scales(core::Stack& stack,
+                        const std::vector<PointSpec::CostScale>& scales);
 
 /// Rough relative host-side cost of simulating a point, in arbitrary
 /// monotone units (threads x reps x constructs-style).  The JobRunner

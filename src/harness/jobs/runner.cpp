@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "harness/jobs/forkrun.hpp"
+
 namespace kop::harness::jobs {
 
 int effective_jobs(const JobOptions& opts, std::size_t n_points) {
@@ -102,6 +104,10 @@ PointResult JobRunner::execute_one(const PointSpec& spec) {
       return cached;
     }
   }
+  return simulate_point(spec);
+}
+
+PointResult JobRunner::simulate_point(const PointSpec& spec) {
   // One retry: the simulation is deterministic, but host-side
   // transients (allocation pressure, a torn cache entry mid-write)
   // deserve a second attempt before the point is declared failed.
@@ -139,6 +145,63 @@ PointResult JobRunner::execute_one(const PointSpec& spec) {
   return {};  // unreachable
 }
 
+void JobRunner::execute_group(const std::vector<PointSpec>& points,
+                              const std::vector<std::size_t>& members,
+                              std::vector<PointResult>& results) {
+  // Admission (claims, leases, cache lookups) happens here, in the
+  // parent, for every member: forked children must never touch these
+  // shared resources.  Whatever survives admission shares one warm
+  // prefix.
+  std::vector<std::size_t> torun;
+  for (std::size_t idx : members) {
+    const PointSpec& spec = points[idx];
+    if ((claim_ != nullptr && !claim_->try_claim(spec)) ||
+        (lease_ != nullptr && !lease_->try_acquire(spec))) {
+      results[idx].skipped = true;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.skipped;
+      continue;
+    }
+    if (cache_ != nullptr && cache_->load(spec, &results[idx])) {
+      if (lease_ != nullptr) lease_->complete(spec);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.cache_hits;
+      continue;
+    }
+    torun.push_back(idx);
+  }
+  // A warm prefix pays off only when at least two suffixes share it.
+  if (torun.size() < 2) {
+    for (std::size_t idx : torun) results[idx] = simulate_point(points[idx]);
+    return;
+  }
+
+  std::vector<PointSpec> specs;
+  specs.reserve(torun.size());
+  for (std::size_t idx : torun) specs.push_back(points[idx]);
+  std::vector<PointResult> group = run_prefix_group(specs);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.prefixes;
+  }
+  for (std::size_t i = 0; i < torun.size(); ++i) {
+    const std::size_t idx = torun[i];
+    if (group[i].failed) {
+      // Child fork/pipe mishaps (or a genuine simulation failure) fall
+      // back to the cold path, which carries its own retry; a point
+      // that fails both ways reports the cold error.
+      results[idx] = simulate_point(points[idx]);
+      continue;
+    }
+    results[idx] = std::move(group[i]);
+    if (cache_ != nullptr) cache_->store(points[idx], results[idx]);
+    if (lease_ != nullptr) lease_->complete(points[idx]);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.executed;
+    if (i > 0) ++stats_.forked;
+  }
+}
+
 std::vector<PointResult> JobRunner::run(const std::vector<PointSpec>& points) {
   std::vector<PointResult> results(points.size());
   if (points.empty()) return results;
@@ -165,9 +228,35 @@ std::vector<PointResult> JobRunner::run(const std::vector<PointSpec>& points) {
       unique_idx.begin(), unique_idx.end(),
       [&cost](std::size_t a, std::size_t b) { return cost[a] > cost[b]; });
 
-  const int jobs = effective_jobs(opts_, unique_idx.size());
+  // Checkpoint mode coalesces prefix-sharing points into one dispatch
+  // unit (one warm prefix, one fork per extra suffix); otherwise every
+  // unit is a single point.  Unit order follows the cost-sorted first
+  // member, so the dispatch heuristic is preserved either way.
+  std::vector<std::vector<std::size_t>> units;
+  if (opts_.checkpoint && checkpoint_supported()) {
+    std::map<std::uint64_t, std::size_t> unit_of;  // prefix hash -> unit
+    for (std::size_t i : unique_idx) {
+      auto [it, inserted] =
+          unit_of.try_emplace(points[i].prefix_hash(), units.size());
+      if (inserted) units.emplace_back();
+      units[it->second].push_back(i);
+    }
+  } else {
+    units.reserve(unique_idx.size());
+    for (std::size_t i : unique_idx) units.push_back({i});
+  }
+
+  auto execute_unit = [&](const std::vector<std::size_t>& unit) {
+    if (unit.size() == 1) {
+      results[unit[0]] = execute_one(points[unit[0]]);
+    } else {
+      execute_group(points, unit, results);
+    }
+  };
+
+  const int jobs = effective_jobs(opts_, units.size());
   if (jobs == 1) {
-    for (std::size_t i : unique_idx) results[i] = execute_one(points[i]);
+    for (const auto& unit : units) execute_unit(unit);
   } else {
     const std::size_t cap =
         opts_.queue_capacity > 0 ? static_cast<std::size_t>(opts_.queue_capacity)
@@ -177,11 +266,11 @@ std::vector<PointResult> JobRunner::run(const std::vector<PointSpec>& points) {
     workers.reserve(static_cast<std::size_t>(jobs));
     for (int w = 0; w < jobs; ++w) {
       workers.emplace_back([&] {
-        std::size_t i;
-        while (queue.pop(&i)) results[i] = execute_one(points[i]);
+        std::size_t u;
+        while (queue.pop(&u)) execute_unit(units[u]);
       });
     }
-    for (std::size_t i : unique_idx) queue.push(i);
+    for (std::size_t u = 0; u < units.size(); ++u) queue.push(u);
     queue.close();
     for (auto& t : workers) t.join();
   }
@@ -222,6 +311,10 @@ std::string JobRunner::summary(std::size_t n_points) const {
     if (cs.corrupt > 0) {
       out += " (" + std::to_string(cs.corrupt) + " corrupt entries re-run)";
     }
+  }
+  if (stats_.prefixes > 0) {
+    out += ", " + std::to_string(stats_.prefixes) + " warm prefixes (" +
+           std::to_string(stats_.forked) + " forked)";
   }
   if (stats_.skipped > 0) {
     out += ", " + std::to_string(stats_.skipped) + " claimed elsewhere";

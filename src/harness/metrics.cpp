@@ -204,13 +204,17 @@ FigOptions parse_fig_options(int argc, char** argv) {
       opts.jobs.claim_dir = argv[++i];
     } else if (arg == "--coord" && i + 1 < argc) {
       opts.jobs.coord_socket = argv[++i];
+    } else if (arg == "--checkpoint") {
+      opts.jobs.checkpoint = true;
+    } else if (arg == "--no-checkpoint") {
+      opts.jobs.checkpoint = false;
     } else {
       std::fprintf(
           stderr,
           "usage: %s [--json <path>] [--quick] [--jobs N]\n"
           "          [--cache-dir <dir>] [--no-cache]\n"
           "          [--shard K/N] [--shard-list] [--shard-claim <dir>]\n"
-          "          [--coord <socket>]\n"
+          "          [--coord <socket>] [--checkpoint | --no-checkpoint]\n"
           "  --json <path>    write a kop-metrics v1 JSON artifact\n"
           "  --quick          reduced problem sizes (CI smoke)\n"
           "  --jobs N         host worker threads (default: all cores)\n"
@@ -227,7 +231,12 @@ FigOptions parse_fig_options(int argc, char** argv) {
           "  --coord <sock>   lease points from a kop_sweepd daemon on\n"
           "                   this unix socket instead of claim files\n"
           "                   (crashed workers are reclaimed by lease\n"
-          "                   expiry; merge worker caches with kop_merge)\n",
+          "                   expiry; merge worker caches with kop_merge)\n"
+          "  --checkpoint     share one warm prefix across points that\n"
+          "                   differ only in reps/cost scales: fork one\n"
+          "                   COW child per suffix at the warmup end\n"
+          "                   (results byte-identical to cold runs)\n"
+          "  --no-checkpoint  force cold per-point runs (default)\n",
           argv[0]);
       opts.ok = false;
       return opts;

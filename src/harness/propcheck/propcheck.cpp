@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "harness/figures.hpp"
+#include "hw/cost_params.hpp"
 #include "nas/specs.hpp"
 #include "sim/rng.hpp"
 
@@ -85,6 +86,24 @@ bool to_f64(const std::string& s, double* out) {
   return true;
 }
 
+// "pers.field:scale" -- one entry of the cs= token field.  Scales come
+// from the exact-decimal generator palette, so %.3f round-trips them.
+bool parse_cost_scale(const std::string& s, jobs::PointSpec::CostScale* out) {
+  const std::size_t colon = s.rfind(':');
+  const std::size_t dot = s.find('.');
+  if (colon == std::string::npos || dot == std::string::npos || dot > colon)
+    return false;
+  const std::string pers = s.substr(0, dot);
+  if (pers != "linux" && pers != "nautilus" && pers != "pik") return false;
+  if (!hw::is_cost_field(s.substr(dot + 1, colon - dot - 1))) return false;
+  double scale = 0.0;
+  if (!to_f64(s.substr(colon + 1), &scale) || !(scale > 0.0) || scale > 16.0)
+    return false;
+  out->key = s.substr(0, colon);
+  out->scale = scale;
+  return true;
+}
+
 std::vector<std::string> split(const std::string& s, char sep) {
   std::vector<std::string> out;
   std::size_t start = 0;
@@ -120,6 +139,7 @@ jobs::PointSpec CaseParams::point() const {
     p.epcc.tasks_per_thread = tasks_per_thread;
     p.epcc.tree_depth = tree_depth;
   }
+  p.cost_scales = cost_scales;
   return p;
 }
 
@@ -144,6 +164,15 @@ std::string CaseParams::token() const {
     t << ";part=" << part_token(part) << ";reps=" << reps
       << ";inner=" << inner << ";tasks=" << tasks_per_thread
       << ";depth=" << tree_depth;
+  }
+  if (!cost_scales.empty()) {
+    // ',' separates entries inside the one cs= field (';' separates
+    // fields); old tokens simply have no cs= field.
+    t << ";cs=";
+    for (std::size_t i = 0; i < cost_scales.size(); ++i) {
+      if (i > 0) t << ',';
+      t << cost_scales[i].key << ':' << fmt_scale(cost_scales[i].scale);
+    }
   }
   return t.str();
 }
@@ -216,6 +245,13 @@ bool CaseParams::parse(const std::string& token, CaseParams* out) {
     } else if (key == "depth") {
       if (!to_i64(val, &n) || n < 1 || n > 16) return false;
       p.tree_depth = static_cast<int>(n);
+    } else if (key == "cs") {
+      p.cost_scales.clear();
+      for (const std::string& entry : split(val, ',')) {
+        jobs::PointSpec::CostScale cs;
+        if (!parse_cost_scale(entry, &cs)) return false;
+        p.cost_scales.push_back(std::move(cs));
+      }
     } else {
       return false;  // unknown key: a typo must not silently pass
     }
@@ -236,6 +272,8 @@ std::string CaseParams::describe() const {
   out += sim::sched_policy_name(policy);
   if (policy != sim::SchedPolicy::kFifo)
     out += " ss=" + std::to_string(sched_seed);
+  for (const auto& cs : cost_scales)
+    out += " " + cs.key + "x" + fmt_scale(cs.scale);
   out += "]";
   return out;
 }
@@ -313,6 +351,34 @@ std::vector<CaseParams> generate(const GenOptions& opt) {
     // but cheap to sample everywhere (the flag is ignored elsewhere).
     const double ft = rng.uniform();
     p.first_touch = ft < 0.7 ? -1 : (ft < 0.85 ? 0 : 1);
+    // Late-binding cost-scale suffix (drawn last so the prefix draws
+    // above stay stable for a given generator seed).  Personality
+    // matched to the path so the scales actually bind; values from an
+    // exact-decimal palette so tokens replay them bit-for-bit.
+    if (rng.bernoulli(0.25)) {
+      const char* pers = "linux";
+      if (p.path == core::PathKind::kRtk ||
+          p.path == core::PathKind::kAutoMpNautilus) {
+        pers = "nautilus";
+      } else if (p.path == core::PathKind::kPik) {
+        pers = "pik";
+      }
+      const char* fields[] = {"syscall_ns",     "context_switch_ns",
+                              "wake_latency_ns", "tick_cost_ns",
+                              "alloc_base_ns",   "minor_fault_ns"};
+      const double palette[] = {0.25, 0.5, 2.0, 4.0};
+      const int n_scales = rng.bernoulli(0.25) ? 2 : 1;
+      for (int s = 0; s < n_scales; ++s) {
+        jobs::PointSpec::CostScale cs;
+        cs.key = std::string(pers) + "." + fields[rng.uniform_int(0, 5)];
+        cs.scale = palette[rng.uniform_int(0, 3)];
+        // Duplicate keys would compose multiplicatively but serialize
+        // ambiguously for a human; keep one entry per field.
+        bool dup = false;
+        for (const auto& prev : p.cost_scales) dup |= prev.key == cs.key;
+        if (!dup) p.cost_scales.push_back(std::move(cs));
+      }
+    }
     cases.push_back(std::move(p));
   }
   return cases;

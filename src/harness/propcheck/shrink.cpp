@@ -42,6 +42,13 @@ std::vector<CaseParams> candidates(const CaseParams& p) {
       with([](CaseParams& c) { c.tasks_per_thread = 2; });
     if (p.tree_depth > 1) with([](CaseParams& c) { c.tree_depth = 1; });
   }
+  // The cost-scale suffix rarely causes a failure by itself; dropping
+  // it early keeps shrunk tokens free of cs= noise when it is inert.
+  if (!p.cost_scales.empty()) {
+    with([](CaseParams& c) { c.cost_scales.clear(); });
+    if (p.cost_scales.size() > 1)
+      with([](CaseParams& c) { c.cost_scales.resize(1); });
+  }
   if (p.path != core::PathKind::kLinuxOmp)
     with([](CaseParams& c) { c.path = core::PathKind::kLinuxOmp; });
   if (p.policy != sim::SchedPolicy::kFifo)

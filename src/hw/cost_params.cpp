@@ -89,6 +89,19 @@ std::vector<std::string> cost_param_names() {
   return names;
 }
 
+bool is_cost_field(const std::string& field) {
+  return find_field(field) != nullptr;
+}
+
+void apply_cost_scale(OsCosts& c, const std::string& field, double scale) {
+  const Field* f = find_field(field);
+  if (f == nullptr)
+    throw std::invalid_argument("unknown cost field: " + field);
+  if (!(scale > 0.0) || !std::isfinite(scale))
+    throw std::invalid_argument("cost scale must be finite and > 0");
+  f->apply(c, scale);
+}
+
 void apply_cost_overrides(OsCosts& c) {
   if (overrides().empty()) return;
   const std::string prefix = c.personality + ".";

@@ -113,6 +113,21 @@ std::vector<std::string> cost_param_names();
 /// factories below; not usually called directly.
 void apply_cost_overrides(OsCosts& c);
 
+/// --- Late binding (checkpointed sweeps) -------------------------------
+///
+/// Per-point overrides must not go through the global registry above --
+/// concurrent JobRunner workers would race on it and cross-contaminate
+/// points.  Instead a sweep applies its scale directly to one stack's
+/// already-built cost sheet at the warmup/measurement boundary
+/// (osal::Os::rebind_costs), in both cold and checkpointed runs.
+
+/// True iff `field` names a scalable OsCosts field (the per-personality
+/// field set cost_param_names() enumerates).
+bool is_cost_field(const std::string& field);
+/// Multiply one field of `c` by `scale` in place.  Throws
+/// std::invalid_argument for an unknown field or a non-positive scale.
+void apply_cost_scale(OsCosts& c, const std::string& field, double scale);
+
 /// Linux 5.x, CentOS/Ubuntu, huge pages on, THP=madvise (paper §2.2).
 inline OsCosts linux_costs(const MachineConfig& m) {
   OsCosts c;

@@ -42,6 +42,13 @@ class Cpu {
 
   bool held() const { return held_; }
 
+  /// Rebind the scheduling parameters (checkpoint late binding); takes
+  /// effect from the next occupy() slice.
+  void set_sched_costs(sim::Time timeslice_ns, sim::Time context_switch_ns) {
+    timeslice_ns_ = timeslice_ns;
+    context_switch_ns_ = context_switch_ns;
+  }
+
  private:
   void acquire();
   void release();

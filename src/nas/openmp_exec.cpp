@@ -123,6 +123,10 @@ RunResult run_openmp(komp::Runtime& rt, const BenchmarkSpec& spec) {
     loops.push_back(to_cck_loop(l, regions.at(l.region)));
 
   // --- timed section ---
+  // Warmup/measurement boundary: nothing above reads spec.timesteps,
+  // so a snapshot hook may fork here and late-bind the step count (the
+  // loop bound is re-read every iteration).
+  rt.os().engine().snapshot_point();
   const double t0 = rt.wtime();
   for (int step = 0; step < spec.timesteps; ++step) {
     rt.parallel([&](komp::TeamThread& tt) {

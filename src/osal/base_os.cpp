@@ -39,6 +39,19 @@ BaseOs::BaseOs(sim::Engine& engine, hw::MachineConfig machine, hw::OsCosts costs
 
 BaseOs::~BaseOs() = default;
 
+void BaseOs::rebind_costs(const hw::OsCosts& costs) {
+  if (costs.personality != costs_.personality)
+    throw std::invalid_argument("rebind_costs: personality mismatch (" +
+                                costs.personality + " vs " +
+                                costs_.personality + ")");
+  // costs_'s address is stable, so WaitQueues pointing at it see the
+  // new sheet; the ExecModel and per-CPU scheduling copies are rebuilt.
+  costs_ = costs;
+  exec_ = hw::ExecModel(machine_, costs_);
+  for (auto& cpu : cpus_)
+    cpu->set_sched_costs(costs_.timeslice_ns, costs_.context_switch_ns);
+}
+
 Thread* BaseOs::spawn_thread(std::string name, std::function<void()> fn,
                              int cpu, sim::Time create_cost_ns) {
   if (cpu < 0) {

@@ -26,6 +26,7 @@ class BaseOs : public Os {
   sim::Engine& engine() override { return *engine_; }
   const hw::MachineConfig& machine() const override { return machine_; }
   const hw::OsCosts& costs() const override { return costs_; }
+  void rebind_costs(const hw::OsCosts& costs) override;
 
   telemetry::CounterFabric& counters() override { return counters_; }
   ompt::Registry& tools() override { return tools_; }

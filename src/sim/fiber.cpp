@@ -250,4 +250,6 @@ void Fiber::yield() {
 
 Fiber* Fiber::current() { return g_current_fiber; }
 
+std::size_t Fiber::guard_bytes() const { return page_size(); }
+
 }  // namespace kop::sim

@@ -1,0 +1,218 @@
+// Checkpoint (COW fork at the warmup/measurement boundary) tests.
+//
+// The load-bearing property: a point's measurement phase run in a
+// forked child of a warm prefix is bit-for-bit the run it would have
+// been cold -- same engine dispatch digest, same encoded metrics.
+// That is what lets --checkpoint sweeps serve results into the same
+// content-addressed cache that cold runs populate.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/figures.hpp"
+#include "harness/jobs/cache.hpp"
+#include "harness/jobs/forkrun.hpp"
+#include "harness/jobs/point.hpp"
+#include "nas/specs.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using kop::harness::RunHooks;
+using kop::harness::RunMetrics;
+using kop::harness::SnapshotCtl;
+namespace jobs = kop::harness::jobs;
+namespace sim = kop::sim;
+
+jobs::PointSpec small_point(int timesteps = 1) {
+  jobs::PointSpec p;
+  p.kind = jobs::PointSpec::Kind::kNas;
+  p.machine = "phi";
+  p.path = kop::core::PathKind::kRtk;
+  p.threads = 2;
+  auto scaled =
+      kop::harness::scale_suite({kop::nas::by_name("EP")}, 0.05, timesteps);
+  p.nas = scaled[0];
+  return p;
+}
+
+// Run the point under one engine schedule, optionally forking at the
+// snapshot (the child returns with *is_child set and must child_exit).
+std::uint64_t run_digest(const jobs::PointSpec& spec, sim::SchedPolicy pol,
+                         std::uint64_t seed, sim::Checkpoint* ckpt,
+                         bool* is_child) {
+  std::uint64_t digest = 0;
+  RunHooks hooks;
+  hooks.on_done = [&digest](kop::core::Stack& s) {
+    digest = s.engine().stats().dispatch_digest;
+  };
+  hooks.at_snapshot = [&spec, ckpt, is_child](kop::core::Stack& s,
+                                              SnapshotCtl&) {
+    if (ckpt != nullptr && ckpt->fork_child()) *is_child = true;
+    jobs::apply_point_scales(s, spec.cost_scales);
+  };
+  kop::core::StackConfig cfg = spec.stack_config();
+  cfg.sched.policy = pol;
+  cfg.sched.seed = seed;
+  RunMetrics m;
+  kop::harness::run_nas(cfg, spec.nas, &m, hooks);
+  return digest;
+}
+
+TEST(Checkpoint, PipePayloadRoundtrip) {
+  if (!sim::Checkpoint::supported()) GTEST_SKIP() << "fork unsafe here";
+  sim::Checkpoint ckpt;
+  if (ckpt.fork_child()) ckpt.child_exit("payload across the pipe", 0);
+  ASSERT_EQ(ckpt.children(), 1u);
+  const sim::Checkpoint::Harvest h = ckpt.harvest(0);
+  EXPECT_TRUE(h.ok());
+  EXPECT_EQ(h.exit_code, 0);
+  EXPECT_EQ(h.payload, "payload across the pipe");
+}
+
+TEST(Checkpoint, NonzeroChildExitIsNotOk) {
+  if (!sim::Checkpoint::supported()) GTEST_SKIP() << "fork unsafe here";
+  sim::Checkpoint ckpt;
+  if (ckpt.fork_child()) ckpt.child_exit("partial", 3);
+  const sim::Checkpoint::Harvest h = ckpt.harvest(0);
+  EXPECT_FALSE(h.ok());
+  EXPECT_EQ(h.exit_code, 3);
+  EXPECT_EQ(h.payload, "partial");
+}
+
+TEST(Checkpoint, HarvestsChildrenInAnyOrder) {
+  if (!sim::Checkpoint::supported()) GTEST_SKIP() << "fork unsafe here";
+  sim::Checkpoint ckpt;
+  for (int i = 0; i < 3; ++i) {
+    if (ckpt.fork_child()) ckpt.child_exit("child " + std::to_string(i), 0);
+  }
+  ASSERT_EQ(ckpt.children(), 3u);
+  for (std::size_t i : {2u, 0u, 1u}) {
+    const sim::Checkpoint::Harvest h = ckpt.harvest(i);
+    EXPECT_TRUE(h.ok());
+    EXPECT_EQ(h.payload, "child " + std::to_string(i));
+  }
+}
+
+// The acceptance-criterion determinism matrix: a forked measurement
+// phase replays the cold run's dispatch digest exactly, for every
+// scheduler policy at several pinned seeds, in both the forked child
+// and the parent that continues past the fork.
+TEST(Checkpoint, ForkedMeasurementMatchesColdDigest) {
+  if (!sim::Checkpoint::supported()) GTEST_SKIP() << "fork unsafe here";
+  const jobs::PointSpec spec = small_point();
+  for (sim::SchedPolicy pol :
+       {sim::SchedPolicy::kFifo, sim::SchedPolicy::kRandom,
+        sim::SchedPolicy::kPct}) {
+    for (std::uint64_t seed : {std::uint64_t{7}, std::uint64_t{42},
+                               std::uint64_t{20260809}}) {
+      const std::uint64_t cold = run_digest(spec, pol, seed, nullptr, nullptr);
+      sim::Checkpoint ckpt;
+      bool is_child = false;
+      const std::uint64_t warm = run_digest(spec, pol, seed, &ckpt, &is_child);
+      if (is_child) ckpt.child_exit(jobs::hex16(warm), 0);
+      ASSERT_EQ(ckpt.children(), 1u) << "snapshot hook never fired";
+      EXPECT_EQ(warm, cold)
+          << "parent diverged: " << sim::sched_policy_name(pol)
+          << " seed " << seed;
+      const sim::Checkpoint::Harvest h = ckpt.harvest(0);
+      ASSERT_TRUE(h.ok()) << "child exit " << h.exit_code;
+      EXPECT_EQ(h.payload, jobs::hex16(cold))
+          << "child diverged: " << sim::sched_policy_name(pol)
+          << " seed " << seed;
+    }
+  }
+}
+
+// run_prefix_group (the JobRunner's checkpoint path) returns, for every
+// member of a prefix-sharing group, the byte-identical encoded document
+// a cold run_point of that member produces -- including members whose
+// suffix carries late-binding cost scales.
+TEST(Checkpoint, PrefixGroupByteIdenticalToColdRuns) {
+  std::vector<jobs::PointSpec> specs;
+  for (int ts : {1, 2, 3}) specs.push_back(small_point(ts));
+  jobs::PointSpec scaled = small_point(2);
+  scaled.cost_scales.push_back({"nautilus.context_switch_ns", 2.0});
+  specs.push_back(scaled);
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    ASSERT_EQ(specs[i].prefix_hash(), specs[0].prefix_hash())
+        << "test premise broken: members must share a prefix";
+    ASSERT_NE(specs[i].content_hash(), specs[0].content_hash())
+        << "test premise broken: members must be distinct points";
+  }
+  const std::vector<jobs::PointResult> group = jobs::run_prefix_group(specs);
+  ASSERT_EQ(group.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_FALSE(group[i].failed) << group[i].error;
+    const jobs::PointResult cold = jobs::run_point(specs[i]);
+    EXPECT_EQ(jobs::ResultCache::encode(specs[i], group[i]),
+              jobs::ResultCache::encode(specs[i], cold))
+        << "member " << i << " (" << specs[i].label() << ")";
+  }
+}
+
+// Satellite guard: the fiber guard page must survive the fork (the
+// child asserts PROT_NONE before running anything; a lost guard page
+// exits with kGuardLostExit instead of corrupting the measurement).
+// Exercise it at a non-default fiber stack size.
+TEST(Checkpoint, GuardPageSurvivesForkAtCustomStackSize) {
+  if (!sim::Checkpoint::supported()) GTEST_SKIP() << "fork unsafe here";
+  jobs::PointSpec spec = small_point();
+  std::uint64_t cold = 0, warm = 0;
+  {
+    sim::Checkpoint ckpt;
+    bool is_child = false;
+    RunHooks hooks;
+    hooks.on_boot = [](kop::core::Stack& s) {
+      s.engine().set_fiber_stack_bytes(512 * 1024);
+    };
+    hooks.on_done = [&warm](kop::core::Stack& s) {
+      warm = s.engine().stats().dispatch_digest;
+    };
+    hooks.at_snapshot = [&ckpt, &is_child](kop::core::Stack&, SnapshotCtl&) {
+      if (ckpt.fork_child()) is_child = true;
+    };
+    RunMetrics m;
+    kop::harness::run_nas(spec.stack_config(), spec.nas, &m, hooks);
+    if (is_child) ckpt.child_exit(jobs::hex16(warm), 0);
+    const sim::Checkpoint::Harvest h = ckpt.harvest(0);
+    ASSERT_NE(h.exit_code, sim::Checkpoint::kGuardLostExit)
+        << "guard page lost across fork";
+    ASSERT_TRUE(h.ok());
+    RunHooks cold_hooks;
+    cold_hooks.on_boot = [](kop::core::Stack& s) {
+      s.engine().set_fiber_stack_bytes(512 * 1024);
+    };
+    cold_hooks.on_done = [&cold](kop::core::Stack& s) {
+      cold = s.engine().stats().dispatch_digest;
+    };
+    RunMetrics mc;
+    kop::harness::run_nas(spec.stack_config(), spec.nas, &mc, cold_hooks);
+    EXPECT_EQ(h.payload, jobs::hex16(cold));
+    EXPECT_EQ(warm, cold);
+  }
+}
+
+// KOP_FIBER_STACK_KB seeds every subsequently constructed engine; the
+// explicit knob overrides it, and absurd values fall back to the
+// compiled-in default rather than failing the run.
+TEST(Checkpoint, FiberStackSizeEnvKnob) {
+  ::setenv("KOP_FIBER_STACK_KB", "1024", 1);
+  {
+    sim::Engine e;
+    EXPECT_EQ(e.fiber_stack_bytes(), 1024u * 1024u);
+    e.set_fiber_stack_bytes(256 * 1024);
+    EXPECT_EQ(e.fiber_stack_bytes(), 256u * 1024u);
+  }
+  ::setenv("KOP_FIBER_STACK_KB", "1", 1);  // below the 16 KiB floor
+  {
+    sim::Engine e;
+    EXPECT_EQ(e.fiber_stack_bytes(), sim::Fiber::kDefaultStackBytes);
+  }
+  ::unsetenv("KOP_FIBER_STACK_KB");
+}
+
+}  // namespace

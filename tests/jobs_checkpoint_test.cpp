@@ -1,0 +1,146 @@
+// Checkpointed JobRunner sweeps must be indistinguishable from cold
+// ones everywhere a caller can look: per-point results, cache contents,
+// and rendered JSON are byte-identical between `--jobs 2 --checkpoint`
+// and `--jobs 1 --no-checkpoint`.  This is also the regression net for
+// the forked-child teardown hazards: children report over a pipe and
+// _exit, so they must never flush a MetricsSink or store cache entries
+// of their own (any double store would show up as a cache diff here).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/figures.hpp"
+#include "harness/jobs/forkrun.hpp"
+#include "harness/jobs/runner.hpp"
+#include "harness/metrics.hpp"
+#include "nas/specs.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace jobs = kop::harness::jobs;
+using kop::core::PathKind;
+
+// Two prefixes x three suffixes: the smallest matrix where checkpoint
+// mode forks more than one child under more than one warm prefix.
+std::vector<jobs::PointSpec> prefix_shared_matrix() {
+  std::vector<jobs::PointSpec> points;
+  for (const char* bench : {"EP", "CG"}) {
+    for (int ts : {1, 2}) {
+      jobs::PointSpec p;
+      p.kind = jobs::PointSpec::Kind::kNas;
+      p.machine = "phi";
+      p.path = PathKind::kRtk;
+      p.threads = 2;
+      p.nas = kop::harness::scale_suite({kop::nas::by_name(bench)}, 0.05, ts)[0];
+      points.push_back(p);
+    }
+    jobs::PointSpec scaled = points.back();
+    scaled.cost_scales.push_back({"nautilus.wake_latency_ns", 0.5});
+    points.push_back(scaled);
+  }
+  return points;
+}
+
+// Every regular file under `dir`: relative path -> bytes.
+std::map<std::string, std::string> dir_contents(const fs::path& dir) {
+  std::map<std::string, std::string> out;
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    std::ifstream in(e.path(), std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    out[fs::relative(e.path(), dir).string()] = bytes.str();
+  }
+  return out;
+}
+
+TEST(JobsCheckpoint, ForkedSweepByteIdenticalToColdSweep) {
+  const std::vector<jobs::PointSpec> points = prefix_shared_matrix();
+  const fs::path base =
+      fs::temp_directory_path() / "kop_jobs_checkpoint_test";
+  fs::remove_all(base);
+
+  jobs::JobOptions warm_opts;
+  warm_opts.jobs = 2;
+  warm_opts.checkpoint = true;
+  warm_opts.cache_dir = (base / "warm").string();
+  jobs::JobRunner warm(warm_opts);
+  const std::vector<jobs::PointResult> warm_results = warm.run(points);
+
+  jobs::JobOptions cold_opts;
+  cold_opts.jobs = 1;
+  cold_opts.checkpoint = false;
+  cold_opts.cache_dir = (base / "cold").string();
+  jobs::JobRunner cold(cold_opts);
+  const std::vector<jobs::PointResult> cold_results = cold.run(points);
+
+  ASSERT_EQ(warm_results.size(), points.size());
+  ASSERT_EQ(cold_results.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_FALSE(warm_results[i].failed) << warm_results[i].error;
+    ASSERT_FALSE(cold_results[i].failed) << cold_results[i].error;
+    EXPECT_EQ(jobs::ResultCache::encode(points[i], warm_results[i]),
+              jobs::ResultCache::encode(points[i], cold_results[i]))
+        << "point " << i << " (" << points[i].label() << ")";
+  }
+
+  // The JSON artifact a figure binary would write is byte-identical.
+  auto render = [&](const std::vector<jobs::PointResult>& results) {
+    kop::harness::MetricsSink sink("jobs_checkpoint_test");
+    for (const auto& r : results) sink.add(r.metrics);
+    return sink.to_json();
+  };
+  EXPECT_EQ(render(warm_results), render(cold_results));
+
+  // Cache hygiene: only the parent stores entries (a forked child that
+  // flushed anything would leave extra or differing files), and the
+  // warm cache is file-for-file the cold cache.
+  const auto warm_files = dir_contents(base / "warm");
+  const auto cold_files = dir_contents(base / "cold");
+  EXPECT_EQ(warm_files.size(), cold_files.size());
+  EXPECT_EQ(warm_files, cold_files);
+
+  // When fork is available the warm run really did share prefixes.
+  EXPECT_EQ(warm.stats().executed, cold.stats().executed);
+  if (jobs::checkpoint_supported()) {
+    EXPECT_GT(warm.stats().prefixes, 0u);
+    EXPECT_GT(warm.stats().forked, 0u);
+  } else {
+    EXPECT_EQ(warm.stats().forked, 0u);  // degraded cold, still correct
+  }
+  EXPECT_EQ(cold.stats().forked, 0u);
+  fs::remove_all(base);
+}
+
+// A second checkpointed pass over a warm cache serves every point from
+// disk without forking anything.
+TEST(JobsCheckpoint, WarmCacheShortCircuitsForking) {
+  const std::vector<jobs::PointSpec> points = prefix_shared_matrix();
+  const fs::path dir =
+      fs::temp_directory_path() / "kop_jobs_checkpoint_warm_cache";
+  fs::remove_all(dir);
+  jobs::JobOptions opts;
+  opts.jobs = 2;
+  opts.checkpoint = true;
+  opts.cache_dir = dir.string();
+  const std::vector<jobs::PointResult> first = jobs::JobRunner(opts).run(points);
+
+  jobs::JobRunner second(opts);
+  const std::vector<jobs::PointResult> replay = second.run(points);
+  EXPECT_EQ(second.stats().executed, 0u);
+  EXPECT_EQ(second.stats().forked, 0u);
+  EXPECT_EQ(second.stats().cache_hits, points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(jobs::ResultCache::encode(points[i], replay[i]),
+              jobs::ResultCache::encode(points[i], first[i]));
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace

@@ -120,9 +120,71 @@ TEST(Token, RejectsMalformedInput) {
            "v1;nas;thr",              // missing '='
            "v1;nas;pol=lifo",         // unknown policy
            "v1;epcc;path=linux-automp;part=sync",  // EPCC on a CCK path
+           "v1;nas;cs=linux.syscall_ns",        // scale missing
+           "v1;nas;cs=plan9.syscall_ns:2.000",  // unknown personality
+           "v1;nas;cs=linux.not_a_field:2.000", // unknown field
+           "v1;nas;cs=linux.syscall_ns:0.000",  // non-positive scale
+           "v1;nas;cs=linux.syscall_ns:2.000,", // trailing empty entry
        }) {
     EXPECT_FALSE(propcheck::CaseParams::parse(bad, &p)) << bad;
   }
+}
+
+TEST(Token, CostScalesRoundTripExactly) {
+  propcheck::CaseParams p;
+  p.path = PathKind::kRtk;
+  p.cost_scales.push_back({"nautilus.syscall_ns", 4.0});
+  p.cost_scales.push_back({"nautilus.wake_latency_ns", 0.25});
+  const std::string tok = p.token();
+  EXPECT_NE(tok.find(";cs=nautilus.syscall_ns:4.000,"), std::string::npos)
+      << tok;
+  propcheck::CaseParams back;
+  ASSERT_TRUE(propcheck::CaseParams::parse(tok, &back)) << tok;
+  ASSERT_EQ(back.cost_scales.size(), 2u);
+  EXPECT_EQ(back.cost_scales[0].key, "nautilus.syscall_ns");
+  EXPECT_EQ(back.cost_scales[0].scale, 4.0);  // palette decimals: exact
+  EXPECT_EQ(back.cost_scales[1].key, "nautilus.wake_latency_ns");
+  EXPECT_EQ(back.cost_scales[1].scale, 0.25);
+  EXPECT_EQ(back.token(), tok);
+  // The scales reach the materialized point (and thus its cache key),
+  // while the prefix -- what a checkpointed sweep shares -- ignores them.
+  const jobs::PointSpec spec = back.point();
+  ASSERT_EQ(spec.cost_scales.size(), 2u);
+  propcheck::CaseParams bare = p;
+  bare.cost_scales.clear();
+  EXPECT_NE(spec.content_hash(), bare.point().content_hash());
+  EXPECT_EQ(spec.prefix_hash(), bare.point().prefix_hash());
+}
+
+TEST(Generator, DrawsCostScalesMatchedToThePath) {
+  propcheck::GenOptions opt;
+  opt.seed = 9;
+  opt.count = 160;
+  const auto cases = propcheck::generate(opt);
+  int with_scales = 0;
+  for (const auto& c : cases) {
+    if (c.cost_scales.empty()) continue;
+    ++with_scales;
+    // The personality must match the booted path's cost sheet, or the
+    // drawn scale would be skipped at the boundary and test nothing.
+    std::string want = "linux.";
+    if (c.path == PathKind::kRtk || c.path == PathKind::kAutoMpNautilus)
+      want = "nautilus.";
+    else if (c.path == PathKind::kPik)
+      want = "pik.";
+    for (const auto& cs : c.cost_scales) {
+      EXPECT_EQ(cs.key.compare(0, want.size(), want), 0)
+          << cs.key << " on " << kop::core::path_name(c.path);
+      EXPECT_GT(cs.scale, 0.0);
+      // Palette values round-trip %.3f exactly.
+      propcheck::CaseParams back;
+      ASSERT_TRUE(propcheck::CaseParams::parse(c.token(), &back));
+      EXPECT_EQ(back.token(), c.token());
+    }
+  }
+  // Roughly a quarter of cases should carry a suffix override.
+  EXPECT_GT(with_scales, opt.count / 10);
+  EXPECT_LT(with_scales, opt.count / 2);
 }
 
 TEST(Token, ParseAppliesDefaultsForOmittedKeys) {
@@ -143,9 +205,27 @@ TEST(Invariants, RegistryIsPopulated) {
   for (const char* expected :
        {"run-completes", "time-monotonic", "work-conservation",
         "task-balance", "steal-accounting", "counter-conservation",
-        "determinism", "cache-roundtrip"}) {
+        "determinism", "cache-roundtrip", "exactly-once-dispatch",
+        "checkpoint-equivalence"}) {
     EXPECT_TRUE(have.count(expected)) << expected;
   }
+}
+
+TEST(Invariants, HealthyCaseWithCostScalesPasses) {
+  // A late-binding suffix must not upset determinism, checkpoint
+  // equivalence, or the cache roundtrip (the scale is in the key).
+  const std::string dir = scratch_dir("scaled");
+  propcheck::CaseParams p = tiny_case();
+  p.cost_scales.push_back({"linux.syscall_ns", 4.0});
+  propcheck::CheckOptions opt;
+  opt.scratch_dir = dir;
+  const auto outcome = propcheck::check_case(p, opt);
+  for (const auto& v : outcome.violations)
+    ADD_FAILURE() << "[" << v.invariant << "] " << v.detail;
+  // The scale must actually change the run, or this test is vacuous.
+  const auto bare = propcheck::check_case(tiny_case(), opt);
+  EXPECT_NE(outcome.digest, bare.digest);
+  fs::remove_all(dir);
 }
 
 TEST(Invariants, HealthyCasePassesWithStableDigest) {
@@ -209,6 +289,19 @@ TEST(Shrink, ReducesToMinimalStillFailingCase) {
   EXPECT_EQ(minimal.threads, 1);
   EXPECT_EQ(minimal.policy, kop::sim::SchedPolicy::kFifo);
   EXPECT_EQ(minimal.sched_seed, 0u);
+}
+
+TEST(Shrink, DropsAnInertCostScaleSuffix) {
+  // The failure is the EPCC-on-AutoMP combination; the cost scales are
+  // irrelevant to it, so the shrinker must discard them.
+  propcheck::CaseParams p = impossible_case();
+  p.cost_scales.push_back({"linux.syscall_ns", 2.0});
+  p.cost_scales.push_back({"linux.tick_cost_ns", 0.5});
+  propcheck::CaseOutcome final_outcome;
+  const auto minimal =
+      propcheck::shrink(p, propcheck::CheckOptions{}, &final_outcome);
+  ASSERT_FALSE(final_outcome.ok());
+  EXPECT_TRUE(minimal.cost_scales.empty()) << minimal.token();
 }
 
 TEST(Shrink, PassingCaseComesBackUnchanged) {
