@@ -1,10 +1,14 @@
-// The sweep coordinator daemon: lease-based dispatch over a unix
-// socket, answering point queries straight from the result cache.
+// The sweep coordinator daemon: lease-based dispatch over a unix or
+// TCP socket, answering point queries straight from the result cache.
 //
-//   kop_sweepd --socket <path> [--cache-dir <dir>]
+//   kop_sweepd --listen <addr> [--cache-dir <dir>] [--journal <file>]
 //              (--points <token-file> | --gen-seed S --gen-count N)
 //              [--ttl-ms T] [--suspect-ms S] [--dead-ms D]
 //              [--exit-when-drained] [--manifest <out>]
+//   kop_sweepd --dump-journal <file> [--verify]
+//
+// <addr> is a unix socket path (one box) or host:port (multi-box TCP);
+// --socket remains as an alias that always means a unix path.
 //
 // The sweep manifest is a list of propcheck replay tokens, either read
 // from a file (one per line, `#` comments) or drawn from the seeded
@@ -19,6 +23,12 @@
 // and at startup every already-cached point is marked complete, so a
 // restarted coordinator re-dispatches exactly the unfinished work.
 //
+// With --journal every lease-table transition is appended to a
+// checksummed crash ledger; a restart on the same journal replays back
+// to the exact table (in-flight leases come back as queued points, not
+// lost work) before the cache sync runs.  --dump-journal pretty-prints
+// a journal offline; --verify makes it a silent checksum pass.
+//
 // --manifest writes the sweep's coverage manifest (the --shard-list
 // format); after the sweep, `kop_merge --expect <manifest>` over the
 // worker caches proves every point was completed exactly once.
@@ -26,6 +36,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <string>
@@ -50,12 +61,16 @@ void on_signal(int) {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --socket <path> [--cache-dir <dir>]\n"
+      "usage: %s --listen <addr> [--cache-dir <dir>] [--journal <file>]\n"
       "          (--points <token-file> | --gen-seed S --gen-count N)\n"
       "          [--ttl-ms T] [--suspect-ms S] [--dead-ms D]\n"
       "          [--exit-when-drained] [--manifest <out>]\n"
-      "  --socket <path>      unix socket to listen on\n"
+      "       %s --dump-journal <file> [--verify]\n"
+      "  --listen <addr>      unix socket path or host:port to listen on\n"
+      "  --socket <path>      alias for --listen, always a unix path\n"
       "  --cache-dir <dir>    result cache backing GET and warm restarts\n"
+      "  --journal <file>     append-only crash ledger; a restart on the\n"
+      "                       same file resumes the exact lease table\n"
       "  --points <file>      sweep manifest: propcheck tokens, one per line\n"
       "  --gen-seed S         draw the manifest from the seeded propcheck\n"
       "  --gen-count N        generator instead (deterministic per S,N)\n"
@@ -63,15 +78,89 @@ int usage(const char* argv0) {
       "  --suspect-ms S       heartbeat silence before Suspect (default 3000)\n"
       "  --dead-ms D          heartbeat silence before Dead (default 10000)\n"
       "  --exit-when-drained  exit 0 once every point is complete\n"
-      "  --manifest <out>     write the coverage manifest (kop_merge --expect)\n",
-      argv0);
+      "  --manifest <out>     write the coverage manifest (kop_merge --expect)\n"
+      "  --dump-journal <f>   pretty-print a journal record by record\n"
+      "  --verify             with --dump-journal: checksum pass only\n",
+      argv0, argv0);
   return 2;
+}
+
+int dump_journal(const std::string& path, bool verify_only) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::size_t start = 0, line_no = 0, records = 0;
+  while (start < data.size()) {
+    const std::size_t nl = data.find('\n', start);
+    if (nl == std::string::npos) {
+      std::fprintf(stderr, "[journal] torn tail: %zu byte(s) past the last "
+                           "terminator (crash artifact, replay drops them)\n",
+                   data.size() - start);
+      break;
+    }
+    ++line_no;
+    const std::string line = data.substr(start, nl - start);
+    const std::size_t offset = start;
+    start = nl + 1;
+    if (line.empty()) continue;
+    coord::JournalRecord rec;
+    std::string why;
+    if (!coord::decode_record(line, &rec, &why)) {
+      std::fprintf(stderr, "error: %s:%zu (offset %zu): %s\n", path.c_str(),
+                   line_no, offset, why.c_str());
+      return 1;
+    }
+    ++records;
+    if (verify_only) continue;
+    switch (rec.type) {
+      case coord::JournalRecord::Type::kRegister:
+        std::printf("%6zu @%-8zu REGISTER point=%s entry=%s label=%s\n",
+                    line_no, offset, coord::to_hex16(rec.hash).c_str(),
+                    rec.entry.c_str(), rec.label.c_str());
+        break;
+      case coord::JournalRecord::Type::kGrant:
+        std::printf("%6zu @%-8zu GRANT    lease=%llu point=%s worker=%s "
+                    "expires=%lld\n",
+                    line_no, offset,
+                    static_cast<unsigned long long>(rec.lease_id),
+                    coord::to_hex16(rec.hash).c_str(), rec.worker.c_str(),
+                    static_cast<long long>(rec.expires_ms));
+        break;
+      case coord::JournalRecord::Type::kRenew:
+        std::printf("%6zu @%-8zu RENEW    lease=%llu expires=%lld\n", line_no,
+                    offset, static_cast<unsigned long long>(rec.lease_id),
+                    static_cast<long long>(rec.expires_ms));
+        break;
+      case coord::JournalRecord::Type::kDone:
+        std::printf("%6zu @%-8zu DONE     point=%s\n", line_no, offset,
+                    coord::to_hex16(rec.hash).c_str());
+        break;
+      case coord::JournalRecord::Type::kReclaim:
+        std::printf("%6zu @%-8zu RECLAIM  point=%s\n", line_no, offset,
+                    coord::to_hex16(rec.hash).c_str());
+        break;
+      case coord::JournalRecord::Type::kSeq:
+        std::printf("%6zu @%-8zu SEQ      next-lease=%llu\n", line_no, offset,
+                    static_cast<unsigned long long>(rec.lease_id));
+        break;
+    }
+  }
+  std::fprintf(stderr, "[journal] %zu record(s) verified in %s\n", records,
+               path.c_str());
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path, cache_dir, points_path, manifest_path;
+  std::string listen_addr, cache_dir, points_path, manifest_path;
+  std::string journal_path, dump_path;
+  bool dump_verify = false;
+  bool listen_is_unix_alias = false;
   std::uint64_t gen_seed = 0;
   int gen_count = 0;
   coord::CoordinatorOptions copt;
@@ -79,10 +168,20 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--socket" && i + 1 < argc) {
-      socket_path = argv[++i];
+    if (arg == "--listen" && i + 1 < argc) {
+      listen_addr = argv[++i];
+      listen_is_unix_alias = false;
+    } else if (arg == "--socket" && i + 1 < argc) {
+      listen_addr = argv[++i];
+      listen_is_unix_alias = true;
     } else if (arg == "--cache-dir" && i + 1 < argc) {
       cache_dir = argv[++i];
+    } else if (arg == "--journal" && i + 1 < argc) {
+      journal_path = argv[++i];
+    } else if (arg == "--dump-journal" && i + 1 < argc) {
+      dump_path = argv[++i];
+    } else if (arg == "--verify") {
+      dump_verify = true;
     } else if (arg == "--points" && i + 1 < argc) {
       points_path = argv[++i];
     } else if (arg == "--gen-seed" && i + 1 < argc) {
@@ -103,7 +202,8 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (socket_path.empty()) return usage(argv[0]);
+  if (!dump_path.empty()) return dump_journal(dump_path, dump_verify);
+  if (listen_addr.empty()) return usage(argv[0]);
   if (points_path.empty() && gen_count <= 0) return usage(argv[0]);
 
   // Assemble the sweep manifest: token -> PointSpec.
@@ -181,11 +281,45 @@ int main(int argc, char** argv) {
   }
 
   coord::Coordinator coordinator(copt, std::move(probe));
+
+  // Journal recovery runs before the manifest pass: the ledger is the
+  // authoritative record of the previous incarnation's lease table
+  // (including worker-enumerated points the manifest does not know).
+  std::unique_ptr<coord::Journal> journal;
+  if (!journal_path.empty()) {
+    coord::ReplayStats replay;
+    std::string err;
+    if (!coordinator.recover_from_journal(journal_path, &replay, &err)) {
+      std::fprintf(stderr, "error: journal replay failed: %s\n", err.c_str());
+      return 1;
+    }
+    try {
+      journal = std::make_unique<coord::Journal>(journal_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    coordinator.attach_journal(journal.get());
+    const std::size_t requeued = coordinator.requeue_live_leases();
+    if (replay.records > 0 || replay.truncated_bytes > 0) {
+      std::fprintf(stderr,
+                   "[sweepd] journal %s: replayed %zu record(s), re-queued "
+                   "%zu in-flight lease(s)%s\n",
+                   journal_path.c_str(), replay.records, requeued,
+                   replay.truncated_bytes > 0 ? " (torn tail dropped)" : "");
+    }
+  }
+
   for (auto& info : infos) coordinator.add_point(std::move(info));
   const std::size_t warm = coordinator.sync_with_cache();
+  if (journal != nullptr) journal->commit();
 
   try {
-    sopt.socket_path = socket_path;
+    if (listen_is_unix_alias) {
+      sopt.socket_path = listen_addr;
+    } else {
+      sopt.address = listen_addr;
+    }
     coord::Server server(&coordinator, sopt);
     g_server = &server;
     std::signal(SIGINT, on_signal);
@@ -193,7 +327,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "[sweepd] %zu points (%zu warm from cache) on %s "
                  "(ttl=%lld suspect=%lld dead=%lld)\n",
-                 specs.size(), warm, socket_path.c_str(),
+                 specs.size(), warm, server.bound_address().c_str(),
                  static_cast<long long>(copt.lease_ttl_ms),
                  static_cast<long long>(copt.liveness.suspect_after_ms),
                  static_cast<long long>(copt.liveness.dead_after_ms));

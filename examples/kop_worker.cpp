@@ -1,7 +1,11 @@
 // The coordinator-fed worker loop: HELLO, then NEXT until DRAINED.
 //
-//   kop_worker --socket <path> --cache-dir <dir> [--worker <id>]
+//   kop_worker --coord <addr> --cache-dir <dir> [--worker <id>]
 //              [--max-points N] [--idle-wait-ms W] [--crash-after N]
+//
+// <addr> is a unix socket path (same box as the daemon) or host:port
+// (kop_sweepd --listen over TCP); --socket is an equivalent legacy
+// spelling of --coord.
 //
 // Each GRANT carries a propcheck replay token; the worker materializes
 // the PointSpec, simulates it (or takes a warm cache hit), stores the
@@ -38,9 +42,10 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --socket <path> --cache-dir <dir> [--worker <id>]\n"
+      "usage: %s --coord <addr> --cache-dir <dir> [--worker <id>]\n"
       "          [--max-points N] [--idle-wait-ms W] [--crash-after N]\n"
-      "  --socket <path>    kop_sweepd unix socket\n"
+      "  --coord <addr>     kop_sweepd address: unix socket path or host:port\n"
+      "  --socket <addr>    alias for --coord\n"
       "  --cache-dir <dir>  this worker's result cache (merge with kop_merge)\n"
       "  --worker <id>      worker name (default <hostname>:<pid>)\n"
       "  --max-points N     stop after completing N points\n"
@@ -58,7 +63,7 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--socket" && i + 1 < argc) {
+    if ((arg == "--coord" || arg == "--socket") && i + 1 < argc) {
       socket_path = argv[++i];
     } else if (arg == "--cache-dir" && i + 1 < argc) {
       cache_dir = argv[++i];

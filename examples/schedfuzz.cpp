@@ -69,7 +69,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--list") {
       list = true;
     } else {
-      std::cerr << "schedfuzz: unknown argument " << arg << "\n";
+      if (arg != "--help") {
+        std::cerr << "schedfuzz: unknown argument " << arg << "\n";
+      }
+      std::cerr << "usage: " << argv[0] << " [--seeds=N] [--seed-begin=S]\n"
+                << "          [--scenario=NAME] [--policy=P] [--sched-seed=S]\n"
+                << "          [--regressions=FILE] [--inject-bug]\n"
+                << "          [--no-racecheck] [--keep-going] [--list]\n";
       return 2;
     }
   }

@@ -1,9 +1,13 @@
 #include "coord/client.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -44,25 +48,65 @@ std::int64_t field_ms(const std::vector<std::string>& tokens,
 
 }  // namespace
 
-Client::Client(std::string socket_path) : path_(std::move(socket_path)) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path_.empty() || path_.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("coord: bad socket path '" + path_ + "'");
+Client::Client(std::string address) : path_(std::move(address)) {
+  Address addr;
+  std::string err;
+  if (!parse_address(path_, &addr, &err)) {
+    throw std::runtime_error("coord: " + err);
   }
-  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error(std::string("coord: socket: ") +
-                             std::strerror(errno));
+  if (addr.kind == Address::Kind::kUnix) {
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    if (addr.path.size() >= sizeof(sun.sun_path)) {
+      throw std::runtime_error("coord: bad socket path '" + path_ + "'");
+    }
+    std::memcpy(sun.sun_path, addr.path.c_str(), addr.path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw std::runtime_error(std::string("coord: socket: ") +
+                               std::strerror(errno));
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&sun),
+                  sizeof(sun)) != 0) {
+      const std::string cerr = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("coord: cannot connect to " + path_ + ": " +
+                               cerr);
+    }
+    return;
   }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const std::string err = std::strerror(errno);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(addr.port);
+  const int rc = ::getaddrinfo(addr.host.c_str(), service.c_str(), &hints,
+                               &res);
+  if (rc != 0) {
+    throw std::runtime_error("coord: cannot resolve " + addr.host + ": " +
+                             ::gai_strerror(rc));
+  }
+  std::string cerr = "no address";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd_ < 0) {
+      cerr = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd_, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    cerr = std::strerror(errno);
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("coord: cannot connect to " + path_ + ": " + err);
   }
+  ::freeaddrinfo(res);
+  if (fd_ < 0) {
+    throw std::runtime_error("coord: cannot connect to " + path_ + ": " +
+                             cerr);
+  }
+  // Request lines are tiny; don't let Nagle add 40ms to every lease.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 Client::~Client() {
@@ -109,6 +153,7 @@ std::string Client::request(const std::string& line) {
   if (!write_all(fd_, line + "\n")) {
     throw std::runtime_error("coord: write to " + path_ + " failed");
   }
+  ++round_trips_;
   std::string response = read_line_locked();
   if (response.rfind("HIT ", 0) == 0) {
     const std::size_t n = static_cast<std::size_t>(
@@ -197,8 +242,57 @@ Client::GetReply Client::get(std::uint64_t hash) {
   return out;
 }
 
+Client::GetReply Client::read_get_reply_locked() {
+  const std::string header = read_line_locked();
+  GetReply out;
+  if (header.rfind("HIT ", 0) == 0) {
+    out.status = "HIT";
+    const std::size_t n = static_cast<std::size_t>(
+        std::strtoull(header.c_str() + 4, nullptr, 10));
+    out.doc = read_bytes_locked(n);
+    // One '\n' always follows a HIT body: the batch separator, or the
+    // frame terminator for the final sub-response.
+    (void)read_line_locked();
+    return out;
+  }
+  const auto t = split_tokens(header);
+  out.status = t.empty() ? "ERR" : t[0];
+  if (t.size() > 1) out.detail = t[1];
+  return out;
+}
+
+std::vector<Client::GetReply> Client::mget(
+    const std::vector<std::uint64_t>& hashes) {
+  std::vector<GetReply> out;
+  out.reserve(hashes.size());
+  std::size_t start = 0;
+  while (start < hashes.size()) {
+    const std::size_t count =
+        std::min(kMgetMaxHashes, hashes.size() - start);
+    std::string line = "MGET";
+    for (std::size_t i = 0; i < count; ++i) {
+      line += " " + to_hex16(hashes[start + i]);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!write_all(fd_, line + "\n")) {
+      throw std::runtime_error("coord: write to " + path_ + " failed");
+    }
+    ++round_trips_;
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(read_get_reply_locked());
+    }
+    start += count;
+  }
+  return out;
+}
+
 std::string Client::stats() { return request("STATS"); }
 
 void Client::shutdown() { (void)request("SHUTDOWN"); }
+
+std::uint64_t Client::round_trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return round_trips_;
+}
 
 }  // namespace kop::coord

@@ -1,6 +1,11 @@
 // Client side of the kop-sweep line protocol: one blocking connection,
 // request/response framing, and typed wrappers for the worker verbs.
 //
+// The constructor takes a coordinator address in either form -- a unix
+// socket path or host:port (proto.hpp parse_address) -- so every flag
+// that accepts `--coord <socket>` transparently accepts `--coord
+// host:port` too.
+//
 // Thread-safe: a JobRunner pool and its heartbeat thread share one
 // Client, so request() serializes on an internal mutex (the protocol is
 // strictly one response per request line, making this sound).
@@ -17,8 +22,9 @@ namespace kop::coord {
 
 class Client {
  public:
-  /// Connects; throws std::runtime_error when the daemon is not there.
-  explicit Client(std::string socket_path);
+  /// Connects to a unix socket path or host:port; throws
+  /// std::runtime_error when the daemon is not there.
+  explicit Client(std::string address);
   ~Client();
 
   Client(const Client&) = delete;
@@ -60,25 +66,37 @@ class Client {
   void bye(const std::string& worker);
 
   struct GetReply {
-    std::string status;  // HIT / PENDING / UNKNOWN
+    std::string status;  // HIT / COMPLETE / PENDING / UNKNOWN
     std::string detail;  // PENDING: queued|leased
     std::string doc;     // HIT: the entry document
   };
   GetReply get(std::uint64_t hash);
+
+  /// Batched GET: every hash answered in request order, one round trip
+  /// per kMgetMaxHashes-sized wire batch instead of one per hash.
+  std::vector<GetReply> mget(const std::vector<std::uint64_t>& hashes);
 
   std::string stats();
   void shutdown();
 
   const std::string& socket_path() const { return path_; }
 
+  /// Request lines sent so far (an MGET batch counts once).  Tests pin
+  /// the ~n× round-trip saving of mget() against this.
+  std::uint64_t round_trips() const;
+
  private:
   std::string read_line_locked();
   std::string read_bytes_locked(std::size_t n);
+  /// Read one GET-shaped sub-response (header line, optional counted
+  /// body + terminator line).
+  GetReply read_get_reply_locked();
 
   std::string path_;
   int fd_ = -1;
   std::string rxbuf_;
-  std::mutex mu_;
+  std::uint64_t round_trips_ = 0;
+  mutable std::mutex mu_;
 };
 
 }  // namespace kop::coord

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "coord/journal.hpp"
 #include "coord/lease.hpp"
 #include "coord/liveness.hpp"
 #include "coord/proto.hpp"
@@ -45,6 +46,9 @@ struct CoordinatorOptions {
   /// the fly (worker-enumerated sweeps, where the figure binary knows
   /// the matrix and the coordinator only arbitrates).  Off: UNKNOWN.
   bool accept_unknown_points = true;
+  /// Journal records appended since the last compaction before tick()
+  /// rewrites the file down to the canonical snapshot.
+  std::size_t journal_compact_after = 65536;
 };
 
 /// Injected cache lookup: return true and fill *doc with the validated
@@ -68,6 +72,37 @@ class Coordinator {
   /// re-dispatched, finished work is not).  Returns how many points
   /// were completed from the cache.
   std::size_t sync_with_cache();
+
+  /// Attach the crash journal (non-owning; may be null to detach).
+  /// Every lease-table transition from here on is appended; tick()
+  /// group-commits and compacts.  Attach *after* recover_from_journal
+  /// and the initial add_point/sync_with_cache pass -- recovery must
+  /// not re-journal what it replays.
+  void attach_journal(Journal* journal);
+
+  /// Replay a journal file into this (fresh) coordinator.  On success
+  /// the lease table -- queue order, live leases, id counter -- matches
+  /// the table the writing daemon last committed.  False on corruption
+  /// (*error names the offending line).  Call requeue_live_leases()
+  /// afterwards to turn the dead daemon's in-flight leases back into
+  /// queued points.
+  bool recover_from_journal(const std::string& path, ReplayStats* stats,
+                            std::string* error);
+
+  /// Restart semantics: every live lease belongs to a worker that can
+  /// no longer renew against this process, so requeue them all (journaled
+  /// as reclaims).  Returns how many were requeued.
+  std::size_t requeue_live_leases();
+
+  /// The canonical compacted form of the current table: S, then R for
+  /// every point (queued ones first, in queue order), then G for live
+  /// leases, then D for completed points.  Replaying these records into
+  /// an empty coordinator reproduces debug_state() exactly.
+  std::vector<JournalRecord> snapshot_records() const;
+
+  /// The lease table rendered for state-equality checks (tests, the
+  /// journal-replay propcheck invariant).
+  std::string debug_state() const { return table_.debug_dump(); }
 
   /// One request line in, one response out (no trailing newline except
   /// inside HIT bodies; the server appends the line terminator).
@@ -97,15 +132,26 @@ class Coordinator {
   std::string on_renew(const Request& r, std::int64_t now_ms);
   std::string on_done(const Request& r, std::int64_t now_ms);
   std::string on_get(const Request& r, std::int64_t now_ms);
+  std::string on_mget(const Request& r, std::int64_t now_ms);
+  /// One GET-shaped sub-response for `hash` (shared by GET and MGET).
+  std::string serve_one(std::uint64_t hash);
   /// Heartbeat gate shared by worker-bearing verbs: returns false and
   /// fills *reply (NOHELLO / DEAD) when the request must be rejected.
   bool admit(const Request& r, std::int64_t now_ms, std::string* reply);
+  /// Journal one completed transition (no-op without a journal).
+  void journal_grant(const Lease& lease);
+  void journal_done(std::uint64_t hash);
+  void journal_reclaims(const std::vector<std::uint64_t>& hashes);
+  /// mark_complete + journal, only when the state actually changed.
+  void complete_point(std::uint64_t hash);
+  bool apply_record(const JournalRecord& rec);
 
   CoordinatorOptions opt_;
   CacheProbe probe_;
   LeaseTable table_;
   LivenessTracker liveness_;
   telemetry::CounterSet counters_;
+  Journal* journal_ = nullptr;
   bool shutdown_ = false;
 };
 

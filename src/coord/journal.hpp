@@ -1,0 +1,123 @@
+// Append-only queue journal: the coordinator's crash ledger.
+//
+// PR 7's restart story recovered *completed* points only (whatever
+// sync_with_cache found on disk); everything mid-flight at the moment
+// the daemon died was silently re-enumerated from the manifest and, for
+// worker-enumerated sweeps, simply lost.  The journal closes that gap:
+// every state transition the LeaseTable makes is appended as one
+// checksummed text record, so a restarted daemon replays the file back
+// to the *exact* lease table it died with -- then requeues the leases
+// whose holders are gone (they cannot renew a daemon that restarted)
+// and carries on.
+//
+// Record grammar (one record per '\n'-terminated line):
+//
+//   R <hash> <entry> <payload> <label> !<fnv16>     point registered
+//   G <lease-id> <hash> <worker> <expires-ms> !<fnv16>   lease granted
+//   N <lease-id> <expires-ms> !<fnv16>              lease renewed
+//   D <hash> !<fnv16>                               point complete
+//   C <hash> !<fnv16>                               lease reclaimed (requeue)
+//   S <next-lease-id> !<fnv16>                      id floor (compaction)
+//
+// String fields are percent-escaped (space, '%', '!', control bytes) so
+// every record stays one space-tokenized line.  The checksum is FNV-1a
+// 64 over the record body; `--dump-journal --verify` and replay both
+// recompute it.
+//
+// Durability model: append() buffers, commit() writes + fsyncs the
+// batch.  The Coordinator commits from tick(), i.e. once per poll
+// round, not per request -- group commit.  That is safe because every
+// record is *re-derivable loss*: an unflushed GRANT replays as a
+// still-queued point (the worker's DONE later resolves OK-STALE), an
+// unflushed DONE re-runs one deterministic, content-addressed point.
+// The journal buys exactness cheaply; it never needs to buy it
+// synchronously.
+//
+// Torn tails: a crash mid-append leaves a final line without '\n' (or a
+// short one).  Replay tolerates exactly that -- trailing bytes with no
+// terminator are dropped and reported -- but a *terminated* record with
+// a bad checksum or unknown shape is a hard error: that is corruption,
+// not a crash artifact, and silently skipping it could resurrect a
+// wrong lease table.
+//
+// Compaction: the live table is re-expressible as (S, R..., G..., D...)
+// in canonical order; compact() atomically replaces the file
+// (tmp + fsync + rename) once enough history has accumulated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace kop::coord {
+
+struct JournalRecord {
+  enum class Type { kRegister, kGrant, kRenew, kDone, kReclaim, kSeq };
+  Type type = Type::kRegister;
+  std::uint64_t hash = 0;       // R/G/D/C
+  std::uint64_t lease_id = 0;   // G/N; S: the next-lease-id floor
+  std::int64_t expires_ms = 0;  // G/N
+  std::string worker;           // G
+  std::string entry;            // R
+  std::string payload;          // R
+  std::string label;            // R
+};
+
+/// One record as a journal line (no trailing '\n'), checksum included.
+std::string encode_record(const JournalRecord& rec);
+
+/// Parse one journal line.  False (with *error set) on checksum
+/// mismatch, unknown type, or a malformed field.
+bool decode_record(const std::string& line, JournalRecord* out,
+                   std::string* error);
+
+struct ReplayStats {
+  std::size_t records = 0;          // checksum-verified records replayed
+  std::size_t truncated_bytes = 0;  // torn tail dropped (crash artifact)
+};
+
+/// Read `path` and invoke `fn` per verified record, in file order.  A
+/// missing file is an empty journal (true, zero records).  Returns
+/// false (with *error naming the line) on corruption; records before
+/// the corrupt line have already been delivered.
+bool replay_journal(const std::string& path,
+                    const std::function<void(const JournalRecord&)>& fn,
+                    ReplayStats* stats, std::string* error);
+
+class Journal {
+ public:
+  /// Opens `path` for append (created if absent).  Throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit Journal(std::string path);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Buffer one record.  Cheap; durability comes from commit().
+  void append(const JournalRecord& rec);
+
+  /// Flush buffered records and fsync.  No-op when nothing is pending.
+  /// Throws std::runtime_error on write/fsync failure (a journal that
+  /// cannot persist is a daemon that must not keep promising leases).
+  void commit();
+
+  /// Atomically replace the journal with `records` (tmp + fsync +
+  /// rename) and reset the append counter.  Pending appends are folded
+  /// in by the caller snapshotting *after* they were applied.
+  void compact(const std::vector<JournalRecord>& records);
+
+  /// Records appended since open/compaction -- the compaction trigger.
+  std::size_t appended_since_compact() const { return appended_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::string pending_;
+  std::size_t appended_ = 0;
+};
+
+}  // namespace kop::coord

@@ -150,6 +150,65 @@ std::vector<std::uint64_t> LeaseTable::reclaim_worker(
   return reclaimed;
 }
 
+std::vector<std::uint64_t> LeaseTable::reclaim_all() {
+  std::vector<std::uint64_t> reclaimed;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    const std::uint64_t hash = it->second.point;
+    PointRec& rec = points_.at(hash);
+    rec.state = PointState::kQueued;
+    rec.lease_id = 0;
+    queue_.push_back(hash);
+    reclaimed.push_back(hash);
+    it = leases_.erase(it);
+  }
+  return reclaimed;
+}
+
+bool LeaseTable::reclaim_point(std::uint64_t hash) {
+  const auto it = points_.find(hash);
+  if (it == points_.end() || it->second.state != PointState::kLeased) {
+    return false;
+  }
+  leases_.erase(it->second.lease_id);
+  it->second.state = PointState::kQueued;
+  it->second.lease_id = 0;
+  queue_.push_back(hash);
+  return true;
+}
+
+bool LeaseTable::restore_grant(std::uint64_t id, std::uint64_t hash,
+                               const std::string& worker,
+                               std::int64_t expires_ms) {
+  const auto it = points_.find(hash);
+  if (id == 0 || it == points_.end() ||
+      it->second.state != PointState::kQueued ||
+      leases_.count(id) != 0) {
+    return false;
+  }
+  queue_.erase(std::remove(queue_.begin(), queue_.end(), hash), queue_.end());
+  Lease& lease = leases_[id];
+  lease.id = id;
+  lease.point = hash;
+  lease.worker = worker;
+  lease.expires_ms = expires_ms;
+  it->second.state = PointState::kLeased;
+  it->second.lease_id = id;
+  ++it->second.grants;
+  if (id >= next_lease_id_) next_lease_id_ = id + 1;
+  return true;
+}
+
+bool LeaseTable::restore_renew(std::uint64_t id, std::int64_t expires_ms) {
+  const auto it = leases_.find(id);
+  if (it == leases_.end()) return false;
+  it->second.expires_ms = expires_ms;
+  return true;
+}
+
+void LeaseTable::restore_next_lease_id(std::uint64_t next) {
+  if (next > next_lease_id_) next_lease_id_ = next;
+}
+
 PointState LeaseTable::point_state(std::uint64_t hash) const {
   const auto it = points_.find(hash);
   return it == points_.end() ? PointState::kQueued : it->second.state;
@@ -172,6 +231,41 @@ std::vector<std::uint64_t> LeaseTable::point_hashes() const {
   std::vector<std::uint64_t> out;
   out.reserve(points_.size());
   for (const auto& [hash, rec] : points_) out.push_back(hash);
+  return out;
+}
+
+std::vector<std::uint64_t> LeaseTable::queued_hashes() const {
+  return {queue_.begin(), queue_.end()};
+}
+
+std::vector<Lease> LeaseTable::live_leases() const {
+  std::vector<Lease> out;
+  out.reserve(leases_.size());
+  for (const auto& [id, lease] : leases_) out.push_back(lease);
+  return out;
+}
+
+const Lease* LeaseTable::lease_by_id(std::uint64_t id) const {
+  const auto it = leases_.find(id);
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+std::string LeaseTable::debug_dump() const {
+  static const char* state_names[] = {"queued", "leased", "complete"};
+  std::string out = "next_lease=" + std::to_string(next_lease_id_) + "\n";
+  for (const auto& [hash, rec] : points_) {
+    out += "point " + std::to_string(hash) + " " +
+           state_names[static_cast<int>(rec.state)] + " entry=" +
+           rec.info.entry + " payload=" + rec.info.payload + "\n";
+  }
+  out += "queue";
+  for (std::uint64_t hash : queue_) out += " " + std::to_string(hash);
+  out += "\n";
+  for (const auto& [id, lease] : leases_) {
+    out += "lease " + std::to_string(id) + " point=" +
+           std::to_string(lease.point) + " worker=" + lease.worker +
+           " expires=" + std::to_string(lease.expires_ms) + "\n";
+  }
   return out;
 }
 

@@ -99,11 +99,45 @@ class LeaseTable {
   /// BYE).  Returns the requeued point hashes.
   std::vector<std::uint64_t> reclaim_worker(const std::string& worker);
 
+  /// Reclaim every live lease unconditionally (daemon restart: the old
+  /// process's promises cannot be renewed against the new one).
+  /// Returns the requeued point hashes.
+  std::vector<std::uint64_t> reclaim_all();
+
+  /// Requeue the live lease on one specific point (journal C-record
+  /// replay).  False when the point is not currently leased.
+  bool reclaim_point(std::uint64_t hash);
+
+  // --- journal replay ---------------------------------------------------
+  // Replay applies recorded transitions verbatim instead of allocating
+  // fresh state, so a replayed table is bit-equal (debug_dump) to the
+  // live one the records were written from.
+
+  /// Re-issue a lease with its recorded id/holder/expiry.  Bumps the id
+  /// counter past `id`.  False when the point is unknown or not queued
+  /// (a journal that grants twice without an intervening reclaim is
+  /// corrupt).
+  bool restore_grant(std::uint64_t id, std::uint64_t hash,
+                     const std::string& worker, std::int64_t expires_ms);
+
+  /// Re-apply a recorded renewal's absolute expiry.  False when the
+  /// lease id is not live.
+  bool restore_renew(std::uint64_t id, std::int64_t expires_ms);
+
+  /// Floor the id counter (compacted journals carry an S record so
+  /// completed leases' ids are never reused for new grants -- a stale
+  /// DONE with a recycled id would complete the wrong point).
+  void restore_next_lease_id(std::uint64_t next);
+
   // --- queries ---------------------------------------------------------
   PointState point_state(std::uint64_t hash) const;
   const PointInfo* point_info(std::uint64_t hash) const;
   /// The live lease on a point, or nullptr.
   const Lease* lease_of(std::uint64_t hash) const;
+  /// The live lease with this id, or nullptr (reclaimed/completed ids
+  /// are gone -- the Coordinator resolves those by point hash).
+  const Lease* lease_by_id(std::uint64_t id) const;
+  std::uint64_t next_lease_id() const { return next_lease_id_; }
   std::size_t total() const { return points_.size(); }
   std::size_t queued() const { return queue_.size(); }
   std::size_t leased() const { return leases_.size(); }
@@ -112,6 +146,14 @@ class LeaseTable {
   std::int64_t ttl_ms() const { return ttl_ms_; }
   /// Every registered point hash, ascending (manifest iteration order).
   std::vector<std::uint64_t> point_hashes() const;
+  /// Queued point hashes in grant (FIFO) order.
+  std::vector<std::uint64_t> queued_hashes() const;
+  /// Every live lease, ascending by id.
+  std::vector<Lease> live_leases() const;
+  /// Canonical multi-line rendering of the whole table -- point states,
+  /// queue order, live leases, id counter.  Two tables that render the
+  /// same dispatch identically; journal-replay tests compare this.
+  std::string debug_dump() const;
 
  private:
   Lease* issue(std::uint64_t hash, const std::string& worker,

@@ -115,6 +115,19 @@ Request parse_request(const std::string& line) {
       return invalid("usage: GET <hash>");
     }
     r.verb = Request::Verb::kGet;
+  } else if (verb == "MGET") {
+    if (t.size() < 2) return invalid("usage: MGET <hash>...");
+    if (t.size() - 1 > kMgetMaxHashes) {
+      return invalid("MGET batch too large (max " +
+                     std::to_string(kMgetMaxHashes) + ")");
+    }
+    r.hashes.reserve(t.size() - 1);
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      std::uint64_t h = 0;
+      if (!parse_hex16(t[i], &h)) return invalid("usage: MGET <hash>...");
+      r.hashes.push_back(h);
+    }
+    r.verb = Request::Verb::kMget;
   } else if (verb == "STATS") {
     if (t.size() != 1) return invalid("usage: STATS");
     r.verb = Request::Verb::kStats;
@@ -125,6 +138,39 @@ Request parse_request(const std::string& line) {
     return invalid("unknown verb " + verb);
   }
   return r;
+}
+
+bool parse_address(const std::string& s, Address* out, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (s.empty()) return fail("empty coordinator address");
+  const std::size_t colon = s.rfind(':');
+  if (s.find('/') != std::string::npos || colon == std::string::npos) {
+    out->kind = Address::Kind::kUnix;
+    out->path = s;
+    out->host.clear();
+    out->port = 0;
+    return true;
+  }
+  const std::string host = s.substr(0, colon);
+  const std::string port_str = s.substr(colon + 1);
+  if (host.empty()) return fail("tcp address '" + s + "' has no host");
+  if (port_str.empty()) return fail("tcp address '" + s + "' has no port");
+  long port = 0;
+  for (char c : port_str) {
+    if (c < '0' || c > '9') {
+      return fail("tcp address '" + s + "' has a non-numeric port");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) return fail("tcp address '" + s + "' port out of range");
+  }
+  out->kind = Address::Kind::kTcp;
+  out->host = host;
+  out->port = static_cast<int>(port);
+  out->path.clear();
+  return true;
 }
 
 }  // namespace kop::coord

@@ -44,8 +44,31 @@ LeaseSession::~LeaseSession() {
   }
 }
 
+std::size_t LeaseSession::prefetch(const std::vector<PointSpec>& specs) {
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(specs.size());
+  for (const auto& spec : specs) hashes.push_back(spec.content_hash());
+  const auto replies = client_->mget(hashes);
+  std::size_t complete = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < replies.size() && i < hashes.size(); ++i) {
+    // HIT and COMPLETE are both terminal; PENDING/UNKNOWN points still
+    // go through the normal LEASE path (their state can change under
+    // us, completion cannot un-happen).
+    if (replies[i].status == "HIT" || replies[i].status == "COMPLETE") {
+      known_complete_.insert(hashes[i]);
+      ++complete;
+    }
+  }
+  return complete;
+}
+
 bool LeaseSession::try_acquire(const PointSpec& spec) {
   const std::uint64_t hash = spec.content_hash();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (known_complete_.count(hash) != 0) return false;
+  }
   const auto grant = client_->lease(
       worker_, hash, "kop-" + hex16(ResultCache::key(spec)) + ".json");
   if (!grant.granted) return false;  // TAKEN or COMPLETE: someone else's

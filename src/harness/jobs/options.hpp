@@ -43,10 +43,11 @@ struct JobOptions {
   /// from this shared directory before simulating them (claim.hpp).
   /// Unclaimed points come back with PointResult::skipped set.
   std::string claim_dir;
-  /// Coordinator-backed alternative to both (--coord SOCKET): lease
-  /// each point from a kop_sweepd daemon before simulating it
-  /// (lease_session.hpp).  Crashed workers need no cleanup -- their
-  /// leases expire and the daemon re-queues the points.
+  /// Coordinator-backed alternative to both (--coord ADDR, a unix
+  /// socket path or host:port): lease each point from a kop_sweepd
+  /// daemon before simulating it (lease_session.hpp).  Crashed workers
+  /// need no cleanup -- their leases expire and the daemon re-queues
+  /// the points.
   std::string coord_socket;
   /// Checkpointed execution (--checkpoint): points sharing a canonical
   /// prefix run one warm prefix each and fork one COW child per

@@ -206,6 +206,19 @@ std::vector<PointResult> JobRunner::run(const std::vector<PointSpec>& points) {
   std::vector<PointResult> results(points.size());
   if (points.empty()) return results;
 
+  // Batched cache probe: one MGET round trip per 64 points tells us
+  // which points the coordinator already considers complete, so their
+  // try_acquire calls skip locally instead of issuing a LEASE each.
+  // The answer can only under-report (completion is terminal), so a
+  // stale probe costs one redundant LEASE, never a missed point.
+  if (lease_ != nullptr) {
+    try {
+      (void)lease_->prefetch(points);
+    } catch (const std::exception&) {
+      // Probe failure is non-fatal; the per-point LEASE path decides.
+    }
+  }
+
   // Dedup: simulate each distinct point once, fan results back out.
   std::map<std::string, std::size_t> first_of;
   std::vector<std::size_t> unique_idx;        // indices into `points`

@@ -214,7 +214,7 @@ FigOptions parse_fig_options(int argc, char** argv) {
           "usage: %s [--json <path>] [--quick] [--jobs N]\n"
           "          [--cache-dir <dir>] [--no-cache]\n"
           "          [--shard K/N] [--shard-list] [--shard-claim <dir>]\n"
-          "          [--coord <socket>] [--checkpoint | --no-checkpoint]\n"
+          "          [--coord <addr>] [--checkpoint | --no-checkpoint]\n"
           "  --json <path>    write a kop-metrics v1 JSON artifact\n"
           "  --quick          reduced problem sizes (CI smoke)\n"
           "  --jobs N         host worker threads (default: all cores)\n"
@@ -228,10 +228,11 @@ FigOptions parse_fig_options(int argc, char** argv) {
           "                   from shared dir <d> before simulating them\n"
           "                   (every worker runs the same command; merge\n"
           "                   worker caches with kop_merge)\n"
-          "  --coord <sock>   lease points from a kop_sweepd daemon on\n"
-          "                   this unix socket instead of claim files\n"
-          "                   (crashed workers are reclaimed by lease\n"
-          "                   expiry; merge worker caches with kop_merge)\n"
+          "  --coord <addr>   lease points from a kop_sweepd daemon at\n"
+          "                   <addr> -- unix socket path or host:port --\n"
+          "                   instead of claim files (crashed workers are\n"
+          "                   reclaimed by lease expiry; merge worker\n"
+          "                   caches with kop_merge)\n"
           "  --checkpoint     share one warm prefix across points that\n"
           "                   differ only in reps/cost scales: fork one\n"
           "                   COW child per suffix at the warmup end\n"

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <random>
 #include <sstream>
@@ -494,6 +495,182 @@ void check_exactly_once_dispatch(const CaseParams& params,
   }
 }
 
+// Journal replay: a journaled coordinator killed at an arbitrary
+// committed moment must be reconstructible from its journal file alone.
+// Drive a journaled Coordinator through a random schedule (same
+// synthetic-time machinery as exactly-once-dispatch, seed-derived so
+// the token replays the exact crash), stop at a random step, and replay
+// the journal into a fresh coordinator: the lease tables -- queue
+// order, live leases with exact expiries, the id counter -- must render
+// identically.  A torn tail appended to the file (the crash-mid-append
+// artifact) must be tolerated without changing the replayed state, and
+// a checksum-corrupted *terminated* record must be rejected.
+void check_journal_replay(const CaseParams& params,
+                          const std::string& scratch_dir,
+                          std::vector<Violation>* out) {
+  namespace fs = std::filesystem;
+  const std::uint64_t seed =
+      fold(jobs::fnv1a64(params.token()), 0x6a6f75726e616cULL);
+  std::mt19937_64 rng(seed);
+  auto rand_in = [&rng](int lo, int hi) {
+    return lo + static_cast<int>(rng() % static_cast<std::uint64_t>(hi - lo + 1));
+  };
+  auto violate = [out](std::string detail) {
+    out->push_back({"journal-replay", std::move(detail)});
+  };
+
+  const std::string dir = scratch_dir + "/journal-" + jobs::hex16(seed);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string path = dir + "/queue.journal";
+
+  coord::CoordinatorOptions copt;
+  copt.lease_ttl_ms = 120;
+  copt.liveness.suspect_after_ms = 180;
+  copt.liveness.dead_after_ms = 420;
+  // Half the schedules compact aggressively so replay also covers the
+  // canonical-snapshot encoding, not just the incremental records.
+  copt.journal_compact_after =
+      rand_in(0, 1) == 0 ? static_cast<std::size_t>(rand_in(4, 12)) : 65536;
+
+  std::string expected;
+  try {
+    coord::Coordinator live(copt, {});
+    coord::Journal journal(path);
+    live.attach_journal(&journal);
+
+    const int n_points = rand_in(3, 8);
+    for (int i = 0; i < n_points; ++i) {
+      std::uint64_t h = fold(seed, static_cast<std::uint64_t>(i) + 0x51);
+      if (h == 0) ++h;
+      coord::PointInfo info;
+      info.hash = h;
+      info.label = "journal-" + std::to_string(i);
+      info.payload = "tok" + std::to_string(i);
+      live.add_point(std::move(info));
+    }
+
+    struct SimWorker {
+      std::string name;
+      bool helloed = false;
+      bool holding = false;
+      std::uint64_t lease_id = 0;
+      std::uint64_t point = 0;
+      std::int64_t finish_at = 0;
+    };
+    std::vector<SimWorker> workers(static_cast<std::size_t>(rand_in(1, 3)));
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      workers[w].name = "jw" + std::to_string(w);
+    }
+
+    constexpr std::int64_t kStepMs = 25;
+    const int stop_step = rand_in(4, 120);  // the "SIGKILL" moment
+    for (int step = 0; step < stop_step && !live.drained(); ++step) {
+      const std::int64_t now = step * kStepMs;
+      live.tick(now);
+      for (auto& w : workers) {
+        if (!w.helloed) {
+          (void)live.handle_line("HELLO " + w.name, now);
+          w.helloed = true;
+          continue;
+        }
+        if (w.holding) {
+          if (now >= w.finish_at) {
+            (void)live.handle_line("DONE " + w.name + " " +
+                                       coord::to_hex16(w.lease_id) + " " +
+                                       coord::to_hex16(w.point),
+                                   now);
+            w.holding = false;
+          } else if (rand_in(0, 9) < 6) {
+            (void)live.handle_line(
+                "RENEW " + w.name + " " + coord::to_hex16(w.lease_id), now);
+          }
+          continue;
+        }
+        const std::string r = live.handle_line("NEXT " + w.name, now);
+        const auto toks = coord::split_tokens(r);
+        if (!toks.empty() && toks[0] == "GRANT") {
+          coord::parse_hex16(toks[1], &w.point);
+          coord::parse_hex16(toks[2], &w.lease_id);
+          w.holding = true;
+          w.finish_at = now + rand_in(20, 260);
+        }
+      }
+    }
+    // The durability boundary: everything committed is replayable,
+    // anything after this commit would be re-derivable loss (not
+    // exercised here -- this invariant checks exactness *of the file*).
+    journal.commit();
+    expected = live.debug_state();
+  } catch (const std::exception& e) {
+    violate(std::string("journaled schedule threw: ") + e.what());
+    fs::remove_all(dir, ec);
+    return;
+  }
+
+  const auto replay_into = [&copt](const std::string& file, std::string* state,
+                                   coord::ReplayStats* stats,
+                                   std::string* error) {
+    coord::Coordinator fresh(copt, {});
+    if (!fresh.recover_from_journal(file, stats, error)) return false;
+    *state = fresh.debug_state();
+    return true;
+  };
+
+  coord::ReplayStats stats;
+  std::string err, replayed;
+  if (!replay_into(path, &replayed, &stats, &err)) {
+    violate("clean journal failed to replay: " + err);
+  } else if (replayed != expected) {
+    violate("replayed table differs from the live table\n--- live ---\n" +
+            expected + "--- replayed ---\n" + replayed);
+  } else if (stats.truncated_bytes != 0) {
+    violate("clean journal reported " + std::to_string(stats.truncated_bytes) +
+            " truncated bytes");
+  }
+
+  // Crash-mid-append artifact: an unterminated partial record at the
+  // tail is dropped and reported, and the replayed state is unchanged.
+  {
+    const std::string torn = dir + "/torn.journal";
+    fs::copy_file(path, torn, fs::copy_options::overwrite_existing, ec);
+    std::ofstream app(torn, std::ios::binary | std::ios::app);
+    app << "G 00000000000000";  // no '\n': a torn write
+    app.close();
+    coord::ReplayStats tstats;
+    std::string terr, tstate;
+    if (!replay_into(torn, &tstate, &tstats, &terr)) {
+      violate("torn tail rejected instead of tolerated: " + terr);
+    } else {
+      if (tstats.truncated_bytes == 0) {
+        violate("torn tail was not reported as truncated");
+      }
+      if (tstate != expected) {
+        violate("torn tail changed the replayed table");
+      }
+    }
+  }
+
+  // A *terminated* record with a broken checksum is corruption and must
+  // be a hard error, never silently skipped.
+  {
+    const std::string bad = dir + "/corrupt.journal";
+    fs::copy_file(path, bad, fs::copy_options::overwrite_existing, ec);
+    std::ofstream app(bad, std::ios::binary | std::ios::app);
+    app << "D 00000000000000aa !0000000000000bad\n";
+    app.close();
+    coord::ReplayStats bstats;
+    std::string berr, bstate;
+    if (replay_into(bad, &bstate, &bstats, &berr)) {
+      violate("checksum-corrupt record was accepted");
+    } else if (berr.find("checksum") == std::string::npos) {
+      violate("corrupt-record error does not name the checksum: " + berr);
+    }
+  }
+
+  fs::remove_all(dir, ec);  // best-effort scratch hygiene
+}
+
 // Checkpoint equivalence: COW-forking at the warmup/measurement
 // boundary (the --checkpoint fast path) must not change the observable
 // run.  Replay the case with a fork at the snapshot: the forked child
@@ -585,7 +762,7 @@ std::vector<std::string> invariant_names() {
   return {"run-completes",    "time-monotonic",       "work-conservation",
           "task-balance",     "steal-accounting",     "counter-conservation",
           "determinism",      "cache-roundtrip",      "exactly-once-dispatch",
-          "checkpoint-equivalence"};
+          "journal-replay",   "checkpoint-equivalence"};
 }
 
 CaseOutcome check_case(const CaseParams& params, const CheckOptions& opt) {
@@ -658,6 +835,7 @@ CaseOutcome check_case(const CaseParams& params, const CheckOptions& opt) {
   if (!opt.scratch_dir.empty()) {
     check_cache_roundtrip(params, spec, a.result, opt.scratch_dir,
                           &out.violations);
+    check_journal_replay(params, opt.scratch_dir, &out.violations);
   }
   check_exactly_once_dispatch(params, &out.violations);
   check_checkpoint_equivalence(params, a, encoded, &out.violations);

@@ -27,6 +27,11 @@
 //                        case-derived random worker-crash schedule
 //                        drains with exactly one accepted completion
 //                        per point (src/coord, driven clocklessly)
+//   journal-replay       a journaled coordinator killed at a random
+//                        committed moment replays its queue journal
+//                        into an identical lease table; torn tails are
+//                        tolerated, checksum corruption is rejected
+//                        (needs scratch_dir, like cache-roundtrip)
 //   checkpoint-equivalence  a run that COW-forks at the warmup/
 //                        measurement boundary (the --checkpoint fast
 //                        path) reproduces the cold run exactly, in both
@@ -116,9 +121,9 @@ struct Violation {
 };
 
 struct CheckOptions {
-  /// Scratch directory for the cache-roundtrip invariant.  Each checked
-  /// case uses a fresh subdirectory.  Empty disables that invariant
-  /// (the others never touch the filesystem).
+  /// Scratch directory for the cache-roundtrip and journal-replay
+  /// invariants.  Each checked case uses fresh subdirectories.  Empty
+  /// disables both (the others never touch the filesystem).
   std::string scratch_dir;
 };
 

@@ -5,9 +5,15 @@
 // path, and the socket front-end end-to-end (kop_sweepd's Server +
 // Client, and JobRunner --coord dispatch).
 #include <gtest/gtest.h>
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -16,6 +22,7 @@
 
 #include "coord/client.hpp"
 #include "coord/coordinator.hpp"
+#include "coord/journal.hpp"
 #include "coord/lease.hpp"
 #include "coord/liveness.hpp"
 #include "coord/proto.hpp"
@@ -94,6 +101,55 @@ TEST(CoordProto, RejectsMalformedLines) {
             Verb::kInvalid);
   // Every invalid parse says why.
   EXPECT_FALSE(coord::parse_request("HELLO").error.empty());
+}
+
+TEST(CoordProto, ParseAddressDistinguishesUnixFromTcp) {
+  coord::Address a;
+  std::string err;
+
+  // Anything with a slash, or without a colon, is a unix path.
+  ASSERT_TRUE(coord::parse_address("/tmp/kop.sock", &a, &err));
+  EXPECT_EQ(a.kind, coord::Address::Kind::kUnix);
+  EXPECT_EQ(a.path, "/tmp/kop.sock");
+  ASSERT_TRUE(coord::parse_address("relative.sock", &a, &err));
+  EXPECT_EQ(a.kind, coord::Address::Kind::kUnix);
+  // A path with a colon stays a path as long as it has a slash.
+  ASSERT_TRUE(coord::parse_address("./odd:name.sock", &a, &err));
+  EXPECT_EQ(a.kind, coord::Address::Kind::kUnix);
+  EXPECT_EQ(a.path, "./odd:name.sock");
+
+  // host:port splits at the *last* colon; the port must be numeric.
+  ASSERT_TRUE(coord::parse_address("127.0.0.1:7700", &a, &err));
+  EXPECT_EQ(a.kind, coord::Address::Kind::kTcp);
+  EXPECT_EQ(a.host, "127.0.0.1");
+  EXPECT_EQ(a.port, 7700);
+  ASSERT_TRUE(coord::parse_address("sweephost:0", &a, &err));
+  EXPECT_EQ(a.port, 0);  // ephemeral-port request
+
+  EXPECT_FALSE(coord::parse_address("", &a, &err));
+  EXPECT_FALSE(coord::parse_address("host:", &a, &err));
+  EXPECT_FALSE(coord::parse_address("host:notaport", &a, &err));
+  EXPECT_FALSE(coord::parse_address("host:70000", &a, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(CoordProto, ParsesAndBoundsMget) {
+  using Verb = coord::Request::Verb;
+  std::string line = "MGET";
+  for (int i = 1; i <= static_cast<int>(coord::kMgetMaxHashes); ++i) {
+    line += " " + coord::to_hex16(static_cast<std::uint64_t>(i));
+  }
+  auto r = coord::parse_request(line);
+  EXPECT_EQ(r.verb, Verb::kMget);
+  ASSERT_EQ(r.hashes.size(), coord::kMgetMaxHashes);
+  EXPECT_EQ(r.hashes.front(), 1u);
+  EXPECT_EQ(r.hashes.back(), coord::kMgetMaxHashes);
+
+  // One over the cap, an empty batch, and a bad hash all fail loudly.
+  EXPECT_EQ(coord::parse_request(line + " " + coord::to_hex16(65)).verb,
+            Verb::kInvalid);
+  EXPECT_EQ(coord::parse_request("MGET").verb, Verb::kInvalid);
+  EXPECT_EQ(coord::parse_request("MGET nothex").verb, Verb::kInvalid);
 }
 
 // --- liveness --------------------------------------------------------------
@@ -289,6 +345,198 @@ TEST(CoordServe, GetAnswersHitPendingUnknown) {
   EXPECT_EQ(c.handle_line("GET " + coord::to_hex16(3), 0), "UNKNOWN");
   EXPECT_EQ(c.counters().get("serve_cache_hits"), 1u);
   EXPECT_EQ(c.counters().get("serve_unknown"), 1u);
+}
+
+TEST(CoordServe, MgetJoinsSubResponsesAndReportsComplete) {
+  std::map<std::uint64_t, std::string> store = {{1, "doc-one\n"}};
+  coord::Coordinator c({}, [&store](std::uint64_t h, std::string* doc) {
+    const auto it = store.find(h);
+    if (it == store.end()) return false;
+    *doc = it->second;
+    return true;
+  });
+  c.add_point(synthetic_point(1));
+  c.add_point(synthetic_point(2));
+  c.add_point(synthetic_point(3));
+
+  // Point 3 completes, but its entry lives in some *worker's* cache,
+  // not this daemon's: GET must say COMPLETE, not PENDING queued.
+  c.handle_line("HELLO w", 0);
+  const auto lease =
+      coord::split_tokens(c.handle_line("LEASE w " + coord::to_hex16(3), 0));
+  ASSERT_EQ(lease[0], "GRANT");
+  EXPECT_EQ(
+      c.handle_line("DONE w " + lease[2] + " " + coord::to_hex16(3), 0), "OK");
+  EXPECT_EQ(c.handle_line("GET " + coord::to_hex16(3), 0), "COMPLETE");
+
+  // One MGET line, sub-responses joined by '\n' in request order --
+  // exactly the framing a sequence of GETs would produce (a HIT body
+  // keeps its empty-line terminator inside the batch).
+  const std::string reply = c.handle_line(
+      "MGET " + coord::to_hex16(1) + " " + coord::to_hex16(2) + " " +
+          coord::to_hex16(3) + " " + coord::to_hex16(99),
+      0);
+  EXPECT_EQ(reply, "HIT 8\ndoc-one\n\nPENDING queued\nCOMPLETE\nUNKNOWN");
+  EXPECT_EQ(c.counters().get("serve_mget_batches"), 1u);
+  EXPECT_EQ(c.counters().get("serve_mget_hashes"), 4u);
+}
+
+// --- journal ---------------------------------------------------------------
+
+TEST(CoordJournal, RecordsRoundTripThroughEscaping) {
+  coord::JournalRecord r;
+  r.type = coord::JournalRecord::Type::kRegister;
+  r.hash = 0xdeadbeef12345678ULL;
+  r.entry = "kop-00ff.json";
+  r.payload = "tok with spaces %and! bangs";
+  r.label = "-starts-with-dash";
+  const std::string line = coord::encode_record(r);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  coord::JournalRecord d;
+  std::string err;
+  ASSERT_TRUE(coord::decode_record(line, &d, &err)) << err;
+  EXPECT_EQ(d.type, coord::JournalRecord::Type::kRegister);
+  EXPECT_EQ(d.hash, r.hash);
+  EXPECT_EQ(d.entry, r.entry);
+  EXPECT_EQ(d.payload, r.payload);
+  EXPECT_EQ(d.label, r.label);
+
+  // Empty string fields survive too (encoded as "-").
+  coord::JournalRecord g;
+  g.type = coord::JournalRecord::Type::kGrant;
+  g.lease_id = 7;
+  g.hash = 42;
+  g.worker = "host:123";
+  g.expires_ms = 5000;
+  ASSERT_TRUE(coord::decode_record(coord::encode_record(g), &d, &err)) << err;
+  EXPECT_EQ(d.lease_id, 7u);
+  EXPECT_EQ(d.worker, "host:123");
+  EXPECT_EQ(d.expires_ms, 5000);
+
+  // A flipped byte in a *terminated* record is corruption, and the
+  // error says so.
+  std::string bad = line;
+  bad[2] = (bad[2] == 'a') ? 'b' : 'a';
+  EXPECT_FALSE(coord::decode_record(bad, &d, &err));
+  EXPECT_NE(err.find("checksum"), std::string::npos);
+  EXPECT_FALSE(coord::decode_record("X 12 !0000000000000000", &d, &err));
+}
+
+// Drive a journaled coordinator, then replay the file into a fresh one:
+// the lease tables must render identically, a torn tail must be
+// tolerated, and a corrupt record must be rejected with a line number.
+TEST(CoordJournal, ReplayReproducesLiveTable) {
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("kop_journal_replay_" + std::to_string(getpid()));
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const std::string jpath = (root / "queue.journal").string();
+
+  coord::CoordinatorOptions opt;
+  opt.lease_ttl_ms = 60000;
+  std::string expected;
+  {
+    coord::Coordinator live(opt, {});
+    coord::Journal journal(jpath);
+    live.attach_journal(&journal);
+    for (std::uint64_t h : {1, 2, 3, 4}) live.add_point(synthetic_point(h));
+    live.handle_line("HELLO w1", 0);
+    const auto g1 = coord::split_tokens(live.handle_line("NEXT w1", 0));
+    const auto g2 = coord::split_tokens(live.handle_line("NEXT w1", 5));
+    ASSERT_EQ(g1[0], "GRANT");
+    ASSERT_EQ(g2[0], "GRANT");
+    EXPECT_EQ(live.handle_line("DONE w1 " + g1[2] + " " + g1[1], 10), "OK");
+    EXPECT_EQ(live.handle_line("RENEW w1 " + g2[2], 20), "OK 60000");
+    journal.commit();
+    expected = live.debug_state();
+  }
+
+  // Replay: one complete point, one live lease with the renewed expiry,
+  // two still queued -- bit-identical table rendering.
+  coord::Coordinator fresh(opt, {});
+  coord::ReplayStats stats;
+  std::string err;
+  ASSERT_TRUE(fresh.recover_from_journal(jpath, &stats, &err)) << err;
+  EXPECT_GT(stats.records, 0u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+  EXPECT_EQ(fresh.debug_state(), expected);
+
+  // The restart rule: the lease's holder cannot renew against this
+  // process, so requeue it (journaled as a reclaim).
+  EXPECT_EQ(fresh.requeue_live_leases(), 1u);
+  EXPECT_EQ(fresh.leases().leased(), 0u);
+  EXPECT_EQ(fresh.leases().queued(), 3u);
+  EXPECT_EQ(fresh.leases().complete(), 1u);
+
+  // A torn tail (crash mid-append: no terminator) is a crash artifact,
+  // tolerated and reported.
+  {
+    std::ofstream app(jpath, std::ios::binary | std::ios::app);
+    app << "G 00000000000";  // unterminated partial record
+  }
+  coord::Coordinator torn(opt, {});
+  ASSERT_TRUE(torn.recover_from_journal(jpath, &stats, &err)) << err;
+  EXPECT_GT(stats.truncated_bytes, 0u);
+  EXPECT_EQ(torn.debug_state(), expected);
+
+  // A corrupt *terminated* record is a hard error naming the line.
+  {
+    std::ofstream trunc(jpath, std::ios::binary | std::ios::app);
+    trunc << "\nD 00000000000000aa !0000000000000bad\n";
+  }
+  coord::Coordinator corrupt(opt, {});
+  EXPECT_FALSE(corrupt.recover_from_journal(jpath, &stats, &err));
+  EXPECT_NE(err.find("checksum"), std::string::npos);
+  EXPECT_NE(err.find(jpath), std::string::npos);
+
+  fs::remove_all(root);
+}
+
+TEST(CoordJournal, CompactionPreservesReplayEquality) {
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("kop_journal_compact_" + std::to_string(getpid()));
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const std::string jpath = (root / "queue.journal").string();
+
+  coord::CoordinatorOptions opt;
+  opt.lease_ttl_ms = 60000;
+  opt.journal_compact_after = 2;  // compact nearly every tick
+  std::string expected;
+  std::uint64_t compactions = 0;
+  {
+    coord::Coordinator live(opt, {});
+    coord::Journal journal(jpath);
+    live.attach_journal(&journal);
+    for (std::uint64_t h : {10, 11, 12, 13, 14}) {
+      live.add_point(synthetic_point(h));
+      live.tick(static_cast<std::int64_t>(h));
+    }
+    live.handle_line("HELLO w", 20);
+    for (int i = 0; i < 3; ++i) {
+      const auto g = coord::split_tokens(live.handle_line("NEXT w", 30));
+      ASSERT_EQ(g[0], "GRANT");
+      if (i > 0) {
+        EXPECT_EQ(live.handle_line("DONE w " + g[2] + " " + g[1], 40), "OK");
+      }
+      live.tick(50 + i);
+    }
+    journal.commit();
+    expected = live.debug_state();
+    compactions = live.counters().get("journal_compactions");
+  }
+  EXPECT_GT(compactions, 0u);
+
+  coord::Coordinator fresh(opt, {});
+  coord::ReplayStats stats;
+  std::string err;
+  ASSERT_TRUE(fresh.recover_from_journal(jpath, &stats, &err)) << err;
+  EXPECT_EQ(fresh.debug_state(), expected);
+
+  fs::remove_all(root);
 }
 
 // --- restart with in-flight leases -----------------------------------------
@@ -509,6 +757,205 @@ TEST(CoordServer, JobRunnerCoordModeCoversSweepExactlyOnce) {
             static_cast<std::uint64_t>(points.size()));
 
   fs::remove_all(root);
+}
+
+// --- TCP transport ---------------------------------------------------------
+
+// Raw TCP connection for exercising the server below the Client layer.
+int raw_connect(const std::string& bound) {
+  coord::Address addr;
+  std::string err;
+  EXPECT_TRUE(coord::parse_address(bound, &addr, &err)) << err;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  EXPECT_EQ(getaddrinfo(addr.host.c_str(), std::to_string(addr.port).c_str(),
+                        &hints, &res),
+            0);
+  int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, res->ai_addr, res->ai_addrlen), 0);
+  freeaddrinfo(res);
+  return fd;
+}
+
+// Read until EOF or `stop` appears in the data; returns what was read.
+std::string read_until_eof(int fd, std::size_t cap = 1u << 22) {
+  std::string got;
+  char buf[4096];
+  while (got.size() < cap) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    got.append(buf, static_cast<std::size_t>(n));
+  }
+  return got;
+}
+
+TEST(CoordServer, EndToEndOverTcpWithBatchedGet) {
+  std::map<std::uint64_t, std::string> store;
+  for (std::uint64_t h = 100; h < 164; ++h) {
+    store[h] = "doc-" + std::to_string(h) + "\n";
+  }
+  coord::Coordinator c({}, [&store](std::uint64_t h, std::string* doc) {
+    const auto it = store.find(h);
+    if (it == store.end()) return false;
+    *doc = it->second;
+    return true;
+  });
+  c.add_point(synthetic_point(1));
+  for (std::uint64_t h = 100; h < 164; ++h) c.add_point(synthetic_point(h));
+
+  coord::ServerOptions sopt;
+  sopt.address = "127.0.0.1:0";  // ephemeral port; bound_address() tells
+  sopt.poll_ms = 10;
+  coord::Server server(&c, sopt);
+  ASSERT_NE(server.bound_address().find("127.0.0.1:"), std::string::npos);
+  ASSERT_NE(server.bound_address(), "127.0.0.1:0");
+  std::thread daemon([&] { server.run(); });
+
+  {
+    coord::Client client(server.bound_address());
+    EXPECT_EQ(client.hello("tcp-tester").incarnation, 1u);
+
+    // The protocol is transport-agnostic: the worker loop runs as-is.
+    const auto grant = client.next("tcp-tester");
+    ASSERT_TRUE(grant.granted) << grant.status;
+    EXPECT_TRUE(client.renew("tcp-tester", grant.lease_id));
+    EXPECT_TRUE(client.done("tcp-tester", grant.lease_id, grant.point));
+
+    // The acceptance criterion: a batch of 64 GETs costs exactly one
+    // round trip, not 64.
+    std::vector<std::uint64_t> hashes;
+    for (std::uint64_t h = 100; h < 164; ++h) hashes.push_back(h);
+    ASSERT_EQ(hashes.size(), coord::kMgetMaxHashes);
+    const std::uint64_t before = client.round_trips();
+    const auto replies = client.mget(hashes);
+    EXPECT_EQ(client.round_trips() - before, 1u);
+    ASSERT_EQ(replies.size(), hashes.size());
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+      EXPECT_EQ(replies[i].status, "HIT");
+      EXPECT_EQ(replies[i].doc, store.at(hashes[i]));
+    }
+
+    // One hash past the cap wraps to a second wire batch.
+    hashes.push_back(1);
+    const std::uint64_t before2 = client.round_trips();
+    EXPECT_EQ(client.mget(hashes).size(), hashes.size());
+    EXPECT_EQ(client.round_trips() - before2, 2u);
+
+    client.shutdown();
+  }
+  daemon.join();
+}
+
+TEST(CoordServer, TcpRejectsGarbageAndOversizedFrames) {
+  coord::Coordinator c({}, {});
+  c.add_point(synthetic_point(1));
+  coord::ServerOptions sopt;
+  sopt.address = "127.0.0.1:0";
+  sopt.poll_ms = 10;
+  coord::Server server(&c, sopt);
+  std::thread daemon([&] { server.run(); });
+
+  // A garbage verb gets an ERR reply; the connection survives and the
+  // next (valid) request still works.
+  {
+    const int fd = raw_connect(server.bound_address());
+    const std::string req = "FROB nonsense\nSTATS\n";
+    ASSERT_EQ(::write(fd, req.data(), req.size()),
+              static_cast<ssize_t>(req.size()));
+    std::string got;
+    char buf[4096];
+    while (got.find("\"points\"") == std::string::npos) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      ASSERT_GT(n, 0) << "connection died before STATS reply";
+      got.append(buf, static_cast<std::size_t>(n));
+    }
+    EXPECT_EQ(got.rfind("ERR ", 0), 0u) << got.substr(0, 40);
+    ::close(fd);
+  }
+
+  // A frame with no terminator growing past the line cap is a runaway,
+  // not a request: the server closes the connection.
+  {
+    const int fd = raw_connect(server.bound_address());
+    const std::string junk(256 * 1024, 'x');  // never a '\n'
+    bool closed = false;
+    for (int i = 0; i < 64 && !closed; ++i) {
+      // MSG_NOSIGNAL: after the server closes, this write must come
+      // back as an error, not a SIGPIPE.
+      ssize_t n = ::send(fd, junk.data(), junk.size(), MSG_NOSIGNAL);
+      if (n < 0) closed = true;  // EPIPE/ECONNRESET after server close
+    }
+    if (!closed) closed = read_until_eof(fd).empty();
+    EXPECT_TRUE(closed);
+    ::close(fd);
+  }
+
+  // The server is still healthy for well-behaved clients.
+  {
+    coord::Client client(server.bound_address());
+    EXPECT_NE(client.stats().find("\"points\""), std::string::npos);
+    client.shutdown();
+  }
+  daemon.join();
+}
+
+TEST(CoordServer, SlowReaderIsBoundedWithoutStallingOthers) {
+  // Every GET serves a 64KiB body against a 64KiB write-buffer cap: a
+  // client that requests plenty and reads nothing must be closed, while
+  // a normal client on the same loop keeps getting answers.
+  std::map<std::uint64_t, std::string> store = {
+      {9, std::string(64 * 1024, 'd') + "\n"}};
+  coord::Coordinator c({}, [&store](std::uint64_t h, std::string* doc) {
+    const auto it = store.find(h);
+    if (it == store.end()) return false;
+    *doc = it->second;
+    return true;
+  });
+  c.add_point(synthetic_point(9));
+
+  coord::ServerOptions sopt;
+  sopt.address = "127.0.0.1:0";
+  sopt.poll_ms = 10;
+  sopt.max_write_buffer = 64 * 1024;
+  coord::Server server(&c, sopt);
+  std::thread daemon([&] { server.run(); });
+
+  const int slow = raw_connect(server.bound_address());
+  std::string burst;
+  for (int i = 0; i < 64; ++i) burst += "GET " + coord::to_hex16(9) + "\n";
+  // ~4MiB of replies owed against a 64KiB cap; the kernel socket
+  // buffers absorb some, the server's wbuf bound must cut the rest.
+  ASSERT_EQ(::send(slow, burst.data(), burst.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(burst.size()));
+
+  // While the slow reader sits there, a live client is still served.
+  {
+    coord::Client client(server.bound_address());
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(client.get(9).status, "HIT");
+    }
+  }
+
+  // The slow connection was closed, not buffered without bound: what
+  // the kernel already ferried drains, then EOF, well short of the
+  // ~4MiB owed.  (A read timeout keeps a regression from hanging the
+  // suite instead of failing it.)
+  const timeval tv{2, 0};
+  ::setsockopt(slow, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const std::size_t owed =
+      64 * (store.at(9).size() + std::string("HIT 65537\n").size() + 1);
+  const std::string drained = read_until_eof(slow);
+  EXPECT_LT(drained.size(), owed);
+  ::close(slow);
+
+  {
+    coord::Client admin(server.bound_address());
+    admin.shutdown();
+  }
+  daemon.join();
 }
 
 }  // namespace
