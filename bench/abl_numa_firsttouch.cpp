@@ -13,13 +13,16 @@ using namespace kop;
 namespace {
 
 harness::jobs::PointSpec point(const nas::BenchmarkSpec& spec, int threads,
-                               int first_touch) {
+                               int first_touch,
+                               const harness::FigOptions& opts) {
   harness::jobs::PointSpec p;
   p.kind = harness::jobs::PointSpec::Kind::kNas;
   p.machine = "8xeon";
   p.path = core::PathKind::kRtk;
   p.threads = threads;
   p.first_touch = first_touch;  // the ablation forces both settings
+  p.numa_sched_hier = opts.numa_sched_hier;  // --numa-sched hier
+  p.numa_migrate = opts.numa_migrate;        // --numa-migrate
   p.nas = spec;
   return p;
 }
@@ -42,8 +45,8 @@ int main(int argc, char** argv) {
   harness::jobs::PointMatrix mx;
   for (const auto& spec : suite) {
     for (int n : scales) {
-      mx.add(point(spec, n, 0));
-      mx.add(point(spec, n, 1));
+      mx.add(point(spec, n, 0, opts));
+      mx.add(point(spec, n, 1, opts));
     }
   }
   harness::MetricsSink sink("abl_numa_firsttouch");
@@ -63,9 +66,9 @@ int main(int argc, char** argv) {
     harness::Table t({"cpus", "immediate", "first-touch", "speedup"});
     for (int n : scales) {
       const double imm =
-          results[mx.add(point(spec, n, 0))].metrics.timed_seconds;
+          results[mx.add(point(spec, n, 0, opts))].metrics.timed_seconds;
       const double ft =
-          results[mx.add(point(spec, n, 1))].metrics.timed_seconds;
+          results[mx.add(point(spec, n, 1, opts))].metrics.timed_seconds;
       t.add_row({std::to_string(n), harness::Table::seconds(imm),
                  harness::Table::seconds(ft), harness::Table::num(imm / ft)});
     }

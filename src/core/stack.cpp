@@ -28,6 +28,7 @@ void apply_env(osal::Os& os, const StackConfig& config) {
   if (config.num_threads > 0)
     os.set_env("OMP_NUM_THREADS", std::to_string(config.num_threads));
   for (const auto& [k, v] : config.env) os.set_env(k, v);
+  if (config.numa_migrate) os.set_next_touch_migration(true);
 }
 
 int effective_width(const StackConfig& config, const hw::MachineConfig& m) {

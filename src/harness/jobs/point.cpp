@@ -148,6 +148,11 @@ std::string PointSpec::canonical() const {
   } else {
     append_epcc(out, epcc_part, epcc);
   }
+  // NUMA knobs append only when non-default, so flat points keep their
+  // historical canonical bytes (and cache identities) -- the same
+  // append-when-present rule as cost_scales below.
+  if (numa_sched_hier) out += "|numa=hier";
+  if (numa_migrate) out += "|migrate=1";
   // Scale entries append only when present, so scale-free points keep
   // their historical canonical bytes (and cache identities).
   for (const auto& s : cost_scales) {
@@ -193,6 +198,8 @@ std::string PointSpec::label() const {
                         ? nas.full_name()
                         : "epcc-" + std::string(epcc_part_name(epcc_part));
   out += " " + machine + "/" + core::path_name(path) + " t" + fmt(threads);
+  if (numa_sched_hier) out += " hier";
+  if (numa_migrate) out += " migrate";
   return out;
 }
 
@@ -205,6 +212,8 @@ core::StackConfig PointSpec::stack_config() const {
   cfg.rtk_use_pte = rtk_use_pte;
   cfg.nk_first_touch =
       first_touch < 0 ? want_first_touch(machine, threads) : first_touch != 0;
+  if (numa_sched_hier) cfg.env.emplace_back("KOMP_NUMA_SCHED", "hier");
+  cfg.numa_migrate = numa_migrate;
   return cfg;
 }
 

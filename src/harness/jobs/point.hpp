@@ -54,6 +54,11 @@ struct PointSpec {
   /// RTK: use the PTE pthread port (Fig. 2a ablation).
   bool rtk_use_pte = false;
   std::uint64_t seed = 42;
+  /// Task-steal victim order: false = flat ring, true = hierarchical
+  /// (topology-tree outward walk; KOMP_NUMA_SCHED=hier on the stack).
+  bool numa_sched_hier = false;
+  /// Arm app allocations for migration-on-next-touch placement.
+  bool numa_migrate = false;
 
   /// kNas: the full (possibly scale_suite-adjusted) workload.  The
   /// canonical form covers every loop parameter, so two points at

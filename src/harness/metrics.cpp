@@ -1,5 +1,6 @@
 #include "harness/metrics.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 
 #include "harness/jobs/shard.hpp"
+#include "hw/topology.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -38,6 +40,35 @@ void write_run_json(telemetry::JsonWriter& w, const RunMetrics& run) {
       w.end_array();
     }
     w.end_object();
+    // Per-NUMA-zone aggregation of the same rows.  Derived (never
+    // parsed back: parse_run_json rebuilds it from per_cpu on the next
+    // serialization), so cache store->load->store stays byte-identical.
+    std::vector<int> cpu_zone;
+    try {
+      const hw::MachineConfig machine = hw::machine_by_name(run.machine);
+      if (machine.num_cpus == static_cast<int>(run.counters.per_cpu.size())) {
+        cpu_zone.resize(run.counters.per_cpu.size());
+        for (std::size_t cpu = 0; cpu < cpu_zone.size(); ++cpu)
+          cpu_zone[cpu] = machine.zone_of_cpu(static_cast<int>(cpu));
+      }
+    } catch (const std::exception&) {
+      // Unknown machine name: no topology to aggregate over.
+    }
+    if (!cpu_zone.empty()) {
+      const int nzones =
+          1 + *std::max_element(cpu_zone.begin(), cpu_zone.end());
+      w.key("zones").begin_object();
+      for (int c = 0; c < telemetry::kNumCounters; ++c) {
+        std::vector<std::uint64_t> sums(static_cast<std::size_t>(nzones), 0);
+        for (std::size_t cpu = 0; cpu < cpu_zone.size(); ++cpu)
+          sums[static_cast<std::size_t>(cpu_zone[cpu])] +=
+              run.counters.per_cpu[cpu][c];
+        w.key(telemetry::counter_name(static_cast<Counter>(c))).begin_array();
+        for (std::uint64_t v : sums) w.value(v);
+        w.end_array();
+      }
+      w.end_object();
+    }
   }
   if (!run.constructs.empty()) {
     w.key("constructs").begin_object();
@@ -208,6 +239,19 @@ FigOptions parse_fig_options(int argc, char** argv) {
       opts.jobs.checkpoint = true;
     } else if (arg == "--no-checkpoint") {
       opts.jobs.checkpoint = false;
+    } else if (arg == "--numa-sched" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "hier") {
+        opts.numa_sched_hier = true;
+      } else if (v == "flat") {
+        opts.numa_sched_hier = false;
+      } else {
+        std::fprintf(stderr, "--numa-sched needs flat or hier\n");
+        opts.ok = false;
+        return opts;
+      }
+    } else if (arg == "--numa-migrate") {
+      opts.numa_migrate = true;
     } else {
       std::fprintf(
           stderr,
@@ -215,6 +259,7 @@ FigOptions parse_fig_options(int argc, char** argv) {
           "          [--cache-dir <dir>] [--no-cache]\n"
           "          [--shard K/N] [--shard-list] [--shard-claim <dir>]\n"
           "          [--coord <addr>] [--checkpoint | --no-checkpoint]\n"
+          "          [--numa-sched flat|hier] [--numa-migrate]\n"
           "  --json <path>    write a kop-metrics v1 JSON artifact\n"
           "  --quick          reduced problem sizes (CI smoke)\n"
           "  --jobs N         host worker threads (default: all cores)\n"
@@ -237,7 +282,15 @@ FigOptions parse_fig_options(int argc, char** argv) {
           "                   differ only in reps/cost scales: fork one\n"
           "                   COW child per suffix at the warmup end\n"
           "                   (results byte-identical to cold runs)\n"
-          "  --no-checkpoint  force cold per-point runs (default)\n",
+          "  --no-checkpoint  force cold per-point runs (default)\n"
+          "  --numa-sched <m> task-steal victim order on komp paths:\n"
+          "                   flat (default ring) or hier (topology-tree\n"
+          "                   walk, same zone first then ascending SLIT\n"
+          "                   distance; KOMP_NUMA_SCHED=hier)\n"
+          "  --numa-migrate   migration-on-next-touch placement: each\n"
+          "                   allocation's first access per slice\n"
+          "                   re-homes the slice to the toucher's\n"
+          "                   preferred DRAM zone\n",
           argv[0]);
       opts.ok = false;
       return opts;

@@ -100,10 +100,17 @@ std::string format_counters_table(const telemetry::Snapshot& snap);
 ///   --no-cache         ignore --cache-dir (force re-simulation)
 ///   --checkpoint       fork-share warm prefixes across suffix points
 ///   --no-checkpoint    force cold per-point runs (the default)
+///   --numa-sched <m>   flat | hier task-steal victim order
+///   --numa-migrate     migration-on-next-touch placement
 struct FigOptions {
   std::string json_path;
   bool quick = false;
   bool ok = true;  // false: bad usage, caller should exit non-zero
+  /// --numa-sched: task-steal victim order (flat ring vs hierarchical
+  /// topology walk); binaries that compare both in one run ignore it.
+  bool numa_sched_hier = false;
+  /// --numa-migrate: arm app allocations for migration-on-next-touch.
+  bool numa_migrate = false;
   jobs::JobOptions jobs;
 };
 

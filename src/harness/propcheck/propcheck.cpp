@@ -139,6 +139,7 @@ jobs::PointSpec CaseParams::point() const {
     p.epcc.tasks_per_thread = tasks_per_thread;
     p.epcc.tree_depth = tree_depth;
   }
+  p.numa_sched_hier = numa_sched_hier;
   p.cost_scales = cost_scales;
   return p;
 }
@@ -165,6 +166,9 @@ std::string CaseParams::token() const {
       << ";inner=" << inner << ";tasks=" << tasks_per_thread
       << ";depth=" << tree_depth;
   }
+  // Emitted only when hier, so flat tokens keep their historical bytes
+  // (pinned regression lines stay replayable byte-for-byte).
+  if (numa_sched_hier) t << ";ns=hier";
   if (!cost_scales.empty()) {
     // ',' separates entries inside the one cs= field (';' separates
     // fields); old tokens simply have no cs= field.
@@ -245,6 +249,10 @@ bool CaseParams::parse(const std::string& token, CaseParams* out) {
     } else if (key == "depth") {
       if (!to_i64(val, &n) || n < 1 || n > 16) return false;
       p.tree_depth = static_cast<int>(n);
+    } else if (key == "ns") {
+      if (val == "hier") p.numa_sched_hier = true;
+      else if (val == "flat") p.numa_sched_hier = false;
+      else return false;
     } else if (key == "cs") {
       p.cost_scales.clear();
       for (const std::string& entry : split(val, ',')) {
@@ -379,6 +387,11 @@ std::vector<CaseParams> generate(const GenOptions& opt) {
         if (!dup) p.cost_scales.push_back(std::move(cs));
       }
     }
+    // Hierarchical NUMA stealing: drawn after every existing knob so a
+    // given generator seed reproduces the pre-knob draws exactly.  Only
+    // meaningful on komp paths (the CCK task system has its own pools),
+    // but cheap to sample everywhere -- the env var is simply unread.
+    p.numa_sched_hier = rng.bernoulli(0.2);
     cases.push_back(std::move(p));
   }
   return cases;

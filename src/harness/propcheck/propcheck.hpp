@@ -65,6 +65,8 @@ struct CaseParams {
   int first_touch = -1;  // PointSpec convention: -1 auto, 0 off, 1 on
   bool rtk_use_pte = false;
   std::uint64_t point_seed = 42;  // cost-model RNG seed
+  /// Hierarchical NUMA stealing (KOMP_NUMA_SCHED=hier) on komp paths.
+  bool numa_sched_hier = false;
 
   // kNas: workload = by_name(bench), scaled.
   std::string bench = "EP";

@@ -57,6 +57,8 @@ std::vector<CaseParams> candidates(const CaseParams& p) {
       c.sched_seed = 0;
     });
   if (p.rtk_use_pte) with([](CaseParams& c) { c.rtk_use_pte = false; });
+  if (p.numa_sched_hier)
+    with([](CaseParams& c) { c.numa_sched_hier = false; });
   if (p.first_touch != -1) with([](CaseParams& c) { c.first_touch = -1; });
   if (p.point_seed != 42) with([](CaseParams& c) { c.point_seed = 42; });
   return out;

@@ -82,12 +82,13 @@ Outcome run_osal_scenario(
   return out;
 }
 
-/// Run `body` as an OpenMP app on a freshly booted linux-omp stack.
-Outcome run_omp_scenario(
-    const FuzzConfig& cfg, int threads,
+/// Run `body` as an OpenMP app on a stack built from an explicit
+/// config (scenarios that need a non-default machine or environment).
+Outcome run_stack_omp_scenario(
+    const core::StackConfig& sc,
     const std::function<std::string(komp::Runtime&)>& body) {
   Outcome out;
-  auto stack = core::Stack::create(cfg.stack(threads));
+  auto stack = core::Stack::create(sc);
   std::string wrong;
   try {
     stack->run_omp_app([&body, &wrong](komp::Runtime& rt) {
@@ -102,6 +103,13 @@ Outcome run_omp_scenario(
   out.races = collect_races(stack->engine());
   if (out.races.empty()) out.wrong = wrong;
   return out;
+}
+
+/// Run `body` as an OpenMP app on a freshly booted linux-omp stack.
+Outcome run_omp_scenario(
+    const FuzzConfig& cfg, int threads,
+    const std::function<std::string(komp::Runtime&)>& body) {
+  return run_stack_omp_scenario(cfg.stack(threads), body);
 }
 
 std::string expect_eq(const char* what, long long got, long long want) {
@@ -359,6 +367,42 @@ Scenario komp_tasking() {
   }};
 }
 
+Scenario komp_hier_tasking() {
+  return {"komp-hier-tasking", [](const FuzzConfig& cfg) {
+    // Hierarchical stealing on a multi-zone machine: 16 threads spread
+    // over 8XEON's 8 sockets (OMP_PROC_BIND=spread pins two per zone),
+    // every task spawned on one deque.  Each execution is a steal --
+    // the same-zone sibling raids locally, the other zones walk the
+    // topology tree -- so the schedule fuzzer shakes the victim-order,
+    // threshold-gating, and batch re-queue paths under random and PCT
+    // preemption.
+    core::StackConfig sc = cfg.stack(16);
+    sc.machine = "8xeon";
+    sc.env.emplace_back("KOMP_NUMA_SCHED", "hier");
+    sc.env.emplace_back("OMP_PROC_BIND", "spread");
+    return run_stack_omp_scenario(sc, [](komp::Runtime& rt) {
+      sim::Engine& eng = rt.os().engine();
+      long long counter = 0;
+      constexpr int kTasks = 48;
+      rt.parallel(16, [&](komp::TeamThread& tt) {
+        tt.single([&]() {
+          for (int i = 0; i < kTasks; ++i) {
+            tt.task([&eng, &counter](komp::TeamThread& ex) {
+              ex.compute_ns(40);
+              ex.critical("fuzz-hier-task", [&]() {
+                sim::race::plain_write(eng, &counter, "fuzz hier counter");
+                ++counter;
+              });
+            });
+          }
+        });
+        // The single's closing barrier drains the pool.
+      });
+      return expect_eq("hier task counter", counter, kTasks);
+    });
+  }};
+}
+
 // --- EPCC / NAS scenarios -------------------------------------------
 
 Scenario epcc_sync_small() {
@@ -497,6 +541,7 @@ std::vector<Scenario> default_scenarios() {
   for (auto& s : core_scenarios()) all.push_back(std::move(s));
   all.push_back(virgil_user_tasks());
   all.push_back(virgil_kernel_tasks());
+  all.push_back(komp_hier_tasking());
   all.push_back(epcc_sync_small());
   all.push_back(epcc_task_small());
   return all;

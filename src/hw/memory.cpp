@@ -14,6 +14,17 @@ int MemRegion::zone_for_partition(int part, int nparts) const {
   return slice_zones_[static_cast<std::size_t>(std::min(idx, n - 1))];
 }
 
+bool MemRegion::next_touch_claim(int slice, int nslices) {
+  if (!next_touch_armed_) return false;
+  if (slice < 0 || nslices <= 0 || slice >= nslices) return false;
+  if (next_touch_done_.size() != static_cast<std::size_t>(nslices))
+    next_touch_done_.assign(static_cast<std::size_t>(nslices), 0);
+  auto& done = next_touch_done_[static_cast<std::size_t>(slice)];
+  if (done) return false;
+  done = 1;
+  return true;
+}
+
 std::uint64_t MemRegion::touch_new(std::uint64_t bytes) {
   if (!demand_paged_) return 0;
   const std::uint64_t before = faulted_bytes_;

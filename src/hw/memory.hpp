@@ -82,6 +82,40 @@ class MemRegion {
   std::uint64_t touch_new(std::uint64_t bytes);
   void reset_faults() { faulted_bytes_ = 0; }
 
+  /// --- migration-on-next-touch ---
+  /// Arm the region: the next access to each slice re-homes it to the
+  /// toucher's preferred DRAM zone (the OS substrate performs the
+  /// re-homing when it resolves the toucher's zone).  Mirrors Solaris/
+  /// ForestGOMP `madvise(MADV_ACCESS_LWP)`-style next-touch migration.
+  void arm_next_touch() {
+    next_touch_armed_ = true;
+    next_touch_done_.clear();
+  }
+  void disarm_next_touch() { next_touch_armed_ = false; }
+  bool next_touch_armed() const { return next_touch_armed_; }
+  /// One-shot claim: true exactly once per slice while armed -- the
+  /// caller then applies next-touch placement for that slice.  Each
+  /// slice migrates at most once per arming (no ping-pong between
+  /// touchers).
+  bool next_touch_claim(int slice, int nslices);
+
+  /// --- placement-quality bookkeeping (touch accounting) ---
+  /// Record one resolved touch of a slice whose home was `zone` by a
+  /// toucher preferring `preferred_zone`.
+  void record_touch(int zone, int preferred_zone) {
+    ++touches_;
+    if (zone != preferred_zone) ++misplaced_touches_;
+  }
+  void reset_touch_stats() { touches_ = misplaced_touches_ = 0; }
+  std::uint64_t touches() const { return touches_; }
+  /// Fraction of recorded touches that landed on a remote zone
+  /// (0 when nothing was recorded).
+  double misplaced_fraction() const {
+    return touches_ == 0 ? 0.0
+                         : static_cast<double>(misplaced_touches_) /
+                               static_cast<double>(touches_);
+  }
+
  private:
   std::string name_;
   std::uint64_t bytes_;
@@ -92,6 +126,10 @@ class MemRegion {
   int home_zone_ = 0;
   std::vector<int> slice_zones_;
   std::uint64_t faulted_bytes_ = 0;
+  bool next_touch_armed_ = false;
+  std::vector<std::uint8_t> next_touch_done_;
+  std::uint64_t touches_ = 0;
+  std::uint64_t misplaced_touches_ = 0;
 };
 
 /// Result of the translation model for one work block.

@@ -1,0 +1,37 @@
+#include "hw/topo_tree.hpp"
+
+#include <algorithm>
+
+namespace kop::hw {
+
+TopoTree::TopoTree(const MachineConfig& machine) {
+  machine.validate();
+  num_cpus_ = machine.num_cpus;
+  const auto nz = machine.zones.size();
+  zone_cpus_.assign(nz, {});
+  cpu_zone_.assign(static_cast<std::size_t>(num_cpus_), -1);
+  for (const auto& z : machine.zones) {
+    auto cpus = z.cpus;
+    std::sort(cpus.begin(), cpus.end());
+    for (int c : cpus) cpu_zone_[static_cast<std::size_t>(c)] = z.id;
+    zone_cpus_[static_cast<std::size_t>(z.id)] = std::move(cpus);
+  }
+  zones_by_distance_.assign(nz, {});
+  for (std::size_t from = 0; from < nz; ++from) {
+    auto& order = zones_by_distance_[from];
+    order.resize(nz);
+    for (std::size_t i = 0; i < nz; ++i) order[i] = static_cast<int>(i);
+    const int self = static_cast<int>(from);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      // The zone itself always sorts first, even if the matrix gives
+      // some other zone an equal distance.
+      if ((a == self) != (b == self)) return a == self;
+      const int da = machine.distance(self, a);
+      const int db = machine.distance(self, b);
+      if (da != db) return da < db;
+      return a < b;
+    });
+  }
+}
+
+}  // namespace kop::hw

@@ -1,0 +1,50 @@
+// Topology tree for hierarchical scheduling: the machine -> NUMA zone
+// -> core hierarchy flattened into lookup tables that schedulers can
+// walk deterministically.  ForestGOMP (Thibault et al.) maps nested
+// "bubbles" of threads onto exactly this tree; here TaskPool shards and
+// steal orders map onto it.
+#pragma once
+
+#include <vector>
+
+#include "hw/topology.hpp"
+
+namespace kop::hw {
+
+/// Deterministic, immutable view of a MachineConfig as a three-level
+/// tree (machine -> zone -> core).  All orderings are fixed by the
+/// config (zone ids ascending, SLIT distance ascending with zone-id
+/// tiebreak), so two TopoTrees built from the same MachineConfig are
+/// identical -- a requirement for schedule-replay determinism.
+class TopoTree {
+ public:
+  explicit TopoTree(const MachineConfig& machine);
+
+  int num_zones() const { return static_cast<int>(zone_cpus_.size()); }
+  int num_cpus() const { return num_cpus_; }
+
+  /// Zone owning `cpu` (same as MachineConfig::zone_of_cpu, but O(1)).
+  int zone_of_cpu(int cpu) const {
+    return cpu_zone_.at(static_cast<std::size_t>(cpu));
+  }
+
+  /// CPUs local to `zone`, ascending (empty for CPU-less zones).
+  const std::vector<int>& cpus_of_zone(int zone) const {
+    return zone_cpus_.at(static_cast<std::size_t>(zone));
+  }
+
+  /// Every zone reachable from `zone`, nearest first: the zone itself,
+  /// then the rest ascending by SLIT distance, ties broken by zone id.
+  /// CPU-less zones are included (they can hold memory, not threads).
+  const std::vector<int>& zones_by_distance(int zone) const {
+    return zones_by_distance_.at(static_cast<std::size_t>(zone));
+  }
+
+ private:
+  int num_cpus_ = 0;
+  std::vector<int> cpu_zone_;                     // cpu -> zone id
+  std::vector<std::vector<int>> zone_cpus_;       // zone -> local cpus
+  std::vector<std::vector<int>> zones_by_distance_;
+};
+
+}  // namespace kop::hw

@@ -51,6 +51,15 @@ void MachineConfig::validate() const {
     if (row.size() != zones.size())
       throw std::invalid_argument(name + ": distance matrix not square");
   }
+  // SLIT matrices are symmetric by construction (ACPI 5.2.17); an
+  // asymmetric one would make the hierarchical steal order depend on
+  // which end of the pair asks, so reject it outright.
+  for (std::size_t i = 0; i < zone_distance.size(); ++i) {
+    for (std::size_t j = i + 1; j < zone_distance.size(); ++j) {
+      if (zone_distance[i][j] != zone_distance[j][i])
+        throw std::invalid_argument(name + ": distance matrix asymmetric");
+    }
+  }
   std::vector<bool> seen(static_cast<std::size_t>(num_cpus), false);
   for (const auto& z : zones) {
     for (int c : z.cpus) {

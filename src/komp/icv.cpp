@@ -96,6 +96,12 @@ Icv icv_from_environment(osal::Os& os) {
     else if (b == "close" || b == "true") icv.proc_bind = ProcBind::kClose;
     // "master"/"false"/garbage: keep the default, as libomp does.
   }
+  if (auto v = os.get_env("KOMP_NUMA_SCHED")) {
+    const std::string s = lower(*v);
+    if (s == "hier") icv.numa_sched = NumaSched::kHier;
+    else if (s == "flat") icv.numa_sched = NumaSched::kFlat;
+    // garbage: keep the flat default.
+  }
   return icv;
 }
 

@@ -30,6 +30,13 @@ enum class ProcBind {
   kSpread,  // stride them across the machine (one per socket first)
 };
 
+/// KOMP_NUMA_SCHED: how TaskPool picks steal victims.
+enum class NumaSched {
+  kFlat,  // legacy ring order, topology-blind (the default)
+  kHier,  // walk the topology tree outward: own zone first, then
+          // remote zones ascending SLIT distance
+};
+
 struct Icv {
   int nthreads_var = 1;
   bool dyn_var = false;
@@ -39,6 +46,7 @@ struct Icv {
   /// KMP_BLOCKTIME: how long idle threads spin before sleeping.
   /// libomp default is 200 ms.
   sim::Time blocktime_ns = 200 * sim::kMillisecond;
+  NumaSched numa_sched = NumaSched::kFlat;
 };
 
 /// Build the initial ICVs for a runtime: defaults from the machine,

@@ -1,5 +1,6 @@
 #include "komp/tasking.hpp"
 
+#include "hw/topo_tree.hpp"
 #include "sim/racecheck.hpp"
 
 namespace kop::komp {
@@ -14,8 +15,9 @@ namespace kop::komp {
 // reuse discipline the old per-task heap allocations had.
 
 TaskPool::TaskPool(osal::Os& os, int nthreads, const RuntimeTuning& tuning,
-                   sim::Time spin_ns)
-    : os_(&os), tuning_(&tuning), spin_ns_(spin_ns) {
+                   sim::Time spin_ns, NumaSched numa_sched,
+                   std::vector<int> cpu_of_tid)
+    : os_(&os), tuning_(&tuning), spin_ns_(spin_ns), numa_sched_(numa_sched) {
   deques_.resize(static_cast<std::size_t>(nthreads));
   locks_.reserve(static_cast<std::size_t>(nthreads));
   implicit_.reserve(static_cast<std::size_t>(nthreads));
@@ -27,6 +29,44 @@ TaskPool::TaskPool(osal::Os& os, int nthreads, const RuntimeTuning& tuning,
     current_.push_back(imp);
   }
   idle_gate_ = os.make_wait_queue();
+
+  // Topology mapping: zone per tid for steal classification, plus the
+  // hierarchical victim orders.  Pools without a CPU map (direct
+  // construction in tests) stay flat and count every steal as local.
+  if (cpu_of_tid.size() == static_cast<std::size_t>(nthreads) &&
+      nthreads > 0) {
+    const hw::TopoTree tree(os.machine());
+    tid_zone_.resize(static_cast<std::size_t>(nthreads));
+    for (int i = 0; i < nthreads; ++i)
+      tid_zone_[static_cast<std::size_t>(i)] =
+          tree.zone_of_cpu(cpu_of_tid[static_cast<std::size_t>(i)]);
+    if (numa_sched_ == NumaSched::kHier) {
+      steal_order_.resize(static_cast<std::size_t>(nthreads));
+      local_victims_.resize(static_cast<std::size_t>(nthreads));
+      for (int tid = 0; tid < nthreads; ++tid) {
+        auto& order = steal_order_[static_cast<std::size_t>(tid)];
+        const int my_zone = tid_zone_[static_cast<std::size_t>(tid)];
+        // Same-zone victims keep the flat ring order (from tid+1), so a
+        // single-zone team steals in exactly the flat sequence.
+        for (int i = 1; i < nthreads; ++i) {
+          const int v = (tid + i) % nthreads;
+          if (tid_zone_[static_cast<std::size_t>(v)] == my_zone)
+            order.push_back(v);
+        }
+        local_victims_[static_cast<std::size_t>(tid)] =
+            static_cast<int>(order.size());
+        // Remote zones ascending SLIT distance (tie: zone id); victims
+        // within a zone ascending by tid.
+        for (int z : tree.zones_by_distance(my_zone)) {
+          if (z == my_zone) continue;
+          for (int v = 0; v < nthreads; ++v) {
+            if (v != tid && tid_zone_[static_cast<std::size_t>(v)] == z)
+              order.push_back(v);
+          }
+        }
+      }
+    }
+  }
 }
 
 TaskPool::TaskHandle TaskPool::alloc_task() {
@@ -84,8 +124,8 @@ void TaskPool::spawn(int tid, TaskBody body) {
   idle_gate_->notify_one();
 }
 
-TaskPool::TaskHandle TaskPool::pop_or_steal(int tid, bool* stolen) {
-  *stolen = false;
+TaskPool::TaskHandle TaskPool::pop_or_steal(int tid, StealKind* steal) {
+  *steal = StealKind::kNone;
   sim::race::atomic_load(os_->engine(), &queued_);
   if (queued_ == 0) return kNoTask;  // O(1) bail-out for idle polls
   const auto n = static_cast<int>(deques_.size());
@@ -106,7 +146,8 @@ TaskPool::TaskHandle TaskPool::pop_or_steal(int tid, bool* stolen) {
     }
     lock.unlock();
   }
-  // Steal: FIFO from a victim (breadth-first, big chunks of work).
+  if (!steal_order_.empty()) return steal_hier(tid, steal);
+  // Flat steal: FIFO from a victim (breadth-first, big chunks of work).
   for (int i = 1; i < n; ++i) {
     const int victim = (tid + i) % n;
     auto& lock = *locks_[static_cast<std::size_t>(victim)];
@@ -121,7 +162,11 @@ TaskPool::TaskHandle TaskPool::pop_or_steal(int tid, bool* stolen) {
       --queued_;
       lock.unlock();
       ++steals_;
-      *stolen = true;
+      *steal = tid_zone_.empty() ||
+                       tid_zone_[static_cast<std::size_t>(victim)] ==
+                           tid_zone_[static_cast<std::size_t>(tid)]
+                   ? StealKind::kLocal
+                   : StealKind::kRemote;
       return t;
     }
     lock.unlock();
@@ -129,9 +174,81 @@ TaskPool::TaskHandle TaskPool::pop_or_steal(int tid, bool* stolen) {
   return kNoTask;
 }
 
-void TaskPool::run(int tid, TaskHandle task, bool stolen) {
+// Hierarchical steal: same-zone victims first (flat ring order), then
+// remote zones ascending SLIT distance.  Pass 0 only raids a remote
+// deque holding >= remote_steal_min_queue tasks; if that gate starved
+// the thief while remote work existed, pass 1 retries remote victims
+// ungated so the pool can never wedge with work outstanding.  A remote
+// hit takes a batch: the front task executes as the stolen one, up to
+// remote_steal_batch-1 followers are re-queued on the thief's own deque
+// so same-zone neighbours find them locally.
+TaskPool::TaskHandle TaskPool::steal_hier(int tid, StealKind* steal) {
+  const auto& order = steal_order_[static_cast<std::size_t>(tid)];
+  const int local_n = local_victims_[static_cast<std::size_t>(tid)];
+  bool gated_remote = false;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const bool remote = static_cast<int>(i) >= local_n;
+      if (pass == 1 && !remote) continue;
+      const int victim = order[i];
+      auto& lock = *locks_[static_cast<std::size_t>(victim)];
+      if (!lock.try_lock()) continue;
+      auto& dq = deques_[static_cast<std::size_t>(victim)];
+      sim::race::plain_read(os_->engine(), &dq, "TaskPool task deque");
+      if (dq.empty()) {
+        lock.unlock();
+        continue;
+      }
+      if (pass == 0 && remote &&
+          dq.size() <
+              static_cast<std::size_t>(tuning_->remote_steal_min_queue)) {
+        gated_remote = true;
+        lock.unlock();
+        continue;
+      }
+      sim::race::plain_write(os_->engine(), &dq, "TaskPool task deque");
+      const TaskHandle t = dq.front();
+      dq.pop_front();
+      sim::race::atomic_rmw(os_->engine(), &queued_, "TaskPool::queued_");
+      --queued_;
+      std::vector<TaskHandle> batch;
+      if (remote) {
+        for (int k = 1; k < tuning_->remote_steal_batch && !dq.empty(); ++k) {
+          batch.push_back(dq.front());
+          dq.pop_front();
+        }
+      }
+      lock.unlock();
+      if (!batch.empty()) {
+        // Re-home the followers on the thief's deque (they stay counted
+        // in queued_: still unstarted, just parked elsewhere).  The
+        // victim's lock is released first -- blocking on the own lock
+        // while holding a victim's could cross-deadlock two thieves.
+        auto& own = *locks_[static_cast<std::size_t>(tid)];
+        own.lock();
+        auto& mine = deques_[static_cast<std::size_t>(tid)];
+        sim::race::plain_write(os_->engine(), &mine, "TaskPool task deque");
+        for (TaskHandle h : batch) mine.push_back(h);
+        own.unlock();
+        idle_gate_->notify_one();
+      }
+      ++steals_;
+      *steal = remote ? StealKind::kRemote : StealKind::kLocal;
+      return t;
+    }
+    if (!gated_remote) break;
+  }
+  return kNoTask;
+}
+
+void TaskPool::run(int tid, TaskHandle task, StealKind steal) {
+  const bool stolen = steal != StealKind::kNone;
   if (stolen) {
-    os_->counters().add_on(os_->current_cpu(), telemetry::Counter::kTaskSteals);
+    const int cpu = os_->current_cpu();
+    os_->counters().add_on(cpu, telemetry::Counter::kTaskSteals);
+    os_->counters().add_on(cpu, steal == StealKind::kRemote
+                                    ? telemetry::Counter::kTaskStealsRemote
+                                    : telemetry::Counter::kTaskStealsLocal);
   }
   os_->tools().emit([&](ompt::Tool& t) {
     t.on_task_schedule(ompt::Endpoint::kBegin, os_->engine().now(), tid,
@@ -168,10 +285,10 @@ void TaskPool::run(int tid, TaskHandle task, bool stolen) {
 }
 
 bool TaskPool::try_run_one(int tid) {
-  bool stolen = false;
-  const TaskHandle t = pop_or_steal(tid, &stolen);
+  StealKind steal = StealKind::kNone;
+  const TaskHandle t = pop_or_steal(tid, &steal);
   if (t == kNoTask) return false;
-  run(tid, t, stolen);
+  run(tid, t, steal);
   return true;
 }
 

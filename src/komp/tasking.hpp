@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "komp/icv.hpp"
 #include "komp/tuning.hpp"
 #include "osal/sync.hpp"
 #include "sim/ring_deque.hpp"
@@ -29,8 +30,14 @@ using TaskBody = std::function<void(int exec_tid)>;
 
 class TaskPool {
  public:
+  /// `cpu_of_tid` maps team thread ids to their bound CPUs; when given,
+  /// steals are classified local/remote by NUMA zone, and under
+  /// NumaSched::kHier the victim order walks the topology tree outward
+  /// (same zone first, then remote zones ascending SLIT distance)
+  /// instead of the flat thread-id ring.
   TaskPool(osal::Os& os, int nthreads, const RuntimeTuning& tuning,
-           sim::Time spin_ns);
+           sim::Time spin_ns, NumaSched numa_sched = NumaSched::kFlat,
+           std::vector<int> cpu_of_tid = {});
 
   /// Spawn a task as a child of `tid`'s current task.
   void spawn(int tid, TaskBody body);
@@ -54,6 +61,9 @@ class TaskPool {
   using TaskHandle = std::uint32_t;
   static constexpr TaskHandle kNoTask = ~0u;
 
+  /// How a task reached its executor (NUMA zone of thief vs victim).
+  enum class StealKind { kNone, kLocal, kRemote };
+
   struct Task {
     TaskBody body;
     TaskHandle parent = kNoTask;
@@ -63,8 +73,9 @@ class TaskPool {
     std::uint32_t pins = 0;
   };
 
-  void run(int tid, TaskHandle task, bool stolen);
-  TaskHandle pop_or_steal(int tid, bool* stolen);
+  void run(int tid, TaskHandle task, StealKind steal);
+  TaskHandle pop_or_steal(int tid, StealKind* steal);
+  TaskHandle steal_hier(int tid, StealKind* steal);
   TaskHandle alloc_task();
   /// Drop one pin; recycles the slot (and unpins ancestors) at zero.
   void unpin(TaskHandle h);
@@ -72,6 +83,15 @@ class TaskPool {
   osal::Os* os_;
   const RuntimeTuning* tuning_;
   sim::Time spin_ns_;
+  NumaSched numa_sched_ = NumaSched::kFlat;
+  /// NUMA zone of each team thread's bound CPU (empty: unclassified;
+  /// such pools count every steal as local and always steal flat).
+  std::vector<int> tid_zone_;
+  /// Hier mode only: per-tid victim order (same-zone ring first, then
+  /// remote zones ascending SLIT distance) and the index where the
+  /// remote victims start.
+  std::vector<std::vector<int>> steal_order_;
+  std::vector<int> local_victims_;
   std::deque<Task> slab_;
   std::vector<TaskHandle> free_;
   std::vector<sim::RingDeque<TaskHandle>> deques_;

@@ -15,12 +15,20 @@ namespace kop::komp {
 // and payload fields (bounds, accumulators) are plain data whose
 // ordering must come from those edges or from the team barrier.
 
+std::vector<int> Team::cpu_map(const Runtime& rt, int size) {
+  std::vector<int> cpus(static_cast<std::size_t>(size));
+  for (int tid = 0; tid < size; ++tid)
+    cpus[static_cast<std::size_t>(tid)] = rt.cpu_for_team_thread(tid);
+  return cpus;
+}
+
 Team::Team(Runtime& rt, int size)
     : rt_(&rt),
       size_(size),
       barrier_(rt.os(), size, rt.tuning().barrier_algo, rt.icv().blocktime_ns,
                rt.tuning().barrier_step_extra_ns),
-      pool_(rt.os(), size, rt.tuning(), rt.icv().blocktime_ns),
+      pool_(rt.os(), size, rt.tuning(), rt.icv().blocktime_ns,
+            rt.icv().numa_sched, cpu_map(rt, size)),
       members_(static_cast<std::size_t>(size), nullptr),
       exit_gate_(rt.os().make_wait_queue()) {
   // Threads waiting at a barrier execute pending explicit tasks.

@@ -147,6 +147,9 @@ class Team {
 
   std::shared_ptr<LoopState> loop_state(std::uint64_t gen);
   void finish_loop(std::uint64_t gen, LoopState& st);
+  /// Where each team thread runs (per OMP_PROC_BIND), so the task pool
+  /// can map the team onto the NUMA topology.
+  static std::vector<int> cpu_map(const Runtime& rt, int size);
 
   Runtime* rt_;
   int size_;

@@ -150,6 +150,7 @@ hw::MemRegion* BaseOs::alloc_region(std::string name, std::uint64_t bytes,
   if (engine_->current() != nullptr) engine_->sleep_for(costs_.alloc_base_ns);
   auto region = std::make_unique<hw::MemRegion>(std::move(name), bytes);
   place_region(*region, policy);
+  if (next_touch_migration_) region->arm_next_touch();
   hw::MemRegion* raw = region.get();
   regions_.push_back(std::move(region));
   return raw;
@@ -168,7 +169,18 @@ void BaseOs::defer_placement(hw::MemRegion& region) {
 
 int BaseOs::resolve_data_zone(hw::MemRegion* region, int part, int nparts) {
   if (region == nullptr) return -1;
-  if (!region->is_sliced()) return region->home_zone();
+  const int my_zone = machine_.zone_of_cpu(current_cpu());
+  const int preferred = machine_.preferred_dram_zone(current_cpu());
+  if (!region->is_sliced()) {
+    if (!region->next_touch_armed()) {
+      region->record_touch(region->home_zone(), preferred);
+      return region->home_zone();
+    }
+    // Armed single-home region: expand to the standard slice map so
+    // next-touch can re-home at slice granularity.
+    region->set_slice_zones(
+        std::vector<int>(kFirstTouchSlices, region->home_zone()));
+  }
   // First-touch: assign any still-unassigned slices in this partition's
   // range to the toucher's zone.
   std::vector<int> zones = region->slice_zones();
@@ -176,16 +188,37 @@ int BaseOs::resolve_data_zone(hw::MemRegion* region, int part, int nparts) {
   const int lo = part * n / nparts;
   int hi = (part + 1) * n / nparts;
   hi = std::max(hi, lo + 1);
-  const int my_zone = machine_.zone_of_cpu(current_cpu());
   bool changed = false;
+  std::uint64_t migrated = 0;
   for (int i = lo; i < hi && i < n; ++i) {
-    if (zones[static_cast<std::size_t>(i)] < 0) {
-      zones[static_cast<std::size_t>(i)] = first_touch_zone(my_zone);
+    auto& z = zones[static_cast<std::size_t>(i)];
+    if (region->next_touch_claim(i, n)) {
+      // Next touch after arming: the slice is re-homed (or, if still
+      // unplaced, placed) exactly on the toucher's preferred DRAM zone
+      // -- migration is precise where scattered first touch is not.
+      if (z >= 0 && z != preferred) ++migrated;
+      if (z != preferred) changed = true;
+      z = preferred;
+    } else if (z < 0) {
+      z = first_touch_zone(my_zone);
       changed = true;
+    }
+  }
+  if (migrated > 0) {
+    counters_.add_on(current_cpu(), telemetry::Counter::kPageMigrations,
+                     migrated);
+    // Moving a slice costs a copy at the machine's memcpy bandwidth.
+    const std::uint64_t slice_bytes =
+        region->bytes() / static_cast<std::uint64_t>(n);
+    if (engine_->current() != nullptr) {
+      engine_->sleep_for(static_cast<sim::Time>(
+          static_cast<double>(migrated * slice_bytes) /
+          machine_.copy_bytes_per_ns));
     }
   }
   if (changed) region->set_slice_zones(std::move(zones));
   const int z = region->zone_for_partition(part, nparts);
+  region->record_touch(z < 0 ? my_zone : z, preferred);
   return z < 0 ? my_zone : z;
 }
 

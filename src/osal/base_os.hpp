@@ -48,6 +48,9 @@ class BaseOs : public Os {
                               AllocPolicy policy) override;
   void free_region(hw::MemRegion* region) override;
   int resolve_data_zone(hw::MemRegion* region, int part, int nparts) override;
+  void set_next_touch_migration(bool on) override {
+    next_touch_migration_ = on;
+  }
 
   std::optional<std::string> get_env(const std::string& key) const override;
   void set_env(const std::string& key, std::string value) override;
@@ -95,6 +98,8 @@ class BaseOs : public Os {
   std::vector<std::unique_ptr<hw::MemRegion>> regions_;
   std::unordered_map<std::string, std::string> env_;
   int next_rr_cpu_ = 0;
+  /// Arm regions allocated from now on for migration-on-next-touch.
+  bool next_touch_migration_ = false;
 };
 
 }  // namespace kop::osal

@@ -140,6 +140,11 @@ class Os {
   /// Zone the data for partition `part` of `nparts` of `region` lives
   /// in, applying first-touch assignment if the policy deferred it.
   virtual int resolve_data_zone(hw::MemRegion* region, int part, int nparts) = 0;
+  /// Enable migration-on-next-touch as the placement policy for regions
+  /// allocated from here on: each one is armed so its first access per
+  /// slice re-homes the slice to the toucher's preferred DRAM zone.
+  /// Default: unsupported, silently off (substrates opt in).
+  virtual void set_next_touch_migration(bool on) { (void)on; }
 
   // --- environment / configuration (libomp's libc dependencies, §3.4) ---
   virtual std::optional<std::string> get_env(const std::string& key) const = 0;

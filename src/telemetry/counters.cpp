@@ -19,6 +19,9 @@ const char* counter_name(Counter c) {
     case Counter::kSpinWakes:        return "spin_wakes";
     case Counter::kThreadsCreated:   return "threads_created";
     case Counter::kTaskSteals:       return "task_steals";
+    case Counter::kTaskStealsLocal:  return "task_steals_local";
+    case Counter::kTaskStealsRemote: return "task_steals_remote";
+    case Counter::kPageMigrations:   return "page_migrations";
     case Counter::kCount:            break;
   }
   return "unknown";

@@ -34,6 +34,9 @@ enum class Counter : int {
   kSpinWakes,          // wait-queue wakes satisfied while the waiter still spun
   kThreadsCreated,     // OS threads created
   kTaskSteals,         // tasks stolen across worker queues (komp + virgil + nk)
+  kTaskStealsLocal,    // steals whose victim shares the thief's NUMA zone
+  kTaskStealsRemote,   // steals that crossed a NUMA zone boundary
+  kPageMigrations,     // slices re-homed by migration-on-next-touch
   kCount,
 };
 

@@ -46,8 +46,9 @@ void check_run(const JsonValue& run, std::size_t idx,
   }
 
   static const std::set<std::string> allowed = {
-      "label", "machine", "path", "threads",
-      "timing", "counters", "per_cpu", "constructs"};
+      "label",    "machine", "path",  "threads",
+      "timing",   "counters", "per_cpu", "zones",
+      "constructs"};
   for (const auto& [key, val] : run.object) {
     (void)val;
     if (!allowed.count(key)) {
@@ -100,6 +101,32 @@ void check_run(const JsonValue& run, std::size_t idx,
         for (const JsonValue& v : arr.array) {
           if (!v.is_number() || v.number < 0) {
             out->push_back(where + ": per_cpu." + key +
+                           " entries must be non-negative numbers");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // "zones" is the per-NUMA-zone aggregation of per_cpu (same shape,
+  // shorter arrays); a document that carries zones without the per_cpu
+  // rows it is derived from is malformed.
+  if (const JsonValue* zones = run.find("zones")) {
+    if (run.find("per_cpu") == nullptr) {
+      out->push_back(where + ": \"zones\" requires \"per_cpu\"");
+    }
+    if (!zones->is_object()) {
+      out->push_back(where + ": \"zones\" must be an object");
+    } else {
+      for (const auto& [key, arr] : zones->object) {
+        if (!arr.is_array()) {
+          out->push_back(where + ": zones." + key + " must be an array");
+          continue;
+        }
+        for (const JsonValue& v : arr.array) {
+          if (!v.is_number() || v.number < 0) {
+            out->push_back(where + ": zones." + key +
                            " entries must be non-negative numbers");
             break;
           }

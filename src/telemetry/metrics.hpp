@@ -20,9 +20,13 @@
 //           "timed_seconds": <number >= 0>,
 //           "init_seconds": <number >= 0>
 //         },
-//         "counters": { "<counter>": <int >= 0>, ... },  // all 15, in
-//                                                        // enum order
+//         "counters": { "<counter>": <int >= 0>, ... },  // all
+//                                     // kNumCounters, in enum order
 //         "per_cpu": { "<counter>": [<int>, ...], ... }, // optional
+//         "zones": { "<counter>": [<int>, ...], ... },   // optional:
+//                                     // per-NUMA-zone aggregation of
+//                                     // per_cpu (derived, never stored
+//                                     // without per_cpu)
 //         "constructs": {                                 // optional
 //           "<construct>": { "count": <int>, "total_us": <number>,
 //                             "mean_us": <number> }, ...

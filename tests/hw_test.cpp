@@ -1,4 +1,4 @@
-// Unit tests for machine topology, the translation/fault cost model,
+// Unit tests for machine topology, the topology tree, the translation/fault cost model,
 // the execution model, and the CPU resource.
 #include <gtest/gtest.h>
 
@@ -6,6 +6,7 @@
 #include "hw/cpu.hpp"
 #include "hw/exec_model.hpp"
 #include "hw/memory.hpp"
+#include "hw/topo_tree.hpp"
 #include "hw/topology.hpp"
 
 namespace kop::hw {
@@ -42,6 +43,54 @@ TEST(Topology, ByNameAndValidation) {
   MachineConfig bad = phi();
   bad.zones[0].cpus.pop_back();  // cpu 63 now uncovered
   EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Topology, AsymmetricDistanceMatrixRejected) {
+  // ACPI SLIT matrices are symmetric; a lopsided hand-edited one must
+  // not survive validate() (TopoTree sorts victims by these rows).
+  MachineConfig bad = xeon8();
+  bad.zone_distance[2][5] = 17;  // [5][2] still 21
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.zone_distance[5][2] = 17;  // symmetric again
+  EXPECT_NO_THROW(bad.validate());
+}
+
+TEST(TopoTreeTest, PhiMcdramZoneHasNoCpus) {
+  // CPU-less zones (flat-mode MCDRAM) exist in the tree but own no
+  // CPUs, so no steal order or team shard ever maps onto them.
+  const TopoTree tree(phi());
+  EXPECT_EQ(tree.num_zones(), 2);
+  EXPECT_EQ(tree.num_cpus(), 64);
+  EXPECT_EQ(tree.cpus_of_zone(0).size(), 64u);
+  EXPECT_TRUE(tree.cpus_of_zone(1).empty());
+  for (int cpu = 0; cpu < 64; ++cpu) EXPECT_EQ(tree.zone_of_cpu(cpu), 0);
+  // The distance walk from the DRAM zone still lists MCDRAM last.
+  EXPECT_EQ(tree.zones_by_distance(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(tree.zones_by_distance(1), (std::vector<int>{1, 0}));
+}
+
+TEST(TopoTreeTest, Xeon8ZoneOrderIsSelfThenDistanceThenId) {
+  const TopoTree tree(xeon8());
+  EXPECT_EQ(tree.num_zones(), 8);
+  for (int z = 0; z < 8; ++z) {
+    const auto& order = tree.zones_by_distance(z);
+    ASSERT_EQ(order.size(), 8u);
+    EXPECT_EQ(order[0], z);  // self first, even with uniform distances
+    // Remote zones all sit at distance 21, so the tiebreak is zone id.
+    std::vector<int> rest(order.begin() + 1, order.end());
+    EXPECT_TRUE(std::is_sorted(rest.begin(), rest.end()));
+  }
+  EXPECT_EQ(tree.cpus_of_zone(3).front(), 72);
+  EXPECT_EQ(tree.cpus_of_zone(3).back(), 95);
+  EXPECT_EQ(tree.zone_of_cpu(95), 3);
+}
+
+TEST(TopoTreeTest, RejectsInvalidMachine) {
+  // The tree re-validates on construction: asymmetric SLIT rows would
+  // produce a nonsensical victim order.
+  MachineConfig bad = xeon8();
+  bad.zone_distance[0][1] = 11;
+  EXPECT_THROW(TopoTree{bad}, std::invalid_argument);
 }
 
 TEST(Memory, TouchNewCountsPagesOnce) {

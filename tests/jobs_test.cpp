@@ -100,6 +100,21 @@ TEST(PointSpec, EveryAxisChangesTheCanonicalForm) {
   p = base;
   p.seed = 7;
   EXPECT_TRUE(forms.insert(p.canonical()).second);
+  // NUMA-scheduler knobs move the fingerprint, and only when set: the
+  // defaults keep historical canonical bytes (append-when-non-default,
+  // like cost_scales), so pre-existing caches stay valid.
+  EXPECT_EQ(base.canonical().find("numa="), std::string::npos);
+  EXPECT_EQ(base.canonical().find("migrate="), std::string::npos);
+  p = base;
+  p.numa_sched_hier = true;
+  EXPECT_TRUE(forms.insert(p.canonical()).second);
+  p = base;
+  p.numa_migrate = true;
+  EXPECT_TRUE(forms.insert(p.canonical()).second);
+  p = base;
+  p.numa_sched_hier = true;
+  p.numa_migrate = true;
+  EXPECT_TRUE(forms.insert(p.canonical()).second);
   // Workload parameters: a different --scale factor must not alias.
   p = base;
   p.nas.loops[0].per_iter_ns *= 2.0;

@@ -12,9 +12,11 @@ namespace kop::komp {
 namespace {
 
 struct Fixture {
-  explicit Fixture(int threads, std::uint64_t seed = 42) {
+  explicit Fixture(int threads, std::uint64_t seed = 42,
+                   hw::MachineConfig machine = hw::phi()) {
     engine = std::make_unique<sim::Engine>(seed);
-    nk = std::make_unique<nautilus::NautilusKernel>(*engine, hw::phi());
+    nk = std::make_unique<nautilus::NautilusKernel>(*engine,
+                                                    std::move(machine));
     nk->set_env("OMP_NUM_THREADS", std::to_string(threads));
     pt = std::make_unique<pthread_compat::Pthreads>(
         *nk, pthread_compat::nautilus_native_tuning());
@@ -174,6 +176,72 @@ TEST(Tasking, HeavyTaskLoadBalances) {
   });
   // Serial sum ~ 4.86ms; 8 threads should cut it well below half.
   EXPECT_LT(seconds, 0.0030);
+}
+
+TEST(Tasking, HierSchedulingCompletesAndClassifiesSteals) {
+  // KOMP_NUMA_SCHED=hier on a multi-zone machine: 16 threads spread
+  // over 8XEON's 8 sockets, one producer.  Every steal must be
+  // classified as either local (victim in the thief's zone) or remote,
+  // and the two splits must add up to the steal total.
+  Fixture f(16, 42, hw::xeon8());
+  f.nk->set_env("KOMP_NUMA_SCHED", "hier");
+  f.nk->set_env("OMP_PROC_BIND", "spread");
+  int done = 0;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      tt.master([&] {
+        for (int k = 0; k < 128; ++k)
+          tt.task([&](TeamThread& ex) {
+            ex.compute_ns(20'000);
+            ++done;
+          });
+      });
+      tt.barrier();
+    });
+  });
+  EXPECT_EQ(done, 128);
+  const auto snap = f.nk->counters().snapshot();
+  const auto at = [&snap](telemetry::Counter c) {
+    return snap.totals[static_cast<int>(c)];
+  };
+  EXPECT_GT(at(telemetry::Counter::kTaskSteals), 0u);
+  EXPECT_EQ(at(telemetry::Counter::kTaskSteals),
+            at(telemetry::Counter::kTaskStealsLocal) +
+                at(telemetry::Counter::kTaskStealsRemote));
+  // Spread binding leaves the producer's zone with one idle sibling;
+  // the other 14 thieves sit across the fabric.
+  EXPECT_GT(at(telemetry::Counter::kTaskStealsRemote), 0u);
+}
+
+TEST(Tasking, HierOnSingleZoneMachineStealsOnlyLocally) {
+  // PHI's only CPU-bearing zone is zone 0 (MCDRAM is CPU-less), so the
+  // topology walk degenerates to the flat ring: everything classifies
+  // local and no remote traffic is ever recorded.
+  Fixture f(8);
+  f.nk->set_env("KOMP_NUMA_SCHED", "hier");
+  int done = 0;
+  f.run([&](Runtime& rt) {
+    rt.parallel([&](TeamThread& tt) {
+      tt.master([&] {
+        for (int k = 0; k < 64; ++k)
+          tt.task([&](TeamThread& ex) {
+            ex.compute_ns(20'000);
+            ++done;
+          });
+      });
+      tt.barrier();
+    });
+  });
+  EXPECT_EQ(done, 64);
+  const auto snap = f.nk->counters().snapshot();
+  EXPECT_GT(snap.totals[static_cast<int>(telemetry::Counter::kTaskSteals)],
+            0u);
+  EXPECT_EQ(
+      snap.totals[static_cast<int>(telemetry::Counter::kTaskStealsRemote)],
+      0u);
+  EXPECT_EQ(
+      snap.totals[static_cast<int>(telemetry::Counter::kTaskSteals)],
+      snap.totals[static_cast<int>(telemetry::Counter::kTaskStealsLocal)]);
 }
 
 }  // namespace

@@ -313,6 +313,64 @@ TEST(BaseOs, FirstTouchResolvesToToucherZone) {
   EXPECT_EQ(zone_cpu0_again, 4);  // sticky after first touch
 }
 
+TEST(BaseOs, NextTouchMigrationRehomesEverySliceToItsToucher) {
+  // Migration-on-next-touch (the third placement policy): a
+  // Nautilus-style immediately-placed single-zone region re-homes each slice to the
+  // toucher's preferred DRAM zone on its first access, so a full touch
+  // pass ends with zero misplaced accesses.
+  sim::Engine engine(1);
+  nautilus::NautilusKernel os(engine, hw::xeon8());
+  os.set_next_touch_migration(true);
+  hw::MemRegion* r =
+      os.alloc_region("arr", 1ULL << 30, AllocPolicy::local());
+  int zone_a = -1, zone_b = -1, zone_b_again = -1;
+  os.spawn_thread(
+      "a", [&] { zone_a = os.resolve_data_zone(r, 0, 2); }, 0);
+  os.spawn_thread(
+      "b",
+      [&] {
+        engine.sleep_for(100);
+        zone_b = os.resolve_data_zone(r, 1, 2);
+        zone_b_again = os.resolve_data_zone(r, 1, 2);
+      },
+      100);
+  engine.run();
+  EXPECT_EQ(zone_a, 0);
+  EXPECT_EQ(zone_b, 4);        // migrated out of the allocation zone
+  EXPECT_EQ(zone_b_again, 4);  // one-shot: later touches keep the home
+  EXPECT_GT(r->touches(), 0u);
+  EXPECT_DOUBLE_EQ(r->misplaced_fraction(), 0.0);
+  const auto snap = os.counters().snapshot();
+  EXPECT_GT(snap.totals[static_cast<int>(
+                telemetry::Counter::kPageMigrations)], 0u);
+}
+
+TEST(BaseOs, ImmediatePlacementWithoutMigrationStaysMisplaced) {
+  // Control for the test above: same touch pattern, migration off --
+  // the remote half keeps the allocation-time home zone and the
+  // misplacement shows up in the region's touch stats.
+  sim::Engine engine(1);
+  nautilus::NautilusKernel os(engine, hw::xeon8());
+  hw::MemRegion* r =
+      os.alloc_region("arr", 1ULL << 30, AllocPolicy::local());
+  int zone_a = -1, zone_b = -1;
+  os.spawn_thread(
+      "a", [&] { zone_a = os.resolve_data_zone(r, 0, 2); }, 0);
+  os.spawn_thread(
+      "b",
+      [&] {
+        engine.sleep_for(100);
+        zone_b = os.resolve_data_zone(r, 1, 2);
+      },
+      100);
+  engine.run();
+  EXPECT_EQ(zone_a, zone_b);  // both halves stuck in the home zone
+  EXPECT_GT(r->misplaced_fraction(), 0.0);
+  const auto snap = os.counters().snapshot();
+  EXPECT_EQ(snap.totals[static_cast<int>(
+                telemetry::Counter::kPageMigrations)], 0u);
+}
+
 }  // namespace
 }  // namespace kop::osal
 

@@ -187,6 +187,33 @@ TEST(Generator, DrawsCostScalesMatchedToThePath) {
   EXPECT_LT(with_scales, opt.count / 2);
 }
 
+TEST(Token, NumaSchedRoundTripsAndStaysOffHistoricalTokens) {
+  // ns=hier is append-only: the flat default emits no ns field at all,
+  // so every token minted before the knob existed parses (and
+  // re-serializes) byte-identically.
+  propcheck::CaseParams p;
+  EXPECT_EQ(p.token().find(";ns="), std::string::npos) << p.token();
+  p.numa_sched_hier = true;
+  const std::string tok = p.token();
+  EXPECT_NE(tok.find(";ns=hier"), std::string::npos) << tok;
+  propcheck::CaseParams back;
+  ASSERT_TRUE(propcheck::CaseParams::parse(tok, &back)) << tok;
+  EXPECT_TRUE(back.numa_sched_hier);
+  EXPECT_EQ(back.token(), tok);
+  // Explicit flat parses too (and normalizes back to the bare token).
+  propcheck::CaseParams flat;
+  ASSERT_TRUE(propcheck::CaseParams::parse("v1;nas;thr=2;ns=flat", &flat));
+  EXPECT_FALSE(flat.numa_sched_hier);
+  EXPECT_EQ(flat.token().find(";ns="), std::string::npos);
+  // Garbage is rejected like any other malformed field.
+  propcheck::CaseParams bad;
+  EXPECT_FALSE(propcheck::CaseParams::parse("v1;nas;ns=diagonal", &bad));
+  // The knob reaches the materialized point's cache identity.
+  propcheck::CaseParams hier;
+  hier.numa_sched_hier = true;
+  EXPECT_NE(hier.point().canonical(), propcheck::CaseParams{}.point().canonical());
+}
+
 TEST(Token, ParseAppliesDefaultsForOmittedKeys) {
   propcheck::CaseParams p;
   ASSERT_TRUE(propcheck::CaseParams::parse("v1;nas;thr=3", &p));
